@@ -1,0 +1,59 @@
+"""Ablation: the candidate-set broadcast (Section 3.4, Figure 6).
+
+With the broadcast disabled, each cache's copy of a line's candidate set
+goes stale: a processor that narrowed the set on its own copy cannot warn
+the others until the line itself moves.  The effect is fewer dynamic
+reports (stale, wider candidate sets hide violations) and zero broadcast
+bus traffic — trading coverage for bandwidth.
+"""
+
+import pytest
+
+from repro.harness.detectors import make_detector
+
+
+@pytest.fixture(scope="module")
+def broadcast_comparison(runner):
+    trace = runner.trace_for("cholesky", -1)
+    results = {}
+    for enabled in (True, False):
+        detector = make_detector("hard-default", broadcast_updates=enabled)
+        results[enabled] = detector.run(trace)
+    return results
+
+
+def test_disabling_broadcast_reduces_coverage(broadcast_comparison, save_exhibit, checked):
+    def _check():
+        on = broadcast_comparison[True]
+        off = broadcast_comparison[False]
+        save_exhibit(
+            "ablation_broadcast",
+            "Ablation: candidate-set broadcast (cholesky, race-free run)\n"
+            f"  broadcast on : {on.reports.dynamic_count:>7} dynamic reports, "
+            f"{on.reports.alarm_count:>4} alarms, "
+            f"{on.stats.get('hard.metadata_broadcasts'):>7} broadcasts\n"
+            f"  broadcast off: {off.reports.dynamic_count:>7} dynamic reports, "
+            f"{off.reports.alarm_count:>4} alarms, "
+            f"{off.stats.get('hard.metadata_broadcasts'):>7} broadcasts",
+        )
+        assert off.stats.get("hard.metadata_broadcasts") == 0
+        assert on.stats.get("hard.metadata_broadcasts") > 0
+        assert off.reports.dynamic_count <= on.reports.dynamic_count
+
+    checked(_check)
+
+def test_broadcast_traffic_is_modest(broadcast_comparison, checked):
+    """The paper: 'such broadcast happens not very often'."""
+    def _check():
+        on = broadcast_comparison[True]
+        accesses = on.stats.get("access.total")
+        broadcasts = on.stats.get("hard.metadata_broadcasts")
+        assert broadcasts < accesses * 0.25
+
+    checked(_check)
+
+def test_bench_broadcast_pass(runner, benchmark):
+    trace = runner.trace_for("raytrace", -1)
+    detector = make_detector("hard-default", broadcast_updates=False)
+    result = benchmark.pedantic(lambda: detector.run(trace), rounds=1, iterations=1)
+    assert result.stats.get("hard.metadata_broadcasts") == 0

@@ -1,0 +1,49 @@
+"""Table 1: parameters of the simulated architecture.
+
+Not an experiment — a conformance check that our default machine matches
+the paper's configuration, plus a micro-benchmark of the simulator's raw
+access throughput (the quantity everything else's runtime scales with).
+"""
+
+from repro.common.config import KB, MB, MachineConfig
+from repro.sim.machine import Machine
+
+
+def render_table1(config: MachineConfig) -> str:
+    lines = [
+        "Table 1: simulated architecture parameters (ours | paper)",
+        f"  cores                {config.num_cores} | 4",
+        f"  CPU frequency        {config.cpu_ghz} GHz | 2.4 GHz",
+        f"  L1 cache             {config.l1.size_bytes // KB}KB, "
+        f"{config.l1.associativity}-way, {config.l1.line_size}B/line, "
+        f"{config.l1.latency_cycles} cycles | 16KB, 4-way, 32B, 3 cycles",
+        f"  L2 cache             {config.l2.size_bytes // MB}MB, "
+        f"{config.l2.associativity}-way, {config.l2.line_size}B/line, "
+        f"{config.l2.latency_cycles} cycles | 1MB, 8-way, 32B, 10 cycles",
+        f"  memory latency       {config.memory_latency_cycles} cycles | 200 cycles",
+        "  BFVector             16b per line | 16b per line",
+    ]
+    return "\n".join(lines)
+
+
+def test_table1_matches_paper(save_exhibit, checked):
+    def _check():
+        config = MachineConfig()
+        assert config.num_cores == 4
+        assert config.l1.size_bytes == 16 * KB and config.l1.latency_cycles == 3
+        assert config.l2.size_bytes == 1 * MB and config.l2.latency_cycles == 10
+        assert config.memory_latency_cycles == 200
+        save_exhibit("table1", render_table1(config))
+
+    checked(_check)
+
+def test_machine_access_throughput(benchmark):
+    """Micro-benchmark: mixed hit/miss accesses through the full hierarchy."""
+    machine = Machine()
+    addrs = [0x10000 + 32 * (i * 7 % 4096) for i in range(2048)]
+
+    def run():
+        for i, addr in enumerate(addrs):
+            machine.access(i & 3, addr, 4, bool(i & 1))
+
+    benchmark(run)

@@ -1,0 +1,71 @@
+"""Tables 4 and 5: sensitivity to L2 capacity (the detection window).
+
+Candidate sets and timestamps live only in the cache hierarchy; an L2
+displacement erases them (Section 3.6).  Sweeping the L2 from 128 KB to
+1 MB therefore moves the *detection window*:
+
+* Table 4 — detected bugs increase (weakly) with L2 size, for both
+  detectors: fewer displacements, fewer forgotten candidate sets;
+* Table 5 — false alarms also increase (weakly) with L2 size: surviving
+  metadata has more opportunities to reach an empty candidate set or a
+  conflicting timestamp.
+"""
+
+import pytest
+
+from repro.common.config import KB, MB, PAPER_L2_SIZES
+from repro.harness.tables import render_table4, render_table5, table4_and_5
+from repro.workloads.registry import WORKLOAD_NAMES
+
+
+@pytest.fixture(scope="module")
+def l2_data(runner):
+    return table4_and_5(runner)
+
+
+def test_tables_regenerate(l2_data, save_exhibit, checked):
+    def _check():
+        save_exhibit("table4", render_table4(l2_data))
+        save_exhibit("table5", render_table5(l2_data))
+
+    checked(_check)
+
+def test_detection_weakly_increases_with_l2(l2_data, checked):
+    """Table 4's shape, allowing the occasional one-bug wobble."""
+    def _check():
+        sizes = (PAPER_L2_SIZES[0], PAPER_L2_SIZES[-1])
+        for key in ("hard-default", "hb-default"):
+            for app in WORKLOAD_NAMES:
+                counts = [l2_data[app]["detected"][key][s] for s in sizes]
+                assert counts[-1] >= counts[0], (app, key, counts)
+
+    checked(_check)
+
+def test_detection_gap_at_smallest_l2(l2_data, checked):
+    """128 KB must visibly hurt HARD somewhere (paper: cholesky 9 -> 6)."""
+    def _check():
+        lost = sum(
+            l2_data[app]["detected"]["hard-default"][1 * MB]
+            - l2_data[app]["detected"]["hard-default"][128 * KB]
+            for app in WORKLOAD_NAMES
+        )
+        assert lost >= 3
+
+    checked(_check)
+
+def test_false_alarms_weakly_increase_with_l2(l2_data, checked):
+    def _check():
+        for key in ("hard-default", "hb-default"):
+            for app in WORKLOAD_NAMES:
+                alarms = [l2_data[app]["alarms"][key][s] for s in PAPER_L2_SIZES]
+                # Allow small wobble; the envelope must not decrease.
+                assert alarms[-1] >= alarms[0] - 2, (app, key, alarms)
+
+    checked(_check)
+
+def test_bench_one_l2_cell(runner, benchmark):
+    def one_cell():
+        return runner.run_detector("raytrace", 1, "hard-default", l2_size=256 * KB)
+
+    outcome = benchmark.pedantic(one_cell, rounds=1, iterations=1)
+    assert outcome.alarm_count >= 0

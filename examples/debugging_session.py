@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""A debugging session: four detectors, one execution.
+
+The paper's Table 2 compares HARD against a happens-before detector in both
+default (hardware-constrained) and ideal configurations.  This example
+replays that comparison on a single buggy execution so you can see *why*
+the detectors disagree:
+
+* HARD and the ideal lockset check the locking discipline — they flag the
+  de-protected accesses no matter how the scheduler happened to order them;
+* happens-before only reports the race if the conflicting accesses are
+  unordered in this particular interleaving;
+* the default (cache-resident) variants can additionally lose their
+  metadata to L2 displacement.
+
+Run:  python examples/debugging_session.py [app] [bug-seed]
+"""
+
+import sys
+
+from repro import RandomScheduler, build_workload, inject_bug, interleave
+from repro.harness.detectors import PAPER_DETECTORS, make_detector
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "water-nsquared"
+    bug_seed = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+
+    program = build_workload(app, seed=0)
+    buggy = inject_bug(program, seed=bug_seed)
+    bug = buggy.injected_bug
+    trace = interleave(buggy, RandomScheduler(seed=bug_seed, max_burst=8)).trace
+
+    print(f"workload {app!r}, injected bug #{bug_seed}:")
+    print(f"  thread {bug.thread_id} lost lock 0x{bug.lock_addr:x}; "
+          f"de-protected chunks: {len(bug.chunk_addresses)}")
+    print(f"  trace: {len(trace):,} events\n")
+
+    print(f"{'detector':<14} {'verdict':<10} {'dynamic':>8} {'alarms':>7}  first matching report")
+    print("-" * 90)
+    for key in PAPER_DETECTORS:
+        result = make_detector(key).run(trace)
+        matching = [
+            r for r in result.reports if bug.matches_report(r.addr, r.size, r.site)
+        ]
+        verdict = "DETECTED" if matching else "missed"
+        first = str(matching[0]) if matching else "-"
+        if len(first) > 48:
+            first = first[:45] + "..."
+        print(
+            f"{key:<14} {verdict:<10} {result.reports.dynamic_count:>8} "
+            f"{result.reports.alarm_count:>7}  {first}"
+        )
+
+    # For the detector the paper champions, reconstruct the race's story:
+    # who touched the data, under which locks, and where the discipline
+    # broke (what a HARD-equipped debugger would show after the trap).
+    from repro.harness.explain import explain_report
+
+    hard_result = make_detector("hard-ideal").run(trace)
+    matching = [
+        r for r in hard_result.reports if bug.matches_report(r.addr, r.size, r.site)
+    ]
+    if matching:
+        print("\n--- race anatomy (ideal lockset's first matching report) ---")
+        print(explain_report(trace, matching[0]).format(max_entries=8))
+
+    print("\nNotes:")
+    print("  * 'alarms' counts distinct source sites (the paper's unit for")
+    print("    false positives); on a bug-injected run most alarms besides")
+    print("    the match are the workload's intrinsic false-positive sources.")
+    print("  * if hb-* rows say 'missed', the de-protected accesses happened")
+    print("    to be ordered by other synchronization in this interleaving —")
+    print("    the Figure 1 effect that motivates lockset-based hardware.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: detect an injected data race with HARD.
+
+Builds one of the synthetic SPLASH-2-like workloads, injects a data race by
+omitting one dynamic lock/unlock pair (the paper's Section 4 protocol),
+executes it on a random interleaving, and runs the HARD detector — the
+hardware lockset detector of the paper — over the resulting trace.
+
+Run:  python examples/quickstart.py [app] [seed]
+"""
+
+import sys
+
+from repro import (
+    HardDetector,
+    RandomScheduler,
+    build_workload,
+    inject_bug,
+    interleave,
+)
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "raytrace"
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+
+    print(f"building workload {app!r} (seed {seed}) ...")
+    program = build_workload(app, seed=seed)
+    print(f"  {program.num_threads} threads, {program.total_ops():,} operations,")
+    print(f"  {len(program.lock_addresses)} locks, {len(program.regions)} data regions")
+
+    buggy = inject_bug(program, seed=seed)
+    bug = buggy.injected_bug
+    print(
+        f"\ninjected bug: thread {bug.thread_id} lost lock 0x{bug.lock_addr:x} "
+        f"around {len(bug.sites)} source site(s):"
+    )
+    for site in sorted(bug.sites, key=str):
+        print(f"  {site}")
+
+    print("\ninterleaving ...")
+    trace = interleave(buggy, RandomScheduler(seed=seed, max_burst=8)).trace
+    print(f"  trace of {len(trace):,} events, {trace.footprint_lines():,} cache lines")
+
+    print("\nrunning HARD (default hardware configuration) ...")
+    result = HardDetector().run(trace)
+
+    print(f"  {result.reports.dynamic_count} dynamic reports, "
+          f"{result.reports.alarm_count} source-level alarms")
+    print(f"  simulated cycles: {result.cycles:,} "
+          f"(detector overhead {100 * result.overhead_fraction:.2f}%)")
+
+    caught = [r for r in result.reports if bug.matches_report(r.addr, r.size, r.site)]
+    if caught:
+        print("\nHARD caught the injected race:")
+        print(f"  {caught[0]}")
+    else:
+        print("\nHARD missed the injected race this run (candidate set lost "
+              "to L2 displacement — see Section 3.6 of the paper).")
+
+    others = {r.site for r in result.reports} - {r.site for r in caught}
+    if others:
+        print(f"\n{len(others)} other alarm site(s) (false positives: false "
+              "sharing, hand-crafted sync, benign races):")
+        for site in sorted(others, key=str)[:5]:
+            print(f"  {site}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The evaluation environment is offline and has no ``wheel`` package, so the
+PEP 517 editable-install path (which needs ``bdist_wheel``) is unavailable;
+this file lets ``pip install -e . --no-use-pep517 --no-build-isolation``
+fall back to the classic ``setup.py develop`` flow.  All project metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

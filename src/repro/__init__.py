@@ -1,0 +1,93 @@
+"""repro — a full reproduction of "HARD: Hardware-Assisted Lockset-based
+Race Detection" (HPCA 2007).
+
+The package implements, from scratch:
+
+* :mod:`repro.sim` — a functional CMP memory-hierarchy simulator (private
+  L1s, inclusive shared L2, MESI snoopy bus, cycle accounting) standing in
+  for the paper's SESC testbed;
+* :mod:`repro.threads` — multithreaded program traces, lock/barrier
+  semantics and interleaving schedulers;
+* :mod:`repro.core` — HARD itself: Bloom-filter candidate sets per cache
+  line, per-core Lock/Counter registers, LState pruning, coherence
+  piggybacking and broadcast, barrier resets, plus the hybrid extension;
+* :mod:`repro.lockset` / :mod:`repro.hb` — the ideal lockset and the
+  default/ideal happens-before comparison detectors;
+* :mod:`repro.workloads` — six SPLASH-2-like synthetic applications with
+  the paper's random lock-omission bug injection;
+* :mod:`repro.harness` — the experiment matrix and table generators for
+  every evaluation exhibit (Tables 2–6, Figure 8).
+
+Quickstart::
+
+    from repro import (
+        HardDetector, build_workload, inject_bug, interleave, RandomScheduler,
+    )
+
+    program = build_workload("barnes", seed=1)
+    buggy = inject_bug(program, seed=7)
+    trace = interleave(buggy, RandomScheduler(seed=3)).trace
+    result = HardDetector().run(trace)
+    for report in result.reports:
+        print(report)
+"""
+
+from repro.common.config import (
+    BloomConfig,
+    HappensBeforeConfig,
+    HardConfig,
+    MachineConfig,
+)
+from repro.common.events import Site, Trace
+from repro.core.bloom import BloomVector, collision_probability
+from repro.core.detector import HardDetector
+from repro.core.directory_detector import DirectoryHardDetector
+from repro.core.hybrid import HybridDetector
+from repro.core.lockregister import LockRegister
+from repro.core.lstate import LState
+from repro.hb.detector import HappensBeforeDetector
+from repro.hb.ideal import IdealHappensBeforeDetector
+from repro.lockset.exact import IdealLocksetDetector
+from repro.reporting import DetectionResult, RaceReport, RaceReportLog
+from repro.sim.machine import Machine
+from repro.threads.runtime import interleave
+from repro.threads.scheduler import (
+    FixedOrderScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.workloads.injection import inject_bug
+from repro.workloads.registry import WORKLOAD_NAMES, build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BloomConfig",
+    "HappensBeforeConfig",
+    "HardConfig",
+    "MachineConfig",
+    "Site",
+    "Trace",
+    "BloomVector",
+    "collision_probability",
+    "HardDetector",
+    "DirectoryHardDetector",
+    "HybridDetector",
+    "LockRegister",
+    "LState",
+    "HappensBeforeDetector",
+    "IdealHappensBeforeDetector",
+    "IdealLocksetDetector",
+    "DetectionResult",
+    "RaceReport",
+    "RaceReportLog",
+    "Machine",
+    "interleave",
+    "FixedOrderScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "inject_bug",
+    "WORKLOAD_NAMES",
+    "build_workload",
+    "__version__",
+]

@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the six workloads and the available detector configurations;
+* ``run`` — build a workload, optionally inject a bug, run one detector,
+  print the verdict and the alarms;
+* ``exhibit`` — regenerate one paper exhibit (table2–table6, figure8);
+* ``collision`` — print the Section 3.2 Bloom-collision analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.config import BloomConfig
+from repro.core.bloom import collision_probability
+from repro.harness.detectors import PAPER_DETECTORS, make_detector
+from repro.harness.experiment import ExperimentRunner
+from repro.threads.runtime import interleave
+from repro.threads.scheduler import RandomScheduler
+from repro.workloads.injection import inject_bug
+from repro.workloads.registry import WORKLOAD_NAMES, build_workload
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("workloads:")
+    for name in WORKLOAD_NAMES:
+        print(f"  {name}")
+    print("detectors:")
+    for key in (*PAPER_DETECTORS, "hybrid"):
+        print(f"  {key}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = build_workload(args.app, seed=args.seed)
+    bug = None
+    if args.bug_seed is not None:
+        program = inject_bug(program, seed=args.bug_seed)
+        bug = program.injected_bug
+        print(
+            f"injected bug: thread {bug.thread_id} lost lock 0x{bug.lock_addr:x}"
+        )
+    trace = interleave(
+        program, RandomScheduler(seed=args.schedule_seed, max_burst=8)
+    ).trace
+    print(f"trace: {len(trace):,} events")
+    result = make_detector(args.detector).run(trace)
+    print(
+        f"{args.detector}: {result.reports.dynamic_count} dynamic reports, "
+        f"{result.reports.alarm_count} alarms"
+    )
+    if result.cycles:
+        print(f"overhead: {100 * result.overhead_fraction:.2f}%")
+    if bug is not None:
+        hit = any(
+            bug.matches_report(r.addr, r.size, r.site) for r in result.reports
+        )
+        print("injected bug:", "DETECTED" if hit else "missed")
+    if args.show_alarms:
+        for site in sorted(result.reports.sites(), key=str):
+            print(f"  alarm: {site}")
+    return 0
+
+
+def _cmd_exhibit(args: argparse.Namespace) -> int:
+    from repro.harness import tables
+
+    runner = ExperimentRunner(cache_dir=args.cache_dir)
+    name = args.name
+    if name == "table2":
+        print(tables.render_table2(tables.table2(runner)))
+    elif name == "table3":
+        print(tables.render_table3(tables.table3(runner)))
+    elif name in ("table4", "table5"):
+        data = tables.table4_and_5(runner)
+        render = tables.render_table4 if name == "table4" else tables.render_table5
+        print(render(data))
+    elif name == "table6":
+        print(tables.render_table6(tables.table6(runner)))
+    elif name == "figure8":
+        print(tables.render_figure8(tables.figure8(runner)))
+    else:
+        print(f"unknown exhibit {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.harness.tracestats import characterize
+
+    program = build_workload(args.app, seed=args.seed)
+    trace = interleave(program, RandomScheduler(seed=args.seed, max_burst=8)).trace
+    print(f"characterization of {args.app!r} (seed {args.seed}):")
+    print(characterize(trace).format())
+    return 0
+
+
+def _cmd_collision(_: argparse.Namespace) -> int:
+    print(f"{'bits':>5}" + "".join(f"{'m=' + str(m):>10}" for m in range(1, 5)))
+    for bits in (8, 16, 32):
+        config = BloomConfig(vector_bits=bits)
+        row = "".join(
+            f"{collision_probability(m, config):>10.4f}" for m in range(1, 5)
+        )
+        print(f"{bits:>5}{row}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HARD (HPCA 2007) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and detectors").set_defaults(
+        func=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one detector on one workload")
+    run.add_argument("app", choices=WORKLOAD_NAMES)
+    run.add_argument("--detector", default="hard-default")
+    run.add_argument("--seed", type=int, default=0, help="workload seed")
+    run.add_argument(
+        "--bug-seed", type=int, default=None, help="inject a bug with this seed"
+    )
+    run.add_argument("--schedule-seed", type=int, default=0)
+    run.add_argument("--show-alarms", action="store_true")
+    run.set_defaults(func=_cmd_run)
+
+    exhibit = sub.add_parser("exhibit", help="regenerate a paper exhibit")
+    exhibit.add_argument(
+        "name",
+        choices=("table2", "table3", "table4", "table5", "table6", "figure8"),
+    )
+    exhibit.add_argument("--cache-dir", default="results/cache")
+    exhibit.set_defaults(func=_cmd_exhibit)
+
+    sub.add_parser(
+        "collision", help="Bloom collision analysis (Section 3.2)"
+    ).set_defaults(func=_cmd_collision)
+
+    stats = sub.add_parser("stats", help="characterize a workload's trace")
+    stats.add_argument("app", choices=WORKLOAD_NAMES)
+    stats.add_argument("--seed", type=int, default=0)
+    stats.set_defaults(func=_cmd_stats)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,246 @@
+"""Configuration dataclasses for the simulated machine and the detectors.
+
+Defaults reproduce Table 1 of the paper (the "default setup"):
+
+* 4-core CMP at 2.4 GHz,
+* 16 KB 4-way L1 per core, 32 B lines, 3-cycle latency,
+* 1 MB 8-way shared L2, 32 B lines, 10-cycle latency,
+* 200-cycle memory latency,
+* 16-bit BFVector per line, LState per line (32 B metadata granularity).
+
+The sensitivity studies of Section 5.2 are expressed as variations of these
+dataclasses: metadata granularity 4–32 B (Table 3), L2 size 128 KB–1 MB
+(Tables 4/5), BFVector size 16/32 bits (Table 6), and the "ideal" detectors
+(variable granularity, unbounded storage, exact sets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.common.addresses import check_power_of_two
+from repro.common.errors import ConfigError
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    size_bytes: int
+    associativity: int
+    line_size: int
+    latency_cycles: int
+
+    def __post_init__(self) -> None:
+        check_power_of_two(self.line_size, "line size")
+        check_power_of_two(self.associativity, "associativity")
+        if self.size_bytes <= 0 or self.size_bytes % (
+            self.line_size * self.associativity
+        ):
+            raise ConfigError(
+                f"cache size {self.size_bytes} is not a multiple of "
+                f"line_size*associativity = {self.line_size * self.associativity}"
+            )
+        if self.latency_cycles < 0:
+            raise ConfigError("cache latency must be non-negative")
+        # The cache model indexes sets with a mask, so the set count must be
+        # a power of two (true of every real cache geometry we model).
+        check_power_of_two(self.num_lines // self.associativity, "cache set count")
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of lines the cache can hold."""
+        return self.size_bytes // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        """Number of associative sets."""
+        return self.num_lines // self.associativity
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """Timing of the snoopy bus connecting the L1s, the L2 and memory.
+
+    ``cycles_per_transaction`` models arbitration + address phase;
+    ``cycles_per_word`` models each transferred 8-byte word.  The candidate
+    set + LState piggyback is 18 bits (Section 3.4) and is charged as
+    ``metadata_piggyback_cycles`` when it rides an existing transfer, or a
+    full broadcast transaction when sent alone (Figure 6).
+    """
+
+    cycles_per_transaction: int = 4
+    cycles_per_word: int = 1
+    word_bytes: int = 8
+    metadata_piggyback_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if min(
+            self.cycles_per_transaction,
+            self.cycles_per_word,
+            self.word_bytes,
+            self.metadata_piggyback_cycles,
+        ) <= 0:
+            raise ConfigError("all bus timing parameters must be positive")
+
+    def line_transfer_cycles(self, line_size: int) -> int:
+        """Bus cycles to move one full cache line."""
+        words = (line_size + self.word_bytes - 1) // self.word_bytes
+        return self.cycles_per_transaction + words * self.cycles_per_word
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """The full simulated CMP (Table 1 defaults)."""
+
+    num_cores: int = 4
+    cpu_ghz: float = 2.4
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=16 * KB, associativity=4, line_size=32, latency_cycles=3
+        )
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=1 * MB, associativity=8, line_size=32, latency_cycles=10
+        )
+    )
+    memory_latency_cycles: int = 200
+    bus: BusConfig = field(default_factory=BusConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ConfigError("need at least one core")
+        if self.l1.line_size != self.l2.line_size:
+            # The paper notes the L2 line size can be a multiple of the L1's
+            # (Figure 3 shows 2x); our model keeps them equal, which only
+            # simplifies inclusion bookkeeping and does not change which
+            # addresses share metadata.
+            raise ConfigError("this model requires equal L1 and L2 line sizes")
+        if self.memory_latency_cycles <= 0:
+            raise ConfigError("memory latency must be positive")
+
+    @property
+    def line_size(self) -> int:
+        """Cache-line size shared by both levels."""
+        return self.l1.line_size
+
+    def with_l2_size(self, size_bytes: int) -> "MachineConfig":
+        """Return a copy with a different L2 capacity (Tables 4/5 sweep)."""
+        return replace(self, l2=replace(self.l2, size_bytes=size_bytes))
+
+
+@dataclass(frozen=True)
+class BloomConfig:
+    """Geometry of the BFVector Bloom filter (Section 3.2, Figure 4).
+
+    ``vector_bits`` is the total vector length (16 default, 32 in Table 6);
+    ``num_parts`` is how many independent parts the vector splits into (4);
+    ``address_low_bit`` is the first lock-address bit consumed (bit 2).  Each
+    part consumes ``log2(vector_bits / num_parts)`` address bits and sets
+    exactly one bit in its part — the paper's direct-index scheme.
+    """
+
+    vector_bits: int = 16
+    num_parts: int = 4
+    address_low_bit: int = 2
+
+    def __post_init__(self) -> None:
+        check_power_of_two(self.vector_bits, "Bloom vector length")
+        check_power_of_two(self.num_parts, "Bloom part count")
+        if self.vector_bits % self.num_parts:
+            raise ConfigError("vector length must divide evenly into parts")
+        check_power_of_two(self.part_bits, "Bloom part width")
+        if self.address_low_bit < 0:
+            raise ConfigError("address_low_bit must be non-negative")
+
+    @property
+    def part_bits(self) -> int:
+        """Width in bits of each vector part."""
+        return self.vector_bits // self.num_parts
+
+    @property
+    def index_bits_per_part(self) -> int:
+        """Address bits consumed to index one part."""
+        return (self.part_bits - 1).bit_length()
+
+    @property
+    def address_bits_used(self) -> int:
+        """Total lock-address bits consumed by the mapping (8 for default)."""
+        return self.index_bits_per_part * self.num_parts
+
+    @property
+    def full_mask(self) -> int:
+        """Vector value representing *all possible locks* (all ones)."""
+        return (1 << self.vector_bits) - 1
+
+
+@dataclass(frozen=True)
+class HardConfig:
+    """Configuration of the HARD detector (Section 3).
+
+    Attributes:
+        bloom: BFVector geometry.
+        granularity: bytes of data covered by one (BFVector, LState) pair.
+            32 B (one per line) is the hardware default; the Table 3 sweep
+            goes down to 4 B.
+        counter_bits: width of each Counter Register counter (2 in hardware).
+        barrier_reset: reset all cached BFVectors on barrier exit
+            (Section 3.5).  Turning this off is an ablation.
+        broadcast_updates: broadcast changed candidate sets for Shared lines
+            (Section 3.4, Figure 6).  Turning this off is an ablation that
+            lets per-core metadata go stale.
+        use_counter_register: model the 2-bit counters on lock release
+            (Section 3.3).  Turning this off clears Bloom bits naively on
+            unlock — an ablation that can corrupt the lock set under
+            collisions.
+    """
+
+    bloom: BloomConfig = field(default_factory=BloomConfig)
+    granularity: int = 32
+    counter_bits: int = 2
+    barrier_reset: bool = True
+    broadcast_updates: bool = True
+    use_counter_register: bool = True
+
+    def __post_init__(self) -> None:
+        check_power_of_two(self.granularity, "metadata granularity")
+        if self.counter_bits <= 0:
+            raise ConfigError("counter width must be positive")
+
+    def with_granularity(self, granularity: int) -> "HardConfig":
+        """Return a copy with a different metadata granularity (Table 3)."""
+        return replace(self, granularity=granularity)
+
+    def with_vector_bits(self, bits: int) -> "HardConfig":
+        """Return a copy with a different BFVector length (Table 6)."""
+        return replace(self, bloom=replace(self.bloom, vector_bits=bits))
+
+
+@dataclass(frozen=True)
+class HappensBeforeConfig:
+    """Configuration of the happens-before detector (Section 4).
+
+    The default stores timestamps at cache-line granularity in the cache,
+    mirroring HARD's approximations (1) and (3); the *ideal* variant stores
+    per-variable (4 B) timestamps in unbounded storage.
+    """
+
+    granularity: int = 32
+
+    def __post_init__(self) -> None:
+        check_power_of_two(self.granularity, "metadata granularity")
+
+    def with_granularity(self, granularity: int) -> "HappensBeforeConfig":
+        """Return a copy with a different timestamp granularity (Table 3)."""
+        return replace(self, granularity=granularity)
+
+
+#: L2 sizes swept by Tables 4 and 5.
+PAPER_L2_SIZES = (128 * KB, 256 * KB, 512 * KB, 1 * MB)
+
+#: BFVector sizes swept by Table 6.
+PAPER_BLOOM_SIZES = (16, 32)

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the HARD reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+downstream users can catch a single base class.  Subclasses are grouped by the
+subsystem that raises them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied.
+
+    Raised eagerly at construction time (for example, a cache whose size is
+    not a multiple of its line size, or a Bloom-filter vector whose length is
+    not divisible into its parts).
+    """
+
+
+class ProgramError(ReproError):
+    """A thread program is malformed.
+
+    Examples: an ``Unlock`` of a lock the thread does not hold, a barrier
+    with an inconsistent participant count, or an access of size zero.
+    """
+
+
+class SchedulerError(ReproError):
+    """The scheduler reached an inconsistent state.
+
+    The most common cause is deadlock: every unfinished thread is blocked on
+    a lock or a barrier that can never be satisfied.
+    """
+
+
+class DeadlockError(SchedulerError):
+    """All remaining threads are blocked and no progress is possible.
+
+    Carries the set of blocked thread ids and a human-readable description of
+    what each one is waiting for, to make workload-generator bugs easy to
+    diagnose.
+    """
+
+    def __init__(self, waiting: dict[int, str]):
+        self.waiting = dict(waiting)
+        detail = ", ".join(f"t{tid}: {why}" for tid, why in sorted(waiting.items()))
+        super().__init__(f"deadlock: all runnable threads are blocked ({detail})")
+
+
+class SimulationError(ReproError):
+    """The memory-hierarchy simulator reached an inconsistent state.
+
+    This always indicates a bug in the simulator itself (for example, a MESI
+    invariant violation), never a property of the simulated workload, so it
+    is raised rather than recorded.
+    """
+
+
+class CoherenceError(SimulationError):
+    """A cache-coherence protocol invariant was violated.
+
+    For example: two caches holding the same line in Modified state, or a
+    snoop response for a line the responder does not hold.
+    """
+
+
+class DetectorError(ReproError):
+    """A race detector was driven with an event sequence it cannot accept.
+
+    For example: feeding a trace event for an unknown thread, or asking the
+    HARD detector to release a lock that was never acquired on that core.
+    """
+
+
+class HarnessError(ReproError):
+    """The experiment harness was asked to do something inconsistent.
+
+    For example: requesting an unknown workload name, or comparing detector
+    results produced from different traces.
+    """

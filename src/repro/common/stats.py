@@ -1,0 +1,67 @@
+"""Lightweight named counters used across the simulator and detectors.
+
+A :class:`StatCounters` is a string-keyed bag of integer counters with a few
+conveniences (merging, snapshot/delta, pretty printing).  The simulator uses
+one for cache/bus events, the detectors use one for algorithm events
+(intersections, broadcasts, resets), and the overhead harness diffs two
+snapshots to attribute cycles.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator
+
+
+class StatCounters:
+    """A bag of named monotonically increasing integer counters."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increase counter ``name`` by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be non-negative: {amount}")
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counts[name]
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._counts))
+
+    def items(self) -> list[tuple[str, int]]:
+        """All (name, value) pairs, sorted by name."""
+        return sorted(self._counts.items())
+
+    def snapshot(self) -> dict[str, int]:
+        """An immutable copy of the current values."""
+        return dict(self._counts)
+
+    def merge(self, other: "StatCounters") -> None:
+        """Add every counter of ``other`` into this bag."""
+        self._counts.update(other._counts)
+
+    def delta(self, before: dict[str, int]) -> dict[str, int]:
+        """Per-counter difference between now and a prior :meth:`snapshot`."""
+        keys = set(self._counts) | set(before)
+        return {k: self._counts[k] - before.get(k, 0) for k in sorted(keys)}
+
+    def format(self, title: str = "counters") -> str:
+        """A human-readable multi-line rendering."""
+        width = max((len(k) for k in self._counts), default=0)
+        lines = [title]
+        lines.extend(f"  {k:<{width}}  {v:>12,}" for k, v in self.items())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.items())
+        return f"StatCounters({inner})"

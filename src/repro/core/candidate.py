@@ -1,0 +1,106 @@
+"""Per-cache-line candidate-set metadata (the line's BFVectors + LStates).
+
+A cache line carries one ``(BFVector, LState, owner)`` record per metadata
+*chunk*.  With the default 32 B granularity there is one chunk per line —
+the 18 extra bits per line of Section 3.4; the Table 3 sensitivity sweep
+drops the granularity to 16/8/4 B (2/4/8 chunks per line).
+
+These records are what the :class:`~repro.sim.metadata.CacheMetadataStore`
+replicates per cache copy and what travels with coherence transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.addresses import chunks_per_line
+from repro.common.config import HardConfig
+from repro.core.lstate import NO_OWNER, LState
+
+
+@dataclass
+class ChunkMeta:
+    """Metadata for one chunk: candidate-set vector, LState, owner thread."""
+
+    bf: int
+    lstate: LState
+    owner: int
+
+    def clone(self) -> "ChunkMeta":
+        """An independent copy (metadata travelling with a coherence transfer)."""
+        return ChunkMeta(bf=self.bf, lstate=self.lstate, owner=self.owner)
+
+    def same_content(self, other: "ChunkMeta") -> bool:
+        """Bit-for-bit equality, used to decide whether a broadcast is needed."""
+        return (
+            self.bf == other.bf
+            and self.lstate is other.lstate
+            and self.owner == other.owner
+        )
+
+
+class LineMeta:
+    """All chunk records of one cache line."""
+
+    __slots__ = ("chunks",)
+
+    def __init__(self, chunks: list[ChunkMeta]):
+        self.chunks = chunks
+
+    @classmethod
+    def fresh(cls, config: HardConfig, line_size: int, owner: int = NO_OWNER) -> "LineMeta":
+        """Metadata for a line just fetched from memory (Section 3.1).
+
+        Every chunk starts with the all-ones BFVector ("all possible locks")
+        and LState Virgin; the access that caused the fetch immediately
+        transitions *its own* chunk to Exclusive owned by the accessor.  At
+        line granularity this is exactly the paper's "initialize its LState
+        to Exclusive" (the fetching access is the chunk's first access); at
+        finer granularities it avoids marking never-touched chunks as owned
+        by the fetching thread, which would turn another thread's genuinely
+        private first access into a spurious Shared-Modified transition.
+        ``owner`` is accepted for explicit construction in tests.
+        """
+        count = chunks_per_line(config.granularity, line_size)
+        full = config.bloom.full_mask
+        state = LState.VIRGIN if owner == NO_OWNER else LState.EXCLUSIVE
+        return cls(
+            [ChunkMeta(bf=full, lstate=state, owner=owner) for _ in range(count)]
+        )
+
+    def clone(self) -> "LineMeta":
+        """Deep copy for a coherence transfer."""
+        return LineMeta([c.clone() for c in self.chunks])
+
+    def same_content(self, other: "LineMeta") -> bool:
+        """True if every chunk record matches ``other``."""
+        return len(self.chunks) == len(other.chunks) and all(
+            a.same_content(b) for a, b in zip(self.chunks, other.chunks)
+        )
+
+    def reset_for_barrier(self, full_mask: int) -> None:
+        """Barrier exit: discard pre-barrier access and lock history.
+
+        Section 3.5: "the accesses and their lock information before the
+        barrier are discarded".  Every chunk's candidate set returns to
+        all-ones *and* its LState returns to Virgin.  Resetting only the
+        vector would not remove the Figure 7 false positive — the alarm
+        there fires because the chunk is already Shared-Modified and the
+        accessing thread holds no locks, which empties even a full
+        candidate set; the access history itself must be forgotten so the
+        post-barrier phase re-runs the initialization state machine.
+        """
+        for chunk in self.chunks:
+            chunk.bf = full_mask
+            chunk.lstate = LState.VIRGIN
+            chunk.owner = NO_OWNER
+
+    def meta_bits(self, vector_bits: int) -> int:
+        """Metadata bits this line carries on the bus.
+
+        Per chunk: the BFVector plus the 2-bit LState (18 bits with the
+        default 16-bit vector — the figure quoted in Section 3.4).  The
+        owner id travels implicitly with the coherence requester id in
+        hardware, so it is not counted.
+        """
+        return (vector_bits + 2) * len(self.chunks)

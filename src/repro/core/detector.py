@@ -1,0 +1,271 @@
+"""The HARD detector: hardware lockset race detection on the simulated CMP.
+
+This is the paper's primary contribution (Section 3) assembled from its
+parts:
+
+* per-line candidate sets and LStates live in every cache copy of the line
+  (:class:`~repro.sim.metadata.CacheMetadataStore` mirrors the coherence
+  protocol; metadata is lost on L2 displacement — Section 3.6);
+* per-core Lock Registers + Counter Registers hold the running thread's
+  lock set (Section 3.3);
+* every shared access intersects the chunk's BFVector with the Lock
+  Register (one AND) and reports a race when the result is empty while the
+  chunk is Shared-Modified (Sections 2, 3.2);
+* changed candidate sets on lines with other L1 holders are broadcast to
+  the other caches and the L2, and metadata rides coherence transfers as an
+  18-bit piggyback (Section 3.4, Figure 6);
+* on barrier exit, every cached BFVector is flash-reset to all-ones
+  (Section 3.5).
+
+Costs are charged to the machine's cycle ledger under ``hard.*`` reasons so
+the Figure 8 overhead study can separate them from baseline execution.
+
+Known modelling approximation: metadata mutated on a line whose only copy is
+one L1 in Exclusive cache state is lost if that line is evicted *clean*
+(real hardware faces the same choice unless it makes metadata changes dirty
+the line).  Dirty lines write their metadata back with the data, and any
+line with other holders is covered by the broadcast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.addresses import chunk_index_in_line, line_address, spanned_chunks
+from repro.common.config import HardConfig, MachineConfig
+from repro.common.errors import DetectorError
+from repro.common.events import OpKind, Trace
+from repro.common.stats import StatCounters
+from repro.core.bloom import BloomMapper
+from repro.core.candidate import LineMeta
+from repro.core.lockregister import LockRegister
+from repro.core.lstate import transition
+from repro.reporting import DetectionResult, RaceReportLog
+from repro.sim.coherence import SourceKind
+from repro.sim.machine import Machine
+from repro.sim.metadata import CacheMetadataStore
+
+#: Size in bytes of a lock word (its acquire/release bus traffic).
+LOCK_WORD_BYTES = 4
+
+
+@dataclass(frozen=True)
+class HardCosts:
+    """Cycle costs of the HARD hardware extensions.
+
+    These are the *additional* latencies HARD introduces on top of the
+    baseline machine; Section 5.1 names the three sources: candidate-set
+    traffic, longer shared-access time, and lock-register updates — and
+    finds the traffic dominant.  The defaults reflect what actually sits on
+    a critical path:
+
+    * ``lock_register_update`` is 0: the register OR/counter update is a
+      local register write fully overlapped by the lock-word bus
+      transaction it accompanies;
+    * ``candidate_check`` (1 cycle) is charged only when the intersection
+      *changes* the stored metadata — the silent common case (the AND and
+      zero-part test in parallel with the cache access) adds no latency,
+      but a changed candidate set must be written back into the line's
+      metadata bits;
+    * the barrier reset is a flash-clear of the metadata arrays.
+    """
+
+    lock_register_update: int = 0
+    candidate_check: int = 1
+    barrier_reset_flash: int = 32
+
+
+class HardDetector:
+    """Hardware-assisted lockset detection (the paper's default setup)."""
+
+    def __init__(
+        self,
+        machine_config: MachineConfig | None = None,
+        config: HardConfig | None = None,
+        costs: HardCosts | None = None,
+        name: str = "HARD",
+    ):
+        self.machine_config = machine_config or MachineConfig()
+        self.config = config or HardConfig()
+        self.costs = costs or HardCosts()
+        self.name = name
+        if self.config.granularity > self.machine_config.line_size:
+            raise DetectorError(
+                f"metadata granularity {self.config.granularity} exceeds the "
+                f"line size {self.machine_config.line_size}"
+            )
+
+    # ------------------------------------------------------------------- run
+
+    def run(self, trace: Trace) -> DetectionResult:
+        """Replay ``trace`` through a fresh machine with HARD attached."""
+        run = _HardRun(self)
+        for event in trace:
+            run.step(event)
+        return run.finish()
+
+
+class _HardRun:
+    """Mutable state of one detector pass over one trace."""
+
+    def __init__(self, detector: HardDetector):
+        self.d = detector
+        self.machine = Machine(detector.machine_config)
+        self.mapper = BloomMapper(detector.config.bloom)
+        self.stats = StatCounters()
+        self.log = RaceReportLog(detector.name)
+        self.extra_cycles = 0
+        self._lock_registers: dict[int, LockRegister] = {}
+        self._barrier_arrivals: dict[int, int] = {}
+        line_size = detector.machine_config.line_size
+        config = detector.config
+        self.store: CacheMetadataStore[LineMeta] = CacheMetadataStore(
+            fresh=lambda line_addr: LineMeta.fresh(config, line_size),
+            clone=LineMeta.clone,
+        )
+        self.machine.add_listener(self.store)
+        # One metadata record's bus payload: vector + 2-bit LState per chunk.
+        chunks = line_size // config.granularity
+        self._line_meta_bits = (config.bloom.vector_bits + 2) * chunks
+
+    # ---------------------------------------------------------------- events
+
+    def step(self, event) -> None:
+        """Process one trace event."""
+        op = event.op
+        thread_id = event.thread_id
+        core = self.machine.core_for_thread(thread_id)
+
+        if op.kind is OpKind.COMPUTE:
+            self.machine.charge(op.cycles, "compute")
+        elif op.kind is OpKind.LOCK:
+            self.machine.access(core, op.addr, LOCK_WORD_BYTES, is_write=True)
+            self._lock_register(thread_id).acquire(op.addr)
+            self._charge(self.d.costs.lock_register_update, "hard.lockreg")
+            self.stats.add("hard.lock_acquires")
+        elif op.kind is OpKind.UNLOCK:
+            self.machine.access(core, op.addr, LOCK_WORD_BYTES, is_write=True)
+            self._lock_register(thread_id).release(op.addr)
+            self._charge(self.d.costs.lock_register_update, "hard.lockreg")
+            self.stats.add("hard.lock_releases")
+        elif op.kind is OpKind.BARRIER:
+            self._barrier_arrival(op.addr, op.participants)
+        else:
+            self._memory_access(event, core)
+
+    def finish(self) -> DetectionResult:
+        """Assemble the detection result after the last event."""
+        self.stats.merge(self.machine.stats)
+        self.stats.merge(self.machine.bus.stats)
+        return DetectionResult(
+            detector=self.d.name,
+            reports=self.log,
+            stats=self.stats,
+            cycles=self.machine.cycles,
+            detector_extra_cycles=self.extra_cycles,
+        )
+
+    # -------------------------------------------------------------- internals
+
+    def _lock_register(self, thread_id: int) -> LockRegister:
+        register = self._lock_registers.get(thread_id)
+        if register is None:
+            register = LockRegister(self.d.config, self.mapper)
+            self._lock_registers[thread_id] = register
+        return register
+
+    def _barrier_arrival(self, barrier_id: int, participants: int) -> None:
+        count = self._barrier_arrivals.get(barrier_id, 0) + 1
+        if count < participants:
+            self._barrier_arrivals[barrier_id] = count
+            return
+        self._barrier_arrivals[barrier_id] = 0
+        self.stats.add("hard.barrier_episodes")
+        if not self.d.config.barrier_reset:
+            return
+        full = self.mapper.full_mask
+        touched = self.store.update_everywhere(
+            lambda meta: meta.reset_for_barrier(full)
+        )
+        self.stats.add("hard.barrier_reset_copies", touched)
+        self._charge(self.d.costs.barrier_reset_flash, "hard.barrier_reset")
+
+    def _memory_access(self, event, core: int) -> None:
+        op = event.op
+        thread_id = event.thread_id
+        config = self.d.config
+        line_size = self.d.machine_config.line_size
+        lock_vector = self._lock_register(thread_id).value
+
+        result = self.machine.access(core, op.addr, op.size, op.is_write)
+        line_results = {lr.line_addr: lr for lr in result.lines}
+
+        # Metadata rides every transfer that carries history: fills from the
+        # L2 or a peer cache, and dirty-victim writebacks (whose candidate
+        # sets return to the L2 with the data).  Fresh memory fills carry
+        # none.
+        for line_result in result.lines:
+            source = line_result.fill_source
+            if source is not None and source.kind is not SourceKind.MEMORY:
+                cycles = self.machine.bus.metadata_piggyback(self._line_meta_bits)
+                self._charge(cycles, "hard.piggyback")
+                self.stats.add("hard.metadata_piggybacks")
+            victim = line_result.l1_victim
+            if victim is not None and victim.dirty:
+                cycles = self.machine.bus.metadata_piggyback(self._line_meta_bits)
+                self._charge(cycles, "hard.piggyback")
+                self.stats.add("hard.metadata_piggybacks")
+
+        changed_lines: set[int] = set()
+        for chunk_addr in spanned_chunks(op.addr, op.size, config.granularity):
+            line_addr = line_address(chunk_addr, line_size)
+            meta = self.store.require(core, line_addr)
+            chunk = meta.chunks[
+                chunk_index_in_line(chunk_addr, config.granularity, line_size)
+            ]
+            outcome = transition(chunk.lstate, chunk.owner, thread_id, op.is_write)
+            state_changed = (
+                outcome.state is not chunk.lstate or outcome.owner != chunk.owner
+            )
+            chunk.lstate = outcome.state
+            chunk.owner = outcome.owner
+
+            if outcome.update_candidate:
+                new_bf = chunk.bf & lock_vector
+                if new_bf != chunk.bf:
+                    chunk.bf = new_bf
+                    state_changed = True
+                self.stats.add("hard.candidate_updates")
+                if state_changed:
+                    # Only a *changed* record costs latency: the new
+                    # metadata must be written into the line's extra bits.
+                    self._charge(self.d.costs.candidate_check, "hard.check")
+                if outcome.check_race and self.mapper.is_empty(new_bf):
+                    self.log.add(
+                        seq=event.seq,
+                        thread_id=thread_id,
+                        addr=op.addr,
+                        size=op.size,
+                        site=op.site,
+                        is_write=op.is_write,
+                        detail=f"candidate set empty (chunk 0x{chunk_addr:x})",
+                    )
+                    self.stats.add("hard.dynamic_reports")
+            if state_changed:
+                changed_lines.add(line_addr)
+
+        # Broadcast changed metadata to the other holders (Figure 6).
+        if not config.broadcast_updates:
+            return
+        for line_addr in changed_lines:
+            if not self.machine.sharers(line_addr, excluding=core):
+                continue
+            meta = self.store.require(core, line_addr)
+            self.store.update_all_copies(line_addr, meta)
+            cycles = self.machine.bus.metadata_broadcast(self._line_meta_bits)
+            self._charge(cycles, "hard.broadcast")
+            self.stats.add("hard.metadata_broadcasts")
+
+    def _charge(self, cycles: int, reason: str) -> None:
+        self.machine.charge(cycles, reason)
+        self.extra_cycles += cycles

@@ -1,0 +1,144 @@
+"""HARD over a directory-based protocol (Section 3.4, second half).
+
+Same lockset algorithm, Lock/Counter registers and barrier handling as
+:class:`~repro.core.detector.HardDetector`, but candidate sets and LStates
+live in the coherence *directory* rather than in the cache lines:
+
+* no metadata is ever lost to L2 displacement — detection coverage matches
+  the ideal lockset at the configured (line) granularity;
+* every monitored access pays a directory round-trip, charged to the cycle
+  ledger (the design's performance cost relative to the snoopy version).
+
+The data path still runs through the normal :class:`Machine` so baseline
+timing stays comparable.
+"""
+
+from __future__ import annotations
+
+from repro.common.addresses import chunk_index_in_line, line_address, spanned_chunks
+from repro.common.config import HardConfig, MachineConfig
+from repro.common.events import OpKind, Trace
+from repro.common.stats import StatCounters
+from repro.core.bloom import BloomMapper
+from repro.core.candidate import LineMeta
+from repro.core.detector import LOCK_WORD_BYTES, HardCosts
+from repro.core.lockregister import LockRegister
+from repro.core.lstate import transition
+from repro.reporting import DetectionResult, RaceReportLog
+from repro.sim.directory import Directory
+from repro.sim.machine import Machine
+
+
+class DirectoryHardDetector:
+    """Lockset detection with directory-resident candidate sets."""
+
+    def __init__(
+        self,
+        machine_config: MachineConfig | None = None,
+        config: HardConfig | None = None,
+        costs: HardCosts | None = None,
+        directory_access_cycles: int = 6,
+        name: str = "HARD-directory",
+    ):
+        self.machine_config = machine_config or MachineConfig()
+        self.config = config or HardConfig()
+        self.costs = costs or HardCosts()
+        self.directory_access_cycles = directory_access_cycles
+        self.name = name
+
+    def run(self, trace: Trace) -> DetectionResult:
+        """Replay ``trace``; candidate sets live in the home directory."""
+        machine = Machine(self.machine_config)
+        mapper = BloomMapper(self.config.bloom)
+        stats = StatCounters()
+        log = RaceReportLog(self.name)
+        extra = 0
+        line_size = self.machine_config.line_size
+        config = self.config
+        directory: Directory[LineMeta] = Directory(
+            fresh=lambda line: LineMeta.fresh(config, line_size),
+            access_cycles=self.directory_access_cycles,
+        )
+        registers: dict[int, LockRegister] = {}
+        arrivals: dict[int, int] = {}
+
+        def register_for(thread_id: int) -> LockRegister:
+            reg = registers.get(thread_id)
+            if reg is None:
+                reg = LockRegister(config, mapper)
+                registers[thread_id] = reg
+            return reg
+
+        for event in trace:
+            op = event.op
+            thread_id = event.thread_id
+            core = machine.core_for_thread(thread_id)
+            if op.kind is OpKind.COMPUTE:
+                machine.charge(op.cycles, "compute")
+            elif op.kind is OpKind.LOCK:
+                machine.access(core, op.addr, LOCK_WORD_BYTES, True)
+                register_for(thread_id).acquire(op.addr)
+                machine.charge(self.costs.lock_register_update, "hard.lockreg")
+                extra += self.costs.lock_register_update
+            elif op.kind is OpKind.UNLOCK:
+                machine.access(core, op.addr, LOCK_WORD_BYTES, True)
+                register_for(thread_id).release(op.addr)
+                machine.charge(self.costs.lock_register_update, "hard.lockreg")
+                extra += self.costs.lock_register_update
+            elif op.kind is OpKind.BARRIER:
+                count = arrivals.get(op.addr, 0) + 1
+                if count < op.participants:
+                    arrivals[op.addr] = count
+                    continue
+                arrivals[op.addr] = 0
+                if config.barrier_reset:
+                    full = mapper.full_mask
+                    directory.reset_all(lambda meta: meta.reset_for_barrier(full))
+                    machine.charge(self.costs.barrier_reset_flash, "hard.barrier_reset")
+                    extra += self.costs.barrier_reset_flash
+            else:
+                machine.access(core, op.addr, op.size, op.is_write)
+                lock_vector = register_for(thread_id).value
+                seen_lines: set[int] = set()
+                for chunk_addr in spanned_chunks(op.addr, op.size, config.granularity):
+                    line_addr = line_address(chunk_addr, line_size)
+                    meta = directory.fetch(line_addr)
+                    if line_addr not in seen_lines:
+                        seen_lines.add(line_addr)
+                        machine.charge(directory.access_cycles, "hard.directory")
+                        extra += directory.access_cycles
+                    chunk = meta.chunks[
+                        chunk_index_in_line(chunk_addr, config.granularity, line_size)
+                    ]
+                    outcome = transition(
+                        chunk.lstate, chunk.owner, thread_id, op.is_write
+                    )
+                    chunk.lstate = outcome.state
+                    chunk.owner = outcome.owner
+                    if outcome.update_candidate:
+                        chunk.bf &= lock_vector
+                        stats.add("hard.candidate_updates")
+                        machine.charge(self.costs.candidate_check, "hard.check")
+                        extra += self.costs.candidate_check
+                        if outcome.check_race and mapper.is_empty(chunk.bf):
+                            log.add(
+                                seq=event.seq,
+                                thread_id=thread_id,
+                                addr=op.addr,
+                                size=op.size,
+                                site=op.site,
+                                is_write=op.is_write,
+                                detail=f"candidate set empty (dir 0x{chunk_addr:x})",
+                            )
+                    directory.put_back(line_addr, meta)
+
+        stats.merge(machine.stats)
+        stats.merge(machine.bus.stats)
+        stats.merge(directory.stats)
+        return DetectionResult(
+            detector=self.name,
+            reports=log,
+            stats=stats,
+            cycles=machine.cycles,
+            detector_extra_cycles=extra,
+        )

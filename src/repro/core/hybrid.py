@@ -1,0 +1,148 @@
+"""Hybrid lockset + happens-before detection (the paper's future work).
+
+Section 7 names the combination with happens-before — in the style of
+RaceTrack / O'Callahan-Choi / MultiRace [36, 21, 25] — as the planned
+extension for pruning the false alarms that non-lock synchronization causes
+in pure lockset.  This module implements that extension at the ideal
+(trace-only) level.
+
+The filter follows RaceTrack's *threadset* idea: alongside each chunk's
+exact candidate set, keep the set of epochs of recent accessors.  On every
+access, epochs that the accessor's vector clock already *knows* are removed
+(those accesses are happens-before ordered with this one, hence not
+concurrent).  A lockset violation is reported only when some genuinely
+concurrent foreign accessor remains — so accesses ordered by barriers,
+fork/join-style phases or any other vector-clock-visible synchronization
+stop producing alarms, while the detector retains lockset's insensitivity
+to *lock-discipline* races that happened to be scheduled apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.addresses import spanned_chunks
+from repro.common.events import OpKind, Trace
+from repro.common.stats import StatCounters
+from repro.core.lstate import NO_OWNER, LState, transition
+from repro.hb.vectorclock import SyncClocks
+from repro.lockset.exact import ALL_LOCKS
+from repro.reporting import DetectionResult, RaceReportLog
+
+
+@dataclass
+class HybridChunk:
+    """Exact candidate set + LState + concurrent-accessor threadset."""
+
+    candidate: set[int] | None = ALL_LOCKS
+    lstate: LState = LState.VIRGIN
+    owner: int = NO_OWNER
+    accessors: dict[int, int] = field(default_factory=dict)  # thread -> clock
+
+    @property
+    def lockset_empty(self) -> bool:
+        """True iff the candidate set is empty."""
+        return self.candidate is not ALL_LOCKS and not self.candidate
+
+
+@dataclass
+class HybridDetector:
+    """Lockset filtered by a happens-before threadset (ideal storage)."""
+
+    granularity: int = 4
+    barrier_reset: bool = True
+    name: str = "hybrid"
+
+    def run(self, trace: Trace) -> DetectionResult:
+        """Consume the trace; report concurrent lockset violations only."""
+        log = RaceReportLog(self.name)
+        stats = StatCounters()
+        clocks = SyncClocks(trace.num_threads)
+        held: dict[int, dict[int, int]] = {}
+        chunks: dict[int, HybridChunk] = {}
+        arrivals: dict[int, int] = {}
+
+        for event in trace:
+            op = event.op
+            thread_id = event.thread_id
+            if op.kind is OpKind.COMPUTE:
+                continue
+            if op.kind is OpKind.LOCK:
+                clocks.acquire(thread_id, op.addr)
+                locks = held.setdefault(thread_id, {})
+                locks[op.addr] = locks.get(op.addr, 0) + 1
+            elif op.kind is OpKind.UNLOCK:
+                clocks.release(thread_id, op.addr)
+                locks = held.setdefault(thread_id, {})
+                locks[op.addr] -= 1
+                if not locks[op.addr]:
+                    del locks[op.addr]
+            elif op.kind is OpKind.BARRIER:
+                clocks.barrier_arrive(thread_id, op.addr, op.participants)
+                count = arrivals.get(op.addr, 0) + 1
+                if count < op.participants:
+                    arrivals[op.addr] = count
+                    continue
+                arrivals[op.addr] = 0
+                if self.barrier_reset:
+                    for chunk in chunks.values():
+                        chunk.candidate = ALL_LOCKS
+                        chunk.lstate = LState.VIRGIN
+                        chunk.owner = NO_OWNER
+            else:
+                self._access(
+                    event, chunks, held.setdefault(thread_id, {}), clocks, log, stats
+                )
+
+        return DetectionResult(detector=self.name, reports=log, stats=stats)
+
+    def _access(self, event, chunks, locks, clocks, log, stats) -> None:
+        op = event.op
+        thread_id = event.thread_id
+        clock = clocks.clock(thread_id)
+        for chunk_addr in spanned_chunks(op.addr, op.size, self.granularity):
+            chunk = chunks.get(chunk_addr)
+            if chunk is None:
+                chunk = HybridChunk()
+                chunks[chunk_addr] = chunk
+
+            # Prune accessors this access is ordered after; what remains is
+            # genuinely concurrent with us.
+            stale = [
+                tid
+                for tid, value in chunk.accessors.items()
+                if clock.knows((tid, value))
+            ]
+            for tid in stale:
+                del chunk.accessors[tid]
+            concurrent_foreign = any(
+                tid != thread_id for tid in chunk.accessors
+            )
+
+            outcome = transition(chunk.lstate, chunk.owner, thread_id, op.is_write)
+            chunk.lstate = outcome.state
+            chunk.owner = outcome.owner
+            if outcome.update_candidate:
+                if chunk.candidate is ALL_LOCKS:
+                    chunk.candidate = set(locks)
+                else:
+                    chunk.candidate &= locks.keys()
+                stats.add("hybrid.candidate_updates")
+                if outcome.check_race and chunk.lockset_empty and concurrent_foreign:
+                    log.add(
+                        seq=event.seq,
+                        thread_id=thread_id,
+                        addr=op.addr,
+                        size=op.size,
+                        site=op.site,
+                        is_write=op.is_write,
+                        detail=(
+                            "lockset empty and concurrent accessor present "
+                            f"(chunk 0x{chunk_addr:x})"
+                        ),
+                    )
+                    stats.add("hybrid.dynamic_reports")
+                elif outcome.check_race and chunk.lockset_empty:
+                    stats.add("hybrid.suppressed_by_ordering")
+
+            chunk.accessors[thread_id] = clock.values[thread_id]

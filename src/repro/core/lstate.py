@@ -1,0 +1,75 @@
+"""The per-variable LState machine for initialization false-alarm pruning.
+
+Figure 2 of the paper (inherited from Eraser).  Every monitored chunk of
+memory carries a 2-bit LState:
+
+* **Virgin** — allocated, never accessed.
+* **Exclusive** — accessed by exactly one thread so far (the *owner*).
+  Candidate set untouched, no reports: single-thread initialization without
+  locks is silent.
+* **Shared** — after a *read* by a second thread: the data was initialized
+  and is now read-shared.  The candidate set is updated but races are not
+  reported (read-only data may be accessed lock-free).
+* **Shared-Modified** — written by a thread other than the owner, or written
+  while Shared: candidate set updated *and* an empty set is reported.
+
+In HARD hardware the fetch from memory is itself the first touch, so lines
+enter the cache directly in Exclusive owned by the fetching core's thread
+(Section 3.1); Virgin exists for the ideal (software-style) detector whose
+metadata is allocated before any access.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Owner value meaning "no owner recorded" (Virgin chunks).
+NO_OWNER = -1
+
+
+class LState(enum.Enum):
+    """The four variable states of Figure 2."""
+
+    VIRGIN = "virgin"
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"
+    SHARED_MODIFIED = "shared-modified"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """Outcome of one access against the state machine.
+
+    Attributes:
+        state: the chunk's next LState.
+        owner: the chunk's next owner thread (meaningful for Exclusive).
+        update_candidate: whether ``C(v) ∩= L(t)`` must be applied.
+        check_race: whether an empty candidate set must be reported.
+    """
+
+    state: LState
+    owner: int
+    update_candidate: bool
+    check_race: bool
+
+
+def transition(state: LState, owner: int, thread_id: int, is_write: bool) -> Transition:
+    """Apply one access (Figure 2) and say what the lockset core must do."""
+    if state is LState.VIRGIN:
+        return Transition(LState.EXCLUSIVE, thread_id, False, False)
+
+    if state is LState.EXCLUSIVE:
+        if thread_id == owner:
+            return Transition(LState.EXCLUSIVE, owner, False, False)
+        if is_write:
+            return Transition(LState.SHARED_MODIFIED, owner, True, True)
+        return Transition(LState.SHARED, owner, True, False)
+
+    if state is LState.SHARED:
+        if is_write:
+            return Transition(LState.SHARED_MODIFIED, owner, True, True)
+        return Transition(LState.SHARED, owner, True, False)
+
+    # Shared-Modified is absorbing.
+    return Transition(LState.SHARED_MODIFIED, owner, True, True)

@@ -1,0 +1,93 @@
+"""Named detector configurations used throughout the evaluation.
+
+The paper compares four configurations (Table 2):
+
+* ``hard-default`` — HARD on the Table 1 machine: 16-bit BFVector, 32 B
+  (line) granularity, candidate sets cached only;
+* ``hard-ideal`` — the ideal lockset: exact sets, 4 B granularity,
+  unbounded storage;
+* ``hb-default`` — happens-before with line-granularity timestamps kept in
+  the cache;
+* ``hb-ideal`` — happens-before at 4 B granularity with unbounded storage.
+
+:func:`make_detector` builds any of them, with the sensitivity-study knobs
+(granularity, L2 size, BFVector width) as keyword overrides.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import HappensBeforeConfig, HardConfig, MachineConfig
+from repro.common.errors import HarnessError
+from repro.core.detector import HardDetector
+from repro.core.hybrid import HybridDetector
+from repro.hb.detector import HappensBeforeDetector
+from repro.hb.ideal import IdealHappensBeforeDetector
+from repro.lockset.exact import IdealLocksetDetector
+from repro.reporting import Detector
+
+#: The four Table 2 configurations, in the paper's column order.
+PAPER_DETECTORS = ("hard-default", "hard-ideal", "hb-default", "hb-ideal")
+
+
+def make_detector(
+    key: str,
+    *,
+    granularity: int | None = None,
+    l2_size: int | None = None,
+    vector_bits: int | None = None,
+    barrier_reset: bool = True,
+    broadcast_updates: bool = True,
+    use_counter_register: bool = True,
+) -> Detector:
+    """Build a detector by configuration name.
+
+    Keyword overrides apply where meaningful: ``granularity`` to every
+    detector, ``l2_size`` to the cache-resident (default) ones,
+    ``vector_bits`` and the ablation switches to HARD only.
+    """
+    if key == "hard-default":
+        machine = MachineConfig()
+        if l2_size is not None:
+            machine = machine.with_l2_size(l2_size)
+        config = HardConfig(
+            barrier_reset=barrier_reset,
+            broadcast_updates=broadcast_updates,
+            use_counter_register=use_counter_register,
+        )
+        if granularity is not None:
+            config = config.with_granularity(granularity)
+        if vector_bits is not None:
+            config = config.with_vector_bits(vector_bits)
+        return HardDetector(machine, config, name=key)
+    if key == "hard-ideal":
+        return IdealLocksetDetector(
+            granularity=granularity or 4, barrier_reset=barrier_reset, name=key
+        )
+    if key == "hb-default":
+        machine = MachineConfig()
+        if l2_size is not None:
+            machine = machine.with_l2_size(l2_size)
+        config = HappensBeforeConfig()
+        if granularity is not None:
+            config = config.with_granularity(granularity)
+        return HappensBeforeDetector(machine, config, name=key)
+    if key == "hb-ideal":
+        return IdealHappensBeforeDetector(granularity=granularity or 4, name=key)
+    if key == "hybrid":
+        return HybridDetector(granularity=granularity or 4, name=key)
+    raise HarnessError(f"unknown detector key {key!r}")
+
+
+#: Bumped whenever detector semantics or cost models change, so disk-cached
+#: verdicts from older code self-invalidate.
+MODEL_VERSION = 2
+
+
+def config_signature(key: str, **overrides: object) -> str:
+    """A stable string identifying a detector configuration (cache key)."""
+    parts = [key, f"v{MODEL_VERSION}"]
+    for name in sorted(overrides):
+        value = overrides[name]
+        if value is not None:
+            parts.append(f"{name}={value}")
+    return ";".join(parts)

@@ -1,0 +1,238 @@
+"""The experiment runner behind every table and figure.
+
+Reproduces the paper's protocol (Section 4):
+
+* for each application, 10 runs, each with one *different* randomly
+  injected dynamic race (the bug seed is the run index);
+* detection is scored per run: did the detector report any race matching
+  the injected bug's de-protected accesses (by address overlap or source
+  site)?
+* false alarms are counted on the *race-free* execution, at source-site
+  level;
+* all detectors score against the *identical* interleaved trace of each
+  run.
+
+Traces are memoised in memory per (app, run) and detector verdicts are
+cached on disk (JSON, keyed by a configuration signature), because the
+sensitivity sweeps of Section 5.2 revisit the same runs under many detector
+configurations.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.events import Trace
+from repro.common.rng import derive_seed
+from repro.harness.detectors import config_signature, make_detector
+from repro.reporting import DetectionResult
+from repro.threads.program import InjectedBug, ParallelProgram
+from repro.threads.runtime import interleave
+from repro.threads.scheduler import RandomScheduler
+from repro.workloads.injection import inject_bug
+from repro.workloads.registry import build_workload
+
+#: Run index reserved for the race-free (no injection) execution.
+CLEAN_RUN = -1
+
+
+@dataclass
+class RunOutcome:
+    """Scored verdict of one detector on one run."""
+
+    detector: str
+    app: str
+    run: int
+    detected: bool
+    alarm_count: int
+    dynamic_reports: int
+    cycles: int = 0
+    detector_extra_cycles: int = 0
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Execution-time overhead of the detector hardware (Figure 8)."""
+        base = self.cycles - self.detector_extra_cycles
+        return self.detector_extra_cycles / base if base > 0 else 0.0
+
+
+def score_detection(result: DetectionResult, bug: InjectedBug | None) -> bool:
+    """True iff any report corresponds to the injected bug."""
+    if bug is None:
+        return False
+    for report in result.reports:
+        if bug.matches_report(report.addr, report.size, report.site):
+            return True
+    return False
+
+
+class ExperimentRunner:
+    """Builds traces on demand and scores detectors against them."""
+
+    def __init__(
+        self,
+        *,
+        workload_seed: object = 0,
+        cache_dir: str | Path | None = None,
+        runs: int = 10,
+    ):
+        self.workload_seed = workload_seed
+        self.runs = runs
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._programs: dict[tuple[str, int], ParallelProgram] = {}
+        self._traces: dict[tuple[str, int], Trace] = {}
+        self._digests: dict[tuple[str, int], int] = {}
+
+    # ------------------------------------------------------------ traces
+
+    def program_for(self, app: str, run: int) -> ParallelProgram:
+        """The (possibly bug-injected) program of one run."""
+        key = (app, run)
+        program = self._programs.get(key)
+        if program is None:
+            program = build_workload(app, seed=self.workload_seed)
+            if run != CLEAN_RUN:
+                program = inject_bug(program, seed=(self.workload_seed, run))
+            self._programs[key] = program
+        return program
+
+    def trace_for(self, app: str, run: int) -> Trace:
+        """The interleaved trace of one run (memoised)."""
+        key = (app, run)
+        trace = self._traces.get(key)
+        if trace is None:
+            program = self.program_for(app, run)
+            seed = derive_seed("schedule", app, self.workload_seed, run)
+            # Short bursts approximate the fine-grained concurrency of a
+            # real 4-core CMP, where instructions of different threads
+            # interleave at cycle granularity.
+            scheduler = RandomScheduler(seed=seed, min_burst=1, max_burst=8)
+            trace = interleave(program, scheduler).trace
+            self._traces[key] = trace
+        return trace
+
+    def drop_trace(self, app: str, run: int) -> None:
+        """Release a memoised trace (the sweeps manage memory explicitly)."""
+        self._traces.pop((app, run), None)
+        self._programs.pop((app, run), None)
+
+    # ----------------------------------------------------------- scoring
+
+    def run_detector(self, app: str, run: int, key: str, **overrides) -> RunOutcome:
+        """Run one detector configuration on one run (disk-cached)."""
+        signature = config_signature(key, **overrides)
+        cached = self._cache_get(app, run, signature)
+        if cached is not None:
+            return cached
+        trace = self.trace_for(app, run)
+        detector = make_detector(key, **overrides)
+        result = detector.run(trace)
+        bug = self.program_for(app, run).injected_bug
+        outcome = RunOutcome(
+            detector=signature,
+            app=app,
+            run=run,
+            detected=score_detection(result, bug),
+            alarm_count=result.reports.alarm_count,
+            dynamic_reports=result.reports.dynamic_count,
+            cycles=result.cycles,
+            detector_extra_cycles=result.detector_extra_cycles,
+        )
+        self._cache_put(outcome, signature)
+        return outcome
+
+    def detection_count(self, app: str, key: str, **overrides) -> int:
+        """Bugs detected out of :attr:`runs` injected runs."""
+        return sum(
+            self.run_detector(app, run, key, **overrides).detected
+            for run in range(self.runs)
+        )
+
+    def false_alarm_count(self, app: str, key: str, **overrides) -> int:
+        """Source-level alarms on the race-free run."""
+        return self.run_detector(app, CLEAN_RUN, key, **overrides).alarm_count
+
+    def overhead(self, app: str, key: str = "hard-default", **overrides) -> RunOutcome:
+        """The race-free run's outcome, for overhead accounting (Figure 8)."""
+        return self.run_detector(app, CLEAN_RUN, key, **overrides)
+
+    # ------------------------------------------------------------- cache
+
+    def _program_digest(self, app: str, run: int) -> int:
+        """A stable digest of the run's program content.
+
+        Folding this into the cache key makes cached verdicts self-invalidate
+        whenever a workload generator (or the injection protocol) changes.
+        """
+        key = (app, run)
+        digest = self._digests.get(key)
+        if digest is None:
+            program = self.program_for(app, run)
+            parts: list[object] = [program.name]
+            for thread in program.threads:
+                parts.append(thread.thread_id)
+                parts.append(len(thread.ops))
+                # Sample ops densely enough to catch any generator change
+                # without hashing hundreds of thousands of objects.
+                parts.extend(
+                    (op.kind.value, op.addr, op.size, op.cycles)
+                    for op in thread.ops[::7]
+                )
+            digest = derive_seed(*parts)
+            self._digests[key] = digest
+        return digest
+
+    def _cache_path(self, app: str, run: int, signature: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        digest = self._program_digest(app, run)
+        stem = f"{app}_{run}_{derive_seed(signature, self.workload_seed, digest):016x}"
+        return self.cache_dir / f"{stem}.json"
+
+    def _cache_get(self, app: str, run: int, signature: str) -> RunOutcome | None:
+        path = self._cache_path(app, run, signature)
+        if path is None or not path.exists():
+            return None
+        data = json.loads(path.read_text())
+        if data.get("signature") != signature:
+            return None
+        return RunOutcome(
+            detector=signature,
+            app=app,
+            run=run,
+            detected=data["detected"],
+            alarm_count=data["alarm_count"],
+            dynamic_reports=data["dynamic_reports"],
+            cycles=data["cycles"],
+            detector_extra_cycles=data["detector_extra_cycles"],
+        )
+
+    def _cache_put(self, outcome: RunOutcome, signature: str) -> None:
+        path = self._cache_path(outcome.app, outcome.run, signature)
+        if path is None:
+            return
+        path.write_text(
+            json.dumps(
+                {
+                    "signature": signature,
+                    "detected": outcome.detected,
+                    "alarm_count": outcome.alarm_count,
+                    "dynamic_reports": outcome.dynamic_reports,
+                    "cycles": outcome.cycles,
+                    "detector_extra_cycles": outcome.detector_extra_cycles,
+                }
+            )
+        )
+
+
+@dataclass
+class TableCell:
+    """One "detected / alarms" cell of a paper-style table."""
+
+    detected: int | None = None
+    alarms: int | None = None
+    extras: dict[str, float] = field(default_factory=dict)

@@ -1,0 +1,127 @@
+"""Race-report explanation: reconstruct the story behind one report.
+
+A lockset report says "the candidate set went empty here" — useful, but a
+developer wants the *history*: who touched this data, under which locks,
+and where the common lock was lost.  Given the trace a report came from,
+:func:`explain_report` rebuilds exactly that, the way a HARD-equipped
+debugger would walk the access history after a hardware trap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.addresses import chunk_address, spanned_chunks
+from repro.common.events import OpKind, Trace
+from repro.reporting import RaceReport
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One access to the reported data, with the locks held at the time."""
+
+    seq: int
+    thread_id: int
+    addr: int
+    is_write: bool
+    site: str
+    locks_held: tuple[int, ...]
+
+    def format(self) -> str:
+        kind = "write" if self.is_write else "read"
+        if self.locks_held:
+            locks = ", ".join(f"0x{lk:x}" for lk in self.locks_held)
+            held = f"holding {{{locks}}}"
+        else:
+            held = "holding no locks"
+        return f"[{self.seq:>7}] t{self.thread_id} {kind:<5} 0x{self.addr:x} {held}  @{self.site}"
+
+
+@dataclass
+class Explanation:
+    """The reconstructed history of a reported race."""
+
+    report: RaceReport
+    chunk_addr: int
+    history: list[AccessRecord] = field(default_factory=list)
+    common_locks_over_time: list[frozenset[int]] = field(default_factory=list)
+
+    @property
+    def threads_involved(self) -> frozenset[int]:
+        """Every thread that touched the reported chunk."""
+        return frozenset(rec.thread_id for rec in self.history)
+
+    @property
+    def first_unprotected(self) -> AccessRecord | None:
+        """The earliest access after which no common lock remained."""
+        for record, common in zip(self.history, self.common_locks_over_time):
+            if not common:
+                return record
+        return None
+
+    def format(self, max_entries: int = 12) -> str:
+        lines = [
+            f"report: {self.report}",
+            f"access history of chunk 0x{self.chunk_addr:x} "
+            f"({len(self.history)} accesses by threads "
+            f"{sorted(self.threads_involved)}):",
+        ]
+        shown = self.history[-max_entries:]
+        if len(self.history) > len(shown):
+            lines.append(f"  ... {len(self.history) - len(shown)} earlier accesses ...")
+        lines.extend("  " + rec.format() for rec in shown)
+        culprit = self.first_unprotected
+        if culprit is not None:
+            lines.append(
+                f"locking discipline broken at seq {culprit.seq}: after this "
+                f"access no single lock protects the data"
+            )
+        return "\n".join(lines)
+
+
+def explain_report(
+    trace: Trace, report: RaceReport, *, granularity: int = 4
+) -> Explanation:
+    """Reconstruct the access/lock history behind ``report``.
+
+    Walks the trace up to the reporting access, collecting every access to
+    the report's first chunk together with the accessor's lock set, and the
+    evolving set of *common* locks (None-start exact lockset semantics).
+    """
+    chunk = chunk_address(report.addr, granularity)
+    explanation = Explanation(report=report, chunk_addr=chunk)
+    held: dict[int, list[int]] = {}
+    common: frozenset[int] | None = None  # None = all possible locks
+
+    for event in trace:
+        if event.seq > report.seq:
+            break
+        op = event.op
+        locks = held.setdefault(event.thread_id, [])
+        if op.kind is OpKind.LOCK:
+            locks.append(op.addr)
+        elif op.kind is OpKind.UNLOCK:
+            if op.addr in locks:
+                locks.remove(op.addr)
+        elif op.is_memory_access:
+            touched = any(
+                chunk_address(c, granularity) == chunk
+                for c in spanned_chunks(op.addr, op.size, granularity)
+            )
+            if not touched:
+                continue
+            record = AccessRecord(
+                seq=event.seq,
+                thread_id=event.thread_id,
+                addr=op.addr,
+                is_write=op.is_write,
+                site=str(op.site) if op.site else "?",
+                locks_held=tuple(locks),
+            )
+            explanation.history.append(record)
+            if common is None:
+                common = frozenset(locks)
+            else:
+                common = common & frozenset(locks)
+            explanation.common_locks_over_time.append(common)
+    return explanation

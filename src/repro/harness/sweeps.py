@@ -1,0 +1,96 @@
+"""Generic parameter sweeps over detector configurations.
+
+The paper's Tables 3–6 are fixed sweeps; this module exposes the same
+machinery for arbitrary grids, so users can run their own sensitivity
+studies (e.g. L2 sizes the paper didn't test, 8-bit Bloom vectors, the
+broadcast/counter-register ablations across every application) with the
+harness's caching and scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.experiment import ExperimentRunner
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (application, parameter-value) measurement."""
+
+    app: str
+    value: object
+    detected: int
+    alarms: int
+
+
+@dataclass
+class SweepResult:
+    """A full sweep: one cell per (app, value)."""
+
+    detector: str
+    parameter: str
+    cells: list[SweepCell]
+
+    def cell(self, app: str, value: object) -> SweepCell:
+        """The cell for one (app, value) pair."""
+        for cell in self.cells:
+            if cell.app == app and cell.value == value:
+                return cell
+        raise KeyError((app, value))
+
+    def series(self, app: str) -> list[SweepCell]:
+        """All of one application's cells, in sweep order."""
+        return [cell for cell in self.cells if cell.app == app]
+
+    def format(self) -> str:
+        """Render as a compact table (rows: apps; columns: values)."""
+        values = sorted({cell.value for cell in self.cells}, key=repr)
+        apps = sorted({cell.app for cell in self.cells})
+        header = f"{'application':<16}" + "".join(
+            f"{str(v):>14}" for v in values
+        )
+        lines = [
+            f"sweep of {self.parameter} for {self.detector} "
+            "(cells: detected/10, alarms)",
+            header,
+        ]
+        for app in apps:
+            row = ""
+            for value in values:
+                cell = self.cell(app, value)
+                row += f"{f'{cell.detected}/10,{cell.alarms}':>14}"
+            lines.append(f"{app:<16}{row}")
+        return "\n".join(lines)
+
+
+def sweep(
+    runner: ExperimentRunner,
+    *,
+    detector: str,
+    parameter: str,
+    values: list[object],
+    apps: tuple[str, ...],
+    include_detection: bool = True,
+) -> SweepResult:
+    """Measure a detector across a parameter grid.
+
+    ``parameter`` is any keyword accepted by
+    :func:`repro.harness.detectors.make_detector` (``granularity``,
+    ``l2_size``, ``vector_bits``, ``barrier_reset``, ``broadcast_updates``,
+    ``use_counter_register``).
+    """
+    cells = []
+    for app in apps:
+        for value in values:
+            overrides = {parameter: value}
+            detected = (
+                runner.detection_count(app, detector, **overrides)
+                if include_detection
+                else 0
+            )
+            alarms = runner.false_alarm_count(app, detector, **overrides)
+            cells.append(
+                SweepCell(app=app, value=value, detected=detected, alarms=alarms)
+            )
+    return SweepResult(detector=detector, parameter=parameter, cells=cells)

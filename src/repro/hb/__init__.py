@@ -1,0 +1,15 @@
+"""Happens-before race detection (the paper's comparison baseline)."""
+
+from repro.hb.detector import HappensBeforeDetector
+from repro.hb.ideal import IdealHappensBeforeDetector
+from repro.hb.meta import HBChunkMeta, HBLineMeta
+from repro.hb.vectorclock import SyncClocks, VectorClock
+
+__all__ = [
+    "HappensBeforeDetector",
+    "IdealHappensBeforeDetector",
+    "HBChunkMeta",
+    "HBLineMeta",
+    "SyncClocks",
+    "VectorClock",
+]

@@ -1,0 +1,83 @@
+"""Per-chunk access-history metadata for happens-before detection.
+
+For each monitored chunk the detector keeps the epoch of the last write and
+the epoch of the last read by each thread.  An access races with a recorded
+epoch iff the accessor's vector clock does not *know* that epoch (the prior
+access is not happens-before ordered with this one).
+
+The default detector keeps these records inside the simulated caches (one
+:class:`HBLineMeta` per line, mirroring HARD's storage of candidate sets);
+the ideal detector keeps them in an unbounded map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.addresses import chunks_per_line
+from repro.hb.vectorclock import VectorClock
+
+#: Epoch meaning "no prior access recorded".
+NO_EPOCH: tuple[int, int] | None = None
+
+
+@dataclass
+class HBChunkMeta:
+    """Access history of one chunk: last write epoch + per-thread read epochs."""
+
+    last_write: tuple[int, int] | None = NO_EPOCH
+    reads: dict[int, int] = field(default_factory=dict)
+
+    def clone(self) -> "HBChunkMeta":
+        """Independent copy for a coherence transfer."""
+        return HBChunkMeta(last_write=self.last_write, reads=dict(self.reads))
+
+    def check_and_update(
+        self, thread_id: int, clock: VectorClock, is_write: bool
+    ) -> list[str]:
+        """Race-check this access against the history, then record it.
+
+        Returns human-readable conflict descriptions (empty = no race).
+        """
+        conflicts = []
+        write = self.last_write
+        if (
+            write is not None
+            and write[0] != thread_id
+            and not clock.knows(write)
+        ):
+            conflicts.append(f"unordered with write by t{write[0]}@{write[1]}")
+        if is_write:
+            for reader, value in self.reads.items():
+                if reader != thread_id and not clock.knows((reader, value)):
+                    conflicts.append(f"unordered with read by t{reader}@{value}")
+            self.last_write = clock.epoch(thread_id)
+            self.reads.clear()
+        else:
+            self.reads[thread_id] = clock.values[thread_id]
+        return conflicts
+
+
+class HBLineMeta:
+    """All chunk histories of one cache line (the default detector's unit)."""
+
+    __slots__ = ("chunks",)
+
+    def __init__(self, chunks: list[HBChunkMeta]):
+        self.chunks = chunks
+
+    @classmethod
+    def fresh(cls, granularity: int, line_size: int) -> "HBLineMeta":
+        """History for a line just fetched from memory: empty.
+
+        This is HARD's approximation (3) applied to happens-before: history
+        for displaced lines is gone, so races spanning an L2 eviction are
+        missed (Section 4's "our happens-before implementation makes two of
+        the three approximations").
+        """
+        count = chunks_per_line(granularity, line_size)
+        return cls([HBChunkMeta() for _ in range(count)])
+
+    def clone(self) -> "HBLineMeta":
+        """Deep copy for a coherence transfer."""
+        return HBLineMeta([c.clone() for c in self.chunks])

@@ -1,0 +1,128 @@
+"""Vector clocks for happens-before race detection.
+
+The happens-before detectors order trace events with Lamport/Mattern vector
+clocks: one integer per thread.  Thread ``t``'s clock ``C[t]`` advances at
+its release operations; lock release→acquire and barrier episodes propagate
+clocks between threads.  A previous access with *epoch* ``(u, c)`` (thread
+``u`` at clock value ``c``) happens-before the current event of thread ``t``
+iff ``c <= C[t][u]``.
+
+Clocks are plain lists of ints; :class:`VectorClock` wraps them with the
+operations the detectors need while keeping the raw list reachable
+(``.values``) for hot-path epoch comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class VectorClock:
+    """A mutable vector clock over a fixed thread universe."""
+
+    values: list[int]
+
+    @classmethod
+    def zero(cls, num_threads: int) -> "VectorClock":
+        """The all-zeros clock."""
+        return cls([0] * num_threads)
+
+    def copy(self) -> "VectorClock":
+        """An independent copy."""
+        return VectorClock(list(self.values))
+
+    def join(self, other: "VectorClock") -> None:
+        """Pointwise maximum, in place (receive knowledge from ``other``)."""
+        mine, theirs = self.values, other.values
+        for i in range(len(mine)):
+            if theirs[i] > mine[i]:
+                mine[i] = theirs[i]
+
+    def increment(self, thread_id: int) -> None:
+        """Advance this thread's own component (a new epoch begins)."""
+        self.values[thread_id] += 1
+
+    def epoch(self, thread_id: int) -> tuple[int, int]:
+        """The (thread, clock) pair stamping this thread's current events."""
+        return (thread_id, self.values[thread_id])
+
+    def knows(self, epoch: tuple[int, int]) -> bool:
+        """True iff the event stamped ``epoch`` happens-before this clock."""
+        thread_id, value = epoch
+        return value <= self.values[thread_id]
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True iff this clock is pointwise ≥ ``other``."""
+        return all(m >= t for m, t in zip(self.values, other.values))
+
+    def __str__(self) -> str:
+        return "<" + ",".join(str(v) for v in self.values) + ">"
+
+
+class SyncClocks:
+    """Thread, lock and barrier clock state shared by the HB detectors.
+
+    Implements the standard dynamic happens-before construction:
+
+    * ``release(t, L)``: the lock's clock absorbs ``C[t]``; ``C[t]``
+      advances (later events of ``t`` are no longer ordered before the
+      release as seen by the next acquirer).
+    * ``acquire(t, L)``: ``C[t]`` absorbs the lock's clock.
+    * barriers: arrivals are buffered; when the last participant arrives,
+      every participant's clock absorbs the join of all of them and then
+      advances — an all-to-all ordering edge.
+    """
+
+    def __init__(self, num_threads: int):
+        self.num_threads = num_threads
+        self.threads = [VectorClock.zero(num_threads) for _ in range(num_threads)]
+        # Every thread starts in epoch 1 of its own component while all
+        # *other* components start at 0: a fresh access epoch ``(t, 1)`` is
+        # then distinguishable from the initial "knows nothing" state.
+        # Starting at 0 would make first-epoch accesses look ordered with
+        # everything (0 <= 0), silently hiding races between threads that
+        # have not synchronised yet.
+        for thread_id, clock in enumerate(self.threads):
+            clock.increment(thread_id)
+        self._locks: dict[int, VectorClock] = {}
+        self._barrier_waiters: dict[int, list[int]] = {}
+
+    def clock(self, thread_id: int) -> VectorClock:
+        """The current clock of ``thread_id``."""
+        return self.threads[thread_id]
+
+    def acquire(self, thread_id: int, lock_addr: int) -> None:
+        """Apply the release→acquire edge for ``lock_addr``."""
+        lock_clock = self._locks.get(lock_addr)
+        if lock_clock is not None:
+            self.threads[thread_id].join(lock_clock)
+
+    def release(self, thread_id: int, lock_addr: int) -> None:
+        """Publish ``thread_id``'s knowledge through ``lock_addr``."""
+        mine = self.threads[thread_id]
+        lock_clock = self._locks.get(lock_addr)
+        if lock_clock is None:
+            self._locks[lock_addr] = mine.copy()
+        else:
+            lock_clock.join(mine)
+        mine.increment(thread_id)
+
+    def barrier_arrive(self, thread_id: int, barrier_id: int, participants: int) -> bool:
+        """Record an arrival; apply the all-to-all join on the last one.
+
+        Returns True when this arrival completed the barrier episode.
+        """
+        waiters = self._barrier_waiters.setdefault(barrier_id, [])
+        waiters.append(thread_id)
+        if len(waiters) < participants:
+            return False
+        joint = VectorClock.zero(self.num_threads)
+        for tid in waiters:
+            joint.join(self.threads[tid])
+        for tid in waiters:
+            clock = self.threads[tid]
+            clock.join(joint)
+            clock.increment(tid)
+        waiters.clear()
+        return True

@@ -1,0 +1,12 @@
+"""Ideal (exact, unbounded, variable-granularity) lockset detection."""
+
+from repro.lockset.exact import ALL_LOCKS, ExactChunk, IdealLocksetDetector
+from repro.lockset.software import SoftwareCosts, SoftwareLocksetDetector
+
+__all__ = [
+    "ALL_LOCKS",
+    "ExactChunk",
+    "IdealLocksetDetector",
+    "SoftwareCosts",
+    "SoftwareLocksetDetector",
+]

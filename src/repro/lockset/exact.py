@@ -1,0 +1,143 @@
+"""The *ideal* lockset detector (Section 4's comparison point).
+
+This is the lockset algorithm the way a software tool like Eraser implements
+it, with none of HARD's three hardware approximations:
+
+1. candidate sets at *variable* granularity (4 B chunks) instead of cache
+   lines — no false sharing;
+2. *exact* set representation instead of a Bloom filter — no collisions;
+3. candidate sets for *all* data, forever — no loss on L2 displacement.
+
+It consumes the trace directly (no machine), so it reports what the lockset
+discipline itself can and cannot find; comparing it against
+:class:`~repro.core.detector.HardDetector` isolates the cost of HARD's
+approximations (Table 2's "ideal" columns, and the sweeps of Section 5.2).
+
+The barrier false-positive pruning of Section 3.5 applies here too: on
+barrier exit every candidate set is reset to "all locks".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.addresses import spanned_chunks
+from repro.common.errors import DetectorError
+from repro.common.events import OpKind, Trace
+from repro.common.stats import StatCounters
+from repro.core.lstate import NO_OWNER, LState, transition
+from repro.reporting import DetectionResult, RaceReportLog
+
+#: Sentinel meaning "all possible locks" (the initial candidate set).
+ALL_LOCKS = None
+
+
+@dataclass
+class ExactChunk:
+    """Per-variable state: exact candidate set, LState, owner thread.
+
+    ``candidate`` is either :data:`ALL_LOCKS` (None) or a set of lock
+    addresses.  The distinction matters because the universe of locks is
+    unbounded: a fresh variable is protected by *any* lock.
+    """
+
+    candidate: set[int] | None = ALL_LOCKS
+    lstate: LState = LState.VIRGIN
+    owner: int = NO_OWNER
+
+    def intersect(self, held: dict[int, int]) -> bool:
+        """``C(v) ∩= L(t)``; returns True if the set changed."""
+        if self.candidate is ALL_LOCKS:
+            self.candidate = set(held)
+            return True
+        before = len(self.candidate)
+        self.candidate &= held.keys()
+        return len(self.candidate) != before
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff the candidate set is empty (a potential race)."""
+        return self.candidate is not ALL_LOCKS and not self.candidate
+
+
+@dataclass
+class IdealLocksetDetector:
+    """Exact, unbounded lockset detection at variable granularity."""
+
+    granularity: int = 4
+    barrier_reset: bool = True
+    name: str = "lockset-ideal"
+    stats: StatCounters = field(default_factory=StatCounters)
+
+    def run(self, trace: Trace) -> DetectionResult:
+        """Consume the trace; return every lockset-discipline violation."""
+        log = RaceReportLog(self.name)
+        stats = StatCounters()
+        held: dict[int, dict[int, int]] = {}  # thread -> lock -> depth
+        chunks: dict[int, ExactChunk] = {}
+        arrivals: dict[int, int] = {}
+
+        for event in trace:
+            op = event.op
+            thread_id = event.thread_id
+            if op.kind is OpKind.COMPUTE:
+                continue
+            if op.kind is OpKind.LOCK:
+                locks = held.setdefault(thread_id, {})
+                locks[op.addr] = locks.get(op.addr, 0) + 1
+                stats.add("lockset.acquires")
+            elif op.kind is OpKind.UNLOCK:
+                locks = held.setdefault(thread_id, {})
+                if locks.get(op.addr, 0) <= 0:
+                    raise DetectorError(
+                        f"t{thread_id} released lock 0x{op.addr:x} it never took"
+                    )
+                locks[op.addr] -= 1
+                if not locks[op.addr]:
+                    del locks[op.addr]
+                stats.add("lockset.releases")
+            elif op.kind is OpKind.BARRIER:
+                count = arrivals.get(op.addr, 0) + 1
+                if count < op.participants:
+                    arrivals[op.addr] = count
+                    continue
+                arrivals[op.addr] = 0
+                stats.add("lockset.barrier_episodes")
+                if self.barrier_reset:
+                    # Discard pre-barrier access and lock history
+                    # (Section 3.5; see LineMeta.reset_for_barrier for why
+                    # the LState must be forgotten too).
+                    for chunk in chunks.values():
+                        chunk.candidate = ALL_LOCKS
+                        chunk.lstate = LState.VIRGIN
+                        chunk.owner = NO_OWNER
+            else:
+                self._access(event, chunks, held.setdefault(thread_id, {}), log, stats)
+
+        return DetectionResult(detector=self.name, reports=log, stats=stats)
+
+    def _access(self, event, chunks, locks, log, stats) -> None:
+        op = event.op
+        for chunk_addr in spanned_chunks(op.addr, op.size, self.granularity):
+            chunk = chunks.get(chunk_addr)
+            if chunk is None:
+                chunk = ExactChunk()
+                chunks[chunk_addr] = chunk
+            outcome = transition(chunk.lstate, chunk.owner, event.thread_id, op.is_write)
+            chunk.lstate = outcome.state
+            chunk.owner = outcome.owner
+            if not outcome.update_candidate:
+                continue
+            chunk.intersect(locks)
+            stats.add("lockset.candidate_updates")
+            if outcome.check_race and chunk.is_empty:
+                log.add(
+                    seq=event.seq,
+                    thread_id=event.thread_id,
+                    addr=op.addr,
+                    size=op.size,
+                    site=op.site,
+                    is_write=op.is_write,
+                    detail=f"candidate set empty (exact, chunk 0x{chunk_addr:x})",
+                )
+                stats.add("lockset.dynamic_reports")

@@ -1,0 +1,168 @@
+"""Race reports, report logs, and the detector result contract.
+
+All four detectors (HARD default/ideal, happens-before default/ideal, plus
+the hybrid extension) emit :class:`RaceReport` records into a
+:class:`RaceReportLog` and return a :class:`DetectionResult`.
+
+The paper counts false positives "at source code level" (Section 5.1): one
+alarm per static source location, no matter how many dynamic instances fire.
+:meth:`RaceReportLog.sites` is therefore the unit of alarm accounting, and
+:meth:`RaceReportLog.alarm_count` its size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Protocol
+
+from repro.common.events import Site, Trace
+from repro.common.stats import StatCounters
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One dynamic race report.
+
+    Attributes:
+        detector: name of the reporting detector.
+        seq: trace sequence number of the access that triggered the report.
+        thread_id: the accessing thread.
+        addr: accessed byte address.
+        size: access size in bytes.
+        site: static source location of the access (alarm-dedup key).
+        is_write: whether the triggering access was a write.
+        detail: free-form diagnostic (e.g. "candidate set empty",
+            "unordered with write by t2@1834").
+    """
+
+    detector: str
+    seq: int
+    thread_id: int
+    addr: int
+    size: int
+    site: Site
+    is_write: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        kind = "write" if self.is_write else "read"
+        return (
+            f"[{self.detector}] race: {kind} of 0x{self.addr:x} by "
+            f"t{self.thread_id} at {self.site} (seq {self.seq}) {self.detail}"
+        )
+
+
+class RaceReportLog:
+    """An append-only collection of race reports with site-level dedup."""
+
+    def __init__(self, detector: str):
+        self.detector = detector
+        self._reports: list[RaceReport] = []
+        self._sites: set[Site] = set()
+
+    def __len__(self) -> int:
+        return len(self._reports)
+
+    def __iter__(self) -> Iterator[RaceReport]:
+        return iter(self._reports)
+
+    def add(
+        self,
+        *,
+        seq: int,
+        thread_id: int,
+        addr: int,
+        size: int,
+        site: Site,
+        is_write: bool,
+        detail: str = "",
+    ) -> RaceReport:
+        """Record one dynamic report."""
+        report = RaceReport(
+            detector=self.detector,
+            seq=seq,
+            thread_id=thread_id,
+            addr=addr,
+            size=size,
+            site=site,
+            is_write=is_write,
+            detail=detail,
+        )
+        self._reports.append(report)
+        self._sites.add(site)
+        return report
+
+    @property
+    def dynamic_count(self) -> int:
+        """Number of dynamic report instances."""
+        return len(self._reports)
+
+    def sites(self) -> frozenset[Site]:
+        """Distinct source sites reported — the paper's alarm unit."""
+        return frozenset(self._sites)
+
+    @property
+    def alarm_count(self) -> int:
+        """Number of source-level alarms (distinct sites)."""
+        return len(self._sites)
+
+    def reports_matching(self, predicate: Callable[[RaceReport], bool]) -> list[RaceReport]:
+        """All reports satisfying ``predicate``."""
+        return [r for r in self._reports if predicate(r)]
+
+    def first_for_site(self, site: Site) -> RaceReport | None:
+        """The earliest dynamic report at ``site``, if any."""
+        for report in self._reports:
+            if report.site == site:
+                return report
+        return None
+
+
+@dataclass
+class DetectionResult:
+    """Everything a detector run produces.
+
+    ``cycles`` is the total simulated cycles including detector extensions;
+    ``detector_extra_cycles`` is the portion attributable to the detector
+    (metadata traffic, candidate-set checks, lock-register updates, barrier
+    resets).  ``baseline_cycles = cycles - detector_extra_cycles`` is what
+    the same trace costs on the unmodified machine, so
+
+        ``overhead = detector_extra_cycles / baseline_cycles``
+
+    is the Figure 8 quantity.  Trace-only (ideal) detectors report zero
+    cycles: the paper's ideal configurations measure detection capability,
+    not time.
+    """
+
+    detector: str
+    reports: RaceReportLog
+    stats: StatCounters = field(default_factory=StatCounters)
+    cycles: int = 0
+    detector_extra_cycles: int = 0
+
+    @property
+    def baseline_cycles(self) -> int:
+        """Simulated cycles the trace would cost without the detector."""
+        return self.cycles - self.detector_extra_cycles
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Fractional execution-time overhead (Figure 8)."""
+        if self.baseline_cycles <= 0:
+            return 0.0
+        return self.detector_extra_cycles / self.baseline_cycles
+
+    def alarm_sites(self) -> frozenset[Site]:
+        """Distinct reported sites."""
+        return self.reports.sites()
+
+
+class Detector(Protocol):
+    """The contract every race detector implements."""
+
+    name: str
+
+    def run(self, trace: Trace) -> DetectionResult:
+        """Consume a full interleaved trace and return all reports."""
+        ...

@@ -1,0 +1,31 @@
+"""Functional CMP memory-hierarchy simulator (the paper's SESC substitute)."""
+
+from repro.sim.bus import Bus
+from repro.sim.cache import MESI, Cache, CacheLine, Victim
+from repro.sim.coherence import (
+    AccessResult,
+    EvictionRecord,
+    FillSource,
+    LineAccessResult,
+    MachineListener,
+    SourceKind,
+)
+from repro.sim.machine import Machine
+from repro.sim.metadata import L2_HOLDER, CacheMetadataStore
+
+__all__ = [
+    "Bus",
+    "MESI",
+    "Cache",
+    "CacheLine",
+    "Victim",
+    "AccessResult",
+    "EvictionRecord",
+    "FillSource",
+    "LineAccessResult",
+    "MachineListener",
+    "SourceKind",
+    "Machine",
+    "L2_HOLDER",
+    "CacheMetadataStore",
+]

@@ -1,0 +1,61 @@
+"""Directory-based candidate-set storage (Section 3.4's alternative).
+
+For a directory-based coherence protocol the paper stores the candidate set
+and LState *in the directory* instead of in each cache line: "every shared
+access gets the candidate set and LState information from the directory,
+and then puts the new information back".  Two consequences the model
+captures:
+
+* metadata is keyed by memory block in directory storage, so it is **not**
+  lost on cache displacement — the detection window is no longer bounded by
+  the L2 (the trade-off is directory storage, which scales with memory, not
+  cache);
+* every shared access incurs a directory round-trip even when the data
+  itself hits in the local cache — the paper notes this "can be done in the
+  background, but may delay the detection of races"; we charge it as a
+  configurable latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, TypeVar
+
+from repro.common.stats import StatCounters
+
+M = TypeVar("M")
+
+
+class Directory(Generic[M]):
+    """Home-node metadata storage, one entry per line-sized block."""
+
+    def __init__(self, fresh: Callable[[int], M], *, access_cycles: int = 6):
+        self._fresh = fresh
+        self._entries: dict[int, M] = {}
+        self.access_cycles = access_cycles
+        self.stats = StatCounters()
+
+    def fetch(self, line_addr: int) -> M:
+        """Read a block's metadata (allocating a fresh entry on first use)."""
+        entry = self._entries.get(line_addr)
+        if entry is None:
+            entry = self._fresh(line_addr)
+            self._entries[line_addr] = entry
+            self.stats.add("directory.allocations")
+        self.stats.add("directory.fetches")
+        return entry
+
+    def put_back(self, line_addr: int, entry: M) -> None:
+        """Write a block's updated metadata back to its home entry."""
+        self._entries[line_addr] = entry
+        self.stats.add("directory.updates")
+
+    def reset_all(self, fn: Callable[[M], None]) -> int:
+        """Apply ``fn`` to every entry (barrier reset); returns the count."""
+        for entry in self._entries.values():
+            fn(entry)
+        return len(self._entries)
+
+    @property
+    def entry_count(self) -> int:
+        """Number of allocated directory entries."""
+        return len(self._entries)

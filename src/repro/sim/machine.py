@@ -1,0 +1,368 @@
+"""The simulated CMP: private L1s, inclusive shared L2, MESI snoopy bus.
+
+The :class:`Machine` satisfies program-level memory accesses one cache line
+at a time, maintains MESI coherence among the per-core L1s with an inclusive
+shared L2 behind them, charges latency cycles (Table 1 parameters), and
+notifies registered :class:`~repro.sim.coherence.MachineListener` objects of
+every metadata-relevant event: fills (with their data source), writebacks,
+evictions, invalidations, and L2 displacements.
+
+Invariants maintained (checked in tests and by :meth:`check_invariants`):
+
+* inclusion — every valid L1 line is also valid in the L2;
+* single writer — at most one L1 holds a line in Modified/Exclusive state,
+  and then no other L1 holds it at all;
+* shared readers — if two or more L1s hold a line, all hold it Shared.
+"""
+
+from __future__ import annotations
+
+from repro.common.addresses import spanned_lines
+from repro.common.config import MachineConfig
+from repro.common.errors import CoherenceError, SimulationError
+from repro.common.stats import StatCounters
+from repro.sim.bus import Bus
+from repro.sim.cache import MESI, Cache, Victim
+from repro.sim.coherence import (
+    AccessResult,
+    EvictionRecord,
+    FillSource,
+    LineAccessResult,
+    MachineListener,
+)
+
+
+#: Pre-built stat names for the per-access counters (hot path).
+_ACCESS_STAT = {
+    (level, is_write): f"access.{level}_{'w' if is_write else 'r'}"
+    for level in ("l1", "c2c", "l2", "memory")
+    for is_write in (False, True)
+}
+
+
+class Machine:
+    """A functional model of the paper's 4-core CMP memory system."""
+
+    def __init__(self, config: MachineConfig | None = None):
+        self.config = config or MachineConfig()
+        self.l1s = [
+            Cache(self.config.l1, name=f"L1#{core}")
+            for core in range(self.config.num_cores)
+        ]
+        self.l2 = Cache(self.config.l2, name="L2")
+        self.bus = Bus(self.config.bus)
+        self.stats = StatCounters()
+        self.evictions = EvictionRecord()
+        self._listeners: list[MachineListener] = []
+        self._cycles = 0
+        # line address -> set of cores whose L1 holds a valid copy.  Kept in
+        # lockstep with the L1 contents; profiling showed deriving this by
+        # probing every L1 per access dominated simulation time.
+        self._holders: dict[int, set[int]] = {}
+
+    # -------------------------------------------------------------- listeners
+
+    def add_listener(self, listener: MachineListener) -> None:
+        """Register a coherence-event observer (e.g. a race detector)."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: MachineListener) -> None:
+        """Unregister a previously added observer."""
+        self._listeners.remove(listener)
+
+    # ----------------------------------------------------------------- timing
+
+    @property
+    def cycles(self) -> int:
+        """Total cycles charged so far (accesses + extensions + compute)."""
+        return self._cycles
+
+    def charge(self, cycles: int, reason: str) -> None:
+        """Charge extra cycles (used by detectors and the compute model)."""
+        if cycles < 0:
+            raise SimulationError(f"negative cycle charge: {cycles}")
+        self._cycles += cycles
+        self.stats.add(f"cycles.{reason}", cycles)
+
+    # -------------------------------------------------------------- topology
+
+    def sharers(self, line_addr: int, *, excluding: int | None = None) -> list[int]:
+        """Cores whose L1 holds a valid copy of ``line_addr``."""
+        holders = self._holders.get(line_addr)
+        if not holders:
+            return []
+        if excluding is None:
+            return sorted(holders)
+        return sorted(core for core in holders if core != excluding)
+
+    def _track_fill(self, core: int, line_addr: int) -> None:
+        self._holders.setdefault(line_addr, set()).add(core)
+
+    def _track_drop(self, core: int, line_addr: int) -> None:
+        holders = self._holders.get(line_addr)
+        if holders is not None:
+            holders.discard(core)
+            if not holders:
+                del self._holders[line_addr]
+
+    def core_for_thread(self, thread_id: int) -> int:
+        """Static thread→core placement (round-robin, as in a 4-thread run)."""
+        return thread_id % self.config.num_cores
+
+    # ------------------------------------------------------------ access path
+
+    def access(self, core: int, addr: int, size: int, is_write: bool) -> AccessResult:
+        """Perform one program access, spanning lines if necessary."""
+        if not 0 <= core < self.config.num_cores:
+            raise SimulationError(f"no such core: {core}")
+        results = [
+            self._access_line(core, line_addr, is_write)
+            for line_addr in spanned_lines(addr, size, self.config.line_size)
+        ]
+        total = sum(r.cycles for r in results)
+        self.stats.add("access.total")
+        self.stats.add("access.writes" if is_write else "access.reads")
+        return AccessResult(
+            core=core,
+            addr=addr,
+            size=size,
+            is_write=is_write,
+            lines=tuple(results),
+            cycles=total,
+        )
+
+    # Internal: one line's worth of the access.
+    def _access_line(self, core: int, line_addr: int, is_write: bool) -> LineAccessResult:
+        l1 = self.l1s[core]
+        line = l1.access(line_addr)
+        cycles = self.config.l1.latency_cycles
+
+        if line is not None:
+            result = self._hit_path(core, line_addr, line.state, is_write, cycles)
+        else:
+            result = self._miss_path(core, line_addr, is_write, cycles)
+        self._cycles += result.cycles
+        self.stats.add("cycles.access", result.cycles)
+        self.stats.add(_ACCESS_STAT[result.hit_level, is_write])
+        return result
+
+    def _hit_path(
+        self, core: int, line_addr: int, state: MESI, is_write: bool, cycles: int
+    ) -> LineAccessResult:
+        l1 = self.l1s[core]
+        upgraded = False
+        invalidated: tuple[int, ...] = ()
+        if is_write:
+            if state is MESI.SHARED:
+                # Bus upgrade: invalidate the other Shared copies.
+                cycles += self.bus.address_only("upgrade")
+                victims = self.sharers(line_addr, excluding=core)
+                for other in victims:
+                    self.l1s[other].set_state(line_addr, MESI.INVALID)
+                    self._track_drop(other, line_addr)
+                    self.evictions.invalidations += 1
+                    self._emit("on_invalidate", other, line_addr)
+                invalidated = tuple(victims)
+                upgraded = True
+                l1.set_state(line_addr, MESI.MODIFIED)
+            elif state is MESI.EXCLUSIVE:
+                l1.set_state(line_addr, MESI.MODIFIED)
+        return LineAccessResult(
+            line_addr=line_addr,
+            is_write=is_write,
+            hit_level="l1",
+            fill_source=None,
+            upgraded=upgraded,
+            invalidated_cores=invalidated,
+            l1_victim=None,
+            l2_victim_line=None,
+            shared_after=bool(self.sharers(line_addr, excluding=core)),
+            cycles=cycles,
+        )
+
+    def _miss_path(
+        self, core: int, line_addr: int, is_write: bool, cycles: int
+    ) -> LineAccessResult:
+        l1 = self.l1s[core]
+
+        # 1. Make room in the requester's L1 *first*, so the listener sees the
+        #    victim leave before the new line arrives.
+        l1_victim = l1.choose_victim(line_addr)
+        if l1_victim is not None:
+            l1.evict(l1_victim.line_addr)
+            self._track_drop(core, l1_victim.line_addr)
+            self._retire_l1_line(core, l1_victim)
+
+        # 2. Snoop the other L1s.
+        holders = self.sharers(line_addr, excluding=core)
+        owner = self._owner_among(holders, line_addr)
+        invalidated: list[int] = []
+        # Invalidations of the *requested* line are deferred until after the
+        # requester's on_fill, because the fill copies metadata from the very
+        # copy the invalidation will destroy.
+        deferred_invalidations: list[int] = []
+        l2_victim_line: int | None = None
+
+        if owner is not None:
+            # Cache-to-cache transfer from the Modified/Exclusive holder.
+            hit_level = "c2c"
+            source = FillSource.from_core(owner)
+            owner_line = self.l1s[owner].lookup(line_addr)
+            assert owner_line is not None
+            if owner_line.state is MESI.MODIFIED:
+                # Demotion writes the dirty data back into the L2.
+                cycles += self.bus.line_transfer(self.config.line_size, "writeback")
+                self.evictions.l1_writebacks += 1
+                self._set_l2_dirty(line_addr)
+                self._emit("on_writeback", owner, line_addr)
+            cycles += self.bus.line_transfer(self.config.line_size, "c2c")
+            if is_write:
+                self.l1s[owner].set_state(line_addr, MESI.INVALID)
+                self._track_drop(owner, line_addr)
+                self.evictions.invalidations += 1
+                deferred_invalidations.append(owner)
+                invalidated.append(owner)
+            else:
+                self.l1s[owner].set_state(line_addr, MESI.SHARED)
+        elif holders:
+            # Shared copies exist; the inclusive L2 supplies the data.
+            hit_level = "l2"
+            source = FillSource.l2()
+            cycles += self.config.l2.latency_cycles
+            cycles += self.bus.line_transfer(self.config.line_size, "l2_fill")
+            if is_write:
+                for other in holders:
+                    self.l1s[other].set_state(line_addr, MESI.INVALID)
+                    self._track_drop(other, line_addr)
+                    self.evictions.invalidations += 1
+                    deferred_invalidations.append(other)
+                    invalidated.append(other)
+        elif self.l2.contains(line_addr):
+            hit_level = "l2"
+            source = FillSource.l2()
+            cycles += self.config.l2.latency_cycles
+            cycles += self.bus.line_transfer(self.config.line_size, "l2_fill")
+            self.l2.access(line_addr)  # refresh L2 LRU
+        else:
+            hit_level = "memory"
+            source = FillSource.memory()
+            cycles += self.config.l2.latency_cycles  # L2 lookup that missed
+            cycles += self.config.memory_latency_cycles
+            cycles += self.bus.line_transfer(self.config.line_size, "mem_fill")
+            l2_victim_line = self._fill_l2_from_memory(line_addr)
+
+        # 3. Install in the requester's L1.
+        if is_write:
+            new_state = MESI.MODIFIED
+        else:
+            new_state = MESI.SHARED if self.sharers(line_addr, excluding=core) else MESI.EXCLUSIVE
+        fill_victim = self.l1s[core].fill(line_addr, new_state)
+        if fill_victim is not None:  # pragma: no cover - step 1 made room
+            raise CoherenceError("L1 victim selected twice for one miss")
+        self._track_fill(core, line_addr)
+        self._emit("on_fill", core, line_addr, source)
+        for other in deferred_invalidations:
+            self._emit("on_invalidate", other, line_addr)
+
+        return LineAccessResult(
+            line_addr=line_addr,
+            is_write=is_write,
+            hit_level=hit_level,
+            fill_source=source,
+            upgraded=False,
+            invalidated_cores=tuple(invalidated),
+            l1_victim=l1_victim,
+            l2_victim_line=l2_victim_line,
+            shared_after=bool(self.sharers(line_addr, excluding=core)),
+            cycles=cycles,
+        )
+
+    # ------------------------------------------------------- eviction helpers
+
+    def _retire_l1_line(self, core: int, victim: Victim) -> None:
+        """Handle a capacity eviction from an L1."""
+        self.evictions.l1_evictions += 1
+        if victim.dirty:
+            self.bus.line_transfer(self.config.line_size, "writeback")
+            self.evictions.l1_writebacks += 1
+            self._set_l2_dirty(victim.line_addr)
+            self._emit("on_writeback", core, victim.line_addr)
+        self._emit("on_l1_evict", core, victim.line_addr, victim.dirty)
+
+    def _set_l2_dirty(self, line_addr: int) -> None:
+        if not self.l2.contains(line_addr):
+            raise CoherenceError(
+                f"inclusion violated: writeback of 0x{line_addr:x} missed the L2"
+            )
+        self.l2.set_state(line_addr, MESI.MODIFIED)
+
+    def _fill_l2_from_memory(self, line_addr: int) -> int | None:
+        """Install a fresh line in the L2; handle the inclusion victim."""
+        victim = self.l2.fill(line_addr, MESI.EXCLUSIVE)
+        if victim is None:
+            return None
+        # Back-invalidate every L1 copy of the victim (inclusion).
+        victim_dirty = victim.dirty
+        for other, l1 in enumerate(self.l1s):
+            line = l1.lookup(victim.line_addr)
+            if line is None:
+                continue
+            if line.dirty:
+                victim_dirty = True
+                self.evictions.l1_writebacks += 1
+                self.bus.line_transfer(self.config.line_size, "writeback")
+            l1.set_state(victim.line_addr, MESI.INVALID)
+            self._track_drop(other, victim.line_addr)
+            self.evictions.back_invalidations += 1
+            self._emit("on_invalidate", other, victim.line_addr)
+        if victim_dirty:
+            self.bus.line_transfer(self.config.line_size, "mem_writeback")
+            self.evictions.l2_writebacks_to_memory += 1
+        self.evictions.note_l2_eviction(victim.line_addr)
+        self._emit("on_l2_evict", victim.line_addr)
+        return victim.line_addr
+
+    def _owner_among(self, holders: list[int], line_addr: int) -> int | None:
+        """The single M/E holder among ``holders``, if any."""
+        owners = []
+        for core in holders:
+            line = self.l1s[core].lookup(line_addr)
+            if line is not None and line.state in (MESI.MODIFIED, MESI.EXCLUSIVE):
+                owners.append(core)
+        if len(owners) > 1:
+            raise CoherenceError(
+                f"multiple M/E holders of 0x{line_addr:x}: {owners}"
+            )
+        return owners[0] if owners else None
+
+    def _emit(self, hook: str, *args: object) -> None:
+        for listener in self._listeners:
+            getattr(listener, hook)(*args)
+
+    # ------------------------------------------------------------- invariants
+
+    def check_invariants(self) -> None:
+        """Raise :class:`CoherenceError` if a MESI/inclusion invariant fails.
+
+        Intended for tests and property-based checks; O(total lines).
+        """
+        per_line: dict[int, list[tuple[int, MESI]]] = {}
+        for core, l1 in enumerate(self.l1s):
+            for line in l1.resident_lines():
+                per_line.setdefault(line.tag, []).append((core, line.state))
+        for line_addr, holders in per_line.items():
+            if not self.l2.contains(line_addr):
+                raise CoherenceError(
+                    f"inclusion violated for 0x{line_addr:x}: in L1s "
+                    f"{[c for c, _ in holders]} but not in L2"
+                )
+            exclusive = [c for c, s in holders if s in (MESI.MODIFIED, MESI.EXCLUSIVE)]
+            if exclusive and len(holders) > 1:
+                raise CoherenceError(
+                    f"0x{line_addr:x} held M/E by {exclusive} alongside "
+                    f"{len(holders) - 1} other copies"
+                )
+            if len(exclusive) > 1:
+                raise CoherenceError(
+                    f"0x{line_addr:x} has multiple M/E holders: {exclusive}"
+                )

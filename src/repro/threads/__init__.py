@@ -1,0 +1,28 @@
+"""Thread programs, synchronization semantics, schedulers, interleaving."""
+
+from repro.threads.program import InjectedBug, ParallelProgram, ThreadProgram
+from repro.threads.runtime import InterleaveResult, interleave
+from repro.threads.scheduler import (
+    FixedOrderScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from repro.threads.synch import BarrierTable, LockTable
+from repro.threads.tracefile import load_trace, save_trace
+
+__all__ = [
+    "InjectedBug",
+    "ParallelProgram",
+    "ThreadProgram",
+    "InterleaveResult",
+    "interleave",
+    "FixedOrderScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "BarrierTable",
+    "LockTable",
+    "load_trace",
+    "save_trace",
+]

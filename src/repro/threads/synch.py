@@ -1,0 +1,106 @@
+"""Runtime semantics of locks and barriers during interleaving.
+
+The scheduler needs to know when a thread *cannot* proceed: a lock acquire
+of a held lock blocks, a barrier wait blocks until the last participant
+arrives.  These classes hold that state.  They are deliberately strict —
+double-acquires by the same thread and mismatched barrier participant counts
+raise :class:`~repro.common.errors.ProgramError` — so that workload
+generators fail fast rather than producing silently nonsensical traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ProgramError
+
+
+@dataclass
+class LockTable:
+    """Ownership state of every lock word.
+
+    Locks are non-reentrant (matching pthread mutexes and the SPLASH-2
+    macros).  Waiters are woken in FIFO order; the scheduler re-attempts the
+    acquire when the blocked thread is next runnable.
+    """
+
+    owners: dict[int, int] = field(default_factory=dict)
+
+    def holder(self, lock_addr: int) -> int | None:
+        """The thread currently holding ``lock_addr``, or None."""
+        return self.owners.get(lock_addr)
+
+    def try_acquire(self, thread_id: int, lock_addr: int) -> bool:
+        """Attempt to take ``lock_addr``; return True if granted."""
+        holder = self.owners.get(lock_addr)
+        if holder == thread_id:
+            raise ProgramError(
+                f"thread {thread_id} re-acquired held lock 0x{lock_addr:x}"
+            )
+        if holder is not None:
+            return False
+        self.owners[lock_addr] = thread_id
+        return True
+
+    def release(self, thread_id: int, lock_addr: int) -> None:
+        """Release ``lock_addr``; the caller must hold it."""
+        holder = self.owners.get(lock_addr)
+        if holder != thread_id:
+            raise ProgramError(
+                f"thread {thread_id} released lock 0x{lock_addr:x} "
+                f"held by {holder}"
+            )
+        del self.owners[lock_addr]
+
+    def held_by(self, thread_id: int) -> list[int]:
+        """All lock words currently held by ``thread_id``."""
+        return [addr for addr, owner in self.owners.items() if owner == thread_id]
+
+
+@dataclass
+class BarrierTable:
+    """Arrival state of every barrier.
+
+    A barrier is identified by an integer id; every waiter must pass the
+    same ``participants`` count.  When the last participant arrives, all are
+    released and the barrier resets for its next use (SPLASH-2 barriers are
+    reused across phases).
+    """
+
+    waiting: dict[int, set[int]] = field(default_factory=dict)
+    expected: dict[int, int] = field(default_factory=dict)
+
+    def arrive(self, thread_id: int, barrier_id: int, participants: int) -> list[int]:
+        """Record an arrival.
+
+        Returns the list of released thread ids — empty while the barrier is
+        still filling, or all participants (including the caller) when this
+        arrival completes it.
+        """
+        if participants <= 0:
+            raise ProgramError("barrier participant count must be positive")
+        known = self.expected.setdefault(barrier_id, participants)
+        if known != participants:
+            raise ProgramError(
+                f"barrier {barrier_id} used with participant counts "
+                f"{known} and {participants}"
+            )
+        waiters = self.waiting.setdefault(barrier_id, set())
+        if thread_id in waiters:
+            raise ProgramError(
+                f"thread {thread_id} arrived twice at barrier {barrier_id}"
+            )
+        waiters.add(thread_id)
+        if len(waiters) < participants:
+            return []
+        released = sorted(waiters)
+        waiters.clear()
+        return released
+
+    def is_waiting(self, thread_id: int) -> bool:
+        """True if ``thread_id`` is currently parked at some barrier."""
+        return any(thread_id in waiters for waiters in self.waiting.values())
+
+    def pending(self) -> dict[int, set[int]]:
+        """Barriers that currently have parked threads (for diagnostics)."""
+        return {bid: set(w) for bid, w in self.waiting.items() if w}

@@ -1,0 +1,120 @@
+"""Synthetic barnes: Barnes-Hut N-body tree construction signature.
+
+SPLASH-2 barnes builds an octree concurrently: threads insert bodies,
+locking tree cells; the cell-subdivision counters are hot and contended, so
+conflicting accesses by different threads are close together in time —
+which is why happens-before detects all ten injected bugs here (Table 2).
+The working set is small (fits the 1 MB L2), so the default HARD also
+detects all ten.
+
+False-alarm profile: moderate hand-crafted synchronization (the tree-ready
+flags) visible even to the ideal detectors (20/18), plus line-packed
+per-body data producing false sharing for both default detectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.threads.program import ParallelProgram
+from repro.workloads.base import (
+    STAGE_MAIN,
+    STAGE_MIX2,
+    STAGE_QUIET,
+    WorkloadBuilder,
+    benign_counters,
+    false_sharing_locked,
+    false_sharing_private,
+    flag_handoff,
+    locked_counters,
+    producer_consumer,
+    read_shared_table,
+    streaming_private,
+)
+
+
+@dataclass(frozen=True)
+class BarnesParams:
+    """Size knobs (defaults calibrated against Table 2's shapes)."""
+
+    num_cell_counters: int = 2
+    counter_body_words: int = 10
+    counter_updates_per_thread: int = 850
+    fs_private_lines: int = 10
+    fs_private_rounds: int = 5
+    fs_locked_lines: int = 13
+    fs_locked_rounds: int = 4
+    flag_instances: int = 24
+    flag_site_groups: int = 6
+    benign: int = 2
+    pc_tasks: int = 140
+    pc_site_groups: int = 6
+    stream_lines_per_thread: int = 2600
+    table_lines: int = 150
+
+
+def build(seed: object = 0, params: BarnesParams | None = None) -> ParallelProgram:
+    """Build one barnes instance (deterministic in ``seed``)."""
+    p = params or BarnesParams()
+    b = WorkloadBuilder("barnes", num_threads=4, seed=seed)
+
+    # The body array: initialized once, then read by everyone.
+    read_shared_table(b, label="bodies", num_lines=p.table_lines, reads_per_thread=250)
+
+    hot = b.new_lock("treelock")
+    locked_counters(
+        b,
+        label="cellcnt",
+        num_counters=p.num_cell_counters,
+        updates_per_thread=p.counter_updates_per_thread // 2,
+        body_words=p.counter_body_words,
+        stage=STAGE_MAIN,
+    )
+    locked_counters(
+        b,
+        label="cellcnt2",
+        num_counters=p.num_cell_counters,
+        updates_per_thread=p.counter_updates_per_thread
+        - p.counter_updates_per_thread // 2,
+        body_words=p.counter_body_words,
+        stage=STAGE_MIX2,
+    )
+    false_sharing_private(
+        b, label="bodyacc", num_lines=p.fs_private_lines, rounds=p.fs_private_rounds
+    )
+    false_sharing_locked(
+        b,
+        label="cellhdr",
+        num_lines=p.fs_locked_lines,
+        rounds=p.fs_locked_rounds,
+        hot_lock=hot,
+    )
+    flag_handoff(
+        b,
+        label="treeready",
+        num_instances=p.flag_instances,
+        site_groups=p.flag_site_groups,
+    )
+    benign_counters(b, label="stats", num_counters=p.benign, updates_per_thread=40)
+    producer_consumer(
+        b,
+        label="cells",
+        num_tasks=p.pc_tasks,
+        payload_words=2,
+        site_groups=p.pc_site_groups,
+    )
+    third = p.stream_lines_per_thread // 3
+    streaming_private(b, label="work", lines_per_thread=third, stage=STAGE_MAIN)
+    streaming_private(b, label="workq", lines_per_thread=third, stage=STAGE_QUIET)
+    streaming_private(
+        b,
+        label="workm",
+        lines_per_thread=p.stream_lines_per_thread - 2 * third,
+        stage=STAGE_MIX2,
+    )
+    b.end_phase()
+
+    # Force-computation phase: mostly private work after a barrier.
+    streaming_private(b, label="forces", lines_per_thread=p.stream_lines_per_thread)
+    b.end_phase(with_barrier=False)
+    return b.build()

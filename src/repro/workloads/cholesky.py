@@ -1,0 +1,149 @@
+"""Synthetic cholesky: sparse Cholesky factorization's sync signature.
+
+SPLASH-2 cholesky is a task-queue application: threads pull supernode tasks
+from a shared queue guarded by a hot lock, update columns guarded by
+per-column locks, and barely use barriers.  The signature reproduced here:
+
+* a hot task-queue lock through which almost every thread iteration passes
+  (producing dense happens-before chains — the reason happens-before
+  misses 4 of cholesky's 10 injected bugs in Table 2);
+* task payloads handed off through the queue and accessed without locks
+  (ordered, not locked — ideal-lockset false alarms);
+* per-column locks over a large column set with long reuse distances and a
+  working set beyond the 1 MB L2 (the default HARD's one missed bug);
+* packed column headers protected by *different* locks sharing cache lines
+  (the dominant, HARD-only false-sharing alarms: 91 vs 37 in Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.threads.program import ParallelProgram
+from repro.workloads.base import (
+    STAGE_MAIN,
+    STAGE_MIX2,
+    STAGE_QUIET,
+    MigratoryObjects,
+    WorkloadBuilder,
+    false_sharing_locked,
+    false_sharing_private,
+    flag_handoff,
+    locked_counters,
+    producer_consumer,
+    read_shared_table,
+    streaming_private,
+)
+
+
+@dataclass(frozen=True)
+class CholeskyParams:
+    """Size knobs (defaults calibrated against Table 2's shapes)."""
+
+    num_tasks: int = 550
+    payload_words: int = 3
+    task_site_groups: int = 16
+    task_consume_lag: int = 4
+    flag_instances: int = 9
+    flag_site_groups: int = 3
+    fs_locked_lines: int = 30
+    fs_locked_rounds: int = 5
+    fs_private_lines: int = 12
+    fs_private_rounds: int = 4
+    num_columns: int = 1024
+    column_visits_per_thread: int = 400
+    num_supernode_counters: int = 3
+    counter_updates_per_thread: int = 700
+    counter_body_words: int = 6
+    stream_lines_per_thread: int = 12000
+    table_lines: int = 220
+
+
+def build(seed: object = 0, params: CholeskyParams | None = None) -> ParallelProgram:
+    """Build one cholesky instance (deterministic in ``seed``)."""
+    p = params or CholeskyParams()
+    b = WorkloadBuilder("cholesky", num_threads=4, seed=seed)
+
+    # Symbolic-factorization structure: built once, then read-shared.
+    read_shared_table(
+        b, label="structure", num_lines=p.table_lines, reads_per_thread=300
+    )
+
+    queue_lock = b.new_lock("taskq")
+    columns = MigratoryObjects(
+        b,
+        label="columns",
+        num_objects=p.num_columns,
+        object_bytes=32,
+        hot_lock=queue_lock,
+    )
+    columns.emit_warm()
+    # Mixed locked work on both sides of the quiet stage: the STAGE_MIX2
+    # half supplies the lock chains that order quiet-stage accesses before
+    # the late-stage revisits of the false-sharing pattern.
+    columns.emit_visits(p.column_visits_per_thread // 2, stage=STAGE_MAIN)
+    columns.emit_visits(
+        p.column_visits_per_thread - p.column_visits_per_thread // 2,
+        phase_tag="b",
+        stage=STAGE_MIX2,
+    )
+
+    # The hot, contended supernode counters: the injectable pool whose bugs
+    # happens-before can see (wide race windows, fierce contention).
+    half_updates = p.counter_updates_per_thread // 2
+    locked_counters(
+        b,
+        label="supcnt",
+        num_counters=p.num_supernode_counters,
+        updates_per_thread=half_updates,
+        body_words=p.counter_body_words,
+        stage=STAGE_MAIN,
+    )
+    locked_counters(
+        b,
+        label="supcnt2",
+        num_counters=p.num_supernode_counters,
+        updates_per_thread=p.counter_updates_per_thread - half_updates,
+        body_words=p.counter_body_words,
+        stage=STAGE_MIX2,
+    )
+    false_sharing_private(
+        b,
+        label="rowmap",
+        num_lines=p.fs_private_lines,
+        rounds=p.fs_private_rounds,
+    )
+
+    producer_consumer(
+        b,
+        label="tasks",
+        num_tasks=p.num_tasks,
+        payload_words=p.payload_words,
+        site_groups=p.task_site_groups,
+        queue_lock=queue_lock,
+        consume_lag_blocks=p.task_consume_lag,
+    )
+    flag_handoff(
+        b,
+        label="supready",
+        num_instances=p.flag_instances,
+        site_groups=p.flag_site_groups,
+    )
+    false_sharing_locked(
+        b,
+        label="colhdr",
+        num_lines=p.fs_locked_lines,
+        rounds=p.fs_locked_rounds,
+        hot_lock=queue_lock,
+    )
+    third = p.stream_lines_per_thread // 3
+    streaming_private(b, label="frontal", lines_per_thread=third)
+    streaming_private(b, label="frontalq", lines_per_thread=1000, stage=STAGE_QUIET)
+    streaming_private(
+        b,
+        label="frontal2",
+        lines_per_thread=p.stream_lines_per_thread - 2 * third,
+        stage=STAGE_MIX2,
+    )
+    b.end_phase(with_barrier=False)
+    return b.build()

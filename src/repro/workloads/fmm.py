@@ -1,0 +1,121 @@
+"""Synthetic fmm: fast-multipole-method box interaction signature.
+
+SPLASH-2 fmm partitions space into boxes whose interaction lists are
+updated under per-box locks; boxes are revisited with long reuse distances
+and the working set exceeds the 1 MB L2, so the default HARD loses two of
+the ten injected bugs to L2 displacement (Table 2).  The box locks are not
+chained through one hot lock, so happens-before catches most — but not all —
+bugs (7/10).
+
+False-alarm profile: the richest of the six — many hand-crafted
+synchronizations and benign statistics races survive even in the ideal
+detectors (40/36), and packed per-box accumulators add line-granularity
+false sharing on top for the defaults (73/70).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.threads.program import ParallelProgram
+from repro.workloads.base import (
+    STAGE_MAIN,
+    STAGE_MIX2,
+    STAGE_QUIET,
+    MigratoryObjects,
+    WorkloadBuilder,
+    benign_counters,
+    false_sharing_private,
+    flag_handoff,
+    locked_counters,
+    producer_consumer,
+    streaming_private,
+)
+
+
+@dataclass(frozen=True)
+class FmmParams:
+    """Size knobs (defaults calibrated against Table 2's shapes)."""
+
+    num_boxes: int = 1536
+    box_visits_per_thread: int = 300
+    num_interaction_counters: int = 2
+    counter_updates_per_thread: int = 900
+    counter_body_words: int = 8
+    fs_private_lines: int = 17
+    fs_private_rounds: int = 5
+    flag_instances: int = 27
+    flag_site_groups: int = 9
+    benign: int = 3
+    pc_tasks: int = 300
+    pc_site_groups: int = 10
+    stream_lines_per_thread: int = 17000
+
+
+def build(seed: object = 0, params: FmmParams | None = None) -> ParallelProgram:
+    """Build one fmm instance (deterministic in ``seed``)."""
+    p = params or FmmParams()
+    b = WorkloadBuilder("fmm", num_threads=4, seed=seed)
+
+    boxes = MigratoryObjects(
+        b,
+        label="boxes",
+        num_objects=p.num_boxes,
+        object_bytes=32,
+        hot_lock=None,
+    )
+    boxes.emit_warm()
+    half = p.box_visits_per_thread // 2
+    boxes.emit_visits(half, stage=STAGE_MAIN)
+    boxes.emit_visits(
+        p.box_visits_per_thread - half, phase_tag="b", stage=STAGE_MIX2
+    )
+
+    # Hot interaction-list counters: the contended injectable pool whose
+    # bugs happens-before can see.
+    half_updates = p.counter_updates_per_thread // 2
+    locked_counters(
+        b,
+        label="intercnt",
+        num_counters=p.num_interaction_counters,
+        updates_per_thread=half_updates,
+        body_words=p.counter_body_words,
+        stage=STAGE_MAIN,
+    )
+    locked_counters(
+        b,
+        label="intercnt2",
+        num_counters=p.num_interaction_counters,
+        updates_per_thread=p.counter_updates_per_thread - half_updates,
+        body_words=p.counter_body_words,
+        stage=STAGE_MIX2,
+    )
+
+    false_sharing_private(
+        b, label="boxacc", num_lines=p.fs_private_lines, rounds=p.fs_private_rounds
+    )
+    flag_handoff(
+        b,
+        label="listready",
+        num_instances=p.flag_instances,
+        site_groups=p.flag_site_groups,
+    )
+    benign_counters(b, label="stats", num_counters=p.benign, updates_per_thread=40)
+    producer_consumer(
+        b,
+        label="partition",
+        num_tasks=p.pc_tasks,
+        payload_words=2,
+        site_groups=p.pc_site_groups,
+    )
+    third = p.stream_lines_per_thread // 3
+    streaming_private(b, label="multipole", lines_per_thread=third, stage=STAGE_MAIN)
+    streaming_private(b, label="multipoleq", lines_per_thread=third, stage=STAGE_QUIET)
+    streaming_private(
+        b,
+        label="multipolem",
+        lines_per_thread=p.stream_lines_per_thread - 2 * third,
+        stage=STAGE_MIX2,
+    )
+    b.end_phase(with_barrier=False)
+    return b.build()

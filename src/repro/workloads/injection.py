@@ -1,0 +1,121 @@
+"""Race-bug injection: omit one dynamic lock/unlock pair (Section 4).
+
+The paper injects "a single *dynamic* instance of a data race into each run
+... by omitting a randomly selected dynamic instance of a lock primitive
+and the corresponding unlock primitive."  :func:`inject_bug` implements the
+same protocol:
+
+1. enumerate the dynamic critical sections of every thread (matched
+   lock/unlock pairs, via
+   :meth:`~repro.threads.program.ThreadProgram.dynamic_critical_sections`);
+2. keep those marked injectable by their acquire site (the pattern library
+   marks recurring, genuinely-shared critical sections; excluded are
+   warm-up sweeps and infrastructure like queue manipulation, mirroring
+   the footnote that the paper injects into lock-based synchronisation of
+   shared data);
+3. pick one uniformly with a seeded RNG and delete its two ops;
+4. record ground truth: the 4-byte chunks and source sites of the accesses
+   that lost their protection, so the harness can score detector reports.
+
+Each (program, seed) pair yields a deterministic bug, so the benchmark
+suite regenerates the exact same 60 bugs every time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import HarnessError
+from repro.common.rng import make_rng
+from repro.threads.program import InjectedBug, ParallelProgram, ThreadProgram
+from repro.workloads.base import INJECTABLE_PREFIX
+
+
+@dataclass(frozen=True)
+class InjectionCandidate:
+    """One dynamic critical section eligible for injection."""
+
+    thread_id: int
+    lock_index: int
+    unlock_index: int
+    lock_addr: int
+
+
+def injection_candidates(program: ParallelProgram) -> list[InjectionCandidate]:
+    """All injectable dynamic critical sections, in deterministic order."""
+    candidates = []
+    for thread in program.threads:
+        for lock_index, unlock_index, lock_addr in thread.dynamic_critical_sections():
+            site = thread.ops[lock_index].site
+            if site is not None and site.label.startswith(INJECTABLE_PREFIX):
+                candidates.append(
+                    InjectionCandidate(
+                        thread_id=thread.thread_id,
+                        lock_index=lock_index,
+                        unlock_index=unlock_index,
+                        lock_addr=lock_addr,
+                    )
+                )
+    return candidates
+
+
+def inject_bug(program: ParallelProgram, seed: object) -> ParallelProgram:
+    """Return a copy of ``program`` with one dynamic lock pair omitted."""
+    if program.injected_bug is not None:
+        raise HarnessError("program already carries an injected bug")
+    candidates = injection_candidates(program)
+    if not candidates:
+        raise HarnessError(f"workload {program.name!r} has no injectable sections")
+    rng = make_rng("inject", program.name, seed)
+    choice = candidates[rng.randrange(len(candidates))]
+    return apply_injection(program, choice)
+
+
+def apply_injection(
+    program: ParallelProgram, choice: InjectionCandidate
+) -> ParallelProgram:
+    """Remove the chosen lock/unlock pair and record ground truth."""
+    victim = program.threads[choice.thread_id]
+    lock_op = victim.ops[choice.lock_index]
+    unlock_op = victim.ops[choice.unlock_index]
+    if lock_op.addr != choice.lock_addr or unlock_op.addr != choice.lock_addr:
+        raise HarnessError("injection candidate does not match the program")
+
+    unprotected = [
+        op
+        for op in victim.ops[choice.lock_index + 1 : choice.unlock_index]
+        if op.is_memory_access
+    ]
+    if not unprotected:
+        raise HarnessError("refusing to inject into an empty critical section")
+
+    chunk_addresses: set[int] = set()
+    sites = set()
+    for op in unprotected:
+        first = op.addr & ~3
+        last = (op.addr + op.size - 1) & ~3
+        chunk = first
+        while chunk <= last:
+            chunk_addresses.add(chunk)
+            chunk += 4
+        if op.site is not None:
+            sites.add(op.site)
+
+    new_ops = [
+        op
+        for index, op in enumerate(victim.ops)
+        if index not in (choice.lock_index, choice.unlock_index)
+    ]
+    threads = list(program.threads)
+    threads[choice.thread_id] = ThreadProgram(
+        thread_id=victim.thread_id, ops=new_ops, name=victim.name
+    )
+    bug = InjectedBug(
+        thread_id=choice.thread_id,
+        lock_addr=choice.lock_addr,
+        lock_op_index=choice.lock_index,
+        unlock_op_index=choice.unlock_index,
+        chunk_addresses=frozenset(chunk_addresses),
+        sites=frozenset(sites),
+    )
+    return program.with_injected_bug(threads, bug)

@@ -1,0 +1,105 @@
+"""Synthetic ocean: barrier-phased grid solver signature.
+
+SPLASH-2 ocean is the barrier application: red/black grid sweeps separated
+by barriers, with locks only around a handful of global reductions.  The
+signature reproduced here:
+
+* two barrier phases of grid sweeps over per-thread bands with boundary
+  lines straddling neighbouring bands — race-free thanks to the barriers,
+  but the boundary lines alarm *both* default detectors at line
+  granularity (the 62-vs-1 false-alarm profile of Table 2, and the steep
+  granularity response in Table 3);
+* per-phase locked reduction variables with long reuse under a >1 MB
+  working set (the default HARD's two missed bugs);
+* exactly one benign statistics race (the single ideal false alarm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.threads.program import ParallelProgram
+from repro.workloads.base import (
+    STAGE_QUIET,
+    GridSweeps,
+    MigratoryObjects,
+    PhaseHandoff,
+    WorkloadBuilder,
+    benign_counters,
+    locked_counters,
+    streaming_private,
+)
+
+
+@dataclass(frozen=True)
+class OceanParams:
+    """Size knobs (defaults calibrated against Table 2's shapes)."""
+
+    phases: int = 2
+    lines_per_band: int = 1500
+    boundary_lines: int = 15
+    num_reductions: int = 512
+    reduction_visits_per_thread: int = 150
+    num_hot_reductions: int = 2
+    hot_updates_per_thread: int = 380
+    counter_body_words: int = 10
+    stream_lines_per_thread: int = 11000
+
+
+def build(seed: object = 0, params: OceanParams | None = None) -> ParallelProgram:
+    """Build one ocean instance (deterministic in ``seed``)."""
+    p = params or OceanParams()
+    b = WorkloadBuilder("ocean", num_threads=4, seed=seed)
+
+    benign_counters(b, label="diag", num_counters=1, updates_per_thread=30)
+
+    reductions = MigratoryObjects(
+        b,
+        label="reduct",
+        num_objects=p.num_reductions,
+        object_bytes=32,
+        hot_lock=None,
+    )
+    grid = GridSweeps(
+        b,
+        label="sweep",
+        lines_per_band=p.lines_per_band,
+        boundary_lines=p.boundary_lines,
+    )
+    # Figure 7's cross-phase ownership hand-off: race-free thanks to the
+    # barriers; silent only because of the Section 3.5 reset.
+    handoff = PhaseHandoff(b, label="psiavg", num_lines=8)
+    stream_region = None
+    quiet_region = None
+    for phase in range(p.phases):
+        handoff.emit_phase_work()
+        reductions.emit_warm()
+        reductions.emit_visits(
+            p.reduction_visits_per_thread, phase_tag=f"p{phase}"
+        )
+        locked_counters(
+            b,
+            label=f"hotred{phase}",
+            num_counters=p.num_hot_reductions,
+            updates_per_thread=p.hot_updates_per_thread,
+            body_words=p.counter_body_words,
+        )
+        stream_region = streaming_private(
+            b,
+            label="scratch",
+            lines_per_thread=p.stream_lines_per_thread,
+            region=stream_region,
+        )
+        # A synchronization-free quiet window keeps the benign diagnostic
+        # race genuinely unordered for happens-before.
+        quiet_region = streaming_private(
+            b,
+            label="scratchq",
+            lines_per_thread=1200,
+            region=quiet_region,
+            stage=STAGE_QUIET,
+        )
+        # emit_phase flushes all pending blocks (reductions + streams) into
+        # this phase and ends it with the barrier.
+        grid.emit_phase()
+    return b.build()

@@ -1,0 +1,83 @@
+"""Synthetic radix: the nested-lock outlier of the Bloom analysis.
+
+Radix is not one of the six evaluated applications (like most remaining
+SPLASH-2 programs it "hardly uses locks", Section 4 footnote), but the
+paper singles it out in Section 5.2.3: it is the one program whose maximum
+candidate-set and lock-set sizes reach **3**, the regime where the 16-bit
+BFVector's collision probability (0.111) stops being negligible.
+
+This extra workload reproduces that property: histogram bins protected by
+*three* nested locks (a global phase lock, a per-bucket-group lock, and a
+per-bucket lock), so every properly disciplined access runs with |L(t)| = 3
+and the candidate sets converge to three-element sets.  It exists to
+exercise the multi-lock paths of the Bloom filter and the Counter
+Register; it is not part of Table 2 (use
+``EXTRA_WORKLOADS``/``build_workload("radix")`` explicitly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.threads.program import ParallelProgram
+from repro.workloads.base import (
+    WorkloadBuilder,
+    critical_section,
+    cs_sites,
+    streaming_private,
+)
+from repro.common.events import read, write
+
+
+@dataclass(frozen=True)
+class RadixParams:
+    """Size knobs for the nested-lock histogram."""
+
+    num_groups: int = 4
+    buckets_per_group: int = 8
+    updates_per_thread: int = 400
+    stream_lines_per_thread: int = 800
+
+
+def build(seed: object = 0, params: RadixParams | None = None) -> ParallelProgram:
+    """Build one radix instance (deterministic in ``seed``)."""
+    p = params or RadixParams()
+    b = WorkloadBuilder("radix", num_threads=4, seed=seed)
+
+    phase_lock = b.new_lock("phase")
+    group_locks = [b.new_lock(f"group{g}") for g in range(p.num_groups)]
+    bucket_locks = [
+        [b.new_lock(f"bucket{g}.{k}") for k in range(p.buckets_per_group)]
+        for g in range(p.num_groups)
+    ]
+    bins = b.region("bins", p.num_groups * p.buckets_per_group * 32)
+    read_site = b.site("bins.read")
+    write_site = b.site("bins.write")
+    phase_acq, phase_rel = cs_sites(b, "rank.phase")
+    group_acq, group_rel = cs_sites(b, "rank.group")
+    # No injectable sections: omitting any single lock of the nest leaves
+    # the bins protected by the other two, so there is no race to inject —
+    # which is exactly why the paper's evaluation excludes radix.
+    bucket_acq, bucket_rel = cs_sites(b, "rank.bucket")
+
+    for thread_id in range(b.num_threads):
+        rng = b.rng_for(f"radix.t{thread_id}")
+        for _ in range(p.updates_per_thread):
+            group = rng.randrange(p.num_groups)
+            bucket = rng.randrange(p.buckets_per_group)
+            addr = bins.at((group * p.buckets_per_group + bucket) * 32)
+            body = [read(addr, read_site), write(addr, write_site)]
+            # Nested discipline: phase > group > bucket; |L(t)| = 3 at the
+            # access — the candidate set converges to all three locks.
+            inner = critical_section(
+                b, bucket_locks[group][bucket], body, bucket_acq, bucket_rel
+            )
+            middle = critical_section(
+                b, group_locks[group], inner, group_acq, group_rel
+            )
+            outer = critical_section(b, phase_lock, middle, phase_acq, phase_rel)
+            b.block(thread_id, outer)
+
+    streaming_private(b, label="keys", lines_per_thread=p.stream_lines_per_thread)
+    b.end_phase(with_barrier=False)
+    return b.build()

@@ -1,0 +1,134 @@
+"""Synthetic raytrace: work-stealing ray-tracing signature.
+
+SPLASH-2 raytrace distributes rays through a locked work queue and writes
+pixels into a framebuffer partitioned at pixel — not line — granularity.
+The signature reproduced here:
+
+* a small, hot set of locked ray/job counters (in-cache, so the default
+  HARD detects all ten injected bugs) with the queue lock lightly chained
+  between visits (happens-before misses two, ideal hardware or not);
+* a packed framebuffer: adjacent pixels written lock-free by different
+  threads — unordered, so *both* default detectors alarm on those lines
+  (the bulk of 48/36), with a few header lines protected by different
+  locks adding HARD-only alarms on top;
+* the ray queue payload handed off through the queue lock: exactly two
+  source sites of ordered-but-unlocked accesses (the ideal lockset's two
+  residual alarms, invisible to ideal happens-before).
+
+Working set well under 1 MB: nothing is lost to L2 displacement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.threads.program import ParallelProgram
+from repro.workloads.base import (
+    STAGE_MAIN,
+    STAGE_MIX2,
+    STAGE_QUIET,
+    MigratoryObjects,
+    WorkloadBuilder,
+    false_sharing_locked,
+    false_sharing_private,
+    locked_counters,
+    producer_consumer,
+    read_shared_table,
+    streaming_private,
+)
+
+
+@dataclass(frozen=True)
+class RaytraceParams:
+    """Size knobs (defaults calibrated against Table 2's shapes)."""
+
+    num_jobs: int = 96
+    job_visits_per_thread: int = 420
+    num_ray_counters: int = 3
+    ray_counter_updates_per_thread: int = 260
+    bracketed_updates_per_thread: int = 160
+    counter_body_words: int = 10
+    bracketed_body_words: int = 6
+    pc_tasks: int = 420
+    fb_private_lines: int = 18
+    fb_private_rounds: int = 5
+    fs_locked_lines: int = 11
+    fs_locked_rounds: int = 4
+    stream_lines_per_thread: int = 2200
+    scene_lines: int = 260
+
+
+def build(seed: object = 0, params: RaytraceParams | None = None) -> ParallelProgram:
+    """Build one raytrace instance (deterministic in ``seed``)."""
+    p = params or RaytraceParams()
+    b = WorkloadBuilder("raytrace", num_threads=4, seed=seed)
+
+    # The scene (BSP tree): built once, read-shared forever after.
+    read_shared_table(b, label="scene", num_lines=p.scene_lines, reads_per_thread=350)
+
+    queue_lock = b.new_lock("rayq")
+    jobs = MigratoryObjects(
+        b,
+        label="jobs",
+        num_objects=p.num_jobs,
+        object_bytes=32,
+        hot_lock=queue_lock,
+        injectable=False,
+    )
+    jobs.emit_warm()
+    half = p.job_visits_per_thread // 2
+    jobs.emit_visits(half, stage=STAGE_MAIN)
+    jobs.emit_visits(p.job_visits_per_thread - half, phase_tag="b", stage=STAGE_MIX2)
+
+    # Two injectable pools of hot ray counters: a plain contended one that
+    # happens-before sees well, and a queue-lock-bracketed one whose tight
+    # chains mask some of its bugs (raytrace's 8/10 in Table 2).
+    locked_counters(
+        b,
+        label="raycnt",
+        num_counters=p.num_ray_counters,
+        updates_per_thread=p.ray_counter_updates_per_thread,
+        body_words=p.counter_body_words,
+        stage=STAGE_MAIN,
+    )
+    locked_counters(
+        b,
+        label="raycnt2",
+        num_counters=p.num_ray_counters,
+        updates_per_thread=p.bracketed_updates_per_thread,
+        body_words=p.bracketed_body_words,
+        hot_lock=queue_lock,
+        stage=STAGE_MIX2,
+    )
+
+    producer_consumer(
+        b,
+        label="rays",
+        num_tasks=p.pc_tasks,
+        payload_words=2,
+        site_groups=1,
+        queue_lock=queue_lock,
+    )
+    false_sharing_private(
+        b, label="framebuf", num_lines=p.fb_private_lines, rounds=p.fb_private_rounds
+    )
+    false_sharing_locked(
+        b,
+        label="jobhdr",
+        num_lines=p.fs_locked_lines,
+        rounds=p.fs_locked_rounds,
+        hot_lock=queue_lock,
+    )
+    third = p.stream_lines_per_thread // 3
+    streaming_private(b, label="stack", lines_per_thread=third, stage=STAGE_MAIN)
+    # The quiet window must be wide enough to stay overlapped across
+    # threads despite scheduler drift accumulated over the main stage.
+    streaming_private(b, label="stackq", lines_per_thread=2400, stage=STAGE_QUIET)
+    streaming_private(
+        b,
+        label="stackm",
+        lines_per_thread=p.stream_lines_per_thread - 2 * third,
+        stage=STAGE_MIX2,
+    )
+    b.end_phase(with_barrier=False)
+    return b.build()

@@ -1,0 +1,53 @@
+"""Registry mapping the paper's six application names to their builders."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import HarnessError
+from repro.threads.program import ParallelProgram
+from repro.workloads import barnes, cholesky, fmm, ocean, radix, raytrace, water
+
+#: Builders for the six lock-based SPLASH-2 applications of Section 4.
+_BUILDERS: dict[str, Callable[..., ParallelProgram]] = {
+    "cholesky": cholesky.build,
+    "barnes": barnes.build,
+    "fmm": fmm.build,
+    "ocean": ocean.build,
+    "water-nsquared": water.build,
+    "raytrace": raytrace.build,
+    # Extras outside the paper's Table 2 matrix:
+    "radix": radix.build,
+}
+
+#: Extra workloads outside the paper's evaluation matrix.
+EXTRA_WORKLOADS: tuple[str, ...] = ("radix",)
+
+#: The application names, in the paper's table order.
+WORKLOAD_NAMES: tuple[str, ...] = (
+    "cholesky",
+    "barnes",
+    "fmm",
+    "ocean",
+    "water-nsquared",
+    "raytrace",
+)
+
+
+def build_workload(name: str, seed: object = 0, params: object = None) -> ParallelProgram:
+    """Build the named workload with the given seed.
+
+    Args:
+        name: one of :data:`WORKLOAD_NAMES`.
+        seed: deterministic instance seed (same seed → same program).
+        params: optional app-specific parameter dataclass (e.g.
+            :class:`~repro.workloads.cholesky.CholeskyParams`).
+    """
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise HarnessError(
+            f"unknown workload {name!r}; known: {', '.join(WORKLOAD_NAMES)}"
+        )
+    if params is None:
+        return builder(seed)
+    return builder(seed, params)

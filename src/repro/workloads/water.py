@@ -1,0 +1,115 @@
+"""Synthetic water-nsquared: N² molecular-dynamics signature.
+
+SPLASH-2 water-nsquared locks every molecule individually and funnels all
+threads through global accumulator locks between molecule updates.  That
+double pattern is what makes Table 2's most striking row:
+
+* bugs — happens-before detects only 5/10 (6/10 even with ideal
+  hardware): every inter-thread revisit of a molecule is chained through
+  the global accumulator lock, so a de-protected access is almost always
+  *ordered* with the competing accesses in the monitored interleaving.
+  HARD detects 9/10 (one lost to L2 displacement of a molecule line under
+  the >1 MB working set), and ideal lockset detects all;
+* false alarms — the application is meticulously locked: zero alarms in
+  both ideal detectors and for default happens-before; default HARD's
+  five alarms come only from a few molecule headers that share cache lines
+  while being protected by different locks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.threads.program import ParallelProgram
+from repro.common.events import compute
+from repro.workloads.base import (
+    STAGE_MAIN,
+    STAGE_MIX2,
+    MigratoryObjects,
+    WorkloadBuilder,
+    false_sharing_locked,
+    locked_counters,
+    streaming_private,
+)
+
+
+@dataclass(frozen=True)
+class WaterParams:
+    """Size knobs (defaults calibrated against Table 2's shapes)."""
+
+    num_molecules: int = 1280
+    molecule_visits_per_thread: int = 300
+    timesteps: int = 2
+    num_accumulators: int = 2
+    accumulator_updates_per_thread: int = 340
+    counter_body_words: int = 8
+    fs_locked_lines: int = 5
+    fs_locked_rounds: int = 4
+    stream_lines_per_thread: int = 8500
+    # water-nsquared is the most compute-bound of the six apps (the O(N^2)
+    # force loop): long local kernels between synchronizations give it the
+    # paper's lowest HARD overhead (0.1% in Figure 8).
+    compute_cycles_per_thread_per_phase: int = 10_200_000
+
+
+def build(seed: object = 0, params: WaterParams | None = None) -> ParallelProgram:
+    """Build one water-nsquared instance (deterministic in ``seed``)."""
+    p = params or WaterParams()
+    b = WorkloadBuilder("water-nsquared", num_threads=4, seed=seed)
+
+    global_lock = b.new_lock("global_acc")
+    molecules = MigratoryObjects(
+        b,
+        label="mol",
+        num_objects=p.num_molecules,
+        object_bytes=32,
+        hot_lock=global_lock,
+    )
+
+    stream_region = None
+    mix2_region = None
+    for step in range(p.timesteps):
+        half = p.molecule_visits_per_thread // 2
+        molecules.emit_warm()
+        molecules.emit_visits(half, phase_tag=f"s{step}a", stage=STAGE_MAIN)
+        molecules.emit_visits(
+            p.molecule_visits_per_thread - half,
+            phase_tag=f"s{step}b",
+            stage=STAGE_MIX2,
+        )
+        locked_counters(
+            b,
+            label=f"kinetic{step}",
+            num_counters=p.num_accumulators,
+            updates_per_thread=p.accumulator_updates_per_thread,
+            body_words=p.counter_body_words,
+        )
+        if step == 0:
+            false_sharing_locked(
+                b,
+                label="molhdr",
+                num_lines=p.fs_locked_lines,
+                rounds=p.fs_locked_rounds,
+                hot_lock=global_lock,
+            )
+        stream_region = streaming_private(
+            b,
+            label="forces",
+            lines_per_thread=p.stream_lines_per_thread // 2,
+            region=stream_region,
+        )
+        mix2_region = streaming_private(
+            b,
+            label="forcesb",
+            lines_per_thread=p.stream_lines_per_thread // 2,
+            region=mix2_region,
+            stage=STAGE_MIX2,
+        )
+        # The force-computation kernels: pure local cycles, spread over the
+        # phase so the timing model sees compute interleaved with sharing.
+        kernel = p.compute_cycles_per_thread_per_phase // 10
+        for tid in range(b.num_threads):
+            for _ in range(10):
+                b.block(tid, [compute(kernel)])
+        b.end_phase(with_barrier=step + 1 < p.timesteps)
+    return b.build()

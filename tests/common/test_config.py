@@ -1,0 +1,115 @@
+"""Unit tests for the configuration dataclasses (Table 1 defaults)."""
+
+import pytest
+
+from repro.common.config import (
+    KB,
+    MB,
+    BloomConfig,
+    BusConfig,
+    CacheConfig,
+    HappensBeforeConfig,
+    HardConfig,
+    MachineConfig,
+)
+from repro.common.errors import ConfigError
+
+
+class TestCacheConfig:
+    def test_table1_l1_geometry(self):
+        l1 = MachineConfig().l1
+        assert l1.size_bytes == 16 * KB
+        assert l1.associativity == 4
+        assert l1.line_size == 32
+        assert l1.latency_cycles == 3
+        assert l1.num_lines == 512
+        assert l1.num_sets == 128
+
+    def test_table1_l2_geometry(self):
+        l2 = MachineConfig().l2
+        assert l2.size_bytes == 1 * MB
+        assert l2.associativity == 8
+        assert l2.latency_cycles == 10
+        assert l2.num_lines == 32768
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=100, associativity=4, line_size=32, latency_cycles=1)
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1024, associativity=3, line_size=32, latency_cycles=1)
+
+
+class TestMachineConfig:
+    def test_defaults_match_table1(self):
+        m = MachineConfig()
+        assert m.num_cores == 4
+        assert m.memory_latency_cycles == 200
+        assert m.line_size == 32
+
+    def test_with_l2_size(self):
+        m = MachineConfig().with_l2_size(128 * KB)
+        assert m.l2.size_bytes == 128 * KB
+        assert m.l1.size_bytes == 16 * KB  # untouched
+
+    def test_mismatched_line_sizes_rejected(self):
+        l1 = CacheConfig(16 * KB, 4, 32, 3)
+        l2 = CacheConfig(1 * MB, 8, 64, 10)
+        with pytest.raises(ConfigError):
+            MachineConfig(l1=l1, l2=l2)
+
+
+class TestBloomConfig:
+    def test_default_geometry_matches_figure4(self):
+        cfg = BloomConfig()
+        assert cfg.vector_bits == 16
+        assert cfg.num_parts == 4
+        assert cfg.part_bits == 4
+        assert cfg.index_bits_per_part == 2
+        assert cfg.address_bits_used == 8  # bits 2..9
+        assert cfg.address_low_bit == 2
+        assert cfg.full_mask == 0xFFFF
+
+    def test_32bit_variant(self):
+        cfg = BloomConfig(vector_bits=32)
+        assert cfg.part_bits == 8
+        assert cfg.index_bits_per_part == 3
+        assert cfg.full_mask == 0xFFFFFFFF
+
+    def test_indivisible_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            BloomConfig(vector_bits=16, num_parts=3)
+
+
+class TestHardConfig:
+    def test_defaults(self):
+        cfg = HardConfig()
+        assert cfg.granularity == 32
+        assert cfg.counter_bits == 2
+        assert cfg.barrier_reset and cfg.broadcast_updates
+        assert cfg.use_counter_register
+
+    def test_with_granularity(self):
+        assert HardConfig().with_granularity(4).granularity == 4
+
+    def test_with_vector_bits(self):
+        assert HardConfig().with_vector_bits(32).bloom.vector_bits == 32
+
+    def test_non_power_granularity_rejected(self):
+        with pytest.raises(ConfigError):
+            HardConfig(granularity=12)
+
+
+class TestBusConfig:
+    def test_line_transfer_cycles(self):
+        bus = BusConfig(cycles_per_transaction=4, cycles_per_word=1, word_bytes=8)
+        assert bus.line_transfer_cycles(32) == 4 + 4
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigError):
+            BusConfig(cycles_per_word=0)
+
+
+class TestHappensBeforeConfig:
+    def test_defaults_and_override(self):
+        assert HappensBeforeConfig().granularity == 32
+        assert HappensBeforeConfig().with_granularity(8).granularity == 8

@@ -1,0 +1,45 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.common import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "ConfigError",
+            "ProgramError",
+            "SchedulerError",
+            "DeadlockError",
+            "SimulationError",
+            "CoherenceError",
+            "DetectorError",
+            "HarnessError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_deadlock_is_a_scheduler_error(self):
+        assert issubclass(errors.DeadlockError, errors.SchedulerError)
+
+    def test_coherence_is_a_simulation_error(self):
+        assert issubclass(errors.CoherenceError, errors.SimulationError)
+
+    def test_one_except_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.HarnessError("x")
+
+
+class TestDeadlockError:
+    def test_message_names_every_waiter(self):
+        error = errors.DeadlockError({0: "lock 0x10", 2: "barrier 3"})
+        text = str(error)
+        assert "t0: lock 0x10" in text
+        assert "t2: barrier 3" in text
+
+    def test_waiting_dict_is_a_copy(self):
+        source = {0: "lock 0x10"}
+        error = errors.DeadlockError(source)
+        source[1] = "mutated"
+        assert 1 not in error.waiting

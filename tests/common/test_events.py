@@ -1,0 +1,98 @@
+"""Unit tests for ops, sites and traces."""
+
+import pytest
+
+from repro.common.errors import ProgramError
+from repro.common.events import (
+    Op,
+    OpKind,
+    Site,
+    Trace,
+    barrier,
+    compute,
+    lock,
+    read,
+    unlock,
+    write,
+)
+
+SITE = Site("app.c", 10, "x")
+
+
+class TestOpConstruction:
+    def test_read_and_write(self):
+        r = read(0x100, SITE)
+        w = write(0x104, SITE, size=8)
+        assert r.kind is OpKind.READ and r.size == 4
+        assert w.kind is OpKind.WRITE and w.size == 8
+        assert r.is_memory_access and w.is_memory_access
+        assert not r.is_write and w.is_write
+
+    def test_memory_ops_need_site(self):
+        with pytest.raises(ProgramError):
+            Op(kind=OpKind.READ, addr=0, size=4)
+
+    def test_memory_ops_need_positive_size(self):
+        with pytest.raises(ProgramError):
+            Op(kind=OpKind.WRITE, addr=0, size=0, site=SITE)
+
+    def test_lock_unlock(self):
+        l = lock(0x200, SITE)
+        u = unlock(0x200, SITE)
+        assert l.is_sync and u.is_sync
+        assert not l.is_memory_access
+
+    def test_barrier_needs_participants(self):
+        with pytest.raises(ProgramError):
+            barrier(1, 0)
+        b = barrier(1, 4)
+        assert b.participants == 4 and b.is_sync
+
+    def test_compute_rejects_negative(self):
+        with pytest.raises(ProgramError):
+            compute(-1)
+        assert compute(0).cycles == 0
+
+
+class TestSite:
+    def test_equality_is_alarm_identity(self):
+        assert Site("a.c", 1, "x") == Site("a.c", 1, "x")
+        assert Site("a.c", 1) != Site("a.c", 2)
+
+    def test_str_includes_label(self):
+        assert "x" in str(Site("a.c", 1, "x"))
+        assert str(Site("a.c", 1)) == "a.c:1"
+
+
+class TestTrace:
+    def make_trace(self):
+        trace = Trace(num_threads=2)
+        trace.append(0, write(0x100, SITE))
+        trace.append(1, read(0x100, SITE))
+        trace.append(0, lock(0x200, SITE))
+        trace.append(0, compute(5))
+        return trace
+
+    def test_sequence_numbers_are_dense(self):
+        trace = self.make_trace()
+        assert [ev.seq for ev in trace] == [0, 1, 2, 3]
+
+    def test_memory_accesses_filter(self):
+        trace = self.make_trace()
+        assert len(trace.memory_accesses()) == 2
+
+    def test_sites(self):
+        trace = self.make_trace()
+        assert trace.sites() == {SITE}
+
+    def test_footprint_lines(self):
+        trace = Trace(num_threads=1)
+        trace.append(0, write(0x100, SITE))
+        trace.append(0, write(0x104, SITE))
+        trace.append(0, write(0x200, SITE))
+        assert trace.footprint_lines(32) == 2
+
+    def test_event_str_formats(self):
+        trace = self.make_trace()
+        text = "\n".join(str(ev) for ev in trace)
+        assert "write" in text and "lock" in text and "compute" in text

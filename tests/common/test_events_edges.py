@@ -1,0 +1,59 @@
+"""Edge-case tests for ops and traces."""
+
+import pytest
+
+from repro.common.errors import ProgramError
+from repro.common.events import Op, OpKind, Site, Trace, compute, read, write
+
+S = Site("e.c", 1)
+
+
+class TestOpEquality:
+    def test_frozen_and_hashable(self):
+        a = read(0x100, S)
+        b = read(0x100, S)
+        assert a == b
+        assert hash(a) == hash(b)
+        with pytest.raises(AttributeError):
+            a.addr = 0x200
+
+    def test_kind_distinguishes(self):
+        assert read(0x100, S) != write(0x100, S)
+
+    def test_compute_zero_is_valid(self):
+        assert compute(0).cycles == 0
+
+
+class TestOpValidation:
+    def test_lock_without_site_rejected(self):
+        with pytest.raises(ProgramError):
+            Op(kind=OpKind.LOCK, addr=0x10)
+
+    def test_barrier_zero_participants_rejected(self):
+        with pytest.raises(ProgramError):
+            Op(kind=OpKind.BARRIER, addr=0, participants=0)
+
+
+class TestTraceEdges:
+    def test_empty_trace(self):
+        trace = Trace(num_threads=4)
+        assert len(trace) == 0
+        assert trace.memory_accesses() == []
+        assert trace.sites() == set()
+        assert trace.footprint_lines() == 0
+
+    def test_append_returns_event(self):
+        trace = Trace(num_threads=1)
+        event = trace.append(0, write(0x100, S))
+        assert event.seq == 0 and event.thread_id == 0
+
+    def test_large_access_footprint(self):
+        trace = Trace(num_threads=1)
+        trace.append(0, write(0x100, S, size=8))
+        # An 8-byte access within one line counts one line.
+        assert trace.footprint_lines(32) == 1
+
+    def test_site_str_for_compute(self):
+        trace = Trace(num_threads=1)
+        trace.append(0, compute(7))
+        assert "7cy" in str(trace.events[0])

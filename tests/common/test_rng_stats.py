@@ -1,0 +1,76 @@
+"""Unit tests for deterministic RNG derivation and stat counters."""
+
+import pytest
+
+from repro.common.rng import derive_seed, make_rng, split_rng
+from repro.common.stats import StatCounters
+
+
+class TestRng:
+    def test_derive_seed_is_stable(self):
+        assert derive_seed("barnes", 3) == derive_seed("barnes", 3)
+
+    def test_derive_seed_distinguishes_parts(self):
+        assert derive_seed("barnes", 3) != derive_seed("barnes", 4)
+        assert derive_seed("a", "bc") != derive_seed("ab", "c")
+
+    def test_make_rng_reproducible(self):
+        a = make_rng("x", 1)
+        b = make_rng("x", 1)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_consuming_a_child_does_not_perturb_the_next_sibling(self):
+        parent1, parent2 = make_rng("x"), make_rng("x")
+        child_a1 = split_rng(parent1, "a")
+        _ = [child_a1.random() for _ in range(100)]  # heavy use of one child
+        child_a2 = split_rng(parent2, "a")  # untouched twin
+        sibling1 = split_rng(parent1, "b")
+        sibling2 = split_rng(parent2, "b")
+        assert [sibling1.random() for _ in range(5)] == [
+            sibling2.random() for _ in range(5)
+        ]
+
+    def test_split_same_label_same_state_matches(self):
+        p1, p2 = make_rng("x"), make_rng("x")
+        c1, c2 = split_rng(p1, "a"), split_rng(p2, "a")
+        assert [c1.random() for _ in range(5)] == [c2.random() for _ in range(5)]
+
+
+class TestStatCounters:
+    def test_add_and_get(self):
+        s = StatCounters()
+        s.add("hits")
+        s.add("hits", 4)
+        assert s["hits"] == 5
+        assert s.get("misses") == 0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            StatCounters().add("x", -1)
+
+    def test_snapshot_and_delta(self):
+        s = StatCounters()
+        s.add("a", 2)
+        before = s.snapshot()
+        s.add("a", 3)
+        s.add("b", 1)
+        assert s.delta(before) == {"a": 3, "b": 1}
+
+    def test_merge(self):
+        a, b = StatCounters(), StatCounters()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 5)
+        a.merge(b)
+        assert a["x"] == 3 and a["y"] == 5
+
+    def test_iteration_is_sorted(self):
+        s = StatCounters()
+        s.add("zeta")
+        s.add("alpha")
+        assert list(s) == ["alpha", "zeta"]
+
+    def test_format_contains_values(self):
+        s = StatCounters()
+        s.add("hits", 1234)
+        assert "1,234" in s.format()

@@ -1,0 +1,195 @@
+"""Unit tests for the BFVector (Section 3.2, Figures 4 and 5)."""
+
+import pytest
+
+from repro.common.config import BloomConfig
+from repro.core.bloom import BloomMapper, BloomVector, collision_probability
+
+
+class TestFigure4Mapping:
+    """The direct-index mapping of lock-address bits 2..9."""
+
+    def test_signature_sets_exactly_one_bit_per_part(self):
+        mapper = BloomMapper()
+        for addr in (0x0, 0x4, 0x1F4, 0xDEADBEE0, 0xFFC):
+            sig = mapper.signature(addr)
+            for part in range(4):
+                part_bits = (sig >> (4 * part)) & 0xF
+                assert bin(part_bits).count("1") == 1
+
+    def test_signature_uses_bits_2_through_9(self):
+        mapper = BloomMapper()
+        # Changing bits outside 2..9 must not change the signature.
+        assert mapper.signature(0x000) == mapper.signature(0x400)
+        assert mapper.signature(0x000) == mapper.signature(0x1 << 30)
+        assert mapper.signature(0x123400) == mapper.signature(0x999400)
+        # Changing bits inside 2..9 must change it.
+        assert mapper.signature(0x0) != mapper.signature(0x4)
+
+    def test_explicit_example(self):
+        # Address bits [9..2] = 0b00011011: fields (low first) 3, 2, 1, 0.
+        mapper = BloomMapper()
+        addr = 0b00011011 << 2
+        expected = (1 << 3) | (1 << (4 + 2)) | (1 << (8 + 1)) | (1 << 12)
+        assert mapper.signature(addr) == expected
+
+    def test_all_256_field_patterns_are_distinct(self):
+        mapper = BloomMapper()
+        signatures = {mapper.signature(v << 2) for v in range(256)}
+        assert len(signatures) == 256
+
+    def test_32bit_vector_uses_12_address_bits(self):
+        cfg = BloomConfig(vector_bits=32)
+        mapper = BloomMapper(cfg)
+        assert cfg.address_bits_used == 12
+        assert mapper.signature(0x0) != mapper.signature(0x1 << 13 - 2 + 2)
+        sig = mapper.signature(0xABC4)
+        for part in range(4):
+            part_bits = (sig >> (8 * part)) & 0xFF
+            assert bin(part_bits).count("1") == 1
+
+
+class TestEmptiness:
+    def test_zero_vector_is_empty(self):
+        mapper = BloomMapper()
+        assert mapper.is_empty(0)
+
+    def test_full_vector_is_not_empty(self):
+        mapper = BloomMapper()
+        assert not mapper.is_empty(mapper.full_mask)
+
+    def test_one_part_zero_means_empty(self):
+        mapper = BloomMapper()
+        # All parts populated except part 2.
+        vector = 0xF0FF
+        assert mapper.is_empty(vector)
+
+    def test_one_bit_per_part_is_nonempty(self):
+        mapper = BloomMapper()
+        vector = mapper.signature(0x10)
+        assert not mapper.is_empty(vector)
+
+
+class TestSetAlgebra:
+    def test_insert_is_or(self):
+        mapper = BloomMapper()
+        v = mapper.insert(0, 0x40)
+        v = mapper.insert(v, 0x80)
+        assert v == mapper.signature(0x40) | mapper.signature(0x80)
+
+    def test_membership_has_no_false_negatives(self):
+        mapper = BloomMapper()
+        addrs = [0x4 * i for i in range(50)]
+        vector = 0
+        for addr in addrs:
+            vector = mapper.insert(vector, addr)
+        for addr in addrs:
+            assert mapper.may_contain(vector, addr)
+
+    def test_intersection_is_and(self):
+        mapper = BloomMapper()
+        a = mapper.signature(0x40) | mapper.signature(0x80)
+        b = mapper.signature(0x40)
+        assert mapper.intersect(a, b) & b == mapper.signature(0x40)
+
+    def test_intersect_disjoint_singletons_is_usually_empty(self):
+        mapper = BloomMapper()
+        empty, total = 0, 0
+        for a in range(0, 64):
+            for b in range(a + 1, 64):
+                total += 1
+                inter = mapper.intersect(mapper.signature(a << 2), mapper.signature(b << 2))
+                if mapper.is_empty(inter):
+                    empty += 1
+        # Collisions exist but are rare (the CR_whole analysis).
+        assert empty / total > 0.85
+
+
+class TestFigure5FalseNegative:
+    """A hash collision can hide a race (Figure 5)."""
+
+    def test_constructed_collision_hides_empty_intersection(self):
+        mapper = BloomMapper()
+        # Two locks whose per-part fields pairwise differ, plus a third
+        # whose every field matches one of the two: C(v) = {L1, L2},
+        # L(t) = {L3}; the true intersection is empty but the vector AND
+        # is non-empty in every part.
+        l1 = 0b00000000 << 2  # fields 0,0,0,0
+        l2 = 0b01010101 << 2  # fields 1,1,1,1
+        l3 = 0b00010001 << 2  # fields 1,0,1,0 — each collides with l1 or l2
+        candidate = mapper.insert(mapper.insert(0, l1), l2)
+        lockset = mapper.signature(l3)
+        inter = mapper.intersect(candidate, lockset)
+        assert not mapper.is_empty(inter)  # race hidden, as in Figure 5
+
+    def test_exact_membership_would_catch_it(self):
+        # The same sets, exactly: {l1, l2} & {l3} == empty.
+        assert {0b0 << 2, 0b01010101 << 2} & {0b00010001 << 2} == set()
+
+
+class TestCollisionProbability:
+    """Section 3.2's CR_whole analysis."""
+
+    @pytest.mark.parametrize(
+        "set_size,expected",
+        [(1, 0.0039), (2, 0.037), (3, 0.111)],
+    )
+    def test_paper_values(self, set_size, expected):
+        # The paper rounds to three decimals (0.0039, 0.037, 0.111).
+        assert collision_probability(set_size) == pytest.approx(expected, abs=1e-3)
+
+    def test_zero_set_never_collides(self):
+        assert collision_probability(0) == 0.0
+
+    def test_probability_increases_with_set_size(self):
+        values = [collision_probability(m) for m in range(1, 8)]
+        assert values == sorted(values)
+
+    def test_larger_vector_collides_less(self):
+        small = collision_probability(3, BloomConfig(vector_bits=16))
+        large = collision_probability(3, BloomConfig(vector_bits=32))
+        assert large < small
+
+    def test_negative_set_size_rejected(self):
+        with pytest.raises(ValueError):
+            collision_probability(-1)
+
+    def test_empirical_rate_matches_analysis(self):
+        """Monte-Carlo check of CR_whole for m = 2."""
+        import random
+
+        mapper = BloomMapper()
+        rng = random.Random(7)
+        hidden = 0
+        trials = 4000
+        for _ in range(trials):
+            locks = rng.sample(range(256), 3)
+            candidate = mapper.insert(
+                mapper.insert(0, locks[0] << 2), locks[1] << 2
+            )
+            inter = mapper.intersect(candidate, mapper.signature(locks[2] << 2))
+            if not mapper.is_empty(inter):
+                hidden += 1
+        assert hidden / trials == pytest.approx(
+            collision_probability(2), abs=0.02
+        )
+
+
+class TestBloomVectorWrapper:
+    def test_full_and_empty(self):
+        assert BloomVector.full().is_empty is False
+        assert BloomVector.empty().is_empty is True
+
+    def test_of_and_membership(self):
+        vec = BloomVector.of([0x40, 0x80])
+        assert vec.may_contain(0x40)
+        assert vec.may_contain(0x80)
+
+    def test_intersect_with(self):
+        a = BloomVector.of([0x40])
+        b = BloomVector.of([0x40, 0x80])
+        assert not a.intersect_with(b).is_empty
+
+    def test_str_groups_parts(self):
+        text = str(BloomVector.full())
+        assert text.count("1111") == 4

@@ -1,0 +1,74 @@
+"""Unit tests for per-line candidate-set metadata."""
+
+from repro.common.config import HardConfig
+from repro.core.candidate import ChunkMeta, LineMeta
+from repro.core.lstate import NO_OWNER, LState
+
+
+class TestFresh:
+    def test_fresh_line_default_granularity(self):
+        meta = LineMeta.fresh(HardConfig(), line_size=32)
+        assert len(meta.chunks) == 1
+        chunk = meta.chunks[0]
+        assert chunk.bf == 0xFFFF  # all possible locks
+        assert chunk.lstate is LState.VIRGIN
+        assert chunk.owner == NO_OWNER
+
+    def test_fresh_line_with_explicit_owner(self):
+        meta = LineMeta.fresh(HardConfig(), line_size=32, owner=2)
+        assert meta.chunks[0].lstate is LState.EXCLUSIVE
+        assert meta.chunks[0].owner == 2
+
+    def test_fresh_line_fine_granularity(self):
+        meta = LineMeta.fresh(HardConfig(granularity=4), line_size=32)
+        assert len(meta.chunks) == 8
+
+    def test_fresh_respects_vector_size(self):
+        config = HardConfig().with_vector_bits(32)
+        meta = LineMeta.fresh(config, line_size=32)
+        assert meta.chunks[0].bf == 0xFFFFFFFF
+
+
+class TestCloneAndEquality:
+    def test_clone_is_deep(self):
+        meta = LineMeta.fresh(HardConfig(granularity=16), 32, 0)
+        twin = meta.clone()
+        twin.chunks[0].bf = 0
+        assert meta.chunks[0].bf == 0xFFFF
+
+    def test_same_content(self):
+        meta = LineMeta.fresh(HardConfig(), 32, 0)
+        twin = meta.clone()
+        assert meta.same_content(twin)
+        twin.chunks[0].lstate = LState.SHARED
+        assert not meta.same_content(twin)
+
+    def test_chunk_same_content(self):
+        a = ChunkMeta(bf=1, lstate=LState.SHARED, owner=0)
+        assert a.same_content(ChunkMeta(bf=1, lstate=LState.SHARED, owner=0))
+        assert not a.same_content(ChunkMeta(bf=2, lstate=LState.SHARED, owner=0))
+        assert not a.same_content(ChunkMeta(bf=1, lstate=LState.SHARED, owner=1))
+
+
+class TestBarrierReset:
+    def test_reset_restores_virgin_and_full_vector(self):
+        meta = LineMeta.fresh(HardConfig(granularity=8), 32, 3)
+        for chunk in meta.chunks:
+            chunk.bf = 0x0001
+            chunk.lstate = LState.SHARED_MODIFIED
+        meta.reset_for_barrier(0xFFFF)
+        for chunk in meta.chunks:
+            assert chunk.bf == 0xFFFF
+            assert chunk.lstate is LState.VIRGIN
+            assert chunk.owner == NO_OWNER
+
+
+class TestMetaBits:
+    def test_default_is_18_bits(self):
+        meta = LineMeta.fresh(HardConfig(), 32, 0)
+        assert meta.meta_bits(16) == 18  # the Section 3.4 figure
+
+    def test_scales_with_chunks_and_vector(self):
+        meta = LineMeta.fresh(HardConfig(granularity=8), 32, 0)
+        assert meta.meta_bits(16) == 4 * 18
+        assert meta.meta_bits(32) == 4 * 34

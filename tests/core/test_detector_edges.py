@@ -1,0 +1,117 @@
+"""Edge-case tests for the HARD detector."""
+
+from repro.common.config import HardConfig, MachineConfig
+from repro.common.events import Site, Trace, barrier, lock, read, unlock, write
+from repro.core.detector import HardDetector
+
+S = [Site("edge.c", i, f"s{i}") for i in range(20)]
+LOCK_A, LOCK_B = 0x1000, 0x1004
+VAR = 0x20000
+
+
+def run(events, config=None):
+    trace = Trace(num_threads=4)
+    for tid, op in events:
+        trace.append(tid, op)
+    return HardDetector(MachineConfig(), config or HardConfig()).run(trace)
+
+
+class TestMidGranularities:
+    def racy_neighbours(self, offset):
+        """Two differently-locked variables ``offset`` bytes apart."""
+        events = []
+        for _ in range(3):
+            events += [
+                (0, lock(LOCK_A, S[0])),
+                (0, write(VAR, S[1])),
+                (0, unlock(LOCK_A, S[2])),
+                (1, lock(LOCK_B, S[3])),
+                (1, write(VAR + offset, S[4])),
+                (1, unlock(LOCK_B, S[5])),
+            ]
+        return events
+
+    def test_8b_chunk_separates_beyond_8_bytes(self):
+        config = HardConfig(granularity=8)
+        assert run(self.racy_neighbours(8), config).reports.alarm_count == 0
+        assert run(self.racy_neighbours(4), config).reports.alarm_count >= 1
+
+    def test_16b_chunk_separates_beyond_16_bytes(self):
+        config = HardConfig(granularity=16)
+        assert run(self.racy_neighbours(16), config).reports.alarm_count == 0
+        assert run(self.racy_neighbours(12), config).reports.alarm_count >= 1
+
+
+class TestStraddlingAccesses:
+    def test_access_spanning_two_lines_checked_in_both(self):
+        # An 8-byte access at line_end-4 touches two lines; races on the
+        # second line must still be caught.
+        boundary = VAR + 32 - 4
+        events = [
+            (0, lock(LOCK_A, S[0])),
+            (0, write(boundary, S[1], size=8)),
+            (0, unlock(LOCK_A, S[2])),
+            (1, lock(LOCK_B, S[3])),
+            (1, write(VAR + 32, S[4])),
+            (1, unlock(LOCK_B, S[5])),
+            (0, lock(LOCK_A, S[6])),
+            (0, write(boundary, S[7], size=8)),
+            (0, unlock(LOCK_A, S[8])),
+        ]
+        result = run(events)
+        assert any(r.site == S[7] for r in result.reports)
+
+
+class TestBarrierSubsets:
+    def test_partial_barrier_resets_on_completion_only(self):
+        # A two-party barrier among threads 0 and 1; thread 2 uninvolved.
+        events = [
+            (0, write(VAR, S[1])),
+            (2, read(VAR, S[2])),  # shared now
+            (0, barrier(7, 2)),
+        ]
+        # Barrier not complete: a write by thread 2 must still alarm.
+        events += [(2, write(VAR, S[3]))]
+        events += [(1, barrier(7, 2))]
+        # Barrier completed: history discarded; the same pattern is silent.
+        events += [(3, write(VAR, S[4]))]
+        result = run(events)
+        sites = {r.site for r in result.reports}
+        assert S[3] in sites
+        assert S[4] not in sites
+
+    def test_barrier_id_reuse_across_episodes(self):
+        events = []
+        for _ in range(3):
+            events += [(tid, barrier(9, 4)) for tid in range(4)]
+        result = run(events)
+        assert result.stats.get("hard.barrier_episodes") == 3
+
+
+class TestLockWordTrafficIsNotData:
+    def test_lock_words_never_reported(self):
+        """Lock acquire/release traffic must not trip the data-race check
+        even though every core writes the same lock word."""
+        events = []
+        for tid in range(4):
+            events += [(tid, lock(LOCK_A, S[0])), (tid, unlock(LOCK_A, S[1]))]
+        result = run(events)
+        assert result.reports.alarm_count == 0
+
+
+class TestReportDetails:
+    def test_report_carries_chunk_in_detail(self):
+        events = [
+            (0, write(VAR, S[1])),
+            (1, write(VAR, S[2])),
+        ]
+        result = run(events)
+        report = next(iter(result.reports))
+        assert "chunk 0x" in report.detail
+        assert report.is_write
+
+    def test_dynamic_reports_counted(self):
+        events = [(0, write(VAR, S[1]))]
+        events += [(1, write(VAR, S[2]))] * 3
+        result = run(events)
+        assert result.stats.get("hard.dynamic_reports") == result.reports.dynamic_count

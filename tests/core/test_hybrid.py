@@ -1,0 +1,105 @@
+"""Unit tests for the hybrid lockset+happens-before detector (Section 7)."""
+
+from repro.common.events import Site, Trace, barrier, lock, read, unlock, write
+from repro.core.hybrid import HybridDetector
+from repro.lockset.exact import IdealLocksetDetector
+
+S = [Site("h.c", i, f"s{i}") for i in range(20)]
+LOCK_A = 0x1000
+QLOCK = 0x1004
+VAR = 0x2000
+
+
+def run_both(events):
+    trace = Trace(num_threads=4)
+    for tid, op in events:
+        trace.append(tid, op)
+    trace2 = Trace(num_threads=4)
+    for tid, op in events:
+        trace2.append(tid, op)
+    return (
+        IdealLocksetDetector().run(trace),
+        HybridDetector().run(trace2),
+    )
+
+
+class TestSuppression:
+    def test_ordered_handoff_suppressed(self):
+        """Producer/consumer through a queue lock: pure lockset alarms on
+        the payload; the hybrid sees the ordering and stays silent."""
+        events = [
+            (0, write(VAR, S[1])),           # fill payload (no lock)
+            (0, lock(QLOCK, S[2])),
+            (0, write(0x3000, S[3])),        # enqueue
+            (0, unlock(QLOCK, S[4])),
+            (1, lock(QLOCK, S[5])),
+            (1, read(0x3000, S[6])),         # dequeue
+            (1, unlock(QLOCK, S[7])),
+            (1, read(VAR, S[8])),
+            (1, write(VAR, S[9])),           # consume (no lock)
+        ]
+        lockset, hybrid = run_both(events)
+        assert any(r.site == S[9] for r in lockset.reports)
+        assert not any(r.site == S[9] for r in hybrid.reports)
+        assert hybrid.stats.get("hybrid.suppressed_by_ordering") >= 1
+
+    def test_genuine_race_still_reported(self):
+        events = [
+            (0, write(VAR, S[1])),
+            (1, write(VAR, S[2])),  # concurrent, no sync at all
+        ]
+        lockset, hybrid = run_both(events)
+        assert any(r.site == S[2] for r in lockset.reports)
+        assert any(r.site == S[2] for r in hybrid.reports)
+
+    def test_barrier_ordered_accesses_suppressed_even_without_reset(self):
+        events = [(0, write(VAR, S[1])), (1, read(VAR, S[5]))]
+        events += [(tid, barrier(0, 4)) for tid in range(4)]
+        events += [(2, write(VAR, S[2]))]
+        trace = Trace(num_threads=4)
+        for tid, op in events:
+            trace.append(tid, op)
+        hybrid = HybridDetector(barrier_reset=False).run(trace)
+        assert hybrid.reports.alarm_count == 0
+
+    def test_lock_discipline_violation_with_concurrency(self):
+        """The Figure 1 bug *with* concurrent accesses: both report."""
+        events = []
+        for tid in (0, 1):
+            events += [
+                (tid, lock(LOCK_A, S[0])),
+                (tid, write(VAR, S[1])),
+                (tid, unlock(LOCK_A, S[2])),
+            ]
+        # Concurrent unprotected writes from two threads with no sync
+        # between them:
+        events += [(2, write(VAR, S[3])), (3, write(VAR, S[4]))]
+        lockset, hybrid = run_both(events)
+        assert any(r.site == S[4] for r in lockset.reports)
+        assert any(r.site == S[4] for r in hybrid.reports)
+
+
+class TestBookkeeping:
+    def test_locked_program_silent(self):
+        events = []
+        for tid in range(3):
+            events += [
+                (tid, lock(LOCK_A, S[0])),
+                (tid, write(VAR, S[1])),
+                (tid, unlock(LOCK_A, S[2])),
+            ]
+        _, hybrid = run_both(events)
+        assert hybrid.reports.alarm_count == 0
+
+    def test_accessor_pruning(self):
+        """Ordered accessors are pruned from the threadset."""
+        events = [
+            (0, write(VAR, S[1])),
+            (0, lock(QLOCK, S[2])),
+            (0, unlock(QLOCK, S[3])),
+            (1, lock(QLOCK, S[4])),
+            (1, unlock(QLOCK, S[5])),
+            (1, write(VAR, S[6])),  # ordered after t0's write via QLOCK
+        ]
+        _, hybrid = run_both(events)
+        assert not any(r.site == S[6] for r in hybrid.reports)

@@ -1,0 +1,133 @@
+"""Unit tests for the Lock Register + Counter Register (Section 3.3)."""
+
+import pytest
+
+from repro.common.config import BloomConfig, HardConfig
+from repro.common.errors import DetectorError
+from repro.core.bloom import BloomMapper
+from repro.core.lockregister import LockRegister
+
+
+def make_register(**overrides) -> LockRegister:
+    return LockRegister(HardConfig(**overrides))
+
+
+def find_colliding_pair(mapper: BloomMapper) -> tuple[int, int]:
+    """Two distinct lock addresses whose signatures share at least one bit."""
+    for a in range(64):
+        for b in range(a + 1, 64):
+            if mapper.signature(a << 2) & mapper.signature(b << 2):
+                return a << 2, b << 2
+    raise AssertionError("no colliding pair found")
+
+
+class TestAcquireRelease:
+    def test_acquire_sets_signature_bits(self):
+        reg = make_register()
+        reg.acquire(0x40)
+        assert reg.value == reg.mapper.signature(0x40)
+
+    def test_release_clears_sole_lock(self):
+        reg = make_register()
+        reg.acquire(0x40)
+        reg.release(0x40)
+        assert reg.value == 0
+        assert all(c == 0 for c in reg.counters)
+
+    def test_union_of_two_locks(self):
+        reg = make_register()
+        reg.acquire(0x40)
+        reg.acquire(0x80)
+        expected = reg.mapper.signature(0x40) | reg.mapper.signature(0x80)
+        assert reg.value == expected
+
+    def test_release_unheld_lock_rejected(self):
+        reg = make_register()
+        with pytest.raises(DetectorError):
+            reg.release(0x40)
+
+    def test_held_count(self):
+        reg = make_register()
+        reg.acquire(0x40)
+        reg.acquire(0x80)
+        assert reg.held_count == 2
+        reg.release(0x40)
+        assert reg.held_count == 1
+
+
+class TestCounterRegister:
+    """Collision safety: the whole reason the counters exist."""
+
+    def test_release_under_collision_keeps_shared_bits(self):
+        reg = make_register()
+        a, b = find_colliding_pair(reg.mapper)
+        reg.acquire(a)
+        reg.acquire(b)
+        reg.release(a)
+        # Lock b must still be fully represented.
+        sig_b = reg.mapper.signature(b)
+        assert reg.value & sig_b == sig_b
+
+    def test_naive_release_corrupts_shared_bits(self):
+        reg = make_register(use_counter_register=False)
+        a, b = find_colliding_pair(reg.mapper)
+        reg.acquire(a)
+        reg.acquire(b)
+        reg.release(a)
+        sig_b = reg.mapper.signature(b)
+        # The ablation clears bits lock b still needs.
+        assert reg.value & sig_b != sig_b
+
+    def test_counters_saturate(self):
+        reg = make_register()
+        # Four different locks sharing a bit would need a count of 4; the
+        # 2-bit counter saturates at 3.  Build the scenario with one lock
+        # acquired repeatedly via distinct aliases: use addresses that map
+        # to identical signatures (same bits 2..9, different high bits).
+        aliases = [0x40, 0x40 + (1 << 10), 0x40 + (2 << 10), 0x40 + (3 << 10)]
+        for addr in aliases:
+            reg.acquire(addr)
+        sig = reg.mapper.signature(0x40)
+        bit = (sig & -sig).bit_length() - 1
+        assert reg.counters[bit] == 3  # saturated, not 4
+        # Releasing three aliases zeroes the counter and clears the bit
+        # even though a fourth alias is still held — the documented
+        # hardware approximation.
+        for addr in aliases[:3]:
+            reg.release(addr)
+        assert reg.value & sig != sig
+
+    def test_counter_width_respects_config(self):
+        reg = LockRegister(HardConfig(counter_bits=4))
+        aliases = [0x40 + (k << 10) for k in range(10)]
+        for addr in aliases:
+            reg.acquire(addr)
+        sig = reg.mapper.signature(0x40)
+        bit = (sig & -sig).bit_length() - 1
+        assert reg.counters[bit] == 10
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        reg = make_register()
+        reg.acquire(0x40)
+        reg.acquire(0x80)
+        reg.reset()
+        assert reg.value == 0
+        assert reg.held_count == 0
+        assert all(c == 0 for c in reg.counters)
+
+    def test_str_shows_vector(self):
+        reg = make_register()
+        reg.acquire(0x40)
+        assert "LockRegister[" in str(reg)
+
+
+class Test32BitRegister:
+    def test_works_with_wider_vector(self):
+        cfg = HardConfig(bloom=BloomConfig(vector_bits=32))
+        reg = LockRegister(cfg)
+        reg.acquire(0x40)
+        assert len(reg.counters) == 32
+        reg.release(0x40)
+        assert reg.value == 0

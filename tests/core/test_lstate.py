@@ -1,0 +1,79 @@
+"""Unit tests for the LState machine (Figure 2)."""
+
+from repro.core.lstate import NO_OWNER, LState, transition
+
+
+class TestVirgin:
+    def test_first_read_goes_exclusive(self):
+        t = transition(LState.VIRGIN, NO_OWNER, 1, is_write=False)
+        assert t.state is LState.EXCLUSIVE
+        assert t.owner == 1
+        assert not t.update_candidate and not t.check_race
+
+    def test_first_write_goes_exclusive(self):
+        t = transition(LState.VIRGIN, NO_OWNER, 2, is_write=True)
+        assert t.state is LState.EXCLUSIVE and t.owner == 2
+
+
+class TestExclusive:
+    def test_same_thread_stays_exclusive_silently(self):
+        for is_write in (False, True):
+            t = transition(LState.EXCLUSIVE, 1, 1, is_write)
+            assert t.state is LState.EXCLUSIVE
+            assert t.owner == 1
+            assert not t.update_candidate and not t.check_race
+
+    def test_foreign_read_goes_shared(self):
+        t = transition(LState.EXCLUSIVE, 1, 2, is_write=False)
+        assert t.state is LState.SHARED
+        assert t.update_candidate and not t.check_race
+
+    def test_foreign_write_goes_shared_modified(self):
+        t = transition(LState.EXCLUSIVE, 1, 2, is_write=True)
+        assert t.state is LState.SHARED_MODIFIED
+        assert t.update_candidate and t.check_race
+
+
+class TestShared:
+    def test_read_stays_shared_updates_without_check(self):
+        t = transition(LState.SHARED, 1, 3, is_write=False)
+        assert t.state is LState.SHARED
+        assert t.update_candidate and not t.check_race
+
+    def test_any_write_goes_shared_modified(self):
+        for thread in (1, 2):
+            t = transition(LState.SHARED, 1, thread, is_write=True)
+            assert t.state is LState.SHARED_MODIFIED
+            assert t.update_candidate and t.check_race
+
+
+class TestSharedModified:
+    def test_absorbing_and_always_checks(self):
+        for thread in (1, 2):
+            for is_write in (False, True):
+                t = transition(LState.SHARED_MODIFIED, 1, thread, is_write)
+                assert t.state is LState.SHARED_MODIFIED
+                assert t.update_candidate and t.check_race
+
+
+class TestInitializationPattern:
+    """The false-positive pruning scenario of Section 2.2."""
+
+    def test_single_thread_init_then_read_sharing_is_silent(self):
+        # Thread 0 initializes without locks, the world then reads.
+        state, owner = LState.VIRGIN, NO_OWNER
+        checked = []
+        for thread, is_write in [(0, True), (0, True), (1, False), (2, False)]:
+            t = transition(state, owner, thread, is_write)
+            state, owner = t.state, t.owner
+            checked.append(t.check_race)
+        assert state is LState.SHARED
+        assert not any(checked)
+
+    def test_write_after_sharing_raises_check(self):
+        state, owner = LState.VIRGIN, NO_OWNER
+        for thread, is_write in [(0, True), (1, False)]:
+            t = transition(state, owner, thread, is_write)
+            state, owner = t.state, t.owner
+        t = transition(state, owner, 2, True)
+        assert t.state is LState.SHARED_MODIFIED and t.check_race

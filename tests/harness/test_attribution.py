@@ -1,0 +1,66 @@
+"""Unit tests for alarm attribution."""
+
+from repro.common.events import Site
+from repro.harness.attribution import (
+    attribute_alarms,
+    compare_attributions,
+    pattern_of,
+)
+from repro.reporting import DetectionResult, RaceReportLog
+
+
+def result_with_sites(labels):
+    log = RaceReportLog("d")
+    for index, label in enumerate(labels):
+        log.add(
+            seq=index,
+            thread_id=0,
+            addr=0x1000 + 4 * index,
+            size=4,
+            site=Site("a.c", index, label),
+            is_write=True,
+        )
+    return DetectionResult(detector="d", reports=log)
+
+
+class TestPatternOf:
+    def test_strips_role_and_group(self):
+        assert pattern_of(Site("a.c", 1, "framebuf.line3#1")) == "framebuf"
+        assert pattern_of(Site("a.c", 1, "rays.consume#0")) == "rays"
+        assert pattern_of(Site("a.c", 1, "mol.read")) == "mol"
+
+    def test_unlabelled_site_uses_location(self):
+        assert pattern_of(Site("a.c", 7)) == "a"
+
+
+class TestAttribution:
+    def test_grouping_and_order(self):
+        result = result_with_sites(
+            ["fb.s#0", "fb.s#1", "fb.s#2", "rays.consume#0", "mol.read"]
+        )
+        attribution = attribute_alarms(result)
+        assert attribution.by_pattern[0] == ("fb", 3)
+        assert attribution.total == 5
+
+    def test_format(self):
+        text = attribute_alarms(result_with_sites(["fb.s#0"])).format()
+        assert "fb" in text and "1" in text
+
+    def test_compare(self):
+        a = attribute_alarms(result_with_sites(["fb.x#0", "fb.x#1"]))
+        b = attribute_alarms(result_with_sites(["rays.c#0"]))
+        text = compare_attributions(a, b)
+        assert "fb" in text and "rays" in text
+
+    def test_real_detector_output_groups(self):
+        from repro.harness.detectors import make_detector
+        from repro.threads.runtime import interleave
+        from repro.threads.scheduler import RandomScheduler
+        from repro.workloads.base import WorkloadBuilder, benign_counters
+
+        b = WorkloadBuilder("t", seed=0)
+        benign_counters(b, label="stats", num_counters=2, updates_per_thread=15)
+        trace = interleave(b.build(), RandomScheduler(seed=1)).trace
+        result = make_detector("hard-ideal").run(trace)
+        attribution = attribute_alarms(result)
+        assert dict(attribution.by_pattern).get("stats", 0) >= 1

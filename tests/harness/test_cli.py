@@ -1,0 +1,53 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "barnes"])
+        assert args.detector == "hard-default"
+        assert args.bug_seed is None
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "linpack"])
+
+    def test_exhibit_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["exhibit", "table9"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "cholesky" in out and "hard-ideal" in out
+
+    def test_collision(self, capsys):
+        assert main(["collision"]) == 0
+        out = capsys.readouterr().out
+        assert "0.0039" in out
+
+    def test_run_detects_injected_bug(self, capsys):
+        code = main(
+            [
+                "run",
+                "raytrace",
+                "--detector",
+                "hard-ideal",
+                "--bug-seed",
+                "3",
+                "--show-alarms",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "injected bug: DETECTED" in out
+        assert "alarm:" in out

@@ -1,0 +1,118 @@
+"""Unit tests for the experiment runner (protocol + caching)."""
+
+import pytest
+
+from repro.common.events import Site
+from repro.harness.detectors import config_signature, make_detector
+from repro.harness.experiment import CLEAN_RUN, ExperimentRunner, score_detection
+from repro.reporting import DetectionResult, RaceReportLog
+from repro.threads.program import InjectedBug
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner()
+
+
+class TestProtocol:
+    def test_clean_run_has_no_bug(self, runner):
+        program = runner.program_for("raytrace", CLEAN_RUN)
+        assert program.injected_bug is None
+
+    def test_each_run_has_a_distinct_bug(self, runner):
+        bugs = {
+            runner.program_for("raytrace", run).injected_bug for run in range(5)
+        }
+        assert len(bugs) >= 4  # random collisions are possible but rare
+
+    def test_traces_are_memoised(self, runner):
+        t1 = runner.trace_for("raytrace", CLEAN_RUN)
+        t2 = runner.trace_for("raytrace", CLEAN_RUN)
+        assert t1 is t2
+
+    def test_drop_trace_releases(self, runner):
+        runner.trace_for("raytrace", 0)
+        runner.drop_trace("raytrace", 0)
+        assert ("raytrace", 0) not in runner._traces
+
+    def test_all_detectors_consume_identical_trace(self, runner):
+        """The Section 5.1 methodology: identical executions."""
+        trace = runner.trace_for("raytrace", 1)
+        again = runner.trace_for("raytrace", 1)
+        assert trace is again
+
+
+class TestScoring:
+    def make_result(self, addr: int, site: Site) -> DetectionResult:
+        log = RaceReportLog("d")
+        log.add(
+            seq=0, thread_id=0, addr=addr, size=4, site=site, is_write=True
+        )
+        return DetectionResult(detector="d", reports=log)
+
+    def bug(self) -> InjectedBug:
+        return InjectedBug(
+            thread_id=0,
+            lock_addr=0x10,
+            lock_op_index=0,
+            unlock_op_index=2,
+            chunk_addresses=frozenset({0x2000, 0x2004}),
+            sites=frozenset({Site("b.c", 1)}),
+        )
+
+    def test_address_overlap_scores(self):
+        result = self.make_result(0x2002, Site("other.c", 9))
+        assert score_detection(result, self.bug())
+
+    def test_site_match_scores(self):
+        result = self.make_result(0x9999000, Site("b.c", 1))
+        assert score_detection(result, self.bug())
+
+    def test_unrelated_report_does_not_score(self):
+        result = self.make_result(0x9999000, Site("other.c", 9))
+        assert not score_detection(result, self.bug())
+
+    def test_clean_run_never_scores(self):
+        result = self.make_result(0x2000, Site("b.c", 1))
+        assert not score_detection(result, None)
+
+
+class TestDiskCache(object):
+    def test_cache_round_trip(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        first = runner.run_detector("raytrace", CLEAN_RUN, "hard-ideal")
+        # A second runner with the same cache dir must not recompute.
+        runner2 = ExperimentRunner(cache_dir=tmp_path)
+        second = runner2.run_detector("raytrace", CLEAN_RUN, "hard-ideal")
+        assert first.alarm_count == second.alarm_count
+        assert first.dynamic_reports == second.dynamic_reports
+        assert any(tmp_path.iterdir())
+
+    def test_signature_distinguishes_overrides(self):
+        a = config_signature("hard-default", granularity=4)
+        b = config_signature("hard-default", granularity=8)
+        c = config_signature("hard-default")
+        assert len({a, b, c}) == 3
+
+    def test_none_overrides_ignored(self):
+        assert config_signature("x", l2_size=None) == config_signature("x")
+
+
+class TestMakeDetector:
+    def test_all_keys_construct(self):
+        for key in ("hard-default", "hard-ideal", "hb-default", "hb-ideal", "hybrid"):
+            detector = make_detector(key)
+            assert detector.name == key
+
+    def test_unknown_key_rejected(self):
+        from repro.common.errors import HarnessError
+
+        with pytest.raises(HarnessError):
+            make_detector("magic")
+
+    def test_overrides_apply(self):
+        hard = make_detector("hard-default", granularity=8, vector_bits=32)
+        assert hard.config.granularity == 8
+        assert hard.config.bloom.vector_bits == 32
+        ideal = make_detector("hard-ideal", granularity=16)
+        assert ideal.granularity == 16

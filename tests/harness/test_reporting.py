@@ -1,0 +1,65 @@
+"""Unit tests for race reports, logs and detection results."""
+
+from repro.common.events import Site
+from repro.reporting import DetectionResult, RaceReportLog
+
+
+def make_log(n_sites: int = 2, dynamic_per_site: int = 3) -> RaceReportLog:
+    log = RaceReportLog("test")
+    for s in range(n_sites):
+        site = Site("r.c", s)
+        for k in range(dynamic_per_site):
+            log.add(
+                seq=s * 10 + k,
+                thread_id=k % 4,
+                addr=0x1000 + 4 * s,
+                size=4,
+                site=site,
+                is_write=True,
+                detail="x",
+            )
+    return log
+
+
+class TestRaceReportLog:
+    def test_site_dedup(self):
+        log = make_log(n_sites=3, dynamic_per_site=5)
+        assert log.dynamic_count == 15
+        assert log.alarm_count == 3
+
+    def test_first_for_site(self):
+        log = make_log()
+        site = Site("r.c", 1)
+        first = log.first_for_site(site)
+        assert first is not None and first.seq == 10
+        assert log.first_for_site(Site("r.c", 99)) is None
+
+    def test_reports_matching(self):
+        log = make_log()
+        writes = log.reports_matching(lambda r: r.is_write)
+        assert len(writes) == log.dynamic_count
+
+    def test_str_rendering(self):
+        log = make_log(1, 1)
+        text = str(next(iter(log)))
+        assert "race" in text and "t0" in text
+
+
+class TestDetectionResult:
+    def test_overhead_fraction(self):
+        result = DetectionResult(
+            detector="d",
+            reports=make_log(),
+            cycles=1_050_000,
+            detector_extra_cycles=50_000,
+        )
+        assert result.baseline_cycles == 1_000_000
+        assert result.overhead_fraction == 0.05
+
+    def test_zero_cycles_overhead_is_zero(self):
+        result = DetectionResult(detector="d", reports=make_log())
+        assert result.overhead_fraction == 0.0
+
+    def test_alarm_sites(self):
+        result = DetectionResult(detector="d", reports=make_log(2))
+        assert len(result.alarm_sites()) == 2

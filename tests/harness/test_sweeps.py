@@ -1,0 +1,70 @@
+"""Unit tests for the generic sweep utility (stub-runner driven)."""
+
+import pytest
+
+from repro.harness.sweeps import SweepCell, SweepResult, sweep
+
+
+class StubRunner:
+    def detection_count(self, app, key, **overrides):
+        return 8 + (overrides.get("l2_size", 0) or 0) % 2
+
+    def false_alarm_count(self, app, key, **overrides):
+        return len(app) + (overrides.get("l2_size", 0) or 0) // 1024
+
+
+class TestSweep:
+    def test_grid_covered(self):
+        result = sweep(
+            StubRunner(),
+            detector="hard-default",
+            parameter="l2_size",
+            values=[1024, 2048],
+            apps=("barnes", "ocean"),
+        )
+        assert len(result.cells) == 4
+        assert result.cell("barnes", 1024).alarms == len("barnes") + 1
+
+    def test_series(self):
+        result = sweep(
+            StubRunner(),
+            detector="hard-default",
+            parameter="l2_size",
+            values=[1024, 2048],
+            apps=("barnes",),
+        )
+        assert [c.value for c in result.series("barnes")] == [1024, 2048]
+
+    def test_missing_cell_raises(self):
+        result = SweepResult(detector="d", parameter="p", cells=[])
+        with pytest.raises(KeyError):
+            result.cell("x", 1)
+
+    def test_skip_detection(self):
+        result = sweep(
+            StubRunner(),
+            detector="hard-default",
+            parameter="l2_size",
+            values=[1024],
+            apps=("barnes",),
+            include_detection=False,
+        )
+        assert result.cell("barnes", 1024).detected == 0
+
+    def test_format(self):
+        result = sweep(
+            StubRunner(),
+            detector="hard-default",
+            parameter="l2_size",
+            values=[1024],
+            apps=("barnes",),
+        )
+        text = result.format()
+        assert "sweep of l2_size" in text and "barnes" in text
+
+
+class TestCellDataclass:
+    def test_frozen(self):
+        cell = SweepCell(app="a", value=1, detected=2, alarms=3)
+        with pytest.raises(AttributeError):
+            cell.alarms = 9

@@ -1,0 +1,116 @@
+"""Unit tests for the exhibit generators, using a stub runner."""
+
+from repro.common.config import KB, MB
+from repro.harness import tables
+
+
+class StubRunner:
+    """Deterministic fake of ExperimentRunner for renderer tests."""
+
+    def __init__(self):
+        self.calls = []
+
+    def detection_count(self, app, key, **overrides):
+        self.calls.append(("detect", app, key, tuple(sorted(overrides.items()))))
+        return 9 if key.startswith("hard") else 7
+
+    def false_alarm_count(self, app, key, **overrides):
+        self.calls.append(("fa", app, key, tuple(sorted(overrides.items()))))
+        # Sweep cells matching the default config are passed as None
+        # ("no override") so they can reuse cached default verdicts.
+        granularity = overrides.get("granularity") or 32
+        return {4: 3, 8: 5, 16: 9, 32: 20}[granularity]
+
+    def overhead(self, app, key="hard-default", **overrides):
+        from repro.harness.experiment import RunOutcome
+
+        return RunOutcome(
+            detector=key,
+            app=app,
+            run=-1,
+            detected=False,
+            alarm_count=0,
+            dynamic_reports=0,
+            cycles=1_020_000,
+            detector_extra_cycles=20_000,
+        )
+
+
+APPS = ("barnes", "ocean")
+
+
+class TestTable2:
+    def test_structure(self):
+        data = tables.table2(StubRunner(), apps=APPS)
+        assert set(data) == set(APPS)
+        for row in data.values():
+            assert set(row) == set(tables.PAPER_DETECTORS)
+            for cell in row.values():
+                assert {"detected", "alarms"} == set(cell)
+
+    def test_render_includes_paper_reference(self):
+        text = tables.render_table2(tables.table2(StubRunner(), apps=APPS))
+        assert "barnes" in text
+        assert "9/10" in text  # ours
+        assert "|" in text  # paper column separator
+
+
+class TestTable3:
+    def test_granularity_cells(self):
+        data = tables.table3(StubRunner(), apps=APPS)
+        row = data["barnes"]
+        assert set(row["alarms"]["hard-default"]) == {4, 8, 16, 32}
+        assert row["alarms"]["hard-default"][4] == 3
+
+    def test_render(self):
+        text = tables.render_table3(tables.table3(StubRunner(), apps=APPS))
+        assert "bugs@4B" in text and "FA@32B" in text
+
+
+class TestTables45:
+    def test_l2_cells(self):
+        data = tables.table4_and_5(StubRunner(), apps=APPS)
+        # Detection is measured at the endpoint capacities; alarms at all.
+        assert set(data["ocean"]["detected"]["hb-default"]) == {128 * KB, 1 * MB}
+        assert set(data["ocean"]["alarms"]["hb-default"]) == {
+            128 * KB, 256 * KB, 512 * KB, 1 * MB,
+        }
+
+    def test_renders(self):
+        data = tables.table4_and_5(StubRunner(), apps=APPS)
+        assert "128KB" in tables.render_table4(data)
+        assert "false alarms" in tables.render_table5(data)
+
+
+class TestTable6:
+    def test_vector_cells(self):
+        data = tables.table6(StubRunner(), apps=APPS)
+        assert set(data["barnes"]["detected"]) == {16, 32}
+
+    def test_render(self):
+        text = tables.render_table6(tables.table6(StubRunner(), apps=APPS))
+        assert "bugs@16b" in text
+
+
+class TestFigure8:
+    def test_overhead_computation(self):
+        data = tables.figure8(StubRunner(), apps=APPS)
+        assert data["barnes"]["overhead_pct"] == 2.0
+        assert data["barnes"]["cycles"] == 1_020_000
+
+    def test_render_includes_paper_band(self):
+        text = tables.render_figure8(tables.figure8(StubRunner(), apps=APPS))
+        assert "2.00%" in text
+        assert "paper" in text
+
+
+class TestPaperReferences:
+    def test_table2_totals(self):
+        bugs = sum(v[0] for v in tables.PAPER_TABLE2.values())
+        assert bugs == 54  # the abstract's 54/60
+        hb = sum(v[4] for v in tables.PAPER_TABLE2.values())
+        assert hb == 44
+
+    def test_figure8_range(self):
+        values = tables.PAPER_FIGURE8.values()
+        assert min(values) == 0.1 and max(values) == 2.6

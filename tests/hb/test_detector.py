@@ -1,0 +1,112 @@
+"""Unit tests for the cache-resident (default) happens-before detector."""
+
+from repro.common.config import CacheConfig, HappensBeforeConfig, MachineConfig
+from repro.common.events import Site, Trace, barrier, lock, read, unlock, write
+from repro.hb.detector import HappensBeforeDetector
+
+S = [Site("hb.c", i, f"s{i}") for i in range(20)]
+LOCK_A = 0x1000
+X = 0x20000
+Y = 0x20100
+
+
+def trace_of(events) -> Trace:
+    trace = Trace(num_threads=4)
+    for tid, op in events:
+        trace.append(tid, op)
+    return trace
+
+
+def small_machine() -> MachineConfig:
+    return MachineConfig(
+        num_cores=4,
+        l1=CacheConfig(1024, 2, 32, 3),
+        l2=CacheConfig(8 * 1024, 4, 32, 10),
+    )
+
+
+def run(events, machine=None, config=None):
+    detector = HappensBeforeDetector(
+        machine or MachineConfig(), config or HappensBeforeConfig()
+    )
+    return detector.run(trace_of(events))
+
+
+class TestOrderingDecisions:
+    def test_unordered_writes_reported(self):
+        result = run([(0, write(X, S[1])), (1, write(X, S[2]))])
+        assert result.reports.alarm_count >= 1
+
+    def test_lock_ordered_writes_silent(self):
+        events = [
+            (0, lock(LOCK_A, S[0])),
+            (0, write(X, S[1])),
+            (0, unlock(LOCK_A, S[2])),
+            (1, lock(LOCK_A, S[3])),
+            (1, write(X, S[4])),
+            (1, unlock(LOCK_A, S[5])),
+        ]
+        assert run(events).reports.alarm_count == 0
+
+    def test_figure1_ordering_hides_the_race(self):
+        """Unprotected x accesses ordered through the y lock: silent."""
+        events = [
+            (0, write(X, S[1])),          # unprotected
+            (0, lock(LOCK_A, S[2])),
+            (0, write(Y, S[3])),
+            (0, unlock(LOCK_A, S[4])),
+            (1, lock(LOCK_A, S[5])),
+            (1, write(Y, S[6])),
+            (1, unlock(LOCK_A, S[7])),
+            (1, write(X, S[8])),          # unprotected but ordered
+        ]
+        assert run(events).reports.alarm_count == 0
+
+    def test_barrier_orders_phases(self):
+        events = [(0, write(X, S[1]))]
+        events += [(tid, barrier(0, 4)) for tid in range(4)]
+        events += [(1, write(X, S[2]))]
+        assert run(events).reports.alarm_count == 0
+
+    def test_read_read_is_never_a_race(self):
+        events = [(0, read(X, S[1])), (1, read(X, S[2])), (2, read(X, S[3]))]
+        assert run(events).reports.alarm_count == 0
+
+
+class TestLineGranularityEffects:
+    def test_false_sharing_alarm_at_line_granularity(self):
+        events = [(0, write(0x20000, S[1])), (1, write(0x20004, S[2]))]
+        assert run(events).reports.alarm_count >= 1
+
+    def test_false_sharing_silent_at_4b(self):
+        events = [(0, write(0x20000, S[1])), (1, write(0x20004, S[2]))]
+        result = run(events, config=HappensBeforeConfig(granularity=4))
+        assert result.reports.alarm_count == 0
+
+
+class TestDisplacement:
+    def test_history_lost_after_l2_eviction(self):
+        """Approximation 3 applied to HB: the race straddles an eviction."""
+        racy = [(0, write(X, S[1]))]
+        churn = [(2, write(0x40000 + 32 * i, S[6])) for i in range(600)]
+        partner = [(1, write(X, S[3]))]
+        result = run(racy + churn + partner, machine=small_machine())
+        assert not any(r.site == S[3] for r in result.reports)
+        # Without the churn the same pair is reported.
+        detected = run(racy + partner, machine=small_machine())
+        assert any(r.site == S[3] for r in detected.reports)
+
+
+class TestHistoryTransfer:
+    def test_history_travels_with_coherence(self):
+        """t1's copy receives t0's write epoch via the c2c transfer."""
+        events = [(0, write(X, S[1])), (1, read(X, S[2]))]
+        result = run(events)
+        assert any(r.site == S[2] for r in result.reports)
+
+    def test_metadata_synced_across_copies(self):
+        # t0 writes, t1 reads (reported), t2 reads: t2 must also see the
+        # write epoch even though its copy comes from the L2.
+        events = [(0, write(X, S[1])), (1, read(X, S[2])), (2, read(X, S[3]))]
+        result = run(events)
+        assert any(r.site == S[3] for r in result.reports)

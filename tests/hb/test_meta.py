@@ -1,0 +1,78 @@
+"""Unit tests for happens-before access-history metadata."""
+
+from repro.hb.meta import HBChunkMeta, HBLineMeta
+from repro.hb.vectorclock import SyncClocks
+
+
+def clocks_pair():
+    return SyncClocks(2)
+
+
+class TestCheckAndUpdate:
+    def test_unordered_write_write_conflicts(self):
+        clocks = clocks_pair()
+        chunk = HBChunkMeta()
+        assert chunk.check_and_update(0, clocks.clock(0), True) == []
+        conflicts = chunk.check_and_update(1, clocks.clock(1), True)
+        assert len(conflicts) == 1 and "write" in conflicts[0]
+
+    def test_ordered_write_write_is_clean(self):
+        clocks = clocks_pair()
+        chunk = HBChunkMeta()
+        chunk.check_and_update(0, clocks.clock(0), True)
+        clocks.release(0, 0x10)
+        clocks.acquire(1, 0x10)
+        assert chunk.check_and_update(1, clocks.clock(1), True) == []
+
+    def test_unordered_read_after_write_conflicts(self):
+        clocks = clocks_pair()
+        chunk = HBChunkMeta()
+        chunk.check_and_update(0, clocks.clock(0), True)
+        conflicts = chunk.check_and_update(1, clocks.clock(1), False)
+        assert conflicts
+
+    def test_read_read_never_conflicts(self):
+        clocks = clocks_pair()
+        chunk = HBChunkMeta()
+        assert chunk.check_and_update(0, clocks.clock(0), False) == []
+        assert chunk.check_and_update(1, clocks.clock(1), False) == []
+
+    def test_unordered_write_after_read_conflicts(self):
+        clocks = clocks_pair()
+        chunk = HBChunkMeta()
+        chunk.check_and_update(0, clocks.clock(0), False)
+        conflicts = chunk.check_and_update(1, clocks.clock(1), True)
+        assert conflicts and "read" in conflicts[0]
+
+    def test_same_thread_never_conflicts(self):
+        clocks = clocks_pair()
+        chunk = HBChunkMeta()
+        chunk.check_and_update(0, clocks.clock(0), True)
+        assert chunk.check_and_update(0, clocks.clock(0), True) == []
+        assert chunk.check_and_update(0, clocks.clock(0), False) == []
+
+    def test_write_clears_read_history(self):
+        clocks = clocks_pair()
+        chunk = HBChunkMeta()
+        chunk.check_and_update(0, clocks.clock(0), False)
+        chunk.check_and_update(0, clocks.clock(0), True)
+        assert chunk.reads == {}
+
+
+class TestLineMeta:
+    def test_fresh_has_empty_history(self):
+        meta = HBLineMeta.fresh(granularity=4, line_size=32)
+        assert len(meta.chunks) == 8
+        assert all(c.last_write is None and not c.reads for c in meta.chunks)
+
+    def test_fresh_line_granularity(self):
+        meta = HBLineMeta.fresh(granularity=32, line_size=32)
+        assert len(meta.chunks) == 1
+
+    def test_clone_is_deep(self):
+        clocks = clocks_pair()
+        meta = HBLineMeta.fresh(4, 32)
+        meta.chunks[0].check_and_update(0, clocks.clock(0), True)
+        twin = meta.clone()
+        twin.chunks[0].last_write = None
+        assert meta.chunks[0].last_write is not None

@@ -1,0 +1,102 @@
+"""Unit tests for vector clocks and the sync-clock machinery."""
+
+from repro.hb.vectorclock import SyncClocks, VectorClock
+
+
+class TestVectorClock:
+    def test_zero(self):
+        assert VectorClock.zero(3).values == [0, 0, 0]
+
+    def test_join_is_pointwise_max(self):
+        a = VectorClock([1, 5, 2])
+        b = VectorClock([3, 1, 2])
+        a.join(b)
+        assert a.values == [3, 5, 2]
+
+    def test_increment(self):
+        c = VectorClock.zero(2)
+        c.increment(1)
+        assert c.values == [0, 1]
+
+    def test_knows(self):
+        c = VectorClock([2, 0])
+        assert c.knows((0, 2))
+        assert c.knows((0, 1))
+        assert not c.knows((0, 3))
+        assert not c.knows((1, 1))
+
+    def test_dominates(self):
+        assert VectorClock([2, 3]).dominates(VectorClock([1, 3]))
+        assert not VectorClock([2, 3]).dominates(VectorClock([3, 0]))
+
+    def test_copy_is_independent(self):
+        a = VectorClock([1, 2])
+        b = a.copy()
+        b.increment(0)
+        assert a.values == [1, 2]
+
+
+class TestSyncClocks:
+    def test_threads_start_in_epoch_one(self):
+        clocks = SyncClocks(3)
+        for tid in range(3):
+            assert clocks.clock(tid).values[tid] == 1
+
+    def test_release_acquire_creates_edge(self):
+        clocks = SyncClocks(2)
+        epoch = clocks.clock(0).epoch(0)
+        clocks.release(0, 0x10)
+        clocks.acquire(1, 0x10)
+        assert clocks.clock(1).knows(epoch)
+
+    def test_no_edge_without_release(self):
+        clocks = SyncClocks(2)
+        epoch = clocks.clock(0).epoch(0)
+        clocks.acquire(1, 0x10)  # lock never released by anyone
+        assert not clocks.clock(1).knows(epoch)
+
+    def test_post_release_events_not_ordered(self):
+        clocks = SyncClocks(2)
+        clocks.release(0, 0x10)
+        later_epoch = clocks.clock(0).epoch(0)
+        clocks.acquire(1, 0x10)
+        assert not clocks.clock(1).knows(later_epoch)
+
+    def test_different_locks_do_not_chain(self):
+        clocks = SyncClocks(2)
+        epoch = clocks.clock(0).epoch(0)
+        clocks.release(0, 0x10)
+        clocks.acquire(1, 0x20)
+        assert not clocks.clock(1).knows(epoch)
+
+    def test_transitive_chain_through_third_thread(self):
+        clocks = SyncClocks(3)
+        epoch = clocks.clock(0).epoch(0)
+        clocks.release(0, 0x10)
+        clocks.acquire(1, 0x10)
+        clocks.release(1, 0x20)
+        clocks.acquire(2, 0x20)
+        assert clocks.clock(2).knows(epoch)
+
+    def test_barrier_orders_all_participants(self):
+        clocks = SyncClocks(3)
+        epochs = [clocks.clock(t).epoch(t) for t in range(3)]
+        assert not clocks.barrier_arrive(0, 1, 3)
+        assert not clocks.barrier_arrive(1, 1, 3)
+        assert clocks.barrier_arrive(2, 1, 3)
+        for observer in range(3):
+            for epoch in epochs:
+                assert clocks.clock(observer).knows(epoch)
+
+    def test_post_barrier_epochs_unordered(self):
+        clocks = SyncClocks(2)
+        clocks.barrier_arrive(0, 1, 2)
+        clocks.barrier_arrive(1, 1, 2)
+        post0 = clocks.clock(0).epoch(0)
+        assert not clocks.clock(1).knows(post0)
+
+    def test_barrier_reusable(self):
+        clocks = SyncClocks(2)
+        for _ in range(3):
+            clocks.barrier_arrive(0, 1, 2)
+            assert clocks.barrier_arrive(1, 1, 2)

@@ -1,0 +1,104 @@
+"""Integration tests for Figure 6: metadata travelling with coherence.
+
+The candidate set computed by one processor must be visible to the next
+processor that accesses the line — via the piggyback on the data transfer,
+and via the broadcast when a Shared line's set changes.
+"""
+
+from repro.common.config import HardConfig, MachineConfig
+from repro.common.events import Site, Trace, lock, read, unlock, write
+from repro.core.detector import HardDetector
+
+S = [Site("fig6.c", i, f"s{i}") for i in range(20)]
+LOCK_A, LOCK_B = 0x1000, 0x1004
+V = 0x20000
+
+
+def run(events, config=None):
+    trace = Trace(num_threads=4)
+    for tid, op in events:
+        trace.append(tid, op)
+    return HardDetector(MachineConfig(), config or HardConfig()).run(trace)
+
+
+def narrowing_history():
+    """C(v) narrows to {B} at t1's write, then to {} at t0's revisit.
+
+    The first owner's accesses happen in Exclusive state (no candidate
+    update — that is the initialization pruning), so the set only starts
+    narrowing at the first *foreign* access; the race is flagged at the
+    third step, and only if t1's narrowing travelled back to t0 with the
+    coherence transfer.
+    """
+    return [
+        (0, lock(LOCK_A, S[0])),
+        (0, write(V, S[1])),
+        (0, unlock(LOCK_A, S[2])),
+        (1, lock(LOCK_B, S[3])),
+        (1, write(V, S[4])),  # Exclusive -> SM, C = ALL & {B} = {B}
+        (1, unlock(LOCK_B, S[5])),
+        (0, lock(LOCK_A, S[6])),
+        (0, write(V, S[7])),  # C = {B} & {A} = empty -> report here
+        (0, unlock(LOCK_A, S[8])),
+    ]
+
+
+class TestPiggyback:
+    def test_candidate_set_travels_between_caches(self):
+        """t0's revisit must see t1's narrowing — the metadata moved with
+        the cache-to-cache transfers in both directions."""
+        result = run(narrowing_history())
+        assert any(r.site == S[7] for r in result.reports)
+        assert result.stats.get("hard.metadata_piggybacks") >= 2
+
+    def test_piggyback_cycles_charged(self):
+        result = run(narrowing_history())
+        assert result.stats["cycles.hard.piggyback"] >= 2
+        assert result.detector_extra_cycles >= result.stats["cycles.hard.piggyback"]
+
+
+class TestBroadcast:
+    def shared_line_narrowing(self):
+        """Three readers share the line; the last one's update must reach
+        the others via broadcast."""
+        return [
+            # Make the line Shared among cores 0..2 with history so the
+            # candidate set is meaningful.
+            (0, lock(LOCK_A, S[0])),
+            (0, write(V, S[1])),
+            (0, unlock(LOCK_A, S[2])),
+            (1, lock(LOCK_A, S[3])),
+            (1, read(V, S[4])),
+            (1, unlock(LOCK_A, S[5])),
+            (2, read(V, S[6])),  # Shared among several caches; C narrows to {}
+            # Core 0 writes again, under the proper lock, consulting its own
+            # (stale unless broadcast) copy.  With consistent copies the
+            # line is already condemned (C = {}); with a stale copy core 0
+            # still believes C = {A} and stays silent.
+            (0, lock(LOCK_A, S[8])),
+            (0, write(V, S[7])),
+            (0, unlock(LOCK_A, S[9])),
+        ]
+
+    def test_broadcast_happens_for_shared_lines(self):
+        result = run(self.shared_line_narrowing())
+        assert result.stats.get("hard.metadata_broadcasts") >= 1
+
+    def test_broadcast_keeps_copies_consistent(self):
+        """With the broadcast, core 0's read observes the emptied set and
+        reports; with the ablation its copy is stale and silent."""
+        with_bc = run(self.shared_line_narrowing())
+        without = run(
+            self.shared_line_narrowing(),
+            config=HardConfig(broadcast_updates=False),
+        )
+        sites_with = {r.site for r in with_bc.reports}
+        sites_without = {r.site for r in without.reports}
+        assert S[7] in sites_with
+        assert S[7] not in sites_without
+
+    def test_no_broadcast_traffic_when_disabled(self):
+        result = run(
+            self.shared_line_narrowing(), config=HardConfig(broadcast_updates=False)
+        )
+        assert result.stats.get("hard.metadata_broadcasts") == 0

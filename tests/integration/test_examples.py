@@ -1,0 +1,38 @@
+"""Smoke tests: the shipped examples run end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, script: str, argv: list[str]):
+    monkeypatch.setattr(sys, "argv", [script, *argv])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_hardware_cost_study(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "hardware_cost_study.py", [])
+    assert "CR_whole" in out
+    assert "0.0039" in out
+    assert "naive clearing" in out
+
+
+@pytest.mark.slow
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart.py", ["raytrace", "1"])
+    assert "running HARD" in out
+    assert "alarms" in out
+
+
+@pytest.mark.slow
+def test_interleaving_study(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "interleaving_study.py", ["barnes", "2", "4"]
+    )
+    assert "lockset" in out
+    assert "summary over interleavings" in out

@@ -1,0 +1,106 @@
+"""Integration test for the paper's Figure 1.
+
+Two threads race on x, but in the monitored interleaving their accesses to
+x are ordered by the lock operations performed for the *unrelated* variable
+y.  Happens-before cannot see this race; lockset can — the paper's central
+motivating example.
+"""
+
+from repro.common.events import Site, lock, read, unlock, write
+from repro.harness.detectors import make_detector
+from repro.threads.program import ParallelProgram, ThreadProgram
+from repro.threads.runtime import interleave
+from repro.threads.scheduler import FixedOrderScheduler
+
+X = 0x2000
+Y = 0x2100
+LOCK_Y = 0x1000
+
+S_T1_X = Site("fig1.c", 1, "t1: x++")
+S_T2_X = Site("fig1.c", 10, "t2: x++")
+S_Y = Site("fig1.c", 5, "y")
+S_SYNC = Site("fig1.c", 6, "lock(L)")
+
+
+def figure1_program() -> ParallelProgram:
+    # Warm-up: both threads touch x under proper locking ONCE so that the
+    # lockset state machine knows x is genuinely shared-modified.  The
+    # paper's example elides this (x is understood to be shared data).
+    lock_x = 0x1004
+    s_warm = Site("fig1.c", 0, "warm")
+
+    def warm(tid):
+        return [
+            lock(lock_x, s_warm),
+            write(X, s_warm),
+            unlock(lock_x, s_warm),
+        ]
+
+    thread1 = ThreadProgram(
+        0,
+        warm(0)
+        + [
+            write(X, S_T1_X),           # unprotected access to x
+            lock(LOCK_Y, S_SYNC),
+            read(Y, S_Y),
+            write(Y, S_Y),
+            unlock(LOCK_Y, S_SYNC),
+        ],
+    )
+    thread2 = ThreadProgram(
+        1,
+        warm(1)
+        + [
+            lock(LOCK_Y, S_SYNC),
+            read(Y, S_Y),
+            write(Y, S_Y),
+            unlock(LOCK_Y, S_SYNC),
+            write(X, S_T2_X),           # unprotected access to x
+        ],
+    )
+    return ParallelProgram(name="figure1", threads=[thread1, thread2])
+
+
+def figure1_trace():
+    """The exact interleaving of Figure 1: thread 1 fully before thread 2."""
+    program = figure1_program()
+    scheduler = FixedOrderScheduler([(0, 100), (1, 100)])
+    return interleave(program, scheduler).trace
+
+
+class TestFigure1:
+    def test_happens_before_is_blind(self):
+        trace = figure1_trace()
+        result = make_detector("hb-ideal").run(trace)
+        racy = {S_T1_X, S_T2_X}
+        assert not (result.reports.sites() & racy), (
+            "HB must consider t1's and t2's x accesses ordered through "
+            "the lock(L) release->acquire edge"
+        )
+
+    def test_lockset_detects_the_race(self):
+        trace = figure1_trace()
+        result = make_detector("hard-ideal").run(trace)
+        racy = {S_T1_X, S_T2_X}
+        assert result.reports.sites() & racy
+
+    def test_hard_default_also_detects(self):
+        trace = figure1_trace()
+        result = make_detector("hard-default").run(trace)
+        racy = {S_T1_X, S_T2_X}
+        assert result.reports.sites() & racy
+
+    def test_hb_detects_under_the_other_interleaving(self):
+        """Figure 1's caption: the race IS visible if t2 runs first."""
+        program = figure1_program()
+        scheduler = FixedOrderScheduler([(1, 3), (0, 100), (1, 100)])
+        trace = interleave(program, scheduler).trace
+        # Warm of t2 first, then t1 entirely, then t2's section: now t2's
+        # x access happens with no intervening lock edge ordering it after
+        # t1's.  Run t2's remainder before t1's lock section instead:
+        scheduler = FixedOrderScheduler([(1, 8), (0, 100), (1, 100)])
+        trace = interleave(figure1_program(), scheduler).trace
+        result = make_detector("hb-ideal").run(trace)
+        # The race on x manifests and is reported (the report may be
+        # attributed to whichever x access observed the conflict).
+        assert any(r.addr == X for r in result.reports)

@@ -1,0 +1,137 @@
+"""Unit tests for the ideal (exact, unbounded) lockset detector."""
+
+from repro.common.events import Site, Trace, barrier, lock, read, unlock, write
+from repro.lockset.exact import ALL_LOCKS, ExactChunk, IdealLocksetDetector
+
+S = [Site("t.c", i, f"s{i}") for i in range(20)]
+LOCK_A, LOCK_B = 0x1000, 0x1004
+VAR_X, VAR_Y = 0x2000, 0x2100
+
+
+def run(events: list[tuple[int, object]]):
+    trace = Trace(num_threads=4)
+    for thread_id, op in events:
+        trace.append(thread_id, op)
+    return IdealLocksetDetector().run(trace)
+
+
+class TestLockingDiscipline:
+    def test_consistently_locked_variable_is_silent(self):
+        events = []
+        for round_ in range(3):
+            for tid in (0, 1):
+                events += [
+                    (tid, lock(LOCK_A, S[0])),
+                    (tid, read(VAR_X, S[1])),
+                    (tid, write(VAR_X, S[2])),
+                    (tid, unlock(LOCK_A, S[3])),
+                ]
+        assert run(events).reports.alarm_count == 0
+
+    def test_unprotected_shared_writes_are_reported(self):
+        events = [
+            (0, write(VAR_X, S[1])),
+            (1, write(VAR_X, S[2])),  # Exclusive->Shared-Modified, C empty
+        ]
+        result = run(events)
+        assert result.reports.alarm_count >= 1
+
+    def test_one_unprotected_access_amid_locked_ones(self):
+        """The injected-bug shape: lockset catches it regardless of timing."""
+        events = []
+        for tid in (0, 1):
+            events += [
+                (tid, lock(LOCK_A, S[0])),
+                (tid, write(VAR_X, S[1])),
+                (tid, unlock(LOCK_A, S[2])),
+            ]
+        events.append((0, write(VAR_X, S[3])))  # lock omitted
+        result = run(events)
+        assert any(r.site == S[3] for r in result.reports)
+
+    def test_differently_locked_accesses_reported(self):
+        events = [
+            (0, lock(LOCK_A, S[0])),
+            (0, write(VAR_X, S[1])),
+            (0, unlock(LOCK_A, S[2])),
+            (1, lock(LOCK_B, S[3])),
+            (1, write(VAR_X, S[4])),
+            (1, unlock(LOCK_B, S[5])),
+            (0, lock(LOCK_A, S[6])),
+            (0, write(VAR_X, S[7])),  # C = {A} & {B} & {A} = empty
+            (0, unlock(LOCK_A, S[8])),
+        ]
+        assert run(events).reports.alarm_count >= 1
+
+
+class TestInitializationPruning:
+    def test_single_thread_init_unlocked_is_silent(self):
+        events = [(0, write(VAR_X, S[1])) for _ in range(5)]
+        assert run(events).reports.alarm_count == 0
+
+    def test_read_only_sharing_after_init_is_silent(self):
+        events = [(0, write(VAR_X, S[1]))]
+        events += [(tid, read(VAR_X, S[2])) for tid in (1, 2, 3)]
+        assert run(events).reports.alarm_count == 0
+
+    def test_write_after_read_sharing_reports(self):
+        events = [(0, write(VAR_X, S[1])), (1, read(VAR_X, S[2])), (2, write(VAR_X, S[3]))]
+        assert run(events).reports.alarm_count >= 1
+
+
+class TestBarrierReset:
+    def test_cross_phase_unlocked_accesses_are_silent(self):
+        """The Figure 7 scenario at the ideal level."""
+        events = [(0, write(VAR_X, S[1]))]
+        events += [(tid, barrier(0, 4)) for tid in range(4)]
+        events += [(1, write(VAR_X, S[2])), (1, read(VAR_X, S[3]))]
+        assert run(events).reports.alarm_count == 0
+
+    def test_within_phase_races_still_reported_after_barrier(self):
+        events = [(tid, barrier(0, 4)) for tid in range(4)]
+        events += [(0, write(VAR_X, S[1])), (1, write(VAR_X, S[2]))]
+        assert run(events).reports.alarm_count >= 1
+
+    def test_reset_disabled_reintroduces_barrier_false_positives(self):
+        trace = Trace(num_threads=4)
+        trace.append(0, write(VAR_X, S[1]))
+        trace.append(1, read(VAR_X, S[5]))  # make it Shared before the barrier
+        for tid in range(4):
+            trace.append(tid, barrier(0, 4))
+        trace.append(1, write(VAR_X, S[2]))
+        with_reset = IdealLocksetDetector(barrier_reset=True).run(trace)
+        without = IdealLocksetDetector(barrier_reset=False).run(trace)
+        assert with_reset.reports.alarm_count == 0
+        assert without.reports.alarm_count >= 1
+
+
+class TestGranularity:
+    def test_variable_granularity_separates_neighbours(self):
+        # Two 4-byte variables in one line, each exclusively owned.
+        events = [(0, write(0x2000, S[1])), (1, write(0x2004, S[2]))] * 3
+        result = run(events)
+        assert result.reports.alarm_count == 0
+
+    def test_coarse_granularity_conflates_them(self):
+        trace = Trace(num_threads=2)
+        for _ in range(3):
+            trace.append(0, write(0x2000, S[1]))
+            trace.append(1, write(0x2004, S[2]))
+        result = IdealLocksetDetector(granularity=32).run(trace)
+        assert result.reports.alarm_count >= 1
+
+
+class TestExactChunk:
+    def test_all_locks_sentinel(self):
+        chunk = ExactChunk()
+        assert chunk.candidate is ALL_LOCKS
+        assert not chunk.is_empty
+
+    def test_intersection_narrows(self):
+        chunk = ExactChunk()
+        chunk.intersect({LOCK_A: 1, LOCK_B: 1})
+        assert chunk.candidate == {LOCK_A, LOCK_B}
+        chunk.intersect({LOCK_B: 1})
+        assert chunk.candidate == {LOCK_B}
+        chunk.intersect({LOCK_A: 1})
+        assert chunk.is_empty

@@ -1,0 +1,74 @@
+"""Unit tests for the software (Eraser-style) lockset detector."""
+
+import pytest
+
+from repro.common.events import Site, Trace, lock, read, unlock, write
+from repro.lockset.exact import IdealLocksetDetector
+from repro.lockset.software import SoftwareCosts, SoftwareLocksetDetector
+
+S = [Site("sw.c", i, f"s{i}") for i in range(10)]
+LOCK_A = 0x1000
+VAR = 0x20000
+
+
+def trace_of(events) -> Trace:
+    trace = Trace(num_threads=4)
+    for tid, op in events:
+        trace.append(tid, op)
+    return trace
+
+
+def racy_workload(rounds: int = 10):
+    events = []
+    for _ in range(rounds):
+        for tid in (0, 1):
+            events += [
+                (tid, lock(LOCK_A, S[0])),
+                (tid, read(VAR, S[1])),
+                (tid, write(VAR, S[2])),
+                (tid, unlock(LOCK_A, S[3])),
+            ]
+    events.append((0, write(VAR, S[4])))  # the injected shape
+    return events
+
+
+class TestAlgorithmEquivalence:
+    def test_same_verdicts_as_ideal(self):
+        events = racy_workload()
+        software = SoftwareLocksetDetector().run(trace_of(events))
+        ideal = IdealLocksetDetector().run(trace_of(events))
+        assert software.reports.sites() == ideal.reports.sites()
+
+    def test_detects_the_missing_lock(self):
+        result = SoftwareLocksetDetector().run(trace_of(racy_workload()))
+        assert any(r.site == S[4] for r in result.reports)
+
+
+class TestCostModel:
+    def test_slowdown_is_an_order_of_magnitude(self):
+        """The paper's 10-30x range for software lockset."""
+        result = SoftwareLocksetDetector().run(trace_of(racy_workload(rounds=50)))
+        slowdown = SoftwareLocksetDetector.slowdown(result)
+        assert slowdown > 5.0
+
+    def test_costs_attributed(self):
+        result = SoftwareLocksetDetector().run(trace_of(racy_workload()))
+        assert result.stats.get("cycles.sw.access_check") > 0
+        assert result.stats.get("cycles.sw.lock_maintenance") > 0
+        assert result.stats.get("sw.monitored_accesses") > 0
+
+    def test_custom_costs_respected(self):
+        cheap = SoftwareLocksetDetector(costs=SoftwareCosts(access_check=1))
+        dear = SoftwareLocksetDetector(costs=SoftwareCosts(access_check=500))
+        trace = trace_of(racy_workload())
+        cheap_result = cheap.run(trace)
+        dear_result = dear.run(trace_of(racy_workload()))
+        assert (
+            dear_result.detector_extra_cycles > cheap_result.detector_extra_cycles
+        )
+
+    def test_slowdown_of_empty_result_is_one(self):
+        from repro.reporting import DetectionResult, RaceReportLog
+
+        empty = DetectionResult(detector="x", reports=RaceReportLog("x"))
+        assert SoftwareLocksetDetector.slowdown(empty) == 1.0

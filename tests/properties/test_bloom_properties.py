@@ -1,0 +1,85 @@
+"""Property-based tests for the BFVector (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import BloomConfig
+from repro.core.bloom import BloomMapper, BloomVector
+
+lock_addrs = st.integers(min_value=0, max_value=0xFFFF_FFFF).map(lambda v: v & ~3)
+lock_sets = st.lists(lock_addrs, min_size=0, max_size=12)
+geometries = st.sampled_from(
+    [BloomConfig(vector_bits=16), BloomConfig(vector_bits=32), BloomConfig(vector_bits=64)]
+)
+
+
+@given(lock_sets, lock_addrs, geometries)
+def test_membership_has_no_false_negatives(locks, probe, config):
+    mapper = BloomMapper(config)
+    vector = 0
+    for addr in locks:
+        vector = mapper.insert(vector, addr)
+    for addr in locks:
+        assert mapper.may_contain(vector, addr)
+    if probe in locks:
+        assert mapper.may_contain(vector, probe)
+
+
+@given(lock_sets, lock_sets, geometries)
+def test_intersection_is_one_sided(a, b, config):
+    """A non-empty true intersection can never look empty in the filter."""
+    mapper = BloomMapper(config)
+    va = vb = 0
+    for addr in a:
+        va = mapper.insert(va, addr)
+    for addr in b:
+        vb = mapper.insert(vb, addr)
+    if set(a) & set(b):
+        assert not mapper.is_empty(mapper.intersect(va, vb))
+
+
+@given(lock_sets, geometries)
+def test_empty_set_is_always_empty(locks, config):
+    mapper = BloomMapper(config)
+    assert mapper.is_empty(0)
+    vector = 0
+    for addr in locks:
+        vector = mapper.insert(vector, addr)
+    if locks:
+        assert not mapper.is_empty(vector)
+
+
+@given(lock_sets)
+def test_insertion_order_is_irrelevant(locks):
+    mapper = BloomMapper()
+    forward = backward = 0
+    for addr in locks:
+        forward = mapper.insert(forward, addr)
+    for addr in reversed(locks):
+        backward = mapper.insert(backward, addr)
+    assert forward == backward
+
+
+@given(lock_sets, lock_sets)
+def test_intersection_commutes_and_narrows(a, b):
+    mapper = BloomMapper()
+    va = vb = 0
+    for addr in a:
+        va = mapper.insert(va, addr)
+    for addr in b:
+        vb = mapper.insert(vb, addr)
+    inter = mapper.intersect(va, vb)
+    assert inter == mapper.intersect(vb, va)
+    assert inter & va == inter and inter & vb == inter
+
+
+@settings(max_examples=50)
+@given(lock_sets)
+def test_wrapper_agrees_with_mapper(locks):
+    vec = BloomVector.of(locks)
+    mapper = vec.mapper
+    raw = 0
+    for addr in locks:
+        raw = mapper.insert(raw, addr)
+    assert vec.value == raw
+    assert vec.is_empty == mapper.is_empty(raw)

@@ -1,0 +1,85 @@
+"""Property-based tests for the interleaving runtime."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.events import OpKind, Site, compute, lock, unlock, write
+from repro.threads.program import ParallelProgram, ThreadProgram
+from repro.threads.runtime import interleave
+from repro.threads.scheduler import RandomScheduler
+
+SITE = Site("p.c", 1)
+
+# Per-thread scripts of (kind, lock-index) where kind 0=compute, 1=cs.
+scripts = st.lists(
+    st.lists(
+        st.tuples(st.integers(0, 1), st.integers(0, 3)),
+        max_size=20,
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def build_program(per_thread) -> ParallelProgram:
+    threads = []
+    for tid, script in enumerate(per_thread):
+        ops = []
+        for kind, lock_index in script:
+            if kind == 0:
+                ops.append(compute(1))
+            else:
+                addr = 0x100 + 4 * lock_index
+                ops.append(lock(addr, SITE))
+                ops.append(write(0x2000 + 4 * lock_index, SITE))
+                ops.append(unlock(addr, SITE))
+        threads.append(ThreadProgram(tid, ops))
+    return ParallelProgram(name="prop", threads=threads)
+
+
+@settings(max_examples=50, deadline=None)
+@given(scripts, st.integers(0, 20))
+def test_every_op_executes_exactly_once(per_thread, seed):
+    program = build_program(per_thread)
+    trace = interleave(program, RandomScheduler(seed=seed, max_burst=3)).trace
+    assert len(trace) == program.total_ops()
+    per_thread_counts = {}
+    for ev in trace:
+        per_thread_counts[ev.thread_id] = per_thread_counts.get(ev.thread_id, 0) + 1
+    for thread in program.threads:
+        assert per_thread_counts.get(thread.thread_id, 0) == len(thread.ops)
+
+
+@settings(max_examples=50, deadline=None)
+@given(scripts, st.integers(0, 20))
+def test_program_order_is_preserved(per_thread, seed):
+    program = build_program(per_thread)
+    expected = {t.thread_id: list(t.ops) for t in program.threads}
+    trace = interleave(program, RandomScheduler(seed=seed, max_burst=3)).trace
+    cursors = {tid: 0 for tid in expected}
+    for ev in trace:
+        assert ev.op == expected[ev.thread_id][cursors[ev.thread_id]]
+        cursors[ev.thread_id] += 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(scripts, st.integers(0, 20))
+def test_mutual_exclusion_holds(per_thread, seed):
+    program = build_program(per_thread)
+    trace = interleave(program, RandomScheduler(seed=seed, max_burst=2)).trace
+    holder: dict[int, int] = {}
+    for ev in trace:
+        if ev.op.kind is OpKind.LOCK:
+            assert ev.op.addr not in holder
+            holder[ev.op.addr] = ev.thread_id
+        elif ev.op.kind is OpKind.UNLOCK:
+            assert holder.pop(ev.op.addr) == ev.thread_id
+    assert holder == {}
+
+
+@settings(max_examples=30, deadline=None)
+@given(scripts, st.integers(0, 20))
+def test_interleaving_is_deterministic(per_thread, seed):
+    t1 = interleave(build_program(per_thread), RandomScheduler(seed=seed)).trace
+    t2 = interleave(build_program(per_thread), RandomScheduler(seed=seed)).trace
+    assert [(e.thread_id, e.op) for e in t1] == [(e.thread_id, e.op) for e in t2]

@@ -1,0 +1,82 @@
+"""Property-based tests for the Lock Register (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import HardConfig
+from repro.core.lockregister import LockRegister
+
+# Sequences of (acquire?, lock-index) over a small lock universe.
+actions = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=15)),
+    max_size=60,
+)
+
+
+def replay(seq, use_counter_register=True, max_depth=None):
+    """Apply a raw action sequence legally (skip impossible releases).
+
+    ``max_depth`` optionally caps how many distinct locks may be held at
+    once (and forbids re-entrant acquires), keeping every per-bit counter
+    strictly below saturation.
+    """
+    reg = LockRegister(HardConfig(use_counter_register=use_counter_register))
+    held: list[int] = []
+    for acquire, index in seq:
+        addr = 0x100 + index * 4
+        if acquire:
+            if max_depth is not None and (addr in held or len(held) >= max_depth):
+                continue
+            reg.acquire(addr)
+            held.append(addr)
+        elif addr in held:
+            reg.release(addr)
+            held.remove(addr)
+    return reg, held
+
+
+@given(actions)
+def test_held_locks_representable_below_saturation(seq):
+    """With the Counter Register and at most three distinct concurrently
+    held locks, per-bit counters never saturate, so every held lock always
+    passes the membership test.  (Beyond saturation the guarantee lapses —
+    the hardware's documented 2-bit approximation, covered by the unit
+    tests.)"""
+    reg, held = replay(seq, max_depth=3)
+    for addr in held:
+        assert reg.mapper.may_contain(reg.value, addr)
+
+
+@given(actions)
+def test_full_release_clears_register(seq):
+    reg, held = replay(seq)
+    for addr in list(held):
+        reg.release(addr)
+    assert reg.value == 0
+    assert all(c == 0 for c in reg.counters)
+    assert reg.held_count == 0
+
+
+@given(actions)
+def test_counters_bound_by_saturation(seq):
+    reg, _ = replay(seq)
+    maximum = (1 << reg.config.counter_bits) - 1
+    assert all(0 <= c <= maximum for c in reg.counters)
+
+
+@settings(max_examples=60)
+@given(actions)
+def test_value_bits_iff_positive_counter(seq):
+    """A bit is set in the register iff its counter is positive."""
+    reg, _ = replay(seq)
+    for bit, counter in enumerate(reg.counters):
+        bit_set = bool(reg.value & (1 << bit))
+        assert bit_set == (counter > 0)
+
+
+@given(actions)
+def test_naive_register_never_overapproximates_counter_register(seq):
+    """Naive clearing can only lose bits relative to the counter design."""
+    with_counters, _ = replay(seq, use_counter_register=True)
+    naive, _ = replay(seq, use_counter_register=False)
+    assert naive.value & ~with_counters.value == 0

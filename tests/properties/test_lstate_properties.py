@@ -1,0 +1,73 @@
+"""Property-based tests for the LState machine (Figure 2)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.lstate import NO_OWNER, LState, transition
+
+accesses = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3), st.booleans()),
+    min_size=1,
+    max_size=40,
+)
+
+
+def replay(seq):
+    state, owner = LState.VIRGIN, NO_OWNER
+    path = []
+    for thread_id, is_write in seq:
+        outcome = transition(state, owner, thread_id, is_write)
+        path.append((state, outcome))
+        state, owner = outcome.state, outcome.owner
+    return state, owner, path
+
+
+@given(accesses)
+def test_shared_modified_is_absorbing(seq):
+    _, _, path = replay(seq)
+    seen_sm = False
+    for state, outcome in path:
+        if seen_sm:
+            assert state is LState.SHARED_MODIFIED
+            assert outcome.state is LState.SHARED_MODIFIED
+        if outcome.state is LState.SHARED_MODIFIED:
+            seen_sm = True
+
+
+@given(accesses)
+def test_single_thread_histories_stay_exclusive(seq):
+    single = [(0, w) for _, w in seq]
+    state, owner, path = replay(single)
+    assert state is LState.EXCLUSIVE and owner == 0
+    assert not any(outcome.check_race for _, outcome in path)
+
+
+@given(accesses)
+def test_checks_only_in_shared_modified(seq):
+    _, _, path = replay(seq)
+    for _, outcome in path:
+        if outcome.check_race:
+            assert outcome.state is LState.SHARED_MODIFIED
+
+
+@given(accesses)
+def test_candidate_updates_never_in_exclusive(seq):
+    _, _, path = replay(seq)
+    for _, outcome in path:
+        if outcome.state in (LState.EXCLUSIVE, LState.VIRGIN):
+            assert not outcome.update_candidate
+
+
+@given(accesses)
+def test_owner_fixed_after_first_access(seq):
+    _, _, path = replay(seq)
+    first_thread = seq[0][0]
+    for _, outcome in path:
+        assert outcome.owner in (first_thread, NO_OWNER)
+
+
+@given(accesses)
+def test_read_only_multithread_histories_never_check(seq):
+    reads = [(tid, False) for tid, _ in seq]
+    _, _, path = replay(reads)
+    assert not any(outcome.check_race for _, outcome in path)

@@ -1,0 +1,87 @@
+"""Property-based tests for MESI coherence and metadata consistency."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.metadata import CacheMetadataStore
+
+accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),      # core
+        st.integers(min_value=0, max_value=120),    # line index
+        st.booleans(),                              # write?
+    ),
+    max_size=400,
+)
+
+
+def tiny_machine() -> Machine:
+    return Machine(
+        MachineConfig(
+            num_cores=4,
+            l1=CacheConfig(256, 2, 32, 3),
+            l2=CacheConfig(1024, 2, 32, 10),
+        )
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(accesses)
+def test_mesi_invariants_hold(seq):
+    machine = tiny_machine()
+    for core, index, is_write in seq:
+        machine.access(core, 0x1000 + 32 * index, 4, is_write)
+    machine.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(accesses)
+def test_holders_map_matches_l1_contents(seq):
+    machine = tiny_machine()
+    for core, index, is_write in seq:
+        machine.access(core, 0x1000 + 32 * index, 4, is_write)
+    derived = {}
+    for core, l1 in enumerate(machine.l1s):
+        for line in l1.resident_lines():
+            derived.setdefault(line.tag, set()).add(core)
+    assert derived == machine._holders
+
+
+@settings(max_examples=60, deadline=None)
+@given(accesses)
+def test_writer_always_ends_modified(seq):
+    machine = tiny_machine()
+    for core, index, is_write in seq:
+        machine.access(core, 0x1000 + 32 * index, 4, is_write)
+        line = machine.l1s[core].lookup(0x1000 + 32 * index)
+        assert line is not None
+        if is_write:
+            assert line.state.value == "M"
+
+
+@settings(max_examples=40, deadline=None)
+@given(accesses)
+def test_metadata_store_mirrors_protocol(seq):
+    machine = tiny_machine()
+    store = CacheMetadataStore(fresh=lambda line: [line], clone=list.copy)
+    machine.add_listener(store)
+    for core, index, is_write in seq:
+        machine.access(core, 0x1000 + 32 * index, 4, is_write)
+    for core, l1 in enumerate(machine.l1s):
+        for line in l1.resident_lines():
+            assert store.get(core, line.tag) is not None
+    for line_addr in store.tracked_lines():
+        assert machine.l2.contains(line_addr)
+
+
+@settings(max_examples=40, deadline=None)
+@given(accesses)
+def test_cycles_monotone_and_positive(seq):
+    machine = tiny_machine()
+    previous = 0
+    for core, index, is_write in seq:
+        machine.access(core, 0x1000 + 32 * index, 4, is_write)
+        assert machine.cycles > previous
+        previous = machine.cycles

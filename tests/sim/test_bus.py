@@ -1,0 +1,51 @@
+"""Unit tests for bus traffic and cycle accounting."""
+
+from repro.common.config import BusConfig
+from repro.sim.bus import Bus
+
+
+class TestLineTransfers:
+    def test_line_transfer_charges_transaction_plus_words(self):
+        bus = Bus(BusConfig(cycles_per_transaction=4, cycles_per_word=1, word_bytes=8))
+        cycles = bus.line_transfer(32, "c2c")
+        assert cycles == 4 + 4
+        assert bus.cycles == cycles
+        assert bus.stats["bus.bytes.data"] == 32
+        assert bus.stats["bus.transactions.c2c"] == 1
+
+    def test_address_only(self):
+        bus = Bus(BusConfig())
+        cycles = bus.address_only("upgrade")
+        assert cycles == bus.config.cycles_per_transaction
+        assert bus.stats["bus.transactions.upgrade"] == 1
+
+    def test_kinds_are_tracked_separately(self):
+        bus = Bus(BusConfig())
+        bus.line_transfer(32, "mem_fill")
+        bus.line_transfer(32, "writeback")
+        assert bus.stats["bus.transactions.mem_fill"] == 1
+        assert bus.stats["bus.transactions.writeback"] == 1
+
+
+class TestMetadataTraffic:
+    def test_piggyback_is_cheap(self):
+        bus = Bus(BusConfig())
+        cycles = bus.metadata_piggyback(18)
+        assert cycles == bus.config.metadata_piggyback_cycles
+        assert bus.stats["bus.bytes.metadata"] == 3  # 18 bits -> 3 bytes
+
+    def test_broadcast_is_a_short_transaction(self):
+        bus = Bus(BusConfig(cycles_per_transaction=4, cycles_per_word=1))
+        cycles = bus.metadata_broadcast(18)
+        assert cycles == 5
+        assert bus.stats["bus.transactions.metadata_broadcast"] == 1
+
+    def test_metadata_bytes_accumulate(self):
+        bus = Bus(BusConfig())
+        bus.metadata_piggyback(18)
+        bus.metadata_broadcast(18)
+        assert bus.stats["bus.bytes.metadata"] == 6
+
+    def test_broadcast_dearer_than_piggyback(self):
+        bus = Bus(BusConfig())
+        assert bus.metadata_broadcast(18) > bus.metadata_piggyback(18)

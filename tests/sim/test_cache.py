@@ -1,0 +1,143 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.common.config import CacheConfig
+from repro.common.errors import SimulationError
+from repro.sim.cache import MESI, Cache
+
+
+def small_cache(sets: int = 2, ways: int = 2, line: int = 32) -> Cache:
+    return Cache(
+        CacheConfig(
+            size_bytes=sets * ways * line,
+            associativity=ways,
+            line_size=line,
+            latency_cycles=1,
+        ),
+        name="test",
+    )
+
+
+def addr_for_set(cache: Cache, set_index: int, tag: int) -> int:
+    """An address mapping to the given set with a distinguishing tag."""
+    line = cache.config.line_size
+    return (tag * cache.config.num_sets + set_index) * line
+
+
+class TestLookup:
+    def test_miss_on_empty_cache(self):
+        cache = small_cache()
+        assert cache.lookup(0x100) is None
+        assert not cache.contains(0x100)
+
+    def test_hit_after_fill(self):
+        cache = small_cache()
+        cache.fill(0x100, MESI.EXCLUSIVE)
+        line = cache.lookup(0x10F)  # same line, different offset
+        assert line is not None and line.state is MESI.EXCLUSIVE
+
+    def test_fill_of_resident_line_rejected(self):
+        cache = small_cache()
+        cache.fill(0x100, MESI.SHARED)
+        with pytest.raises(SimulationError):
+            cache.fill(0x100, MESI.SHARED)
+
+
+class TestEvictionLRU:
+    def test_victim_is_least_recently_used(self):
+        cache = small_cache(sets=1, ways=2)
+        a = addr_for_set(cache, 0, 1)
+        b = addr_for_set(cache, 0, 2)
+        c = addr_for_set(cache, 0, 3)
+        cache.fill(a, MESI.SHARED)
+        cache.fill(b, MESI.SHARED)
+        cache.access(a)  # refresh a; b becomes LRU
+        victim = cache.fill(c, MESI.SHARED)
+        assert victim is not None and victim.line_addr == b
+
+    def test_choose_victim_matches_fill(self):
+        cache = small_cache(sets=1, ways=2)
+        a, b, c = (addr_for_set(cache, 0, t) for t in (1, 2, 3))
+        cache.fill(a, MESI.SHARED)
+        cache.fill(b, MESI.SHARED)
+        predicted = cache.choose_victim(c)
+        actual = cache.fill(c, MESI.SHARED)
+        assert predicted == actual
+
+    def test_no_victim_when_way_free(self):
+        cache = small_cache(sets=1, ways=2)
+        a = addr_for_set(cache, 0, 1)
+        assert cache.choose_victim(a) is None
+        assert cache.fill(a, MESI.SHARED) is None
+
+    def test_dirty_victim_flagged(self):
+        cache = small_cache(sets=1, ways=1)
+        a, b = addr_for_set(cache, 0, 1), addr_for_set(cache, 0, 2)
+        cache.fill(a, MESI.MODIFIED)
+        victim = cache.fill(b, MESI.SHARED)
+        assert victim is not None and victim.dirty
+
+    def test_sets_are_independent(self):
+        cache = small_cache(sets=2, ways=1)
+        a = addr_for_set(cache, 0, 1)
+        b = addr_for_set(cache, 1, 1)
+        cache.fill(a, MESI.SHARED)
+        assert cache.fill(b, MESI.SHARED) is None  # different set, no victim
+
+
+class TestStateManagement:
+    def test_set_state(self):
+        cache = small_cache()
+        cache.fill(0x100, MESI.EXCLUSIVE)
+        cache.set_state(0x100, MESI.MODIFIED)
+        assert cache.lookup(0x100).state is MESI.MODIFIED
+
+    def test_invalid_state_removes_line(self):
+        cache = small_cache()
+        cache.fill(0x100, MESI.SHARED)
+        cache.set_state(0x100, MESI.INVALID)
+        assert cache.lookup(0x100) is None
+
+    def test_state_change_on_absent_line_rejected(self):
+        with pytest.raises(SimulationError):
+            small_cache().set_state(0x100, MESI.SHARED)
+
+    def test_evict_returns_line(self):
+        cache = small_cache()
+        cache.fill(0x100, MESI.MODIFIED)
+        line = cache.evict(0x100)
+        assert line.dirty
+        assert cache.lookup(0x100) is None
+
+    def test_evict_absent_rejected(self):
+        with pytest.raises(SimulationError):
+            small_cache().evict(0x100)
+
+    def test_fill_invalid_rejected(self):
+        with pytest.raises(SimulationError):
+            small_cache().fill(0x100, MESI.INVALID)
+
+
+class TestOccupancy:
+    def test_occupancy_counts_valid_lines(self):
+        cache = small_cache(sets=2, ways=2)
+        assert cache.occupancy() == 0
+        cache.fill(addr_for_set(cache, 0, 1), MESI.SHARED)
+        cache.fill(addr_for_set(cache, 1, 1), MESI.SHARED)
+        assert cache.occupancy() == 2
+
+    def test_resident_lines_iterates_all(self):
+        cache = small_cache(sets=2, ways=2)
+        addrs = {addr_for_set(cache, s, t) for s in range(2) for t in (1, 2)}
+        for a in addrs:
+            cache.fill(a, MESI.SHARED)
+        assert {ln.tag for ln in cache.resident_lines()} == addrs
+
+    def test_capacity_is_respected(self):
+        cache = small_cache(sets=2, ways=2)
+        for tag in range(10):
+            for s in range(2):
+                if not cache.contains(addr_for_set(cache, s, tag)):
+                    cache.fill(addr_for_set(cache, s, tag), MESI.SHARED)
+        assert cache.occupancy() == 4

@@ -1,0 +1,47 @@
+"""Unit tests for the directory metadata storage (Section 3.4)."""
+
+from repro.sim.directory import Directory
+
+
+class TestDirectory:
+    def test_fetch_allocates_fresh(self):
+        directory = Directory(fresh=lambda line: {"line": line})
+        entry = directory.fetch(0x100)
+        assert entry == {"line": 0x100}
+        assert directory.stats["directory.allocations"] == 1
+
+    def test_fetch_returns_existing(self):
+        directory = Directory(fresh=lambda line: {"v": 0})
+        first = directory.fetch(0x100)
+        first["v"] = 7
+        again = directory.fetch(0x100)
+        assert again["v"] == 7
+        assert directory.stats["directory.allocations"] == 1
+        assert directory.stats["directory.fetches"] == 2
+
+    def test_put_back_updates(self):
+        directory = Directory(fresh=lambda line: {"v": 0})
+        directory.fetch(0x100)
+        directory.put_back(0x100, {"v": 9})
+        assert directory.fetch(0x100)["v"] == 9
+        assert directory.stats["directory.updates"] == 1
+
+    def test_entries_survive_forever(self):
+        directory = Directory(fresh=lambda line: {"v": line})
+        for i in range(1000):
+            directory.fetch(0x1000 + 32 * i)
+        assert directory.entry_count == 1000
+
+    def test_reset_all(self):
+        directory = Directory(fresh=lambda line: {"v": 1})
+        for i in range(5):
+            directory.fetch(32 * i)
+
+        def clear(entry):
+            entry["v"] = 0
+
+        assert directory.reset_all(clear) == 5
+        assert all(directory.fetch(32 * i)["v"] == 0 for i in range(5))
+
+    def test_access_cycles_configurable(self):
+        assert Directory(fresh=dict, access_cycles=12).access_cycles == 12

@@ -1,0 +1,99 @@
+"""Failure-injection tests: corrupted state must be *detected*, not absorbed.
+
+The simulator checks its own invariants; these tests deliberately violate
+them through the internals and assert the violation is caught.  A silent
+simulator bug here would quietly skew every detection result, so loud
+failure is part of the contract.
+"""
+
+import pytest
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.common.errors import CoherenceError, DetectorError
+from repro.sim.cache import MESI
+from repro.sim.coherence import FillSource
+from repro.sim.machine import Machine
+from repro.sim.metadata import CacheMetadataStore
+
+
+def machine() -> Machine:
+    return Machine(
+        MachineConfig(
+            num_cores=4,
+            l1=CacheConfig(512, 2, 32, 3),
+            l2=CacheConfig(4096, 4, 32, 10),
+        )
+    )
+
+
+class TestCoherenceCorruption:
+    def test_double_modified_detected(self):
+        m = machine()
+        m.access(0, 0x1000, 4, True)
+        m.access(1, 0x2000, 4, True)
+        # Corrupt: force core 1 to hold the same line Modified.
+        m.l2.fill(0x1000 + 0, MESI.MODIFIED) if not m.l2.contains(0x1000) else None
+        m.l1s[1].fill(0x1000, MESI.MODIFIED)
+        with pytest.raises(CoherenceError):
+            m.check_invariants()
+
+    def test_inclusion_violation_detected(self):
+        m = machine()
+        m.access(0, 0x1000, 4, False)
+        m.l2.evict(0x1000)  # L1 copy now orphaned
+        with pytest.raises(CoherenceError):
+            m.check_invariants()
+
+    def test_modified_alongside_shared_detected(self):
+        m = machine()
+        m.access(0, 0x1000, 4, False)
+        m.access(1, 0x1000, 4, False)  # both Shared
+        m.l1s[0].set_state(0x1000, MESI.MODIFIED)  # corrupt
+        with pytest.raises(CoherenceError):
+            m.check_invariants()
+
+    def test_snoop_with_two_owners_detected_on_access(self):
+        m = machine()
+        m.access(0, 0x1000, 4, True)
+        # Corrupt a second owner directly.
+        m.l2.contains(0x1000)
+        m.l1s[1].fill(0x1000, MESI.EXCLUSIVE)
+        m._holders.setdefault(0x1000, set()).add(1)
+        with pytest.raises(CoherenceError):
+            m.access(2, 0x1000, 4, False)
+
+
+class TestMetadataStoreCorruption:
+    def store(self):
+        return CacheMetadataStore(fresh=lambda line: {"l": line}, clone=dict.copy)
+
+    def test_fill_from_absent_supplier(self):
+        store = self.store()
+        with pytest.raises(DetectorError):
+            store.on_fill(1, 0x100, FillSource.from_core(0))
+
+    def test_writeback_without_copy(self):
+        store = self.store()
+        with pytest.raises(DetectorError):
+            store.on_writeback(0, 0x100)
+
+    def test_double_invalidate(self):
+        store = self.store()
+        store.on_fill(0, 0x100, FillSource.memory())
+        store.on_invalidate(0, 0x100)
+        with pytest.raises(DetectorError):
+            store.on_invalidate(0, 0x100)
+
+    def test_l2_evict_of_untracked_line(self):
+        with pytest.raises(DetectorError):
+            self.store().on_l2_evict(0x100)
+
+    def test_update_all_copies_untracked(self):
+        with pytest.raises(DetectorError):
+            self.store().update_all_copies(0x100, {})
+
+    def test_set_on_absent_holder(self):
+        store = self.store()
+        store.on_fill(0, 0x100, FillSource.memory())
+        with pytest.raises(DetectorError):
+            store.set(3, 0x100, {})

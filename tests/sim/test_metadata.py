@@ -1,0 +1,148 @@
+"""Unit tests for the per-holder cache metadata store."""
+
+import pytest
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.common.errors import DetectorError
+from repro.sim.coherence import FillSource
+from repro.sim.machine import Machine
+from repro.sim.metadata import L2_HOLDER, CacheMetadataStore
+
+
+class Meta:
+    """Trivial mutable metadata object for the tests."""
+
+    def __init__(self, value: int = 0):
+        self.value = value
+
+    def clone(self) -> "Meta":
+        return Meta(self.value)
+
+
+def fresh_store() -> CacheMetadataStore:
+    return CacheMetadataStore(fresh=lambda line: Meta(0), clone=lambda m: m.clone())
+
+
+class TestDirectProtocol:
+    """Driving the listener hooks directly."""
+
+    def test_memory_fill_creates_core_and_l2_copies(self):
+        store = fresh_store()
+        store.on_fill(0, 0x100, FillSource.memory())
+        assert store.get(0, 0x100) is not None
+        assert store.get(L2_HOLDER, 0x100) is not None
+        assert store.get(0, 0x100) is not store.get(L2_HOLDER, 0x100)
+
+    def test_core_to_core_transfer_clones_supplier(self):
+        store = fresh_store()
+        store.on_fill(0, 0x100, FillSource.memory())
+        store.get(0, 0x100).value = 7
+        store.on_fill(1, 0x100, FillSource.from_core(0))
+        assert store.get(1, 0x100).value == 7
+        # Independent copies: later divergence allowed.
+        store.get(1, 0x100).value = 9
+        assert store.get(0, 0x100).value == 7
+
+    def test_l2_fill_clones_l2_copy(self):
+        store = fresh_store()
+        store.on_fill(0, 0x100, FillSource.memory())
+        store.get(L2_HOLDER, 0x100).value = 5
+        store.on_fill(1, 0x100, FillSource.l2())
+        assert store.get(1, 0x100).value == 5
+
+    def test_writeback_refreshes_l2_copy(self):
+        store = fresh_store()
+        store.on_fill(0, 0x100, FillSource.memory())
+        store.get(0, 0x100).value = 3
+        store.on_writeback(0, 0x100)
+        assert store.get(L2_HOLDER, 0x100).value == 3
+
+    def test_invalidate_drops_copy(self):
+        store = fresh_store()
+        store.on_fill(0, 0x100, FillSource.memory())
+        store.on_invalidate(0, 0x100)
+        assert store.get(0, 0x100) is None
+        assert store.get(L2_HOLDER, 0x100) is not None
+
+    def test_l2_evict_drops_line_entirely(self):
+        store = fresh_store()
+        store.on_fill(0, 0x100, FillSource.memory())
+        store.on_invalidate(0, 0x100)
+        store.on_l2_evict(0x100)
+        assert store.get(L2_HOLDER, 0x100) is None
+        assert store.tracked_lines() == []
+
+    def test_l2_evict_with_live_core_copies_is_an_error(self):
+        store = fresh_store()
+        store.on_fill(0, 0x100, FillSource.memory())
+        with pytest.raises(DetectorError):
+            store.on_l2_evict(0x100)
+
+    def test_require_raises_on_missing(self):
+        with pytest.raises(DetectorError):
+            fresh_store().require(0, 0x100)
+
+    def test_update_all_copies_returns_other_count(self):
+        store = fresh_store()
+        store.on_fill(0, 0x100, FillSource.memory())
+        store.on_fill(1, 0x100, FillSource.from_core(0))
+        refreshed = store.update_all_copies(0x100, Meta(42))
+        assert refreshed == 2  # core1 + L2
+        assert store.get(1, 0x100).value == 42
+        assert store.get(L2_HOLDER, 0x100).value == 42
+
+    def test_update_everywhere_touches_all_copies(self):
+        store = fresh_store()
+        store.on_fill(0, 0x100, FillSource.memory())
+        store.on_fill(0, 0x200, FillSource.memory())
+
+        def bump(meta):
+            meta.value += 1
+
+        touched = store.update_everywhere(bump)
+        assert touched == 4  # two lines x (core0 + L2)
+
+
+class TestAttachedToMachine:
+    """The store mirrors a real machine's protocol without errors."""
+
+    def make(self):
+        machine = Machine(
+            MachineConfig(
+                num_cores=4,
+                l1=CacheConfig(512, 2, 32, 3),
+                l2=CacheConfig(2048, 4, 32, 10),
+            )
+        )
+        store = fresh_store()
+        machine.add_listener(store)
+        return machine, store
+
+    def test_random_traffic_keeps_store_consistent(self):
+        import random
+
+        machine, store = self.make()
+        rng = random.Random(3)
+        for _ in range(3000):
+            machine.access(
+                rng.randrange(4),
+                0x1000 + 32 * rng.randrange(200),
+                4,
+                rng.random() < 0.4,
+            )
+        # Every valid L1 line must have a metadata copy, and every tracked
+        # line must still be in the L2 (inclusion).
+        for core, l1 in enumerate(machine.l1s):
+            for line in l1.resident_lines():
+                assert store.get(core, line.tag) is not None
+        for line_addr in store.tracked_lines():
+            assert machine.l2.contains(line_addr)
+
+    def test_metadata_lost_after_l2_displacement(self):
+        machine, store = self.make()
+        machine.access(0, 0x1000, 4, False)
+        assert store.get(L2_HOLDER, 0x1000) is not None
+        # Cycle many conflicting lines through the 64-line L2.
+        for i in range(1, 300):
+            machine.access(1, 0x1000 + 32 * i, 4, False)
+        assert store.get(L2_HOLDER, 0x1000) is None

@@ -1,0 +1,66 @@
+"""Timing tests: the Table 1 latencies feed through the cycle ledger."""
+
+from repro.common.config import BusConfig, CacheConfig, MachineConfig
+from repro.sim.machine import Machine
+
+
+def machine() -> Machine:
+    return Machine(MachineConfig())
+
+
+class TestLatencies:
+    def test_l1_hit_costs_exactly_l1_latency(self):
+        m = machine()
+        m.access(0, 0x1000, 4, False)
+        result = m.access(0, 0x1000, 4, False)
+        assert result.cycles == 3  # Table 1: 3-cycle L1
+
+    def test_memory_fill_includes_all_levels(self):
+        m = machine()
+        result = m.access(0, 0x1000, 4, False)
+        # L1 latency + L2 lookup + memory + one line transfer on the bus.
+        bus = m.config.bus.line_transfer_cycles(32)
+        assert result.cycles == 3 + 10 + 200 + bus
+
+    def test_l2_hit_cheaper_than_memory(self):
+        m = machine()
+        m.access(0, 0x1000, 4, False)
+        m.l1s[0].evict(0x1000)
+        m._track_drop(0, 0x1000)
+        result = m.access(0, 0x1000, 4, False)
+        bus = m.config.bus.line_transfer_cycles(32)
+        assert result.cycles == 3 + 10 + bus
+
+    def test_upgrade_costs_one_bus_transaction(self):
+        m = machine()
+        m.access(0, 0x1000, 4, False)
+        m.access(1, 0x1000, 4, False)
+        result = m.access(0, 0x1000, 4, True)
+        assert result.cycles == 3 + m.config.bus.cycles_per_transaction
+
+    def test_compute_charge_accumulates(self):
+        m = machine()
+        before = m.cycles
+        m.charge(12345, "compute")
+        assert m.cycles - before == 12345
+        assert m.stats["cycles.compute"] == 12345
+
+
+class TestBusAccounting:
+    def test_data_bytes_tracked(self):
+        m = machine()
+        m.access(0, 0x1000, 4, False)  # one 32B memory fill
+        assert m.bus.stats["bus.bytes.data"] == 32
+
+    def test_writeback_traffic_counted(self):
+        custom = MachineConfig(
+            l1=CacheConfig(512, 2, 32, 3),
+            l2=CacheConfig(4096, 4, 32, 10),
+            bus=BusConfig(),
+        )
+        m = Machine(custom)
+        stride = 8 * 32  # same L1 set
+        m.access(0, 0x1000, 4, True)
+        m.access(0, 0x1000 + stride, 4, False)
+        m.access(0, 0x1000 + 2 * stride, 4, False)  # evicts the dirty line
+        assert m.bus.stats["bus.transactions.writeback"] == 1

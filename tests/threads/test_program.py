@@ -1,0 +1,104 @@
+"""Unit tests for thread/parallel program containers."""
+
+import pytest
+
+from repro.common.errors import ProgramError
+from repro.common.events import Site, lock, read, unlock, write
+from repro.threads.program import InjectedBug, ParallelProgram, ThreadProgram
+
+S = [Site("t.c", i) for i in range(10)]
+
+
+class TestThreadProgram:
+    def test_append_and_len(self):
+        t = ThreadProgram(0)
+        t.append(write(0x100, S[0]))
+        t.extend([read(0x100, S[1])])
+        assert len(t) == 2
+
+    def test_negative_thread_id_rejected(self):
+        with pytest.raises(ProgramError):
+            ThreadProgram(-1)
+
+    def test_lock_balance_clean(self):
+        t = ThreadProgram(0, [lock(0x10, S[0]), write(0x100, S[1]), unlock(0x10, S[2])])
+        assert t.lock_balance_errors() == []
+
+    def test_unbalanced_release_detected(self):
+        t = ThreadProgram(0, [unlock(0x10, S[0])])
+        assert t.lock_balance_errors()
+
+    def test_dangling_hold_detected(self):
+        t = ThreadProgram(0, [lock(0x10, S[0])])
+        errors = t.lock_balance_errors()
+        assert any("finishes holding" in e for e in errors)
+
+    def test_reacquire_detected(self):
+        t = ThreadProgram(0, [lock(0x10, S[0]), lock(0x10, S[1])])
+        assert any("re-acquire" in e for e in t.lock_balance_errors())
+
+    def test_dynamic_critical_sections(self):
+        t = ThreadProgram(
+            0,
+            [
+                lock(0x10, S[0]),
+                write(0x100, S[1]),
+                unlock(0x10, S[2]),
+                lock(0x20, S[3]),
+                lock(0x10, S[4]),
+                unlock(0x10, S[5]),
+                unlock(0x20, S[6]),
+            ],
+        )
+        sections = t.dynamic_critical_sections()
+        assert (0, 2, 0x10) in sections
+        assert (4, 5, 0x10) in sections
+        assert (3, 6, 0x20) in sections
+
+
+class TestParallelProgram:
+    def test_dense_thread_ids_required(self):
+        with pytest.raises(ProgramError):
+            ParallelProgram(name="p", threads=[ThreadProgram(1)])
+
+    def test_totals_and_sites(self):
+        program = ParallelProgram(
+            name="p",
+            threads=[
+                ThreadProgram(0, [write(0x100, S[0])]),
+                ThreadProgram(1, [read(0x100, S[1]), read(0x104, S[1])]),
+            ],
+        )
+        assert program.num_threads == 2
+        assert program.total_ops() == 3
+        assert program.all_sites() == {S[0], S[1]}
+
+
+class TestInjectedBug:
+    def bug(self):
+        return InjectedBug(
+            thread_id=1,
+            lock_addr=0x10,
+            lock_op_index=3,
+            unlock_op_index=7,
+            chunk_addresses=frozenset({0x1000, 0x1004}),
+            sites=frozenset({S[2]}),
+        )
+
+    def test_exact_chunk_match(self):
+        assert self.bug().matches_report(0x1000, 4, None)
+
+    def test_partial_overlap_match(self):
+        assert self.bug().matches_report(0x0FFE, 4, None)
+        assert self.bug().matches_report(0x1006, 2, None)
+
+    def test_adjacent_no_match(self):
+        assert not self.bug().matches_report(0x1008, 4, None)
+        assert not self.bug().matches_report(0x0FF8, 4, None)
+
+    def test_site_match(self):
+        assert self.bug().matches_report(0xFFFF0000, 4, S[2])
+        assert not self.bug().matches_report(0xFFFF0000, 4, S[3])
+
+    def test_zero_size_report_tolerated(self):
+        assert self.bug().matches_report(0x1000, 0, None)

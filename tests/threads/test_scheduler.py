@@ -1,0 +1,94 @@
+"""Unit tests for the interleaving schedulers."""
+
+import pytest
+
+from repro.common.errors import SchedulerError
+from repro.threads.scheduler import (
+    FixedOrderScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+
+
+class TestRoundRobin:
+    def test_rotates_through_runnable(self):
+        sched = RoundRobinScheduler(quantum=5)
+        picks = [sched.pick([0, 1, 2])[0] for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_non_runnable(self):
+        sched = RoundRobinScheduler()
+        assert sched.pick([0, 2])[0] == 0
+        assert sched.pick([0, 2])[0] == 2
+        assert sched.pick([0, 2])[0] == 0
+
+    def test_quantum_returned(self):
+        sched = RoundRobinScheduler(quantum=7)
+        assert sched.pick([0])[1] == 7
+
+    def test_invalid_quantum_rejected(self):
+        with pytest.raises(SchedulerError):
+            RoundRobinScheduler(quantum=0)
+
+    def test_empty_runnable_rejected(self):
+        with pytest.raises(SchedulerError):
+            RoundRobinScheduler().pick([])
+
+
+class TestRandomScheduler:
+    def test_deterministic_for_seed(self):
+        a = RandomScheduler(seed=5)
+        b = RandomScheduler(seed=5)
+        picks_a = [a.pick([0, 1, 2, 3]) for _ in range(50)]
+        picks_b = [b.pick([0, 1, 2, 3]) for _ in range(50)]
+        assert picks_a == picks_b
+
+    def test_different_seeds_differ(self):
+        a = [RandomScheduler(seed=1).pick(list(range(4))) for _ in range(30)]
+        b = [RandomScheduler(seed=2).pick(list(range(4))) for _ in range(30)]
+        assert a != b
+
+    def test_bursts_within_bounds(self):
+        sched = RandomScheduler(seed=0, min_burst=2, max_burst=9)
+        for _ in range(200):
+            _, burst = sched.pick([0, 1])
+            assert 2 <= burst <= 9
+
+    def test_all_threads_eventually_picked(self):
+        sched = RandomScheduler(seed=3)
+        picked = {sched.pick([0, 1, 2, 3])[0] for _ in range(200)}
+        assert picked == {0, 1, 2, 3}
+
+    def test_bias_prefers_low_ids(self):
+        unbiased = RandomScheduler(seed=0, bias=0.0)
+        biased = RandomScheduler(seed=0, bias=0.8)
+        count = lambda s: sum(  # noqa: E731
+            1 for _ in range(500) if s.pick([0, 1, 2, 3])[0] == 0
+        )
+        assert count(biased) > count(unbiased)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(SchedulerError):
+            RandomScheduler(min_burst=0)
+        with pytest.raises(SchedulerError):
+            RandomScheduler(min_burst=5, max_burst=3)
+        with pytest.raises(SchedulerError):
+            RandomScheduler(bias=1.0)
+
+
+class TestFixedOrder:
+    def test_follows_script(self):
+        sched = FixedOrderScheduler([(1, 3), (0, 2), (1, 1)])
+        assert sched.pick([0, 1]) == (1, 3)
+        assert sched.pick([0, 1]) == (0, 2)
+        assert sched.pick([0, 1]) == (1, 1)
+
+    def test_skips_blocked_threads(self):
+        sched = FixedOrderScheduler([(1, 3), (0, 2)])
+        assert sched.pick([0]) == (0, 2)  # thread 1 not runnable: skip slice
+
+    def test_falls_back_to_round_robin(self):
+        sched = FixedOrderScheduler([(0, 1)])
+        sched.pick([0])
+        thread, burst = sched.pick([0, 1])
+        assert burst == 1 and thread in (0, 1)

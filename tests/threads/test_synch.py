@@ -1,0 +1,99 @@
+"""Unit tests for runtime lock and barrier semantics."""
+
+import pytest
+
+from repro.common.errors import ProgramError
+from repro.threads.synch import BarrierTable, LockTable
+
+
+class TestLockTable:
+    def test_acquire_grants_free_lock(self):
+        locks = LockTable()
+        assert locks.try_acquire(0, 0x100)
+        assert locks.holder(0x100) == 0
+
+    def test_held_lock_blocks_other_thread(self):
+        locks = LockTable()
+        locks.try_acquire(0, 0x100)
+        assert not locks.try_acquire(1, 0x100)
+        assert locks.holder(0x100) == 0
+
+    def test_release_frees_lock(self):
+        locks = LockTable()
+        locks.try_acquire(0, 0x100)
+        locks.release(0, 0x100)
+        assert locks.holder(0x100) is None
+        assert locks.try_acquire(1, 0x100)
+
+    def test_reacquire_by_holder_rejected(self):
+        locks = LockTable()
+        locks.try_acquire(0, 0x100)
+        with pytest.raises(ProgramError):
+            locks.try_acquire(0, 0x100)
+
+    def test_release_by_non_holder_rejected(self):
+        locks = LockTable()
+        locks.try_acquire(0, 0x100)
+        with pytest.raises(ProgramError):
+            locks.release(1, 0x100)
+
+    def test_release_of_free_lock_rejected(self):
+        with pytest.raises(ProgramError):
+            LockTable().release(0, 0x100)
+
+    def test_held_by(self):
+        locks = LockTable()
+        locks.try_acquire(0, 0x100)
+        locks.try_acquire(0, 0x200)
+        locks.try_acquire(1, 0x300)
+        assert sorted(locks.held_by(0)) == [0x100, 0x200]
+
+
+class TestBarrierTable:
+    def test_barrier_releases_on_last_arrival(self):
+        barriers = BarrierTable()
+        assert barriers.arrive(0, 1, 3) == []
+        assert barriers.arrive(1, 1, 3) == []
+        assert barriers.arrive(2, 1, 3) == [0, 1, 2]
+
+    def test_barrier_resets_for_reuse(self):
+        barriers = BarrierTable()
+        for tid in range(2):
+            barriers.arrive(tid, 7, 3)
+        barriers.arrive(2, 7, 3)
+        # Second episode of the same barrier id.
+        assert barriers.arrive(0, 7, 3) == []
+        assert barriers.arrive(1, 7, 3) == []
+        assert barriers.arrive(3, 7, 3) == [0, 1, 3]
+
+    def test_mismatched_participant_count_rejected(self):
+        barriers = BarrierTable()
+        barriers.arrive(0, 1, 3)
+        with pytest.raises(ProgramError):
+            barriers.arrive(1, 1, 4)
+
+    def test_double_arrival_rejected(self):
+        barriers = BarrierTable()
+        barriers.arrive(0, 1, 3)
+        with pytest.raises(ProgramError):
+            barriers.arrive(0, 1, 3)
+
+    def test_is_waiting(self):
+        barriers = BarrierTable()
+        barriers.arrive(0, 1, 2)
+        assert barriers.is_waiting(0)
+        barriers.arrive(1, 1, 2)
+        assert not barriers.is_waiting(0)
+
+    def test_pending_diagnostics(self):
+        barriers = BarrierTable()
+        barriers.arrive(0, 1, 2)
+        assert barriers.pending() == {1: {0}}
+
+    def test_single_participant_barrier_is_immediate(self):
+        barriers = BarrierTable()
+        assert barriers.arrive(0, 1, 1) == [0]
+
+    def test_nonpositive_participants_rejected(self):
+        with pytest.raises(ProgramError):
+            BarrierTable().arrive(0, 1, 0)

@@ -1,0 +1,80 @@
+"""Structural tests for the six synthetic SPLASH-2 workloads."""
+
+import pytest
+
+from repro.common.events import OpKind
+from repro.threads.runtime import interleave
+from repro.threads.scheduler import RandomScheduler
+from repro.workloads.registry import WORKLOAD_NAMES, build_workload
+
+
+@pytest.fixture(scope="module", params=WORKLOAD_NAMES)
+def app_program(request):
+    return build_workload(request.param, seed=0)
+
+
+class TestWellFormedness:
+    def test_four_threads(self, app_program):
+        assert app_program.num_threads == 4
+
+    def test_lock_usage_balanced_per_thread(self, app_program):
+        for thread in app_program.threads:
+            assert thread.lock_balance_errors() == []
+
+    def test_has_locks_and_accesses(self, app_program):
+        kinds = {
+            op.kind for thread in app_program.threads for op in thread.ops
+        }
+        assert OpKind.LOCK in kinds and OpKind.UNLOCK in kinds
+        assert OpKind.READ in kinds and OpKind.WRITE in kinds
+
+    def test_every_memory_access_has_a_site(self, app_program):
+        for thread in app_program.threads:
+            for op in thread.ops:
+                if op.is_memory_access:
+                    assert op.site is not None
+
+    def test_lock_addresses_recorded(self, app_program):
+        used = {
+            op.addr
+            for thread in app_program.threads
+            for op in thread.ops
+            if op.kind is OpKind.LOCK
+        }
+        assert used <= set(app_program.lock_addresses)
+
+    def test_deterministic_in_seed(self, app_program):
+        twin = build_workload(app_program.name, seed=0)
+        for a, b in zip(app_program.threads, twin.threads):
+            assert a.ops == b.ops
+
+    def test_seeds_vary_program(self, app_program):
+        other = build_workload(app_program.name, seed=99)
+        assert any(
+            a.ops != b.ops for a, b in zip(app_program.threads, other.threads)
+        )
+
+
+class TestExecutability:
+    def test_interleaves_without_deadlock(self, app_program):
+        result = interleave(app_program, RandomScheduler(seed=2, max_burst=8))
+        assert len(result.trace) == app_program.total_ops()
+
+    def test_region_audit(self, app_program):
+        """Every accessed address belongs to a named region."""
+        regions = app_program.regions
+        for thread in app_program.threads:
+            for op in thread.ops[:500]:
+                if op.is_memory_access:
+                    assert any(r.contains(op.addr) for r in regions), hex(op.addr)
+
+
+class TestRegistry:
+    def test_unknown_name_rejected(self):
+        from repro.common.errors import HarnessError
+
+        with pytest.raises(HarnessError):
+            build_workload("linpack")
+
+    def test_all_names_build(self):
+        assert len(WORKLOAD_NAMES) == 6

@@ -1,0 +1,93 @@
+"""Unit tests for the Section 4 bug-injection protocol."""
+
+import pytest
+
+from repro.common.errors import HarnessError
+from repro.common.events import OpKind
+from repro.workloads.injection import (
+    inject_bug,
+    injection_candidates,
+)
+from repro.workloads.registry import WORKLOAD_NAMES, build_workload
+
+
+@pytest.fixture(scope="module")
+def barnes():
+    return build_workload("barnes", seed=1)
+
+
+class TestCandidates:
+    def test_candidates_exist_for_every_app(self):
+        for name in WORKLOAD_NAMES:
+            program = build_workload(name, seed=0)
+            assert injection_candidates(program), name
+
+    def test_candidates_are_matched_pairs(self, barnes):
+        for cand in injection_candidates(barnes):
+            thread = barnes.threads[cand.thread_id]
+            assert thread.ops[cand.lock_index].kind is OpKind.LOCK
+            assert thread.ops[cand.unlock_index].kind is OpKind.UNLOCK
+            assert thread.ops[cand.lock_index].addr == cand.lock_addr
+            assert cand.lock_index < cand.unlock_index
+
+    def test_only_injectable_sites_are_candidates(self, barnes):
+        for cand in injection_candidates(barnes):
+            site = barnes.threads[cand.thread_id].ops[cand.lock_index].site
+            assert site.label.startswith("inj:")
+
+
+class TestInjection:
+    def test_removes_exactly_one_pair(self, barnes):
+        buggy = inject_bug(barnes, seed=3)
+        assert buggy.total_ops() == barnes.total_ops() - 2
+        bug = buggy.injected_bug
+        assert bug is not None
+        victim_before = barnes.threads[bug.thread_id]
+        victim_after = buggy.threads[bug.thread_id]
+        assert len(victim_after.ops) == len(victim_before.ops) - 2
+
+    def test_other_threads_untouched(self, barnes):
+        buggy = inject_bug(barnes, seed=3)
+        bug = buggy.injected_bug
+        for tid, thread in enumerate(buggy.threads):
+            if tid != bug.thread_id:
+                assert thread.ops == barnes.threads[tid].ops
+
+    def test_lock_usage_stays_balanced(self, barnes):
+        buggy = inject_bug(barnes, seed=3)
+        victim = buggy.threads[buggy.injected_bug.thread_id]
+        assert victim.lock_balance_errors() == []
+
+    def test_ground_truth_covers_deprotected_accesses(self, barnes):
+        buggy = inject_bug(barnes, seed=3)
+        bug = buggy.injected_bug
+        assert bug.chunk_addresses
+        assert bug.sites
+        # Every recorded chunk is 4-byte aligned.
+        assert all(addr % 4 == 0 for addr in bug.chunk_addresses)
+
+    def test_deterministic_in_seed(self, barnes):
+        a = inject_bug(barnes, seed=5).injected_bug
+        b = inject_bug(barnes, seed=5).injected_bug
+        assert a == b
+
+    def test_different_seeds_give_different_bugs(self, barnes):
+        bugs = {inject_bug(barnes, seed=s).injected_bug for s in range(10)}
+        assert len(bugs) > 5  # overwhelmingly distinct
+
+    def test_double_injection_rejected(self, barnes):
+        buggy = inject_bug(barnes, seed=1)
+        with pytest.raises(HarnessError):
+            inject_bug(buggy, seed=2)
+
+    def test_matches_report_by_chunk_overlap(self, barnes):
+        bug = inject_bug(barnes, seed=3).injected_bug
+        chunk = next(iter(bug.chunk_addresses))
+        assert bug.matches_report(chunk, 4, None)
+        assert bug.matches_report(chunk + 1, 2, None)  # overlapping
+        assert not bug.matches_report(0xDEAD0000, 4, None)
+
+    def test_matches_report_by_site(self, barnes):
+        bug = inject_bug(barnes, seed=3).injected_bug
+        site = next(iter(bug.sites))
+        assert bug.matches_report(0xDEAD0000, 4, site)

@@ -1,0 +1,104 @@
+"""Tests for the per-app parameter dataclasses (scaling knobs)."""
+
+import pytest
+
+from repro.workloads.barnes import BarnesParams
+from repro.workloads.cholesky import CholeskyParams
+from repro.workloads.fmm import FmmParams
+from repro.workloads.ocean import OceanParams
+from repro.workloads.radix import RadixParams
+from repro.workloads.raytrace import RaytraceParams
+from repro.workloads.registry import build_workload
+from repro.workloads.water import WaterParams
+
+SMALL = {
+    "cholesky": CholeskyParams(
+        num_tasks=30,
+        num_columns=32,
+        column_visits_per_thread=20,
+        counter_updates_per_thread=30,
+        stream_lines_per_thread=90,
+        table_lines=10,
+        fs_locked_lines=2,
+        fs_private_lines=2,
+        flag_instances=3,
+        flag_site_groups=2,
+        task_site_groups=2,
+    ),
+    "barnes": BarnesParams(
+        counter_updates_per_thread=30,
+        stream_lines_per_thread=90,
+        table_lines=10,
+        flag_instances=3,
+        flag_site_groups=2,
+        fs_private_lines=2,
+        fs_locked_lines=2,
+        pc_tasks=10,
+    ),
+    "fmm": FmmParams(
+        num_boxes=32,
+        box_visits_per_thread=20,
+        counter_updates_per_thread=30,
+        stream_lines_per_thread=90,
+        flag_instances=3,
+        flag_site_groups=2,
+        fs_private_lines=2,
+        pc_tasks=10,
+    ),
+    "ocean": OceanParams(
+        phases=2,
+        lines_per_band=20,
+        boundary_lines=2,
+        num_reductions=16,
+        reduction_visits_per_thread=10,
+        hot_updates_per_thread=20,
+        stream_lines_per_thread=60,
+    ),
+    "water-nsquared": WaterParams(
+        num_molecules=32,
+        molecule_visits_per_thread=20,
+        accumulator_updates_per_thread=20,
+        stream_lines_per_thread=60,
+        fs_locked_lines=2,
+        compute_cycles_per_thread_per_phase=1000,
+    ),
+    "raytrace": RaytraceParams(
+        num_jobs=16,
+        job_visits_per_thread=20,
+        ray_counter_updates_per_thread=20,
+        bracketed_updates_per_thread=10,
+        pc_tasks=10,
+        fb_private_lines=2,
+        fs_locked_lines=2,
+        stream_lines_per_thread=60,
+        scene_lines=10,
+    ),
+}
+
+
+class TestScaling:
+    @pytest.mark.parametrize("app", sorted(SMALL))
+    def test_small_instances_build_and_stay_small(self, app):
+        program = build_workload(app, seed=0, params=SMALL[app])
+        assert 0 < program.total_ops() < 30_000
+        for thread in program.threads:
+            assert thread.lock_balance_errors() == []
+
+    @pytest.mark.parametrize("app", sorted(SMALL))
+    def test_small_instances_still_injectable(self, app):
+        from repro.workloads.injection import injection_candidates
+
+        program = build_workload(app, seed=0, params=SMALL[app])
+        assert injection_candidates(program)
+
+    def test_params_are_frozen(self):
+        with pytest.raises(AttributeError):
+            BarnesParams().num_cell_counters = 9
+
+    def test_radix_params(self):
+        program = build_workload(
+            "radix", seed=0, params=RadixParams(updates_per_thread=20)
+        )
+        # 20 updates x 4 threads x (3 nested lock pairs + 2 accesses) plus
+        # the streaming filler.
+        assert program.total_ops() < 6000

@@ -1,0 +1,242 @@
+"""Unit tests for the workload pattern library (detector-level semantics)."""
+
+import pytest
+
+from repro.common.events import OpKind
+from repro.harness.detectors import make_detector
+from repro.threads.runtime import interleave
+from repro.threads.scheduler import RandomScheduler
+from repro.workloads.base import (
+    STAGE_GRID,
+    STAGE_MAIN,
+    STAGE_QUIET,
+    GridSweeps,
+    MigratoryObjects,
+    PhaseHandoff,
+    WorkloadBuilder,
+    benign_counters,
+    false_sharing_locked,
+    false_sharing_private,
+    flag_handoff,
+    locked_counters,
+    producer_consumer,
+    read_shared_table,
+    streaming_private,
+)
+
+
+def run_detectors(builder, seed=0, keys=("hard-ideal", "hb-ideal")):
+    program = builder.build()
+    trace = interleave(program, RandomScheduler(seed=seed, max_burst=8)).trace
+    return {key: make_detector(key).run(trace) for key in keys}
+
+
+class TestLockedPatternsAreClean:
+    def test_locked_counters_silent_everywhere(self):
+        b = WorkloadBuilder("t", seed=0)
+        locked_counters(b, label="c", num_counters=3, updates_per_thread=40)
+        b.end_phase(with_barrier=False)
+        results = run_detectors(b, keys=("hard-ideal", "hb-ideal", "hard-default"))
+        for key, result in results.items():
+            assert result.reports.alarm_count == 0, key
+
+    def test_migratory_objects_silent_everywhere(self):
+        b = WorkloadBuilder("t", seed=0)
+        objects = MigratoryObjects(b, label="m", num_objects=16, object_bytes=32)
+        objects.emit_warm()
+        objects.emit_visits(30)
+        b.end_phase(with_barrier=False)
+        results = run_detectors(b, keys=("hard-ideal", "hb-ideal"))
+        for key, result in results.items():
+            assert result.reports.alarm_count == 0, key
+
+    def test_streaming_private_silent(self):
+        b = WorkloadBuilder("t", seed=0)
+        streaming_private(b, label="s", lines_per_thread=50)
+        b.end_phase(with_barrier=False)
+        results = run_detectors(b)
+        for result in results.values():
+            assert result.reports.alarm_count == 0
+
+    def test_read_shared_table_silent(self):
+        b = WorkloadBuilder("t", seed=0)
+        read_shared_table(b, label="tab", num_lines=20, reads_per_thread=30)
+        results = run_detectors(b, keys=("hard-ideal", "hb-ideal", "hard-default"))
+        for key, result in results.items():
+            assert result.reports.alarm_count == 0, key
+
+
+class TestFalseAlarmSources:
+    def test_flag_handoff_alarms_both_ideals(self):
+        b = WorkloadBuilder("t", seed=0)
+        flag_handoff(b, label="f", num_instances=8, site_groups=4)
+        # Pad the quiet stage so the instances overlap in time.
+        streaming_private(b, label="pad", lines_per_thread=100, stage=STAGE_QUIET)
+        b.end_phase(with_barrier=False)
+        results = run_detectors(b)
+        assert results["hard-ideal"].reports.alarm_count >= 1
+        assert results["hb-ideal"].reports.alarm_count >= 1
+
+    def test_benign_counters_alarm_both_ideals(self):
+        b = WorkloadBuilder("t", seed=0)
+        benign_counters(b, label="bc", num_counters=2, updates_per_thread=20)
+        b.end_phase(with_barrier=False)
+        results = run_detectors(b)
+        assert results["hard-ideal"].reports.alarm_count >= 1
+        assert results["hb-ideal"].reports.alarm_count >= 1
+
+    def test_benign_sites_recorded(self):
+        b = WorkloadBuilder("t", seed=0)
+        benign_counters(b, label="bc", num_counters=2, updates_per_thread=5)
+        program = b.build()
+        assert len(program.benign_racy_sites) == 2
+
+    def test_false_sharing_private_alarms_defaults_not_ideals(self):
+        b = WorkloadBuilder("t", seed=0)
+        false_sharing_private(b, label="fs", num_lines=6, rounds=4)
+        streaming_private(b, label="pad", lines_per_thread=200, stage=STAGE_QUIET)
+        b.end_phase(with_barrier=False)
+        results = run_detectors(
+            b, keys=("hard-ideal", "hb-ideal", "hard-default", "hb-default")
+        )
+        assert results["hard-ideal"].reports.alarm_count == 0
+        assert results["hb-ideal"].reports.alarm_count == 0
+        assert results["hard-default"].reports.alarm_count >= 1
+        assert results["hb-default"].reports.alarm_count >= 1
+
+    def test_false_sharing_locked_alarms_hard_only(self):
+        b = WorkloadBuilder("t", seed=0)
+        hot = b.new_lock("hot")
+        false_sharing_locked(b, label="fsl", num_lines=4, rounds=3, hot_lock=hot)
+        # Mixed locked work in MAIN and MIX2 provides the ordering chains.
+        locked_counters(b, label="c1", num_counters=2, updates_per_thread=60)
+        locked_counters(
+            b, label="c2", num_counters=2, updates_per_thread=60, stage=4
+        )
+        b.end_phase(with_barrier=False)
+        results = run_detectors(b, keys=("hard-default", "hb-default"))
+        assert results["hard-default"].reports.alarm_count >= 1
+        # HB sees the staged ordering: far fewer (usually zero) alarms.
+        assert (
+            results["hb-default"].reports.alarm_count
+            < results["hard-default"].reports.alarm_count
+        )
+
+    def test_producer_consumer_is_lockset_only(self):
+        b = WorkloadBuilder("t", seed=0)
+        producer_consumer(b, label="pc", num_tasks=60, payload_words=2, site_groups=2)
+        b.end_phase(with_barrier=False)
+        results = run_detectors(b)
+        assert results["hard-ideal"].reports.alarm_count >= 1
+        assert (
+            results["hb-ideal"].reports.alarm_count
+            <= results["hard-ideal"].reports.alarm_count
+        )
+
+
+class TestGridAndHandoff:
+    def test_grid_race_free_at_fine_granularity(self):
+        b = WorkloadBuilder("t", seed=0)
+        grid = GridSweeps(b, label="g", lines_per_band=30, boundary_lines=2)
+        grid.emit_phase()
+        grid.emit_phase()
+        results = run_detectors(b)
+        for result in results.values():
+            assert result.reports.alarm_count == 0
+
+    def test_grid_boundary_alarms_defaults(self):
+        b = WorkloadBuilder("t", seed=0)
+        grid = GridSweeps(b, label="g", lines_per_band=30, boundary_lines=2)
+        grid.emit_phase()
+        results = run_detectors(b, keys=("hard-default", "hb-default"))
+        assert results["hard-default"].reports.alarm_count >= 1
+        assert results["hb-default"].reports.alarm_count >= 1
+
+    def test_phase_handoff_depends_on_barrier_reset(self):
+        def build():
+            b = WorkloadBuilder("t", seed=0)
+            handoff = PhaseHandoff(b, label="h", num_lines=3)
+            for _ in range(3):
+                handoff.emit_phase_work()
+                b.end_phase()
+            return b
+
+        trace = interleave(
+            build().build(), RandomScheduler(seed=0, max_burst=8)
+        ).trace
+        with_reset = make_detector("hard-ideal", barrier_reset=True).run(trace)
+        without = make_detector("hard-ideal", barrier_reset=False).run(trace)
+        assert with_reset.reports.alarm_count == 0
+        assert without.reports.alarm_count >= 3
+        hb = make_detector("hb-ideal").run(trace)
+        assert hb.reports.alarm_count == 0  # barrier-ordered either way
+
+
+class TestBuilderMechanics:
+    def test_stage_ordering_in_stream(self):
+        from repro.common.events import compute
+
+        b = WorkloadBuilder("t", seed=0)
+        b.block(0, [compute(1)], stage=STAGE_GRID)
+        b.block(0, [compute(2)], stage=STAGE_MAIN)
+        b.block(0, [compute(3)], stage=STAGE_QUIET)
+        b.end_phase(with_barrier=False, align_stages=False)
+        cycles = [op.cycles for op in b.threads[0].ops]
+        assert cycles == [2, 3, 1]
+
+    def test_alignment_pads_with_compute(self):
+        from repro.common.events import compute
+
+        b = WorkloadBuilder("t", num_threads=2, seed=0)
+        b.block(0, [compute(1)] * 10)
+        b.block(1, [compute(1)] * 2)
+        b.end_phase(with_barrier=False)
+        assert len(b.threads[0].ops) == len(b.threads[1].ops) == 10
+
+    def test_pinned_blocks_lead_their_stage(self):
+        from repro.common.events import compute
+
+        b = WorkloadBuilder("t", seed=0)
+        for k in range(5):
+            b.block(0, [compute(10 + k)])
+        b.block(0, [compute(1)], pin_first=True)
+        b.block(0, [compute(2)], pin_first=True)
+        b.end_phase(with_barrier=False, align_stages=False)
+        cycles = [op.cycles for op in b.threads[0].ops]
+        assert cycles[:2] == [1, 2]
+
+    def test_order_groups_preserve_relative_order(self):
+        from repro.common.events import compute
+
+        b = WorkloadBuilder("t", seed=3)
+        for k in range(20):
+            b.block(0, [compute(100 + k)], order_group="g")
+            b.block(0, [compute(k)])
+        b.end_phase(with_barrier=False, align_stages=False)
+        grouped = [op.cycles for op in b.threads[0].ops if op.cycles >= 100]
+        assert grouped == sorted(grouped)
+
+    def test_barrier_emitted_on_phase_end(self):
+        b = WorkloadBuilder("t", num_threads=3, seed=0)
+        from repro.common.events import compute
+
+        b.block(0, [compute(1)])
+        b.end_phase(with_barrier=True)
+        for thread in b.threads:
+            assert thread.ops[-1].kind is OpKind.BARRIER
+            assert thread.ops[-1].participants == 3
+
+
+class TestLockAddressSpread:
+    def test_locks_have_distinct_addresses(self):
+        b = WorkloadBuilder("t", seed=0)
+        addrs = [b.new_lock(f"l{i}") for i in range(64)]
+        assert len(set(addrs)) == 64
+
+    def test_first_64_locks_have_distinct_signatures(self):
+        from repro.core.bloom import BloomMapper
+
+        b = WorkloadBuilder("t", seed=0)
+        mapper = BloomMapper()
+        sigs = {mapper.signature(b.new_lock(f"l{i}")) for i in range(64)}
+        assert len(sigs) == 64
