@@ -1,0 +1,68 @@
+"""Null-sink observability must cost < 5% on a full detector run.
+
+The whole observability design hinges on one claim: threading a *disabled*
+:class:`~repro.obs.Observability` bundle through the pipeline is free, so
+instrumented builds can stay instrumented.  Hot paths gate on one
+precomputed boolean (``obs is not None and obs.active``), which this
+benchmark holds to a hard ratio: a ``HardDetector.run`` with the null
+bundle may take at most 1.05x the bare ``run(trace)`` wall-clock, best of
+N to shed scheduler noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.harness.detectors import make_detector
+from repro.obs import Observability
+from repro.threads.runtime import interleave
+from repro.threads.scheduler import RandomScheduler
+from repro.workloads.registry import build_workload
+
+#: Acceptance threshold: disabled observability adds < 5% wall-clock.
+MAX_NULL_OBS_RATIO = 1.05
+ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def barnes_trace():
+    program = build_workload("barnes", seed=0)
+    return interleave(program, RandomScheduler(seed=0, max_burst=8)).trace
+
+
+def _best_of(fn, rounds: int = ROUNDS) -> float:
+    """Minimum wall-clock of ``rounds`` calls — the least-noise estimate."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_null_observability_overhead_under_5_percent(barnes_trace, benchmark):
+    detector = make_detector("hard-default")
+    null_obs = Observability()  # null emitter, metrics collection off
+    assert not null_obs.active
+
+    # Warm both paths once (allocator, branch caches) before timing.
+    detector.run(barnes_trace)
+    detector.run(barnes_trace, obs=null_obs)
+
+    bare = _best_of(lambda: detector.run(barnes_trace))
+    observed = benchmark.pedantic(
+        lambda: _best_of(lambda: detector.run(barnes_trace, obs=null_obs)),
+        rounds=1,
+        iterations=1,
+    )
+
+    ratio = observed / bare
+    print(
+        f"\nbare {bare:.3f}s vs null-obs {observed:.3f}s -> ratio {ratio:.3f}"
+    )
+    assert ratio <= MAX_NULL_OBS_RATIO, (
+        f"null-sink observability costs {100 * (ratio - 1):.1f}% "
+        f"(budget {100 * (MAX_NULL_OBS_RATIO - 1):.0f}%)"
+    )

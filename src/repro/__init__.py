@@ -16,7 +16,10 @@ The package implements, from scratch:
 * :mod:`repro.workloads` — six SPLASH-2-like synthetic applications with
   the paper's random lock-omission bug injection;
 * :mod:`repro.harness` — the experiment matrix and table generators for
-  every evaluation exhibit (Tables 2–6, Figure 8).
+  every evaluation exhibit (Tables 2–6, Figure 8);
+* :mod:`repro.obs` — the observability layer: typed trace events, metrics
+  (counters/histograms/timers), per-phase profiling, and the
+  machine-readable :class:`~repro.obs.runreport.RunReport`.
 
 Quickstart::
 
@@ -48,6 +51,14 @@ from repro.core.lstate import LState
 from repro.hb.detector import HappensBeforeDetector
 from repro.hb.ideal import IdealHappensBeforeDetector
 from repro.lockset.exact import IdealLocksetDetector
+from repro.obs import (
+    CountingEmitter,
+    JsonlEmitter,
+    MetricsRegistry,
+    Observability,
+    PhaseProfiler,
+    RunReport,
+)
 from repro.reporting import DetectionResult, RaceReport, RaceReportLog
 from repro.sim.machine import Machine
 from repro.threads.runtime import interleave
@@ -78,6 +89,12 @@ __all__ = [
     "HappensBeforeDetector",
     "IdealHappensBeforeDetector",
     "IdealLocksetDetector",
+    "Observability",
+    "CountingEmitter",
+    "JsonlEmitter",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "RunReport",
     "DetectionResult",
     "RaceReport",
     "RaceReportLog",

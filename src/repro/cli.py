@@ -3,8 +3,12 @@
 Commands:
 
 * ``list`` — the six workloads and the available detector configurations;
-* ``run`` — build a workload, optionally inject a bug, run one detector,
-  print the verdict and the alarms;
+* ``run`` — the observed pipeline: build a workload, optionally inject a
+  bug, run one detector; prints the verdict, and with ``--json`` the full
+  machine-readable :class:`~repro.obs.runreport.RunReport`; ``--trace-out``
+  streams typed JSONL events, ``--metrics`` collects histograms/timers;
+* ``profile`` — per-phase timing breakdown plus event-type and counter
+  hotspots for one app/detector pair;
 * ``exhibit`` — regenerate one paper exhibit (table2–table6, figure8);
 * ``collision`` — print the Section 3.2 Bloom-collision analysis.
 """
@@ -16,11 +20,12 @@ import sys
 
 from repro.common.config import BloomConfig
 from repro.core.bloom import collision_probability
-from repro.harness.detectors import PAPER_DETECTORS, make_detector
+from repro.harness.detectors import PAPER_DETECTORS
 from repro.harness.experiment import ExperimentRunner
+from repro.harness.pipeline import run_pipeline
+from repro.obs import CountingEmitter, JsonlEmitter, Observability
 from repro.threads.runtime import interleave
 from repro.threads.scheduler import RandomScheduler
-from repro.workloads.injection import inject_bug
 from repro.workloads.registry import WORKLOAD_NAMES, build_workload
 
 
@@ -35,19 +40,37 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    program = build_workload(args.app, seed=args.seed)
-    bug = None
-    if args.bug_seed is not None:
-        program = inject_bug(program, seed=args.bug_seed)
-        bug = program.injected_bug
+    emitter = None
+    if args.trace_out:
+        try:
+            emitter = JsonlEmitter.to_path(args.trace_out)
+        except OSError as exc:
+            print(f"cannot open --trace-out {args.trace_out!r}: {exc}", file=sys.stderr)
+            return 2
+    obs = Observability(emitter=emitter, collect_metrics=args.metrics)
+    try:
+        run = run_pipeline(
+            args.app,
+            args.detector,
+            workload_seed=args.seed,
+            schedule_seed=args.schedule_seed,
+            bug_seed=args.bug_seed,
+            obs=obs,
+        )
+    finally:
+        obs.close()
+
+    if args.json:
+        print(run.report.to_json(indent=2))
+        return 0
+
+    bug = run.bug
+    if bug is not None:
         print(
             f"injected bug: thread {bug.thread_id} lost lock 0x{bug.lock_addr:x}"
         )
-    trace = interleave(
-        program, RandomScheduler(seed=args.schedule_seed, max_burst=8)
-    ).trace
-    print(f"trace: {len(trace):,} events")
-    result = make_detector(args.detector).run(trace)
+    result = run.result
+    print(f"trace: {len(run.trace):,} events")
     print(
         f"{args.detector}: {result.reports.dynamic_count} dynamic reports, "
         f"{result.reports.alarm_count} alarms"
@@ -55,13 +78,55 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.cycles:
         print(f"overhead: {100 * result.overhead_fraction:.2f}%")
     if bug is not None:
-        hit = any(
-            bug.matches_report(r.addr, r.size, r.site) for r in result.reports
-        )
-        print("injected bug:", "DETECTED" if hit else "missed")
+        print("injected bug:", "DETECTED" if run.report.verdict["detected"] else "missed")
     if args.show_alarms:
         for site in sorted(result.reports.sites(), key=str):
             print(f"  alarm: {site}")
+    if args.trace_out:
+        print(f"trace events: {emitter.total:,} -> {args.trace_out}")
+    if args.metrics:
+        print(obs.metrics.format("run metrics"))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    emitter = CountingEmitter()
+    obs = Observability(emitter=emitter, collect_metrics=True)
+    run = run_pipeline(
+        args.app,
+        args.detector,
+        workload_seed=args.seed,
+        schedule_seed=args.schedule_seed,
+        obs=obs,
+    )
+    result = run.result
+    print(f"profile: {args.app} / {args.detector}")
+    print(run.profiler.format())
+
+    throughput = run.report.throughput
+    print(
+        f"detect throughput: {throughput['events_per_s']:,.0f} trace events/s "
+        f"({throughput['trace_events']:,} events in "
+        f"{throughput['detect_wall_s']:.3f}s)"
+    )
+
+    if emitter.counts:
+        print(f"top {args.top} event types ({emitter.total:,} events)")
+        for etype, count in emitter.counts.most_common(args.top):
+            print(f"  {etype:<22}{count:>12,}")
+
+    hotspots = sorted(result.stats.items(), key=lambda kv: -kv[1])[: args.top]
+    if hotspots:
+        print(f"top {args.top} detector counters")
+        for name, value in hotspots:
+            print(f"  {name:<28}{value:>14,}")
+
+    if result.cycles:
+        print(
+            f"simulated cycles: {result.cycles:,} total, "
+            f"{result.detector_extra_cycles:,} detector "
+            f"({100 * result.overhead_fraction:.2f}% overhead)"
+        )
     return 0
 
 
@@ -129,7 +194,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--schedule-seed", type=int, default=0)
     run.add_argument("--show-alarms", action="store_true")
+    run.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="stream typed JSONL events to PATH",
+    )
+    run.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect and print histograms/timers",
+    )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable RunReport instead of text",
+    )
     run.set_defaults(func=_cmd_run)
+
+    profile = sub.add_parser(
+        "profile", help="per-phase timing and event hotspots for one run"
+    )
+    profile.add_argument("app", choices=WORKLOAD_NAMES)
+    profile.add_argument("detector", nargs="?", default="hard-default")
+    profile.add_argument("--seed", type=int, default=0, help="workload seed")
+    profile.add_argument("--schedule-seed", type=int, default=0)
+    profile.add_argument(
+        "--top", type=int, default=10, help="rows in the hotspot tables"
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     exhibit = sub.add_parser("exhibit", help="regenerate a paper exhibit")
     exhibit.add_argument(

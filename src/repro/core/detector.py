@@ -40,6 +40,7 @@ from repro.core.bloom import BloomMapper
 from repro.core.candidate import LineMeta
 from repro.core.lockregister import LockRegister
 from repro.core.lstate import transition
+from repro.obs.trace import emit_alarm
 from repro.reporting import DetectionResult, RaceReportLog
 from repro.sim.coherence import SourceKind
 from repro.sim.machine import Machine
@@ -97,9 +98,13 @@ class HardDetector:
 
     # ------------------------------------------------------------------- run
 
-    def run(self, trace: Trace) -> DetectionResult:
-        """Replay ``trace`` through a fresh machine with HARD attached."""
-        run = _HardRun(self)
+    def run(self, trace: Trace, obs=None) -> DetectionResult:
+        """Replay ``trace`` through a fresh machine with HARD attached.
+
+        ``obs`` is an optional :class:`repro.obs.Observability`; when absent
+        or inactive the replay takes the uninstrumented fast path.
+        """
+        run = _HardRun(self, obs)
         for event in trace:
             run.step(event)
         return run.finish()
@@ -108,13 +113,20 @@ class HardDetector:
 class _HardRun:
     """Mutable state of one detector pass over one trace."""
 
-    def __init__(self, detector: HardDetector):
+    def __init__(self, detector: HardDetector, obs=None):
         self.d = detector
-        self.machine = Machine(detector.machine_config)
+        self.machine = Machine(detector.machine_config, obs=obs)
         self.mapper = BloomMapper(detector.config.bloom)
         self.stats = StatCounters()
         self.log = RaceReportLog(detector.name)
         self.extra_cycles = 0
+        # Observability gates, resolved once: ``_observe`` guards all metric
+        # recording, ``_tracing`` additionally guards event emission.  With
+        # the default null sink both are False and the per-event cost is one
+        # attribute load + branch.
+        self.obs = obs
+        self._observe = obs is not None and obs.active
+        self._tracing = obs is not None and obs.emitter.enabled
         self._lock_registers: dict[int, LockRegister] = {}
         self._barrier_arrivals: dict[int, int] = {}
         line_size = detector.machine_config.line_size
@@ -189,6 +201,12 @@ class _HardRun:
         )
         self.stats.add("hard.barrier_reset_copies", touched)
         self._charge(self.d.costs.barrier_reset_flash, "hard.barrier_reset")
+        if self._observe:
+            self.obs.metrics.observe("hard.barrier_reset_copies", touched)
+            if self._tracing:
+                self.obs.emitter.emit(
+                    "barrier.reset", barrier=barrier_id, copies=touched
+                )
 
     def _memory_access(self, event, core: int) -> None:
         op = event.op
@@ -199,6 +217,8 @@ class _HardRun:
 
         result = self.machine.access(core, op.addr, op.size, op.is_write)
         line_results = {lr.line_addr: lr for lr in result.lines}
+        if self._observe:
+            self.obs.metrics.observe("machine.access_cycles", result.cycles)
 
         # Metadata rides every transfer that carries history: fills from the
         # L2 or a peer cache, and dirty-victim writebacks (whose candidate
@@ -227,12 +247,22 @@ class _HardRun:
             state_changed = (
                 outcome.state is not chunk.lstate or outcome.owner != chunk.owner
             )
+            if self._tracing and outcome.state is not chunk.lstate:
+                self.obs.emitter.emit(
+                    "lstate.transition",
+                    seq=event.seq,
+                    thread=thread_id,
+                    chunk=chunk_addr,
+                    **{"from": chunk.lstate.value, "to": outcome.state.value},
+                )
             chunk.lstate = outcome.state
             chunk.owner = outcome.owner
 
             if outcome.update_candidate:
                 new_bf = chunk.bf & lock_vector
                 if new_bf != chunk.bf:
+                    if self._observe:
+                        self._note_refinement(event, chunk_addr, chunk.bf, new_bf)
                     chunk.bf = new_bf
                     state_changed = True
                 self.stats.add("hard.candidate_updates")
@@ -241,7 +271,7 @@ class _HardRun:
                     # metadata must be written into the line's extra bits.
                     self._charge(self.d.costs.candidate_check, "hard.check")
                 if outcome.check_race and self.mapper.is_empty(new_bf):
-                    self.log.add(
+                    report = self.log.add(
                         seq=event.seq,
                         thread_id=thread_id,
                         addr=op.addr,
@@ -251,6 +281,8 @@ class _HardRun:
                         detail=f"candidate set empty (chunk 0x{chunk_addr:x})",
                     )
                     self.stats.add("hard.dynamic_reports")
+                    if self._observe:
+                        self._note_alarm(report, chunk_addr, new_bf)
             if state_changed:
                 changed_lines.add(line_addr)
 
@@ -269,3 +301,40 @@ class _HardRun:
     def _charge(self, cycles: int, reason: str) -> None:
         self.machine.charge(cycles, reason)
         self.extra_cycles += cycles
+
+    # ---------------------------------------------------------- observability
+    # Cold paths: called only when an Observability bundle is active.
+
+    def _note_refinement(self, event, chunk_addr: int, before: int, after: int) -> None:
+        metrics = self.obs.metrics
+        metrics.add("obs.lockset_refinements")
+        metrics.observe("hard.candidate_popcount", after.bit_count())
+        if self._tracing:
+            self.obs.emitter.emit(
+                "lockset.refine",
+                seq=event.seq,
+                thread=event.thread_id,
+                chunk=chunk_addr,
+                before=before,
+                after=after,
+            )
+
+    def _note_alarm(self, report, chunk_addr: int, vector: int) -> None:
+        metrics = self.obs.metrics
+        metrics.add("obs.alarms")
+        if vector:
+            # The set is empty (some part all-zero) yet residual collision
+            # bits remain: the Bloom aliasing of Section 3.2 made visible.
+            metrics.add("obs.bloom_collision_bits")
+        if not self._tracing:
+            return
+        emitter = self.obs.emitter
+        if vector:
+            emitter.emit(
+                "bloom.collision",
+                seq=report.seq,
+                thread=report.thread_id,
+                chunk=chunk_addr,
+                vector=vector,
+            )
+        emit_alarm(emitter, report)

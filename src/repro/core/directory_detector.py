@@ -24,6 +24,7 @@ from repro.core.candidate import LineMeta
 from repro.core.detector import LOCK_WORD_BYTES, HardCosts
 from repro.core.lockregister import LockRegister
 from repro.core.lstate import transition
+from repro.obs.trace import emit_alarm
 from repro.reporting import DetectionResult, RaceReportLog
 from repro.sim.directory import Directory
 from repro.sim.machine import Machine
@@ -46,9 +47,15 @@ class DirectoryHardDetector:
         self.directory_access_cycles = directory_access_cycles
         self.name = name
 
-    def run(self, trace: Trace) -> DetectionResult:
-        """Replay ``trace``; candidate sets live in the home directory."""
-        machine = Machine(self.machine_config)
+    def run(self, trace: Trace, obs=None) -> DetectionResult:
+        """Replay ``trace``; candidate sets live in the home directory.
+
+        ``obs`` is an optional :class:`repro.obs.Observability`; alarms,
+        refinements and barrier resets are reported when it is active.
+        """
+        observe = obs is not None and obs.active
+        tracing = obs is not None and obs.emitter.enabled
+        machine = Machine(self.machine_config, obs=obs)
         mapper = BloomMapper(self.config.bloom)
         stats = StatCounters()
         log = RaceReportLog(self.name)
@@ -93,9 +100,15 @@ class DirectoryHardDetector:
                 arrivals[op.addr] = 0
                 if config.barrier_reset:
                     full = mapper.full_mask
-                    directory.reset_all(lambda meta: meta.reset_for_barrier(full))
+                    touched = directory.reset_all(
+                        lambda meta: meta.reset_for_barrier(full)
+                    )
                     machine.charge(self.costs.barrier_reset_flash, "hard.barrier_reset")
                     extra += self.costs.barrier_reset_flash
+                    if tracing:
+                        obs.emitter.emit(
+                            "barrier.reset", barrier=op.addr, copies=touched
+                        )
             else:
                 machine.access(core, op.addr, op.size, op.is_write)
                 lock_vector = register_for(thread_id).value
@@ -116,12 +129,27 @@ class DirectoryHardDetector:
                     chunk.lstate = outcome.state
                     chunk.owner = outcome.owner
                     if outcome.update_candidate:
+                        before_bf = chunk.bf
                         chunk.bf &= lock_vector
                         stats.add("hard.candidate_updates")
                         machine.charge(self.costs.candidate_check, "hard.check")
                         extra += self.costs.candidate_check
+                        if observe and chunk.bf != before_bf:
+                            obs.metrics.add("obs.lockset_refinements")
+                            obs.metrics.observe(
+                                "hard.candidate_popcount", chunk.bf.bit_count()
+                            )
+                            if tracing:
+                                obs.emitter.emit(
+                                    "lockset.refine",
+                                    seq=event.seq,
+                                    thread=thread_id,
+                                    chunk=chunk_addr,
+                                    before=before_bf,
+                                    after=chunk.bf,
+                                )
                         if outcome.check_race and mapper.is_empty(chunk.bf):
-                            log.add(
+                            report = log.add(
                                 seq=event.seq,
                                 thread_id=thread_id,
                                 addr=op.addr,
@@ -130,6 +158,10 @@ class DirectoryHardDetector:
                                 is_write=op.is_write,
                                 detail=f"candidate set empty (dir 0x{chunk_addr:x})",
                             )
+                            if observe:
+                                obs.metrics.add("obs.alarms")
+                                if tracing:
+                                    emit_alarm(obs.emitter, report)
                     directory.put_back(line_addr, meta)
 
         stats.merge(machine.stats)

@@ -27,6 +27,7 @@ from repro.common.stats import StatCounters
 from repro.core.lstate import NO_OWNER, LState, transition
 from repro.hb.vectorclock import SyncClocks
 from repro.lockset.exact import ALL_LOCKS
+from repro.obs.trace import emit_alarm
 from repro.reporting import DetectionResult, RaceReportLog
 
 
@@ -53,8 +54,13 @@ class HybridDetector:
     barrier_reset: bool = True
     name: str = "hybrid"
 
-    def run(self, trace: Trace) -> DetectionResult:
-        """Consume the trace; report concurrent lockset violations only."""
+    def run(self, trace: Trace, obs=None) -> DetectionResult:
+        """Consume the trace; report concurrent lockset violations only.
+
+        ``obs`` is an optional :class:`repro.obs.Observability`; alarms are
+        recorded and emitted when it is active.
+        """
+        self._obs = obs if obs is not None and obs.active else None
         log = RaceReportLog(self.name)
         stats = StatCounters()
         clocks = SyncClocks(trace.num_threads)
@@ -129,7 +135,7 @@ class HybridDetector:
                     chunk.candidate &= locks.keys()
                 stats.add("hybrid.candidate_updates")
                 if outcome.check_race and chunk.lockset_empty and concurrent_foreign:
-                    log.add(
+                    report = log.add(
                         seq=event.seq,
                         thread_id=thread_id,
                         addr=op.addr,
@@ -142,6 +148,10 @@ class HybridDetector:
                         ),
                     )
                     stats.add("hybrid.dynamic_reports")
+                    if self._obs is not None:
+                        self._obs.metrics.add("obs.alarms")
+                        if self._obs.emitter.enabled:
+                            emit_alarm(self._obs.emitter, report)
                 elif outcome.check_race and chunk.lockset_empty:
                     stats.add("hybrid.suppressed_by_ordering")
 

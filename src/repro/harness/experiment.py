@@ -21,7 +21,8 @@ configurations.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+import os
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.common.events import Trace
@@ -56,6 +57,12 @@ class RunOutcome:
         """Execution-time overhead of the detector hardware (Figure 8)."""
         base = self.cycles - self.detector_extra_cycles
         return self.detector_extra_cycles / base if base > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (consumed by RunReport tooling)."""
+        data = asdict(self)
+        data["overhead_fraction"] = self.overhead_fraction
+        return data
 
 
 def score_detection(result: DetectionResult, bug: InjectedBug | None) -> bool:
@@ -215,18 +222,21 @@ class ExperimentRunner:
         path = self._cache_path(outcome.app, outcome.run, signature)
         if path is None:
             return
-        path.write_text(
-            json.dumps(
-                {
-                    "signature": signature,
-                    "detected": outcome.detected,
-                    "alarm_count": outcome.alarm_count,
-                    "dynamic_reports": outcome.dynamic_reports,
-                    "cycles": outcome.cycles,
-                    "detector_extra_cycles": outcome.detector_extra_cycles,
-                }
-            )
+        payload = json.dumps(
+            {
+                "signature": signature,
+                "detected": outcome.detected,
+                "alarm_count": outcome.alarm_count,
+                "dynamic_reports": outcome.dynamic_reports,
+                "cycles": outcome.cycles,
+                "detector_extra_cycles": outcome.detector_extra_cycles,
+            }
         )
+        # Write-then-rename so a crashed or parallel sweep never leaves a
+        # truncated JSON file that poisons every later cache hit.
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(payload)
+        os.replace(tmp, path)
 
 
 @dataclass

@@ -1,0 +1,151 @@
+"""The observed end-to-end pipeline: build → interleave → detect → report.
+
+:func:`run_pipeline` is the single entry point behind ``repro run`` and
+``repro profile``: it executes one workload through one detector with the
+full observability bundle threaded through every layer, times each phase
+with a :class:`~repro.obs.profile.PhaseProfiler`, attributes detector
+activity to the detect phase via a stats snapshot/delta, and assembles the
+machine-readable :class:`~repro.obs.runreport.RunReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.events import Trace
+from repro.harness.detectors import make_detector
+from repro.harness.experiment import score_detection
+from repro.harness.tracestats import characterize
+from repro.obs import Observability, PhaseProfiler, RunReport, cycles_entry
+from repro.reporting import DetectionResult
+from repro.threads.program import InjectedBug, ParallelProgram
+from repro.threads.runtime import interleave
+from repro.threads.scheduler import RandomScheduler
+from repro.workloads.injection import inject_bug
+from repro.workloads.registry import build_workload
+
+
+@dataclass
+class PipelineRun:
+    """Everything one :func:`run_pipeline` call produced."""
+
+    report: RunReport
+    result: DetectionResult
+    trace: Trace
+    program: ParallelProgram
+    profiler: PhaseProfiler
+    bug: InjectedBug | None = None
+
+
+def _bug_entry(bug: InjectedBug | None) -> dict | None:
+    """Ground-truth summary of the injected bug for the report."""
+    if bug is None:
+        return None
+    return {
+        "thread_id": bug.thread_id,
+        "lock_addr": bug.lock_addr,
+        "sites": [str(site) for site in bug.sites],
+    }
+
+
+def run_pipeline(
+    app: str,
+    detector_key: str = "hard-default",
+    *,
+    workload_seed: int = 0,
+    schedule_seed: int = 0,
+    bug_seed: int | None = None,
+    obs: Observability | None = None,
+    **detector_overrides,
+) -> PipelineRun:
+    """Run one workload through one detector with full observability.
+
+    Args:
+        app: workload name from :data:`repro.workloads.registry.WORKLOAD_NAMES`.
+        detector_key: detector configuration key for
+            :func:`repro.harness.detectors.make_detector`.
+        workload_seed: seed of the workload generator.
+        schedule_seed: seed of the interleaving scheduler.
+        bug_seed: when given, inject a dynamic race with this seed before
+            interleaving (the ``repro run --bug-seed`` protocol).
+        obs: observability bundle; defaults to a fresh disabled bundle so
+            the report still carries phases, verdict and cycle accounting.
+        **detector_overrides: configuration overrides for the detector.
+
+    Returns:
+        A :class:`PipelineRun` whose ``report`` is JSON-serialisable.
+    """
+    if obs is None:
+        obs = Observability()
+    profiler = PhaseProfiler(emitter=obs.emitter)
+
+    with profiler.phase("build", app=app, seed=workload_seed):
+        program = build_workload(app, seed=workload_seed)
+        bug = None
+        if bug_seed is not None:
+            program = inject_bug(program, seed=bug_seed)
+            bug = program.injected_bug
+
+    with profiler.phase("interleave") as rec:
+        scheduler = RandomScheduler(seed=schedule_seed, max_burst=8)
+        interleaved = interleave(program, scheduler, obs=obs)
+        trace = interleaved.trace
+        rec.extras["events"] = len(trace)
+        rec.extras["context_switches"] = interleaved.context_switches
+
+    with profiler.phase("characterize"):
+        workload = characterize(trace).to_dict()
+
+    detector = make_detector(detector_key, **detector_overrides)
+    with profiler.phase("detect", detector=detector_key) as rec:
+        before = obs.metrics.snapshot()
+        result = detector.run(trace, obs=obs)
+        rec.counters_delta = result.stats.snapshot()
+        for name, value in obs.metrics.delta(before).items():
+            rec.counters_delta.setdefault(name, value)
+
+    detect_wall = profiler.records[-1].wall_s
+    throughput = {
+        "trace_events": len(trace),
+        "detect_wall_s": detect_wall,
+        "events_per_s": len(trace) / detect_wall if detect_wall > 0 else 0.0,
+    }
+    emitted = getattr(obs.emitter, "counts", None)
+    if emitted is not None and detect_wall > 0:
+        throughput["trace_events_emitted"] = sum(emitted.values())
+        throughput["emitted_per_s"] = sum(emitted.values()) / detect_wall
+
+    verdict: dict = {
+        "detected": score_detection(result, bug) if bug is not None else None,
+        "dynamic_reports": result.reports.dynamic_count,
+        "alarms": result.reports.alarm_count,
+        "alarm_sites": sorted(str(site) for site in result.reports.sites()),
+    }
+
+    metrics = obs.metrics.snapshot_all()
+    report = RunReport(
+        app=app,
+        detector=detector_key,
+        workload_seed=workload_seed,
+        schedule_seed=schedule_seed,
+        bug_seed=bug_seed,
+        bug=_bug_entry(bug),
+        trace_events=len(trace),
+        verdict=verdict,
+        cycles=cycles_entry(result.cycles, result.detector_extra_cycles),
+        workload=workload,
+        phases=profiler.to_dicts(),
+        counters=result.stats.snapshot(),
+        histograms=metrics["histograms"],
+        timers=metrics["timers"],
+        event_counts=dict(emitted) if emitted is not None else {},
+        throughput=throughput,
+    )
+    return PipelineRun(
+        report=report,
+        result=result,
+        trace=trace,
+        program=program,
+        profiler=profiler,
+        bug=bug,
+    )

@@ -14,6 +14,7 @@ from __future__ import annotations
 from repro.common.config import KB, MB, PAPER_BLOOM_SIZES, PAPER_L2_SIZES
 from repro.harness.detectors import PAPER_DETECTORS
 from repro.harness.experiment import ExperimentRunner
+from repro.obs.runreport import overhead_entry
 from repro.workloads.registry import WORKLOAD_NAMES
 
 #: Paper's Table 2 values, for side-by-side rendering:
@@ -96,11 +97,7 @@ def figure8(runner: ExperimentRunner, apps=WORKLOAD_NAMES) -> dict:
     data = {}
     for app in apps:
         outcome = runner.overhead(app)
-        data[app] = {
-            "overhead_pct": 100.0 * outcome.overhead_fraction,
-            "cycles": outcome.cycles,
-            "extra_cycles": outcome.detector_extra_cycles,
-        }
+        data[app] = overhead_entry(outcome.cycles, outcome.detector_extra_cycles)
     return data
 
 

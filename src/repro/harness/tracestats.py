@@ -56,6 +56,32 @@ class TraceStats:
             return 0.0
         return self.writes / self.memory_accesses
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable characterization (embedded in RunReport)."""
+        return {
+            "total_events": self.total_events,
+            "memory_accesses": self.memory_accesses,
+            "writes": self.writes,
+            "write_ratio": self.write_ratio,
+            "lock_acquires": self.lock_acquires,
+            "lock_releases": self.lock_releases,
+            "lock_density": self.lock_density,
+            "barrier_waits": self.barrier_waits,
+            "compute_events": self.compute_events,
+            "distinct_lines": self.distinct_lines,
+            "footprint_bytes": self.footprint_bytes,
+            "distinct_locks": self.distinct_locks,
+            "shared_lines": self.shared_lines,
+            "write_shared_lines": self.write_shared_lines,
+            "max_lock_nesting": self.max_lock_nesting,
+            "accesses_under_lock": self.accesses_under_lock,
+            "sites": self.sites,
+            "threads": self.threads,
+            "sharers_histogram": {
+                str(k): v for k, v in self.sharers_histogram.items()
+            },
+        }
+
     def format(self) -> str:
         """A compact characterization report."""
         lines = [

@@ -24,6 +24,7 @@ from repro.common.stats import StatCounters
 from repro.core.detector import LOCK_WORD_BYTES
 from repro.hb.meta import HBLineMeta
 from repro.hb.vectorclock import SyncClocks
+from repro.obs.trace import emit_alarm
 from repro.reporting import DetectionResult, RaceReportLog
 from repro.sim.machine import Machine
 from repro.sim.metadata import SharedMetadataStore
@@ -47,9 +48,15 @@ class HappensBeforeDetector:
                 f"line size {self.machine_config.line_size}"
             )
 
-    def run(self, trace: Trace) -> DetectionResult:
-        """Replay ``trace`` through a fresh machine with HB metadata attached."""
-        machine = Machine(self.machine_config)
+    def run(self, trace: Trace, obs=None) -> DetectionResult:
+        """Replay ``trace`` through a fresh machine with HB metadata attached.
+
+        ``obs`` is an optional :class:`repro.obs.Observability`; alarms and
+        history-update metrics are recorded when it is active.
+        """
+        observe = obs is not None and obs.active
+        tracing = obs is not None and obs.emitter.enabled
+        machine = Machine(self.machine_config, obs=obs)
         clocks = SyncClocks(trace.num_threads)
         stats = StatCounters()
         log = RaceReportLog(self.name)
@@ -82,7 +89,9 @@ class HappensBeforeDetector:
                 if clocks.barrier_arrive(thread_id, op.addr, op.participants):
                     stats.add("hb.barrier_episodes")
             else:
-                machine.access(core, op.addr, op.size, op.is_write)
+                access = machine.access(core, op.addr, op.size, op.is_write)
+                if observe:
+                    obs.metrics.observe("machine.access_cycles", access.cycles)
                 clock = clocks.clock(thread_id)
                 for chunk_addr in spanned_chunks(op.addr, op.size, granularity):
                     line_addr = line_address(chunk_addr, line_size)
@@ -93,7 +102,7 @@ class HappensBeforeDetector:
                     conflicts = chunk.check_and_update(thread_id, clock, op.is_write)
                     stats.add("hb.history_updates")
                     for detail in conflicts:
-                        log.add(
+                        report = log.add(
                             seq=event.seq,
                             thread_id=thread_id,
                             addr=op.addr,
@@ -103,6 +112,10 @@ class HappensBeforeDetector:
                             detail=f"{detail} (chunk 0x{chunk_addr:x})",
                         )
                         stats.add("hb.dynamic_reports")
+                        if observe:
+                            obs.metrics.add("obs.alarms")
+                            if tracing:
+                                emit_alarm(obs.emitter, report)
 
         stats.merge(machine.stats)
         stats.merge(machine.bus.stats)

@@ -18,6 +18,7 @@ from repro.common.events import OpKind, Trace
 from repro.common.stats import StatCounters
 from repro.hb.meta import HBChunkMeta
 from repro.hb.vectorclock import SyncClocks
+from repro.obs.trace import emit_alarm
 from repro.reporting import DetectionResult, RaceReportLog
 
 
@@ -29,8 +30,13 @@ class IdealHappensBeforeDetector:
     name: str = "hb-ideal"
     stats: StatCounters = field(default_factory=StatCounters)
 
-    def run(self, trace: Trace) -> DetectionResult:
-        """Consume the trace; report every access pair unordered in it."""
+    def run(self, trace: Trace, obs=None) -> DetectionResult:
+        """Consume the trace; report every access pair unordered in it.
+
+        ``obs`` is an optional :class:`repro.obs.Observability`; alarms are
+        recorded and emitted when it is active.
+        """
+        observe = obs is not None and obs.active
         log = RaceReportLog(self.name)
         stats = StatCounters()
         clocks = SyncClocks(trace.num_threads)
@@ -57,7 +63,7 @@ class IdealHappensBeforeDetector:
                     conflicts = chunk.check_and_update(thread_id, clock, op.is_write)
                     stats.add("hb.history_updates")
                     for detail in conflicts:
-                        log.add(
+                        report = log.add(
                             seq=event.seq,
                             thread_id=thread_id,
                             addr=op.addr,
@@ -67,5 +73,9 @@ class IdealHappensBeforeDetector:
                             detail=f"{detail} (chunk 0x{chunk_addr:x})",
                         )
                         stats.add("hb.dynamic_reports")
+                        if observe:
+                            obs.metrics.add("obs.alarms")
+                            if obs.emitter.enabled:
+                                emit_alarm(obs.emitter, report)
 
         return DetectionResult(detector=self.name, reports=log, stats=stats)

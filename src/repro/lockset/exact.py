@@ -26,6 +26,7 @@ from repro.common.errors import DetectorError
 from repro.common.events import OpKind, Trace
 from repro.common.stats import StatCounters
 from repro.core.lstate import NO_OWNER, LState, transition
+from repro.obs.trace import emit_alarm
 from repro.reporting import DetectionResult, RaceReportLog
 
 #: Sentinel meaning "all possible locks" (the initial candidate set).
@@ -69,8 +70,13 @@ class IdealLocksetDetector:
     name: str = "lockset-ideal"
     stats: StatCounters = field(default_factory=StatCounters)
 
-    def run(self, trace: Trace) -> DetectionResult:
-        """Consume the trace; return every lockset-discipline violation."""
+    def run(self, trace: Trace, obs=None) -> DetectionResult:
+        """Consume the trace; return every lockset-discipline violation.
+
+        ``obs`` is an optional :class:`repro.obs.Observability`; alarms and
+        candidate-set sizes are recorded when it is active.
+        """
+        self._obs = obs if obs is not None and obs.active else None
         log = RaceReportLog(self.name)
         stats = StatCounters()
         held: dict[int, dict[int, int]] = {}  # thread -> lock -> depth
@@ -128,10 +134,16 @@ class IdealLocksetDetector:
             chunk.owner = outcome.owner
             if not outcome.update_candidate:
                 continue
-            chunk.intersect(locks)
+            refined = chunk.intersect(locks)
             stats.add("lockset.candidate_updates")
+            obs = self._obs
+            if obs is not None and refined:
+                obs.metrics.add("obs.lockset_refinements")
+                obs.metrics.observe(
+                    "lockset.candidate_size", len(chunk.candidate or ())
+                )
             if outcome.check_race and chunk.is_empty:
-                log.add(
+                report = log.add(
                     seq=event.seq,
                     thread_id=event.thread_id,
                     addr=op.addr,
@@ -141,3 +153,7 @@ class IdealLocksetDetector:
                     detail=f"candidate set empty (exact, chunk 0x{chunk_addr:x})",
                 )
                 stats.add("lockset.dynamic_reports")
+                if obs is not None:
+                    obs.metrics.add("obs.alarms")
+                    if obs.emitter.enabled:
+                        emit_alarm(obs.emitter, report)

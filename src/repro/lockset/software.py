@@ -32,6 +32,7 @@ from repro.common.stats import StatCounters
 from repro.core.detector import LOCK_WORD_BYTES
 from repro.core.lstate import NO_OWNER, LState, transition
 from repro.lockset.exact import ALL_LOCKS, ExactChunk
+from repro.obs.trace import emit_alarm
 from repro.reporting import DetectionResult, RaceReportLog
 from repro.sim.machine import Machine
 
@@ -64,9 +65,14 @@ class SoftwareLocksetDetector:
         self.costs = costs or SoftwareCosts()
         self.name = name
 
-    def run(self, trace: Trace) -> DetectionResult:
-        """Replay ``trace`` with software monitoring costs charged."""
-        machine = Machine(self.machine_config)
+    def run(self, trace: Trace, obs=None) -> DetectionResult:
+        """Replay ``trace`` with software monitoring costs charged.
+
+        ``obs`` is an optional :class:`repro.obs.Observability`; alarms are
+        recorded and emitted when it is active.
+        """
+        observe = obs is not None and obs.active
+        machine = Machine(self.machine_config, obs=obs)
         costs = self.costs
         stats = StatCounters()
         log = RaceReportLog(self.name)
@@ -128,7 +134,7 @@ class SoftwareLocksetDetector:
                     if outcome.check_race and chunk.is_empty:
                         machine.charge(costs.report, "sw.report")
                         extra += costs.report
-                        log.add(
+                        report = log.add(
                             seq=event.seq,
                             thread_id=thread_id,
                             addr=op.addr,
@@ -137,6 +143,10 @@ class SoftwareLocksetDetector:
                             is_write=op.is_write,
                             detail=f"candidate set empty (sw, 0x{chunk_addr:x})",
                         )
+                        if observe:
+                            obs.metrics.add("obs.alarms")
+                            if obs.emitter.enabled:
+                                emit_alarm(obs.emitter, report)
 
         stats.merge(machine.stats)
         stats.merge(machine.bus.stats)

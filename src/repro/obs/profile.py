@@ -1,0 +1,99 @@
+"""Per-phase profiling: wall-clock timing with counter-delta attribution.
+
+A :class:`PhaseProfiler` wraps the pipeline's phases (workload build,
+interleave, characterize, detector run) in timed regions.  Each phase may
+attach a counter delta — the difference of a :class:`StatCounters` snapshot
+taken around the phase — so a profile attributes not just *time* but *what
+happened* (accesses, broadcasts, resets) to each phase.  ``repro profile``
+renders the result; :class:`~repro.obs.runreport.RunReport` embeds it.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs.trace import NULL_EMITTER, TraceEmitter
+
+
+@dataclass
+class PhaseRecord:
+    """One completed phase: name, wall time, and attributed activity."""
+
+    name: str
+    wall_s: float = 0.0
+    counters_delta: dict[str, int] = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form for the run report."""
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "counters_delta": dict(self.counters_delta),
+            "extras": dict(self.extras),
+        }
+
+
+class PhaseProfiler:
+    """Collects :class:`PhaseRecord` objects for a sequence of phases."""
+
+    def __init__(self, emitter: TraceEmitter | None = None):
+        self.records: list[PhaseRecord] = []
+        self._emitter = emitter if emitter is not None else NULL_EMITTER
+
+    @contextmanager
+    def phase(self, name: str, **extras):
+        """Time the body as one phase; yields the mutable record.
+
+        The caller may fill ``record.counters_delta`` and ``record.extras``
+        inside the body (e.g. with a detector-run stats snapshot); the wall
+        time is stamped on exit and a ``span`` event is emitted when tracing
+        is enabled.
+        """
+        record = PhaseRecord(name=name, extras=dict(extras))
+        t0 = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.wall_s = time.perf_counter() - t0
+            self.records.append(record)
+            if self._emitter.enabled:
+                self._emitter.emit(
+                    "span", name=f"phase.{name}", wall_s=round(record.wall_s, 6)
+                )
+
+    @property
+    def total_wall_s(self) -> float:
+        """Sum of all recorded phase durations."""
+        return sum(record.wall_s for record in self.records)
+
+    def to_dicts(self) -> list[dict]:
+        """All records in JSON-serialisable form, in execution order."""
+        return [record.to_dict() for record in self.records]
+
+    def format(self, top_counters: int = 3) -> str:
+        """A per-phase breakdown table with top counter attribution."""
+        total = self.total_wall_s
+        lines = [
+            "phase breakdown",
+            f"  {'phase':<14}{'wall':>10}{'share':>8}  activity",
+        ]
+        for record in self.records:
+            share = 100.0 * record.wall_s / total if total > 0 else 0.0
+            top = sorted(
+                record.counters_delta.items(), key=lambda kv: -kv[1]
+            )[:top_counters]
+            activity = ", ".join(f"{k}={v:,}" for k, v in top)
+            if record.extras:
+                extra_text = ", ".join(
+                    f"{k}={v:,}" if isinstance(v, int) else f"{k}={v}"
+                    for k, v in record.extras.items()
+                )
+                activity = ", ".join(filter(None, (extra_text, activity)))
+            lines.append(
+                f"  {record.name:<14}{record.wall_s:>9.3f}s{share:>7.1f}%  {activity}"
+            )
+        lines.append(f"  {'total':<14}{total:>9.3f}s{100.0:>7.1f}%" if total else "")
+        return "\n".join(filter(None, lines))

@@ -13,10 +13,13 @@ alarm per static source location, no matter how many dynamic instances fire.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Protocol
+from typing import TYPE_CHECKING, Callable, Iterator, Protocol
 
 from repro.common.events import Site, Trace
 from repro.common.stats import StatCounters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs import Observability
 
 
 @dataclass(frozen=True)
@@ -163,6 +166,11 @@ class Detector(Protocol):
 
     name: str
 
-    def run(self, trace: Trace) -> DetectionResult:
-        """Consume a full interleaved trace and return all reports."""
+    def run(self, trace: Trace, obs: "Observability | None" = None) -> DetectionResult:
+        """Consume a full interleaved trace and return all reports.
+
+        ``obs`` is the optional observability bundle (tracing + metrics);
+        detectors must behave identically — and pay no measurable cost —
+        when it is absent or inactive.
+        """
         ...

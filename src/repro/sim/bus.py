@@ -11,15 +11,17 @@ from __future__ import annotations
 
 from repro.common.config import BusConfig
 from repro.common.stats import StatCounters
+from repro.obs.trace import NULL_EMITTER, TraceEmitter
 
 
 class Bus:
     """Accounting model of the shared snoopy bus."""
 
-    def __init__(self, config: BusConfig):
+    def __init__(self, config: BusConfig, emitter: TraceEmitter | None = None):
         self.config = config
         self.stats = StatCounters()
         self._cycles = 0
+        self._emitter = emitter if emitter is not None else NULL_EMITTER
 
     @property
     def cycles(self) -> int:
@@ -57,6 +59,8 @@ class Bus:
         cycles = self.config.metadata_piggyback_cycles
         self._cycles += cycles
         self.stats.add("bus.cycles.metadata_piggyback", cycles)
+        if self._emitter.enabled:
+            self._emitter.emit("metadata.piggyback", bits=meta_bits)
         return cycles
 
     def metadata_broadcast(self, meta_bits: int) -> int:
@@ -67,5 +71,7 @@ class Bus:
         word carrying the 18 metadata bits.
         """
         self.stats.add("bus.bytes.metadata", (meta_bits + 7) // 8)
+        if self._emitter.enabled:
+            self._emitter.emit("candidate.broadcast", bits=meta_bits)
         cycles = self.config.cycles_per_transaction + self.config.cycles_per_word
         return self._spend(cycles, "metadata_broadcast")

@@ -22,6 +22,7 @@ from typing import Iterator
 from repro.common.addresses import line_address
 from repro.common.config import CacheConfig
 from repro.common.errors import SimulationError
+from repro.obs.trace import NULL_EMITTER, TraceEmitter
 
 
 class MESI(enum.Enum):
@@ -63,13 +64,19 @@ class Victim:
 class Cache:
     """A set-associative cache of :class:`CacheLine` with true-LRU eviction."""
 
-    def __init__(self, config: CacheConfig, name: str = "cache"):
+    def __init__(
+        self,
+        config: CacheConfig,
+        name: str = "cache",
+        emitter: TraceEmitter | None = None,
+    ):
         self.config = config
         self.name = name
         self._sets: list[dict[int, CacheLine]] = [
             {} for _ in range(config.num_sets)
         ]
         self._tick = 0
+        self._emitter = emitter if emitter is not None else NULL_EMITTER
         # Hot-path constants (profiled: recomputing them per lookup is the
         # single largest cost of a simulation pass).
         self._line_shift = config.line_size.bit_length() - 1
@@ -141,6 +148,13 @@ class Cache:
         victim = self.choose_victim(line_addr)
         if victim is not None:
             del cache_set[victim.line_addr]
+            if self._emitter.enabled:
+                self._emitter.emit(
+                    "cache.evict",
+                    cache=self.name,
+                    line=victim.line_addr,
+                    dirty=victim.dirty,
+                )
         self._tick += 1
         cache_set[line_addr] = CacheLine(
             tag=line_addr, state=state, lru_tick=self._tick
@@ -171,6 +185,10 @@ class Cache:
         if line is None:
             raise SimulationError(
                 f"{self.name}: eviction of absent line 0x{line_addr:x}"
+            )
+        if self._emitter.enabled:
+            self._emitter.emit(
+                "cache.evict", cache=self.name, line=line.tag, dirty=line.dirty
             )
         return line
 

@@ -43,14 +43,19 @@ _ACCESS_STAT = {
 class Machine:
     """A functional model of the paper's 4-core CMP memory system."""
 
-    def __init__(self, config: MachineConfig | None = None):
+    def __init__(self, config: MachineConfig | None = None, obs=None):
         self.config = config or MachineConfig()
+        # ``obs`` is a repro.obs.Observability (kept untyped to avoid a
+        # dependency edge from the simulator into the observability layer).
+        emitter = obs.emitter if obs is not None else None
+        self._emitter_on = emitter is not None and emitter.enabled
+        self._obs_emitter = emitter
         self.l1s = [
-            Cache(self.config.l1, name=f"L1#{core}")
+            Cache(self.config.l1, name=f"L1#{core}", emitter=emitter)
             for core in range(self.config.num_cores)
         ]
-        self.l2 = Cache(self.config.l2, name="L2")
-        self.bus = Bus(self.config.bus)
+        self.l2 = Cache(self.config.l2, name="L2", emitter=emitter)
+        self.bus = Bus(self.config.bus, emitter=emitter)
         self.stats = StatCounters()
         self.evictions = EvictionRecord()
         self._listeners: list[MachineListener] = []
@@ -320,6 +325,8 @@ class Machine:
             self.evictions.l2_writebacks_to_memory += 1
         self.evictions.note_l2_eviction(victim.line_addr)
         self._emit("on_l2_evict", victim.line_addr)
+        if self._emitter_on:
+            self._obs_emitter.emit("l2.displacement", line=victim.line_addr)
         return victim.line_addr
 
     def _owner_among(self, holders: list[int], line_addr: int) -> int | None:

@@ -59,6 +59,7 @@ def interleave(
     scheduler: Scheduler | None = None,
     *,
     record_slices: bool = False,
+    obs=None,
 ) -> InterleaveResult:
     """Execute ``program`` under ``scheduler`` and return the global trace.
 
@@ -69,7 +70,11 @@ def interleave(
         record_slices: also record the (thread, ops-executed) slice sequence,
             which :class:`~repro.threads.scheduler.FixedOrderScheduler` can
             replay exactly.
+        obs: optional :class:`repro.obs.Observability`; when active, the
+            slice-length distribution and blocking counters are recorded
+            into its metrics registry.
     """
+    observe = obs is not None and obs.active
     sched = scheduler if scheduler is not None else RandomScheduler(seed=0)
     states = [_ThreadState() for _ in range(program.num_threads)]
     for tid, thread in enumerate(program.threads):
@@ -113,6 +118,14 @@ def interleave(
         result.context_switches += 1
         if record_slices:
             result.slices.append((thread_id, ran))
+        if observe:
+            obs.metrics.observe("interleave.slice_ops", ran)
+    if observe:
+        metrics = obs.metrics
+        metrics.add("interleave.context_switches", result.context_switches)
+        metrics.add("interleave.lock_block_events", result.lock_block_events)
+        metrics.add("interleave.barrier_episodes", result.barrier_episodes)
+        metrics.add("interleave.trace_events", len(trace))
     return result
 
 

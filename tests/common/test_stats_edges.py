@@ -1,0 +1,58 @@
+"""Edge-case tests for StatCounters (delta, merge, and formatting)."""
+
+import pytest
+
+from repro.common.stats import StatCounters
+
+
+class TestDeltaEdges:
+    def test_delta_includes_new_keys(self):
+        counters = StatCounters()
+        before = counters.snapshot()
+        counters.add("appeared", 5)
+        assert counters.delta(before) == {"appeared": 5}
+
+    def test_delta_keeps_vanished_keys(self):
+        counters = StatCounters()
+        counters.add("old", 3)
+        before = counters.snapshot()
+        fresh = StatCounters()
+        # A key present only in the snapshot shows up with a negative delta
+        # rather than silently disappearing.
+        assert fresh.delta(before) == {"old": -3}
+
+    def test_delta_of_unchanged_counters_is_zero(self):
+        counters = StatCounters()
+        counters.add("same", 2)
+        assert counters.delta(counters.snapshot()) == {"same": 0}
+
+
+class TestMergeEdges:
+    def test_merge_onto_empty(self):
+        empty = StatCounters()
+        other = StatCounters()
+        other.add("x", 4)
+        empty.merge(other)
+        assert empty.snapshot() == {"x": 4}
+
+    def test_merge_from_empty_is_identity(self):
+        counters = StatCounters()
+        counters.add("x", 4)
+        counters.merge(StatCounters())
+        assert counters.snapshot() == {"x": 4}
+
+
+class TestFormatEdges:
+    def test_format_with_no_counters(self):
+        assert StatCounters().format("empty") == "empty"
+
+    def test_format_aligns_values(self):
+        counters = StatCounters()
+        counters.add("a", 1)
+        counters.add("long.counter.name", 1_000_000)
+        text = counters.format()
+        assert "1,000,000" in text
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            StatCounters().add("bad", -1)

@@ -1,8 +1,11 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import RUNREPORT_SCHEMA_VERSION, validate_jsonl
 
 
 class TestParser:
@@ -51,3 +54,54 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "injected bug: DETECTED" in out
         assert "alarm:" in out
+
+
+class TestObservabilityCommands:
+    def test_run_json_is_a_single_json_object(self, capsys):
+        assert main(["run", "raytrace", "--json", "--bug-seed", "3"]) == 0
+        out = capsys.readouterr().out
+        report = json.loads(out)  # would raise if anything else was printed
+        assert report["app"] == "raytrace"
+        assert report["schema_version"] == RUNREPORT_SCHEMA_VERSION
+        assert report["verdict"]["detected"] is True
+        assert report["trace_events"] > 0
+        assert [p["name"] for p in report["phases"]] == [
+            "build",
+            "interleave",
+            "characterize",
+            "detect",
+        ]
+
+    def test_run_trace_out_validates_against_schema(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        code = main(
+            ["run", "raytrace", "--trace-out", str(path), "--bug-seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace events:" in out
+        counts = validate_jsonl(path)
+        assert counts["alarm"] > 0
+        assert counts["lstate.transition"] > 0
+
+    def test_run_metrics_prints_registry(self, capsys):
+        assert main(["run", "raytrace", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "run metrics" in out
+        assert "histograms" in out
+
+    def test_profile_prints_breakdown_and_top_events(self, capsys):
+        assert main(["profile", "barnes", "hard-default"]) == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out
+        for phase in ("build", "interleave", "characterize", "detect"):
+            assert phase in out
+        assert "top 10 event types" in out
+        assert "lstate.transition" in out
+        assert "detect throughput:" in out
+        assert "overhead" in out
+
+    def test_profile_defaults_to_hard_default(self):
+        args = build_parser().parse_args(["profile", "barnes"])
+        assert args.detector == "hard-default"
+        assert args.top == 10

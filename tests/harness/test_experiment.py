@@ -88,6 +88,28 @@ class TestDiskCache(object):
         assert first.dynamic_reports == second.dynamic_reports
         assert any(tmp_path.iterdir())
 
+    def test_cache_write_is_atomic(self, tmp_path):
+        import json
+
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        runner.run_detector("raytrace", CLEAN_RUN, "hard-ideal")
+        # The rename-into-place protocol leaves no temp files behind and
+        # every cache entry is complete, parseable JSON.
+        leftovers = list(tmp_path.glob("*.tmp"))
+        assert leftovers == []
+        entries = list(tmp_path.glob("*.json"))
+        assert entries
+        for entry in entries:
+            data = json.loads(entry.read_text())
+            assert "signature" in data
+
+    def test_outcome_to_dict(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        outcome = runner.run_detector("raytrace", CLEAN_RUN, "hard-ideal")
+        data = outcome.to_dict()
+        assert data["app"] == "raytrace"
+        assert data["overhead_fraction"] == outcome.overhead_fraction
+
     def test_signature_distinguishes_overrides(self):
         a = config_signature("hard-default", granularity=4)
         b = config_signature("hard-default", granularity=8)

@@ -1,0 +1,58 @@
+"""Integration tests for the observed pipeline and its RunReport."""
+
+import json
+
+import pytest
+
+from repro.harness.pipeline import run_pipeline
+from repro.obs import CountingEmitter, Observability, RunReport
+
+
+@pytest.fixture(scope="module")
+def observed_run():
+    """One fully observed raytrace run shared by the assertions below."""
+    obs = Observability(emitter=CountingEmitter(), collect_metrics=True)
+    return run_pipeline("raytrace", "hard-default", bug_seed=3, obs=obs)
+
+
+class TestRunPipeline:
+    def test_phases_in_order(self, observed_run):
+        names = [r.name for r in observed_run.profiler.records]
+        assert names == ["build", "interleave", "characterize", "detect"]
+        assert all(r.wall_s > 0.0 for r in observed_run.profiler.records)
+
+    def test_detect_phase_attributes_counters(self, observed_run):
+        detect = observed_run.profiler.records[-1]
+        assert detect.counters_delta.get("access.total", 0) > 0
+
+    def test_verdict_scored_against_injected_bug(self, observed_run):
+        verdict = observed_run.report.verdict
+        assert verdict["detected"] is True
+        assert verdict["alarms"] > 0
+        assert observed_run.bug is not None
+
+    def test_report_embeds_workload_characterization(self, observed_run):
+        workload = observed_run.report.workload
+        assert workload["total_events"] == observed_run.report.trace_events
+        assert 0.0 < workload["write_ratio"] < 1.0
+        assert workload["lock_acquires"] > 0
+
+    def test_report_carries_events_and_metrics(self, observed_run):
+        report = observed_run.report
+        assert report.event_counts["alarm"] > 0
+        assert report.counters.get("access.total", 0) > 0
+        assert "hard.candidate_popcount" in report.histograms
+        assert report.throughput["events_per_s"] > 0
+        assert report.cycles["overhead_fraction"] > 0
+
+    def test_report_is_json_serialisable(self, observed_run):
+        data = json.loads(observed_run.report.to_json())
+        assert RunReport.from_dict(data) == observed_run.report
+
+    def test_clean_run_has_null_verdict(self):
+        run = run_pipeline("raytrace", "hb-ideal")
+        assert run.bug is None
+        assert run.report.verdict["detected"] is None
+        assert run.report.bug is None
+        # No observability bundle given: disabled path, empty event counts.
+        assert run.report.event_counts == {}

@@ -1,0 +1,111 @@
+"""Unit tests for Histogram, Timer, and the MetricsRegistry."""
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry, Timer
+
+
+class TestHistogram:
+    def test_empty(self):
+        hist = Histogram("empty")
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.min is None and hist.max is None
+        assert hist.percentile(0.5) is None
+
+    def test_basic_stats(self):
+        hist = Histogram("h")
+        for value in (2, 4, 4, 10):
+            hist.record(value)
+        assert hist.count == 4
+        assert hist.total == 20
+        assert hist.mean == 5.0
+        assert hist.min == 2 and hist.max == 10
+        assert hist.values() == {2: 1, 4: 2, 10: 1}
+
+    def test_percentiles(self):
+        hist = Histogram("h")
+        for value in range(1, 101):
+            hist.record(value)
+        assert hist.percentile(0.5) == 50
+        assert hist.percentile(0.9) == 90
+        assert hist.percentile(1.0) == 100
+
+    def test_percentile_out_of_range(self):
+        hist = Histogram("h")
+        hist.record(1)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_to_dict_json_friendly(self):
+        hist = Histogram("h")
+        hist.record(3)
+        hist.record(3)
+        data = hist.to_dict()
+        assert data["count"] == 2
+        assert data["values"] == {"3": 2}
+        assert data["p50"] == 3
+
+
+class TestTimer:
+    def test_empty(self):
+        timer = Timer("t")
+        assert timer.count == 0
+        assert timer.mean_s == 0.0
+        assert timer.to_dict()["total_s"] == 0.0
+
+    def test_observe(self):
+        timer = Timer("t")
+        timer.observe(0.5)
+        timer.observe(1.5)
+        assert timer.count == 2
+        assert timer.total_s == 2.0
+        assert timer.mean_s == 1.0
+        assert timer.min_s == 0.5 and timer.max_s == 1.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Timer("t").observe(-1.0)
+
+
+class TestMetricsRegistry:
+    def test_counters_inherited(self):
+        metrics = MetricsRegistry()
+        metrics.add("x", 3)
+        assert metrics.get("x") == 3
+        assert metrics.snapshot() == {"x": 3}
+
+    def test_histogram_created_on_first_use(self):
+        metrics = MetricsRegistry()
+        metrics.observe("sizes", 4)
+        metrics.observe("sizes", 8)
+        assert metrics.histogram("sizes").count == 2
+        assert metrics.histogram("sizes") is metrics.histogram("sizes")
+
+    def test_timer_context_manager(self):
+        metrics = MetricsRegistry()
+        with metrics.time("op"):
+            pass
+        timer = metrics.timer("op")
+        assert timer.count == 1
+        assert timer.total_s >= 0.0
+
+    def test_snapshot_all_shape(self):
+        metrics = MetricsRegistry()
+        metrics.add("c", 2)
+        metrics.observe("h", 1)
+        metrics.timer("t").observe(0.1)
+        snap = metrics.snapshot_all()
+        assert snap["counters"] == {"c": 2}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["timers"]["t"]["count"] == 1
+
+    def test_format_includes_all_instruments(self):
+        metrics = MetricsRegistry()
+        metrics.add("counter.a")
+        metrics.observe("hist.b", 7)
+        metrics.timer("timer.c").observe(0.25)
+        text = metrics.format()
+        assert "counter.a" in text
+        assert "hist.b" in text
+        assert "timer.c" in text

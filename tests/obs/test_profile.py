@@ -1,0 +1,53 @@
+"""Unit tests for the per-phase profiler."""
+
+from repro.obs import CountingEmitter, PhaseProfiler
+
+
+class TestPhaseProfiler:
+    def test_records_phases_in_order(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("build"):
+            pass
+        with profiler.phase("detect") as rec:
+            rec.counters_delta = {"access.total": 10}
+        names = [r.name for r in profiler.records]
+        assert names == ["build", "detect"]
+        assert profiler.records[1].counters_delta["access.total"] == 10
+        assert all(r.wall_s >= 0.0 for r in profiler.records)
+
+    def test_total_and_dict_form(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("a", app="barnes"):
+            pass
+        assert profiler.total_wall_s == profiler.records[0].wall_s
+        (record,) = profiler.to_dicts()
+        assert record["name"] == "a"
+        assert record["extras"] == {"app": "barnes"}
+
+    def test_phase_recorded_even_on_exception(self):
+        profiler = PhaseProfiler()
+        try:
+            with profiler.phase("broken"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert [r.name for r in profiler.records] == ["broken"]
+
+    def test_emits_span_events(self):
+        emitter = CountingEmitter()
+        profiler = PhaseProfiler(emitter=emitter)
+        with profiler.phase("interleave"):
+            pass
+        assert emitter.counts["span"] == 1
+
+    def test_format_mentions_every_phase(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("build"):
+            pass
+        with profiler.phase("detect") as rec:
+            rec.counters_delta = {"cycles.access": 123}
+        text = profiler.format()
+        assert "build" in text
+        assert "detect" in text
+        assert "cycles.access=123" in text
+        assert "total" in text

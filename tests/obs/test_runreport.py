@@ -1,0 +1,47 @@
+"""Unit tests for the RunReport artifact and its cycle-entry helpers."""
+
+import json
+
+from repro.obs import RunReport, cycles_entry, overhead_entry
+
+
+class TestCycleEntries:
+    def test_cycles_entry(self):
+        entry = cycles_entry(1100, 100)
+        assert entry["baseline"] == 1000
+        assert entry["overhead_fraction"] == 0.1
+
+    def test_cycles_entry_zero_baseline(self):
+        assert cycles_entry(0, 0)["overhead_fraction"] == 0.0
+
+    def test_overhead_entry_matches_tables_shape(self):
+        entry = overhead_entry(1100, 100)
+        assert set(entry) == {"overhead_pct", "cycles", "extra_cycles"}
+        assert entry["overhead_pct"] == 10.0
+
+
+class TestRunReport:
+    def _report(self) -> RunReport:
+        return RunReport(
+            app="barnes",
+            detector="hard-default",
+            bug_seed=3,
+            trace_events=100,
+            verdict={"detected": True, "alarms": 2},
+            cycles=cycles_entry(1100, 100),
+        )
+
+    def test_json_round_trip(self):
+        report = self._report()
+        data = json.loads(report.to_json())
+        rebuilt = RunReport.from_dict(data)
+        assert rebuilt == report
+
+    def test_from_dict_ignores_unknown_fields(self):
+        data = self._report().to_dict()
+        data["added_in_v2"] = "ignored"
+        assert RunReport.from_dict(data).app == "barnes"
+
+    def test_overhead_fraction_property(self):
+        assert abs(self._report().overhead_fraction - 0.1) < 1e-12
+        assert RunReport(app="a", detector="d").overhead_fraction == 0.0

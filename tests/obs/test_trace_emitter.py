@@ -1,0 +1,113 @@
+"""Unit tests for the trace emitters and the Observability bundle."""
+
+import io
+import json
+
+from repro.obs import (
+    NULL_EMITTER,
+    CountingEmitter,
+    JsonlEmitter,
+    MetricsRegistry,
+    NullEmitter,
+    Observability,
+    emit_alarm,
+    validate_event,
+)
+from repro.reporting import RaceReportLog
+from repro.common.events import Site
+
+
+class TestNullEmitter:
+    def test_disabled_and_silent(self):
+        assert NULL_EMITTER.enabled is False
+        NULL_EMITTER.emit("alarm", detector="x")  # must not raise
+        NULL_EMITTER.close()
+
+    def test_span_is_a_noop(self):
+        with NULL_EMITTER.span("phase.build"):
+            pass  # nothing to assert beyond "does not raise"
+
+    def test_fresh_instances_also_disabled(self):
+        assert NullEmitter().enabled is False
+
+
+class TestCountingEmitter:
+    def test_counts_by_type(self):
+        emitter = CountingEmitter()
+        emitter.emit("alarm", detector="d")
+        emitter.emit("alarm", detector="d")
+        emitter.emit("span", name="n", wall_s=0.0)
+        assert emitter.counts["alarm"] == 2
+        assert emitter.total == 3
+
+    def test_span_emits(self):
+        emitter = CountingEmitter()
+        with emitter.span("detect"):
+            pass
+        assert emitter.counts["span"] == 1
+
+
+class TestJsonlEmitter:
+    def test_writes_one_json_object_per_line(self):
+        stream = io.StringIO()
+        emitter = JsonlEmitter(stream)
+        emitter.emit("metadata.piggyback", bits=16)
+        emitter.emit("barrier.reset", barrier=7, copies=3)
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["type"] == "metadata.piggyback"
+        assert first["bits"] == 16
+        assert isinstance(first["t"], float)
+        assert emitter.total == 2
+
+    def test_to_path_owns_and_closes_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        emitter = JsonlEmitter.to_path(path)
+        emitter.emit("l2.displacement", line=0x1000)
+        emitter.close()
+        record = json.loads(path.read_text())
+        assert record["type"] == "l2.displacement"
+        assert validate_event(record) == []
+
+
+class TestEmitAlarm:
+    def test_alarm_event_is_schema_valid(self):
+        log = RaceReportLog("hard")
+        report = log.add(
+            seq=12,
+            thread_id=1,
+            addr=0x2000,
+            size=4,
+            site=Site("a.c", 3, "x"),
+            is_write=True,
+            detail="candidate set empty",
+        )
+        stream = io.StringIO()
+        emitter = JsonlEmitter(stream)
+        emit_alarm(emitter, report)
+        record = json.loads(stream.getvalue())
+        assert validate_event(record) == []
+        assert record["detector"] == "hard"
+        assert record["site"] == "a.c:3 (x)"
+
+
+class TestObservability:
+    def test_default_is_inactive(self):
+        obs = Observability()
+        assert obs.active is False
+        assert obs.emitter is NULL_EMITTER
+        assert isinstance(obs.metrics, MetricsRegistry)
+
+    def test_metrics_only_is_active(self):
+        assert Observability(collect_metrics=True).active is True
+
+    def test_enabled_emitter_is_active(self):
+        assert Observability(emitter=CountingEmitter()).active is True
+
+    def test_close_flushes_emitter(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        obs = Observability(emitter=JsonlEmitter.to_path(path))
+        obs.emitter.emit("candidate.broadcast", bits=16)
+        obs.close()
+        assert path.read_text().strip()
