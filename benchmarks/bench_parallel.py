@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Benchmark: serial vs parallel evaluation of the Table 3 grid.
+
+Runs the same Table 3 sensitivity grid twice — ``-j 1`` and ``-j N`` —
+against fresh cache directories, verifies the rendered exhibits are
+bit-for-bit identical, and reports the wall-clock speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py \
+        [--jobs N] [--apps a,b] [--runs R] [--min-speedup X]
+
+The default grid is scaled down (two applications, three injected runs) so
+the benchmark finishes in minutes; ``--apps all --runs 10`` measures the
+full paper grid.  ``--min-speedup`` exits non-zero when the measured
+speedup falls short — only meaningful on a multi-core machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import api  # noqa: E402  (path bootstrap above)
+from repro.workloads.registry import WORKLOAD_NAMES  # noqa: E402
+
+
+def run_once(jobs: int, apps: tuple[str, ...], runs: int) -> tuple[float, str, dict]:
+    """Evaluate the Table 3 grid once against a fresh cache; return timing."""
+    cache_dir = Path(tempfile.mkdtemp(prefix=f"bench_parallel_j{jobs}_"))
+    try:
+        t0 = time.perf_counter()
+        result = api.run_table(
+            "table3", apps=apps, runs=runs, cache_dir=cache_dir, jobs=jobs
+        )
+        wall = time.perf_counter() - t0
+        return wall, result.text, result.metrics or {}
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs", type=int, default=0, help="parallel worker count (0 = every CPU)"
+    )
+    parser.add_argument(
+        "--apps",
+        default="raytrace,barnes",
+        help="comma-separated workloads, or 'all' for the full paper grid",
+    )
+    parser.add_argument("--runs", type=int, default=3, help="injected runs per app")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero when the parallel speedup is below this factor",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a machine-readable summary"
+    )
+    args = parser.parse_args()
+
+    apps = (
+        WORKLOAD_NAMES
+        if args.apps == "all"
+        else tuple(a.strip() for a in args.apps.split(",") if a.strip())
+    )
+    jobs = args.jobs or (os.cpu_count() or 1)
+
+    print(f"table3 grid: apps={','.join(apps)} runs={args.runs}", flush=True)
+    print(f"host CPUs: {os.cpu_count()}", flush=True)
+
+    serial_wall, serial_text, _ = run_once(1, apps, args.runs)
+    print(f"serial   (-j 1): {serial_wall:7.1f}s", flush=True)
+
+    parallel_wall, parallel_text, metrics = run_once(jobs, apps, args.runs)
+    print(f"parallel (-j {jobs}): {parallel_wall:7.1f}s", flush=True)
+
+    if serial_text != parallel_text:
+        print("FAIL: parallel output differs from serial output", file=sys.stderr)
+        return 1
+    print("outputs: bit-for-bit identical")
+
+    speedup = serial_wall / parallel_wall if parallel_wall > 0 else float("inf")
+    print(f"speedup: {speedup:.2f}x")
+    counters = metrics.get("counters", {})
+    print(
+        f"parallel grid: {counters.get('grid.chunks', '?')} chunks, "
+        f"{counters.get('grid.cells', '?')} cells, "
+        f"{counters.get('harness.traces_built', 0)} traces built"
+    )
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "apps": list(apps),
+                    "runs": args.runs,
+                    "jobs": jobs,
+                    "cpus": os.cpu_count(),
+                    "serial_wall_s": serial_wall,
+                    "parallel_wall_s": parallel_wall,
+                    "speedup": speedup,
+                    "identical_output": True,
+                }
+            )
+        )
+
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"FAIL: speedup {speedup:.2f}x below required {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

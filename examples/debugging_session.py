@@ -19,7 +19,7 @@ Run:  python examples/debugging_session.py [app] [bug-seed]
 import sys
 
 from repro import RandomScheduler, build_workload, inject_bug, interleave
-from repro.harness.detectors import PAPER_DETECTORS, make_detector
+from repro.api import PAPER_DETECTORS, detect
 
 
 def main() -> None:
@@ -39,7 +39,7 @@ def main() -> None:
     print(f"{'detector':<14} {'verdict':<10} {'dynamic':>8} {'alarms':>7}  first matching report")
     print("-" * 90)
     for key in PAPER_DETECTORS:
-        result = make_detector(key).run(trace)
+        result = detect(trace, key)
         matching = [
             r for r in result.reports if bug.matches_report(r.addr, r.size, r.site)
         ]
@@ -57,7 +57,7 @@ def main() -> None:
     # broke (what a HARD-equipped debugger would show after the trap).
     from repro.harness.explain import explain_report
 
-    hard_result = make_detector("hard-ideal").run(trace)
+    hard_result = detect(trace, "hard-ideal")
     matching = [
         r for r in hard_result.reports if bug.matches_report(r.addr, r.size, r.site)
     ]

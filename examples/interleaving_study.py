@@ -15,7 +15,7 @@ Run:  python examples/interleaving_study.py [app] [bug-seed] [trials]
 import sys
 
 from repro import RandomScheduler, build_workload, inject_bug, interleave
-from repro.harness.detectors import make_detector
+from repro.api import detect
 from repro.workloads.barnes import BarnesParams
 
 
@@ -50,7 +50,7 @@ def main() -> None:
         ).trace
         verdicts = []
         for key in ("hard-ideal", "hb-ideal"):
-            result = make_detector(key).run(trace)
+            result = detect(trace, key)
             hit = any(
                 bug.matches_report(r.addr, r.size, r.site) for r in result.reports
             )

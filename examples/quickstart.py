@@ -12,9 +12,9 @@ Run:  python examples/quickstart.py [app] [seed]
 import sys
 
 from repro import (
-    HardDetector,
     RandomScheduler,
     build_workload,
+    detect,
     inject_bug,
     interleave,
 )
@@ -43,7 +43,7 @@ def main() -> None:
     print(f"  trace of {len(trace):,} events, {trace.footprint_lines():,} cache lines")
 
     print("\nrunning HARD (default hardware configuration) ...")
-    result = HardDetector().run(trace)
+    result = detect(trace, "hard-default")
 
     print(f"  {result.reports.dynamic_count} dynamic reports, "
           f"{result.reports.alarm_count} source-level alarms")

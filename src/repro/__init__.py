@@ -19,7 +19,11 @@ The package implements, from scratch:
   every evaluation exhibit (Tables 2–6, Figure 8);
 * :mod:`repro.obs` — the observability layer: typed trace events, metrics
   (counters/histograms/timers), per-phase profiling, and the
-  machine-readable :class:`~repro.obs.runreport.RunReport`.
+  machine-readable :class:`~repro.obs.runreport.RunReport`;
+* :mod:`repro.api` — the **stable public facade**: ``run_pipeline``,
+  ``run_table``, ``sweep`` and ``detect`` with typed results, all
+  re-exported here.  Prefer these entry points; everything deeper is an
+  implementation detail that may move between releases.
 
 Quickstart::
 
@@ -33,8 +37,35 @@ Quickstart::
     result = HardDetector().run(trace)
     for report in result.reports:
         print(report)
+
+Or through the facade, with grid parallelism::
+
+    from repro import run_table
+
+    table2 = run_table("table2", cache_dir="results/cache", jobs=4)
+    print(table2.text)
 """
 
+from repro.api import (
+    DETECTOR_KEYS,
+    EXHIBITS,
+    DetectorConfig,
+    ExperimentRunner,
+    GridCell,
+    GridReport,
+    PipelineRun,
+    RunOutcome,
+    SweepResult,
+    TableResult,
+    config_signature,
+    detect,
+    make_detector,
+    make_runner,
+    run_grid,
+    run_pipeline,
+    run_table,
+    sweep,
+)
 from repro.common.config import (
     BloomConfig,
     HappensBeforeConfig,
@@ -70,9 +101,29 @@ from repro.threads.scheduler import (
 from repro.workloads.injection import inject_bug
 from repro.workloads.registry import WORKLOAD_NAMES, build_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # stable facade (repro.api)
+    "run_pipeline",
+    "run_table",
+    "sweep",
+    "detect",
+    "make_runner",
+    "run_grid",
+    "PipelineRun",
+    "TableResult",
+    "SweepResult",
+    "RunOutcome",
+    "GridCell",
+    "GridReport",
+    "DetectorConfig",
+    "ExperimentRunner",
+    "config_signature",
+    "make_detector",
+    "EXHIBITS",
+    "DETECTOR_KEYS",
+    # building blocks
     "BloomConfig",
     "HappensBeforeConfig",
     "HardConfig",

@@ -1,0 +1,216 @@
+"""``repro.api`` — the stable public surface of the reproduction toolkit.
+
+Import from here (or from :mod:`repro`, which re-exports everything below);
+the harness internals behind these functions are free to move between
+releases, the facade is not.
+
+Four entry points cover the toolkit:
+
+* :func:`run_pipeline` — one workload through one detector with full
+  observability; returns a :class:`PipelineRun` whose ``report`` is the
+  machine-readable :class:`~repro.obs.runreport.RunReport`.
+* :func:`run_table` — regenerate one paper exhibit (``table2`` …
+  ``table6``, ``figure8``); returns a :class:`TableResult` with both the
+  raw data dict and the rendered text.
+* :func:`sweep` — an arbitrary sensitivity study over one
+  :class:`DetectorConfig` knob; returns a
+  :class:`~repro.harness.sweeps.SweepResult`.
+* :func:`detect` — run one detector over a trace you already have;
+  returns a :class:`~repro.reporting.DetectionResult`.
+
+Every grid entry point takes ``jobs``: ``1`` (the default) evaluates the
+grid serially, ``N > 1`` fans it out over worker processes via
+:mod:`repro.harness.parallel` with bit-for-bit identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.common.errors import HarnessError
+from repro.common.events import Trace
+from repro.harness import tables as _tables
+from repro.harness.detectors import (
+    DETECTOR_KEYS,
+    DetectorConfig,
+    PAPER_DETECTORS,
+    config_signature,
+    make_detector,
+)
+from repro.harness.experiment import ExperimentRunner, RunOutcome
+from repro.harness.parallel import GridCell, GridReport, default_jobs, run_grid
+from repro.harness.pipeline import PipelineRun, run_pipeline
+from repro.harness.sweeps import SweepCell, SweepResult
+from repro.harness.sweeps import sweep as _sweep
+from repro.obs import Observability, RunReport
+from repro.reporting import DetectionResult
+from repro.workloads.registry import WORKLOAD_NAMES
+
+#: Exhibit names :func:`run_table` accepts.
+EXHIBITS = ("table2", "table3", "table4", "table5", "table6", "figure8")
+
+
+@dataclass
+class TableResult:
+    """One regenerated paper exhibit.
+
+    Attributes:
+        name: the exhibit name (``table2`` … ``figure8``).
+        data: the raw exhibit data, keyed by application.
+        text: the rendered, paper-shaped table.
+        jobs: how many worker processes evaluated the grid.
+        metrics: the runner's merged harness metrics (trace builds, cache
+            hits, per-phase timers) as a JSON-serialisable dict.
+    """
+
+    name: str
+    data: dict
+    text: str
+    jobs: int = 1
+    metrics: dict | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        return {
+            "name": self.name,
+            "jobs": self.jobs,
+            "data": self.data,
+            "text": self.text,
+            "metrics": self.metrics,
+        }
+
+
+def detect(
+    trace: Trace,
+    config: DetectorConfig | str = "hard-default",
+    *,
+    obs: Observability | None = None,
+    **overrides,
+) -> DetectionResult:
+    """Run one detector configuration over an existing trace."""
+    detector = make_detector(DetectorConfig.coerce(config, **overrides))
+    return detector.run(trace, obs=obs)
+
+
+def make_runner(
+    *,
+    workload_seed: object = 0,
+    runs: int = 10,
+    cache_dir: str | Path | None = None,
+    jobs: int = 1,
+) -> ExperimentRunner:
+    """An :class:`ExperimentRunner` for custom protocols beyond the facade."""
+    return ExperimentRunner(
+        workload_seed=workload_seed, runs=runs, cache_dir=cache_dir, jobs=jobs
+    )
+
+
+def run_table(
+    name: str,
+    *,
+    apps: tuple[str, ...] = WORKLOAD_NAMES,
+    runs: int = 10,
+    workload_seed: object = 0,
+    cache_dir: str | Path | None = None,
+    jobs: int = 1,
+) -> TableResult:
+    """Regenerate one paper exhibit (Tables 2–6 or Figure 8).
+
+    ``jobs > 1`` evaluates the exhibit's grid across worker processes; the
+    returned data and text are bit-for-bit identical to a serial run.
+    """
+    if name not in EXHIBITS:
+        raise HarnessError(f"unknown exhibit {name!r}; expected one of {EXHIBITS}")
+    runner = make_runner(
+        workload_seed=workload_seed, runs=runs, cache_dir=cache_dir, jobs=jobs
+    )
+    if name == "table2":
+        data = _tables.table2(runner, apps=apps)
+        text = _tables.render_table2(data, runs=runs)
+    elif name == "table3":
+        data = _tables.table3(runner, apps=apps)
+        text = _tables.render_table3(data)
+    elif name in ("table4", "table5"):
+        data = _tables.table4_and_5(runner, apps=apps)
+        render = _tables.render_table4 if name == "table4" else _tables.render_table5
+        text = render(data)
+    elif name == "table6":
+        data = _tables.table6(runner, apps=apps)
+        text = _tables.render_table6(data)
+    else:  # figure8
+        data = _tables.figure8(runner, apps=apps)
+        text = _tables.render_figure8(data)
+    return TableResult(
+        name=name,
+        data=data,
+        text=text,
+        jobs=runner.jobs,
+        metrics=runner.metrics.snapshot_all(),
+    )
+
+
+def sweep(
+    detector: str = "hard-default",
+    parameter: str = "granularity",
+    values: list[object] | None = None,
+    *,
+    apps: tuple[str, ...] = WORKLOAD_NAMES,
+    runs: int = 10,
+    include_detection: bool = True,
+    workload_seed: object = 0,
+    cache_dir: str | Path | None = None,
+    jobs: int = 1,
+) -> SweepResult:
+    """Measure a detector across an arbitrary parameter grid.
+
+    ``parameter`` is any knob of :class:`DetectorConfig`; ``values`` are
+    the settings to sweep (defaults to the paper's Table 3 granularities).
+    """
+    if values is None:
+        values = list(_tables.PAPER_TABLE3_GRANULARITIES)
+    runner = make_runner(
+        workload_seed=workload_seed, runs=runs, cache_dir=cache_dir, jobs=jobs
+    )
+    return _sweep(
+        runner,
+        detector=detector,
+        parameter=parameter,
+        values=values,
+        apps=apps,
+        include_detection=include_detection,
+    )
+
+
+__all__ = [
+    # entry points
+    "run_pipeline",
+    "run_table",
+    "sweep",
+    "detect",
+    "make_runner",
+    "run_grid",
+    "default_jobs",
+    # typed results
+    "PipelineRun",
+    "RunReport",
+    "TableResult",
+    "SweepResult",
+    "SweepCell",
+    "DetectionResult",
+    "RunOutcome",
+    "GridReport",
+    # configuration surface
+    "DetectorConfig",
+    "GridCell",
+    "ExperimentRunner",
+    "config_signature",
+    "make_detector",
+    # vocabularies
+    "EXHIBITS",
+    "DETECTOR_KEYS",
+    "PAPER_DETECTORS",
+    "WORKLOAD_NAMES",
+    # errors
+    "HarnessError",
+]

@@ -10,7 +10,16 @@ Commands:
 * ``profile`` — per-phase timing breakdown plus event-type and counter
   hotspots for one app/detector pair;
 * ``exhibit`` — regenerate one paper exhibit (table2–table6, figure8);
+* ``sweep`` — an arbitrary sensitivity study over one detector knob;
 * ``collision`` — print the Section 3.2 Bloom-collision analysis.
+
+Every verb accepts ``--jobs/-j N``: grid commands (``exhibit``, ``sweep``)
+fan their evaluation grid out over N worker processes with bit-for-bit
+identical output; single-run commands accept the flag for uniformity.
+``-j 0`` means "use every CPU".
+
+The CLI is a thin shell over :mod:`repro.api` — the stable public facade;
+anything scriptable here is scriptable there.
 """
 
 from __future__ import annotations
@@ -18,15 +27,19 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import api
 from repro.common.config import BloomConfig
 from repro.core.bloom import collision_probability
-from repro.harness.detectors import PAPER_DETECTORS
-from repro.harness.experiment import ExperimentRunner
-from repro.harness.pipeline import run_pipeline
 from repro.obs import CountingEmitter, JsonlEmitter, Observability
 from repro.threads.runtime import interleave
 from repro.threads.scheduler import RandomScheduler
 from repro.workloads.registry import WORKLOAD_NAMES, build_workload
+
+
+def _resolve_jobs(args: argparse.Namespace) -> int:
+    """The effective worker count (``-j 0`` = every CPU)."""
+    jobs = getattr(args, "jobs", 1)
+    return api.default_jobs() if jobs == 0 else max(1, jobs)
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -34,8 +47,11 @@ def _cmd_list(_: argparse.Namespace) -> int:
     for name in WORKLOAD_NAMES:
         print(f"  {name}")
     print("detectors:")
-    for key in (*PAPER_DETECTORS, "hybrid"):
+    for key in api.DETECTOR_KEYS:
         print(f"  {key}")
+    print("exhibits:")
+    for name in api.EXHIBITS:
+        print(f"  {name}")
     return 0
 
 
@@ -49,13 +65,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
     obs = Observability(emitter=emitter, collect_metrics=args.metrics)
     try:
-        run = run_pipeline(
+        run = api.run_pipeline(
             args.app,
             args.detector,
             workload_seed=args.seed,
             schedule_seed=args.schedule_seed,
             bug_seed=args.bug_seed,
             obs=obs,
+            jobs=_resolve_jobs(args),
         )
     finally:
         obs.close()
@@ -92,12 +109,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     emitter = CountingEmitter()
     obs = Observability(emitter=emitter, collect_metrics=True)
-    run = run_pipeline(
+    run = api.run_pipeline(
         args.app,
         args.detector,
         workload_seed=args.seed,
         schedule_seed=args.schedule_seed,
         obs=obs,
+        jobs=_resolve_jobs(args),
     )
     result = run.result
     print(f"profile: {args.app} / {args.detector}")
@@ -131,25 +149,64 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_exhibit(args: argparse.Namespace) -> int:
-    from repro.harness import tables
-
-    runner = ExperimentRunner(cache_dir=args.cache_dir)
-    name = args.name
-    if name == "table2":
-        print(tables.render_table2(tables.table2(runner)))
-    elif name == "table3":
-        print(tables.render_table3(tables.table3(runner)))
-    elif name in ("table4", "table5"):
-        data = tables.table4_and_5(runner)
-        render = tables.render_table4 if name == "table4" else tables.render_table5
-        print(render(data))
-    elif name == "table6":
-        print(tables.render_table6(tables.table6(runner)))
-    elif name == "figure8":
-        print(tables.render_figure8(tables.figure8(runner)))
-    else:
-        print(f"unknown exhibit {name!r}", file=sys.stderr)
+    jobs = _resolve_jobs(args)
+    try:
+        result = api.run_table(args.name, cache_dir=args.cache_dir, jobs=jobs)
+    except api.HarnessError as exc:
+        print(str(exc), file=sys.stderr)
         return 2
+    print(result.text)
+    if args.grid_stats:
+        counters = (result.metrics or {}).get("counters", {})
+        built = counters.get("harness.traces_built", 0)
+        cached = counters.get("harness.trace_cache_hits", 0)
+        verdicts = counters.get("harness.verdict_cache_hits", 0)
+        print(
+            f"[grid] jobs={result.jobs} traces built={built} "
+            f"trace-cache hits={cached} verdict-cache hits={verdicts}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _parse_sweep_value(text: str) -> object:
+    """Parse one ``--values`` item: int, float, bool, or bare string."""
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for converter in (int, float):
+        try:
+            return converter(text)
+        except ValueError:
+            continue
+    return text.strip()
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    values = [_parse_sweep_value(v) for v in args.values.split(",") if v.strip()]
+    if not values:
+        print("--values must name at least one setting", file=sys.stderr)
+        return 2
+    apps = (
+        tuple(a.strip() for a in args.apps.split(",") if a.strip())
+        if args.apps
+        else WORKLOAD_NAMES
+    )
+    unknown = [a for a in apps if a not in WORKLOAD_NAMES]
+    if unknown:
+        print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    result = api.sweep(
+        args.detector,
+        args.parameter,
+        values,
+        apps=apps,
+        runs=args.runs,
+        include_detection=not args.no_detection,
+        cache_dir=args.cache_dir,
+        jobs=_resolve_jobs(args),
+    )
+    print(result.format())
     return 0
 
 
@@ -179,13 +236,26 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="HARD (HPCA 2007) reproduction toolkit",
     )
+    # Shared by every verb: grid commands fan out across processes,
+    # single-run commands accept the flag for interface uniformity.
+    jobs_parent = argparse.ArgumentParser(add_help=False)
+    jobs_parent.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for grid evaluation (0 = every CPU; default 1)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list workloads and detectors").set_defaults(
-        func=_cmd_list
-    )
+    sub.add_parser(
+        "list", help="list workloads, detectors and exhibits", parents=[jobs_parent]
+    ).set_defaults(func=_cmd_list)
 
-    run = sub.add_parser("run", help="run one detector on one workload")
+    run = sub.add_parser(
+        "run", help="run one detector on one workload", parents=[jobs_parent]
+    )
     run.add_argument("app", choices=WORKLOAD_NAMES)
     run.add_argument("--detector", default="hard-default")
     run.add_argument("--seed", type=int, default=0, help="workload seed")
@@ -213,7 +283,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.set_defaults(func=_cmd_run)
 
     profile = sub.add_parser(
-        "profile", help="per-phase timing and event hotspots for one run"
+        "profile",
+        help="per-phase timing and event hotspots for one run",
+        parents=[jobs_parent],
     )
     profile.add_argument("app", choices=WORKLOAD_NAMES)
     profile.add_argument("detector", nargs="?", default="hard-default")
@@ -224,19 +296,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.set_defaults(func=_cmd_profile)
 
-    exhibit = sub.add_parser("exhibit", help="regenerate a paper exhibit")
-    exhibit.add_argument(
-        "name",
-        choices=("table2", "table3", "table4", "table5", "table6", "figure8"),
+    exhibit = sub.add_parser(
+        "exhibit", help="regenerate a paper exhibit", parents=[jobs_parent]
     )
+    exhibit.add_argument("name", choices=api.EXHIBITS)
     exhibit.add_argument("--cache-dir", default="results/cache")
+    exhibit.add_argument(
+        "--grid-stats",
+        action="store_true",
+        help="print grid/cache statistics to stderr after the exhibit",
+    )
     exhibit.set_defaults(func=_cmd_exhibit)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="sweep one detector knob across applications",
+        parents=[jobs_parent],
+    )
+    sweep.add_argument("--detector", default="hard-default")
+    sweep.add_argument(
+        "--parameter",
+        default="granularity",
+        help="DetectorConfig knob to sweep (granularity, l2_size, "
+        "vector_bits, barrier_reset, broadcast_updates, use_counter_register)",
+    )
+    sweep.add_argument(
+        "--values",
+        default="4,8,16,32",
+        help="comma-separated settings (ints, floats, true/false)",
+    )
+    sweep.add_argument(
+        "--apps", default=None, help="comma-separated workloads (default: all)"
+    )
+    sweep.add_argument("--runs", type=int, default=10, help="injected runs per app")
+    sweep.add_argument(
+        "--no-detection",
+        action="store_true",
+        help="skip the injected-run detection columns (alarms only)",
+    )
+    sweep.add_argument("--cache-dir", default="results/cache")
+    sweep.set_defaults(func=_cmd_sweep)
+
     sub.add_parser(
-        "collision", help="Bloom collision analysis (Section 3.2)"
+        "collision",
+        help="Bloom collision analysis (Section 3.2)",
+        parents=[jobs_parent],
     ).set_defaults(func=_cmd_collision)
 
-    stats = sub.add_parser("stats", help="characterize a workload's trace")
+    stats = sub.add_parser(
+        "stats", help="characterize a workload's trace", parents=[jobs_parent]
+    )
     stats.add_argument("app", choices=WORKLOAD_NAMES)
     stats.add_argument("--seed", type=int, default=0)
     stats.set_defaults(func=_cmd_stats)

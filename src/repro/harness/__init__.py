@@ -2,9 +2,17 @@
 
 from repro.harness.attribution import Attribution, attribute_alarms, compare_attributions
 from repro.harness.explain import AccessRecord, Explanation, explain_report
-from repro.harness.detectors import PAPER_DETECTORS, config_signature, make_detector
+from repro.harness.detectors import (
+    DETECTOR_KEYS,
+    DetectorConfig,
+    PAPER_DETECTORS,
+    config_signature,
+    make_detector,
+)
 from repro.harness.experiment import CLEAN_RUN, ExperimentRunner, RunOutcome, score_detection
-from repro.harness.sweeps import SweepCell, SweepResult, sweep
+from repro.harness.parallel import GridCell, GridReport, run_grid
+from repro.harness.sweeps import SweepCell, SweepResult, sweep, sweep_cells
+from repro.harness.tracecache import TraceCache
 from repro.harness.tracestats import TraceStats, characterize
 from repro.harness.tables import (
     PAPER_FIGURE8,
@@ -29,6 +37,8 @@ __all__ = [
     "AccessRecord",
     "Explanation",
     "explain_report",
+    "DETECTOR_KEYS",
+    "DetectorConfig",
     "PAPER_DETECTORS",
     "config_signature",
     "make_detector",
@@ -36,9 +46,14 @@ __all__ = [
     "ExperimentRunner",
     "RunOutcome",
     "score_detection",
+    "GridCell",
+    "GridReport",
+    "run_grid",
+    "TraceCache",
     "SweepCell",
     "SweepResult",
     "sweep",
+    "sweep_cells",
     "TraceStats",
     "characterize",
     "PAPER_FIGURE8",

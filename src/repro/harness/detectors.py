@@ -10,72 +10,151 @@ The paper compares four configurations (Table 2):
   the cache;
 * ``hb-ideal`` — happens-before at 4 B granularity with unbounded storage.
 
-:func:`make_detector` builds any of them, with the sensitivity-study knobs
-(granularity, L2 size, BFVector width) as keyword overrides.
+The library adds three more: ``hybrid`` (lockset+HB extension),
+``hard-directory`` (the directory-based variant of Section 6) and
+``software`` (the Eraser-style software lockset with its cost model).
+
+:class:`DetectorConfig` is the typed construction protocol: one frozen,
+hashable, picklable dataclass captures a detector key plus every
+sensitivity-study knob, and :func:`make_detector` /
+:func:`config_signature` accept either the dataclass or the legacy
+``key, **overrides`` form.  Every detector built here satisfies the
+:class:`~repro.reporting.Detector` protocol —
+``run(trace, obs) -> DetectionResult``.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, fields, replace
+
 from repro.common.config import HappensBeforeConfig, HardConfig, MachineConfig
 from repro.common.errors import HarnessError
 from repro.core.detector import HardDetector
+from repro.core.directory_detector import DirectoryHardDetector
 from repro.core.hybrid import HybridDetector
 from repro.hb.detector import HappensBeforeDetector
 from repro.hb.ideal import IdealHappensBeforeDetector
 from repro.lockset.exact import IdealLocksetDetector
+from repro.lockset.software import SoftwareLocksetDetector
 from repro.reporting import Detector
 
 #: The four Table 2 configurations, in the paper's column order.
 PAPER_DETECTORS = ("hard-default", "hard-ideal", "hb-default", "hb-ideal")
 
+#: Every key :func:`make_detector` accepts.
+DETECTOR_KEYS = (*PAPER_DETECTORS, "hybrid", "hard-directory", "software")
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """One detector configuration: a key plus the sensitivity-study knobs.
+
+    Frozen (hashable, picklable) so a configuration can key caches and
+    cross process boundaries unchanged — the parallel grid engine ships
+    these to worker processes.  ``None`` means "the key's default", which
+    keeps cache signatures identical between an explicit default and no
+    override at all.
+    """
+
+    key: str = "hard-default"
+    granularity: int | None = None
+    l2_size: int | None = None
+    vector_bits: int | None = None
+    barrier_reset: bool = True
+    broadcast_updates: bool = True
+    use_counter_register: bool = True
+
+    def overrides(self) -> dict[str, object]:
+        """The non-default knobs as ``make_detector`` keyword arguments."""
+        out: dict[str, object] = {}
+        for spec in fields(self):
+            if spec.name == "key":
+                continue
+            value = getattr(self, spec.name)
+            if value != spec.default:
+                out[spec.name] = value
+        return out
+
+    def with_overrides(self, **overrides: object) -> "DetectorConfig":
+        """A copy with the given knobs replaced."""
+        return replace(self, **overrides)
+
+    @classmethod
+    def coerce(cls, config: "DetectorConfig | str", **overrides: object) -> "DetectorConfig":
+        """Normalise either calling convention into one dataclass.
+
+        Accepts a ready :class:`DetectorConfig` (no overrides allowed — the
+        dataclass already carries every knob) or a key string with the
+        legacy loose keyword overrides.
+        """
+        if isinstance(config, cls):
+            if overrides:
+                raise HarnessError(
+                    "pass knobs inside DetectorConfig, not as extra overrides"
+                )
+            return config
+        kwargs = {k: v for k, v in overrides.items() if v is not None}
+        return cls(key=config, **kwargs)
+
 
 def make_detector(
-    key: str,
-    *,
-    granularity: int | None = None,
-    l2_size: int | None = None,
-    vector_bits: int | None = None,
-    barrier_reset: bool = True,
-    broadcast_updates: bool = True,
-    use_counter_register: bool = True,
+    config: DetectorConfig | str = "hard-default", **overrides: object
 ) -> Detector:
-    """Build a detector by configuration name.
+    """Build a detector from a :class:`DetectorConfig` (or key + overrides).
 
-    Keyword overrides apply where meaningful: ``granularity`` to every
-    detector, ``l2_size`` to the cache-resident (default) ones,
-    ``vector_bits`` and the ablation switches to HARD only.
+    Knobs apply where meaningful: ``granularity`` to every detector,
+    ``l2_size`` to the cache-resident (default) ones, ``vector_bits`` and
+    the ablation switches to HARD only.
     """
-    if key == "hard-default":
+    cfg = DetectorConfig.coerce(config, **overrides)
+    key = cfg.key
+    if key in ("hard-default", "hard-directory"):
         machine = MachineConfig()
-        if l2_size is not None:
-            machine = machine.with_l2_size(l2_size)
-        config = HardConfig(
-            barrier_reset=barrier_reset,
-            broadcast_updates=broadcast_updates,
-            use_counter_register=use_counter_register,
+        if cfg.l2_size is not None:
+            machine = machine.with_l2_size(cfg.l2_size)
+        hard = HardConfig(
+            barrier_reset=cfg.barrier_reset,
+            broadcast_updates=cfg.broadcast_updates,
+            use_counter_register=cfg.use_counter_register,
         )
-        if granularity is not None:
-            config = config.with_granularity(granularity)
-        if vector_bits is not None:
-            config = config.with_vector_bits(vector_bits)
-        return HardDetector(machine, config, name=key)
+        if cfg.granularity is not None:
+            hard = hard.with_granularity(cfg.granularity)
+        if cfg.vector_bits is not None:
+            hard = hard.with_vector_bits(cfg.vector_bits)
+        if key == "hard-directory":
+            return DirectoryHardDetector(machine, hard, name=key)
+        return HardDetector(machine, hard, name=key)
     if key == "hard-ideal":
         return IdealLocksetDetector(
-            granularity=granularity or 4, barrier_reset=barrier_reset, name=key
+            granularity=cfg.granularity or 4,
+            barrier_reset=cfg.barrier_reset,
+            name=key,
         )
     if key == "hb-default":
         machine = MachineConfig()
-        if l2_size is not None:
-            machine = machine.with_l2_size(l2_size)
-        config = HappensBeforeConfig()
-        if granularity is not None:
-            config = config.with_granularity(granularity)
-        return HappensBeforeDetector(machine, config, name=key)
+        if cfg.l2_size is not None:
+            machine = machine.with_l2_size(cfg.l2_size)
+        hb = HappensBeforeConfig()
+        if cfg.granularity is not None:
+            hb = hb.with_granularity(cfg.granularity)
+        return HappensBeforeDetector(machine, hb, name=key)
     if key == "hb-ideal":
-        return IdealHappensBeforeDetector(granularity=granularity or 4, name=key)
+        return IdealHappensBeforeDetector(granularity=cfg.granularity or 4, name=key)
     if key == "hybrid":
-        return HybridDetector(granularity=granularity or 4, name=key)
-    raise HarnessError(f"unknown detector key {key!r}")
+        return HybridDetector(granularity=cfg.granularity or 4, name=key)
+    if key == "software":
+        machine = MachineConfig()
+        if cfg.l2_size is not None:
+            machine = machine.with_l2_size(cfg.l2_size)
+        return SoftwareLocksetDetector(
+            machine,
+            granularity=cfg.granularity or 4,
+            barrier_reset=cfg.barrier_reset,
+            name=key,
+        )
+    raise HarnessError(
+        f"unknown detector key {key!r}; expected one of {DETECTOR_KEYS}"
+    )
 
 
 #: Bumped whenever detector semantics or cost models change, so disk-cached
@@ -83,11 +162,19 @@ def make_detector(
 MODEL_VERSION = 2
 
 
-def config_signature(key: str, **overrides: object) -> str:
-    """A stable string identifying a detector configuration (cache key)."""
-    parts = [key, f"v{MODEL_VERSION}"]
-    for name in sorted(overrides):
-        value = overrides[name]
-        if value is not None:
-            parts.append(f"{name}={value}")
+def config_signature(
+    config: DetectorConfig | str, **overrides: object
+) -> str:
+    """A stable string identifying a detector configuration (cache key).
+
+    Signatures are intentionally unchanged from the loose-kwargs era: a
+    :class:`DetectorConfig` produces exactly the signature its equivalent
+    ``key, **overrides`` call always did, so existing disk caches stay
+    valid.
+    """
+    cfg = DetectorConfig.coerce(config, **overrides)
+    parts = [cfg.key, f"v{MODEL_VERSION}"]
+    knobs = cfg.overrides()
+    for name in sorted(knobs):
+        parts.append(f"{name}={knobs[name]}")
     return ";".join(parts)

@@ -12,10 +12,26 @@ Reproduces the paper's protocol (Section 4):
 * all detectors score against the *identical* interleaved trace of each
   run.
 
-Traces are memoised in memory per (app, run) and detector verdicts are
-cached on disk (JSON, keyed by a configuration signature), because the
-sensitivity sweeps of Section 5.2 revisit the same runs under many detector
-configurations.
+The evaluation grid — (app, run, detector configuration) cells — is
+embarrassingly parallel, and every stochastic choice flows through
+:func:`~repro.common.rng.derive_seed`, so a cell's outcome is a pure
+function of its coordinates.  :meth:`ExperimentRunner.run_detector`
+evaluates one cell; :meth:`ExperimentRunner.prefetch` evaluates many, and
+with ``jobs > 1`` fans them out across worker processes via
+:mod:`repro.harness.parallel`.
+
+Three caches keep the sweeps cheap:
+
+* traces are memoised in memory per (app, run) and — when a cache
+  directory is configured — persisted to a process-safe on-disk
+  :class:`~repro.harness.tracecache.TraceCache` so workers don't
+  re-interleave the same run;
+* detector verdicts are cached on disk (JSON, keyed by a configuration
+  signature) with atomic write-then-rename, because the sensitivity sweeps
+  of Section 5.2 revisit the same runs under many detector configurations;
+* verdicts are additionally memoised in memory, which is how parallel
+  prefetch results reach the serial table-assembly path byte-for-byte
+  unchanged.
 """
 
 from __future__ import annotations
@@ -24,10 +40,13 @@ import json
 import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
 
 from repro.common.events import Trace
 from repro.common.rng import derive_seed
-from repro.harness.detectors import config_signature, make_detector
+from repro.harness.detectors import DetectorConfig, config_signature, make_detector
+from repro.harness.tracecache import TraceCache
+from repro.obs.metrics import MetricsRegistry
 from repro.reporting import DetectionResult
 from repro.threads.program import InjectedBug, ParallelProgram
 from repro.threads.runtime import interleave
@@ -35,8 +54,17 @@ from repro.threads.scheduler import RandomScheduler
 from repro.workloads.injection import inject_bug
 from repro.workloads.registry import build_workload
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.harness.parallel import GridCell, GridReport
+
 #: Run index reserved for the race-free (no injection) execution.
 CLEAN_RUN = -1
+
+#: Scheduler burst bounds used for every experiment interleaving.  Short
+#: bursts approximate the fine-grained concurrency of a real 4-core CMP,
+#: where instructions of different threads interleave at cycle granularity.
+SCHEDULE_MIN_BURST = 1
+SCHEDULE_MAX_BURST = 8
 
 
 @dataclass
@@ -75,8 +103,27 @@ def score_detection(result: DetectionResult, bug: InjectedBug | None) -> bool:
     return False
 
 
+def schedule_seed_for(app: str, workload_seed: object, run: int) -> int:
+    """The deterministic interleaving seed of one (app, run) execution.
+
+    A pure function of the cell coordinates, so serial and parallel
+    evaluation — and any worker process — derive the identical schedule.
+    """
+    return derive_seed("schedule", app, workload_seed, run)
+
+
 class ExperimentRunner:
-    """Builds traces on demand and scores detectors against them."""
+    """Builds traces on demand and scores detectors against them.
+
+    Args:
+        workload_seed: seed of the workload generators.
+        cache_dir: directory for disk-cached verdicts (and, under its
+            ``traces/`` subdirectory, interleaved traces).  ``None``
+            disables both disk caches.
+        runs: injected runs per application (the paper uses 10).
+        jobs: worker processes for :meth:`prefetch`; ``1`` (the default)
+            evaluates everything serially in this process.
+    """
 
     def __init__(
         self,
@@ -84,15 +131,23 @@ class ExperimentRunner:
         workload_seed: object = 0,
         cache_dir: str | Path | None = None,
         runs: int = 10,
+        jobs: int = 1,
+        trace_cache_dir: str | Path | None = None,
     ):
         self.workload_seed = workload_seed
         self.runs = runs
+        self.jobs = max(1, int(jobs))
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+        if trace_cache_dir is None and self.cache_dir is not None:
+            trace_cache_dir = self.cache_dir / "traces"
+        self.trace_cache = TraceCache(trace_cache_dir)
+        self.metrics = MetricsRegistry()
         self._programs: dict[tuple[str, int], ParallelProgram] = {}
         self._traces: dict[tuple[str, int], Trace] = {}
         self._digests: dict[tuple[str, int], int] = {}
+        self._outcomes: dict[tuple[str, int, str], RunOutcome] = {}
 
     # ------------------------------------------------------------ traces
 
@@ -108,19 +163,40 @@ class ExperimentRunner:
         return program
 
     def trace_for(self, app: str, run: int) -> Trace:
-        """The interleaved trace of one run (memoised)."""
+        """The interleaved trace of one run (memoised, disk-cached)."""
         key = (app, run)
         trace = self._traces.get(key)
         if trace is None:
-            program = self.program_for(app, run)
-            seed = derive_seed("schedule", app, self.workload_seed, run)
-            # Short bursts approximate the fine-grained concurrency of a
-            # real 4-core CMP, where instructions of different threads
-            # interleave at cycle granularity.
-            scheduler = RandomScheduler(seed=seed, min_burst=1, max_burst=8)
-            trace = interleave(program, scheduler).trace
+            trace = self._build_trace(app, run)
             self._traces[key] = trace
         return trace
+
+    def _build_trace(self, app: str, run: int) -> Trace:
+        """Load one run's trace from the disk cache or interleave it."""
+        cache_key = self._trace_cache_key(app, run)
+        trace = self.trace_cache.load(app, run, *cache_key)
+        if trace is not None:
+            self.metrics.add("harness.trace_cache_hits")
+            return trace
+        program = self.program_for(app, run)
+        seed = schedule_seed_for(app, self.workload_seed, run)
+        scheduler = RandomScheduler(
+            seed=seed, min_burst=SCHEDULE_MIN_BURST, max_burst=SCHEDULE_MAX_BURST
+        )
+        with self.metrics.time("harness.interleave"):
+            trace = interleave(program, scheduler).trace
+        self.metrics.add("harness.traces_built")
+        self.trace_cache.store(trace, app, run, *cache_key)
+        return trace
+
+    def _trace_cache_key(self, app: str, run: int) -> tuple[object, ...]:
+        """Everything beyond (app, run) that determines the interleaving."""
+        return (
+            self.workload_seed,
+            self._program_digest(app, run),
+            SCHEDULE_MIN_BURST,
+            SCHEDULE_MAX_BURST,
+        )
 
     def drop_trace(self, app: str, run: int) -> None:
         """Release a memoised trace (the sweeps manage memory explicitly)."""
@@ -129,17 +205,38 @@ class ExperimentRunner:
 
     # ----------------------------------------------------------- scoring
 
-    def run_detector(self, app: str, run: int, key: str, **overrides) -> RunOutcome:
-        """Run one detector configuration on one run (disk-cached)."""
-        signature = config_signature(key, **overrides)
-        cached = self._cache_get(app, run, signature)
-        if cached is not None:
-            return cached
+    def run_detector(
+        self, app: str, run: int, config: DetectorConfig | str, **overrides
+    ) -> RunOutcome:
+        """Run one detector configuration on one run (memoised, disk-cached).
+
+        ``config`` is a :class:`~repro.harness.detectors.DetectorConfig`
+        or a detector key with legacy keyword overrides.
+        """
+        cfg = DetectorConfig.coerce(config, **overrides)
+        signature = config_signature(cfg)
+        memo_key = (app, run, signature)
+        outcome = self._outcomes.get(memo_key)
+        if outcome is not None:
+            return outcome
+        outcome = self._cache_get(app, run, signature)
+        if outcome is None:
+            outcome = self._evaluate(app, run, cfg, signature)
+            self._cache_put(outcome, signature)
+        self._outcomes[memo_key] = outcome
+        return outcome
+
+    def _evaluate(
+        self, app: str, run: int, cfg: DetectorConfig, signature: str
+    ) -> RunOutcome:
+        """Compute one grid cell: interleave (or reuse) the trace, detect, score."""
         trace = self.trace_for(app, run)
-        detector = make_detector(key, **overrides)
-        result = detector.run(trace)
+        detector = make_detector(cfg)
+        with self.metrics.time("harness.detect"):
+            result = detector.run(trace)
+        self.metrics.add("harness.cells_evaluated")
         bug = self.program_for(app, run).injected_bug
-        outcome = RunOutcome(
+        return RunOutcome(
             detector=signature,
             app=app,
             run=run,
@@ -149,23 +246,63 @@ class ExperimentRunner:
             cycles=result.cycles,
             detector_extra_cycles=result.detector_extra_cycles,
         )
-        self._cache_put(outcome, signature)
-        return outcome
 
-    def detection_count(self, app: str, key: str, **overrides) -> int:
+    def detection_count(
+        self, app: str, config: DetectorConfig | str, **overrides
+    ) -> int:
         """Bugs detected out of :attr:`runs` injected runs."""
         return sum(
-            self.run_detector(app, run, key, **overrides).detected
+            self.run_detector(app, run, config, **overrides).detected
             for run in range(self.runs)
         )
 
-    def false_alarm_count(self, app: str, key: str, **overrides) -> int:
+    def false_alarm_count(
+        self, app: str, config: DetectorConfig | str, **overrides
+    ) -> int:
         """Source-level alarms on the race-free run."""
-        return self.run_detector(app, CLEAN_RUN, key, **overrides).alarm_count
+        return self.run_detector(app, CLEAN_RUN, config, **overrides).alarm_count
 
-    def overhead(self, app: str, key: str = "hard-default", **overrides) -> RunOutcome:
+    def overhead(
+        self, app: str, config: DetectorConfig | str = "hard-default", **overrides
+    ) -> RunOutcome:
         """The race-free run's outcome, for overhead accounting (Figure 8)."""
-        return self.run_detector(app, CLEAN_RUN, key, **overrides)
+        return self.run_detector(app, CLEAN_RUN, config, **overrides)
+
+    # ---------------------------------------------------------- prefetch
+
+    def prefetch(self, cells: Iterable["GridCell"]) -> "GridReport | None":
+        """Evaluate many grid cells ahead of the serial assembly path.
+
+        With ``jobs == 1`` this is a plain serial warm-up of the memo (the
+        exact work the assembly path would do anyway, in the same order).
+        With ``jobs > 1`` the cells fan out across worker processes; the
+        merged outcomes seed the in-memory memo, so the subsequent serial
+        reads reproduce bit-for-bit what a serial evaluation returns.
+        """
+        from repro.harness import parallel
+
+        pending = []
+        for cell in cells:
+            signature = config_signature(cell.config)
+            if (cell.app, cell.run, signature) not in self._outcomes:
+                pending.append(cell)
+        if not pending:
+            return None
+        if self.jobs <= 1:
+            for cell in pending:
+                self.run_detector(cell.app, cell.run, cell.config)
+            return None
+        report = parallel.run_grid(
+            pending,
+            jobs=self.jobs,
+            workload_seed=self.workload_seed,
+            cache_dir=self.cache_dir,
+            trace_cache_dir=self.trace_cache.directory,
+        )
+        for outcome in report.outcomes:
+            self._outcomes[(outcome.app, outcome.run, outcome.detector)] = outcome
+        self.metrics.merge_registry(report.metrics)
+        return report
 
     # ------------------------------------------------------------- cache
 
@@ -207,6 +344,7 @@ class ExperimentRunner:
         data = json.loads(path.read_text())
         if data.get("signature") != signature:
             return None
+        self.metrics.add("harness.verdict_cache_hits")
         return RunOutcome(
             detector=signature,
             app=app,
@@ -233,8 +371,9 @@ class ExperimentRunner:
             }
         )
         # Write-then-rename so a crashed or parallel sweep never leaves a
-        # truncated JSON file that poisons every later cache hit.
-        tmp = path.with_name(path.name + ".tmp")
+        # truncated JSON file that poisons every later cache hit.  The pid
+        # suffix keeps concurrent workers off each other's temp files.
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         tmp.write_text(payload)
         os.replace(tmp, path)
 

@@ -1,0 +1,225 @@
+"""The parallel experiment engine: fan the evaluation grid out over processes.
+
+The evaluation protocol (Section 4) is a grid of independent cells —
+``(app, run, detector configuration) -> RunOutcome`` — and every
+stochastic choice inside a cell derives from
+:func:`~repro.common.rng.derive_seed` on the cell coordinates, so a cell's
+outcome is a pure function of its coordinates.  That makes the grid
+embarrassingly parallel: this module chunks it, ships the chunks to a
+``multiprocessing`` pool, and merges the results.
+
+Design:
+
+* **Cells** (:class:`GridCell`) are frozen and picklable: an app name, a
+  run index, and a :class:`~repro.harness.detectors.DetectorConfig`.
+* **Chunking** groups cells by (app, run): one chunk = one interleaved
+  execution plus every detector configuration that scores against it, so
+  a worker builds (or disk-loads) each trace exactly once no matter how
+  many configurations the sweep puts on it.
+* **Workers** each hold their own
+  :class:`~repro.harness.experiment.ExperimentRunner` over the *shared*
+  on-disk verdict and trace caches, whose atomic
+  write-then-:func:`os.replace` protocol makes concurrent writes safe.
+* **Merging**: each chunk returns its outcomes plus a worker-local
+  :class:`~repro.obs.metrics.MetricsRegistry` shard; :func:`run_grid`
+  merges the shards and sorts the outcomes into canonical order, so the
+  assembled :class:`GridReport` is identical regardless of worker
+  scheduling.
+
+Serial equivalence is structural, not incidental: workers run the very
+same :meth:`ExperimentRunner.run_detector` code path a ``jobs=1`` run
+does, with the same derived seeds, so ``-j N`` is bit-for-bit identical
+to ``-j 1``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.harness.detectors import DetectorConfig, config_signature
+from repro.harness.experiment import RunOutcome
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One evaluation-grid coordinate: a run of one app under one config."""
+
+    app: str
+    run: int
+    config: DetectorConfig
+
+    @property
+    def signature(self) -> str:
+        """The cell's detector-configuration cache signature."""
+        return config_signature(self.config)
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker needs to rebuild its ExperimentRunner.
+
+    Plain strings/ints only, so the spec pickles cheaply to every worker
+    regardless of the multiprocessing start method.
+    """
+
+    workload_seed: object = 0
+    cache_dir: str | None = None
+    trace_cache_dir: str | None = None
+
+
+#: One task for a worker: every configuration scoring one (app, run) trace.
+Chunk = tuple[str, int, tuple[DetectorConfig, ...]]
+
+
+@dataclass
+class GridReport:
+    """The merged result of one parallel (or serial) grid evaluation."""
+
+    outcomes: list[RunOutcome]
+    jobs: int
+    chunks: int
+    wall_s: float
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def cells(self) -> int:
+        """Number of evaluated grid cells."""
+        return len(self.outcomes)
+
+    def outcome_index(self) -> dict[tuple[str, int, str], RunOutcome]:
+        """Outcomes keyed by (app, run, configuration signature)."""
+        return {(o.app, o.run, o.detector): o for o in self.outcomes}
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (outcomes + merged metrics)."""
+        return {
+            "jobs": self.jobs,
+            "chunks": self.chunks,
+            "cells": self.cells,
+            "wall_s": self.wall_s,
+            "outcomes": [o.to_dict() for o in self.outcomes],
+            "metrics": self.metrics.snapshot_all(),
+        }
+
+
+def plan_chunks(cells: Iterable[GridCell]) -> list[Chunk]:
+    """Group cells by (app, run) into deterministic, deduplicated chunks.
+
+    Chunks are sorted by (app, run) and configurations by signature, so the
+    task queue is identical regardless of the order cells were enumerated
+    in — important for reproducible scheduling and cache-warm patterns.
+    """
+    grouped: dict[tuple[str, int], set[DetectorConfig]] = {}
+    for cell in cells:
+        grouped.setdefault((cell.app, cell.run), set()).add(cell.config)
+    return [
+        (app, run, tuple(sorted(configs, key=config_signature)))
+        for (app, run), configs in sorted(grouped.items())
+    ]
+
+
+# Worker-process state: one runner per process, created by the pool
+# initializer and reused across chunks so program/digest memos survive.
+_WORKER_RUNNER = None
+
+
+def _worker_init(spec: WorkerSpec) -> None:
+    """Pool initializer: build this worker's runner over the shared caches."""
+    global _WORKER_RUNNER
+    from repro.harness.experiment import ExperimentRunner
+
+    _WORKER_RUNNER = ExperimentRunner(
+        workload_seed=spec.workload_seed,
+        cache_dir=spec.cache_dir,
+        trace_cache_dir=spec.trace_cache_dir,
+        jobs=1,
+    )
+
+
+def _worker_chunk(chunk: Chunk) -> tuple[list[RunOutcome], MetricsRegistry]:
+    """Evaluate one (app, run) chunk: all its configs against one trace."""
+    runner = _WORKER_RUNNER
+    assert runner is not None, "worker used before _worker_init"
+    app, run, configs = chunk
+    # A fresh registry per chunk makes the returned shard exactly this
+    # chunk's activity, with no cross-chunk double counting.
+    runner.metrics = MetricsRegistry()
+    outcomes = [runner.run_detector(app, run, config) for config in configs]
+    # The trace of this (app, run) will not be needed again in this worker
+    # (chunks partition the grid by execution), so release the memory.
+    runner.drop_trace(app, run)
+    return outcomes, runner.metrics
+
+
+def run_grid(
+    cells: Sequence[GridCell],
+    *,
+    jobs: int,
+    workload_seed: object = 0,
+    cache_dir: str | Path | None = None,
+    trace_cache_dir: str | Path | None = None,
+) -> GridReport:
+    """Evaluate a grid of cells, fanned out over ``jobs`` worker processes.
+
+    With ``jobs <= 1`` (or a single chunk) the grid runs serially in this
+    process through the identical code path, so callers can thread a user
+    supplied ``--jobs`` straight through.
+    """
+    t0 = time.perf_counter()
+    chunks = plan_chunks(cells)
+    spec = WorkerSpec(
+        workload_seed=workload_seed,
+        cache_dir=str(cache_dir) if cache_dir is not None else None,
+        trace_cache_dir=str(trace_cache_dir) if trace_cache_dir is not None else None,
+    )
+    jobs = max(1, int(jobs))
+    workers = min(jobs, len(chunks)) if chunks else 0
+
+    outcomes: list[RunOutcome] = []
+    metrics = MetricsRegistry()
+    if workers <= 1:
+        _worker_init(spec)
+        try:
+            for chunk in chunks:
+                chunk_outcomes, shard = _worker_chunk(chunk)
+                outcomes.extend(chunk_outcomes)
+                metrics.merge_registry(shard)
+        finally:
+            _reset_worker()
+    else:
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(
+            processes=workers, initializer=_worker_init, initargs=(spec,)
+        ) as pool:
+            for chunk_outcomes, shard in pool.imap_unordered(_worker_chunk, chunks):
+                outcomes.extend(chunk_outcomes)
+                metrics.merge_registry(shard)
+
+    # Canonical order: independent of worker scheduling.
+    outcomes.sort(key=lambda o: (o.app, o.run, o.detector))
+    metrics.add("grid.chunks", len(chunks))
+    metrics.add("grid.cells", len(outcomes))
+    return GridReport(
+        outcomes=outcomes,
+        jobs=jobs,
+        chunks=len(chunks),
+        wall_s=time.perf_counter() - t0,
+        metrics=metrics,
+    )
+
+
+def _reset_worker() -> None:
+    """Drop the in-process runner (used by the serial path and tests)."""
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = None
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs`` auto value: the machine's CPU count."""
+    return os.cpu_count() or 1

@@ -56,13 +56,15 @@ def run_pipeline(
     schedule_seed: int = 0,
     bug_seed: int | None = None,
     obs: Observability | None = None,
+    jobs: int = 1,
     **detector_overrides,
 ) -> PipelineRun:
     """Run one workload through one detector with full observability.
 
     Args:
         app: workload name from :data:`repro.workloads.registry.WORKLOAD_NAMES`.
-        detector_key: detector configuration key for
+        detector_key: detector configuration key (or a
+            :class:`~repro.harness.detectors.DetectorConfig`) for
             :func:`repro.harness.detectors.make_detector`.
         workload_seed: seed of the workload generator.
         schedule_seed: seed of the interleaving scheduler.
@@ -70,11 +72,17 @@ def run_pipeline(
             interleaving (the ``repro run --bug-seed`` protocol).
         obs: observability bundle; defaults to a fresh disabled bundle so
             the report still carries phases, verdict and cycle accounting.
+        jobs: accepted so callers can thread one ``--jobs`` value through
+            every entry point uniformly; a single pipeline execution is one
+            grid cell, so it runs in-process regardless (grid entry points
+            — tables and sweeps — are where ``jobs > 1`` fans out).
         **detector_overrides: configuration overrides for the detector.
 
     Returns:
         A :class:`PipelineRun` whose ``report`` is JSON-serialisable.
     """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
     if obs is None:
         obs = Observability()
     profiler = PhaseProfiler(emitter=obs.emitter)

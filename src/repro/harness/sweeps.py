@@ -4,14 +4,18 @@ The paper's Tables 3–6 are fixed sweeps; this module exposes the same
 machinery for arbitrary grids, so users can run their own sensitivity
 studies (e.g. L2 sizes the paper didn't test, 8-bit Bloom vectors, the
 broadcast/counter-register ablations across every application) with the
-harness's caching and scoring.
+harness's caching and scoring.  A sweep enumerates its full grid up front
+and prefetches it through the runner, so a runner built with ``jobs > 1``
+evaluates the grid across worker processes with identical results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.harness.experiment import ExperimentRunner
+from repro.harness.detectors import DetectorConfig
+from repro.harness.experiment import CLEAN_RUN, ExperimentRunner
+from repro.harness.parallel import GridCell
 
 
 @dataclass(frozen=True)
@@ -31,13 +35,23 @@ class SweepResult:
     detector: str
     parameter: str
     cells: list[SweepCell]
+    runs: int = 10
+    _index: dict[tuple[str, object], SweepCell] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        # Index once at construction: lookups are O(1) instead of a list
+        # scan, which matters when format() touches every (app, value) pair
+        # of a large grid.
+        self._index = {(cell.app, cell.value): cell for cell in self.cells}
 
     def cell(self, app: str, value: object) -> SweepCell:
         """The cell for one (app, value) pair."""
-        for cell in self.cells:
-            if cell.app == app and cell.value == value:
-                return cell
-        raise KeyError((app, value))
+        try:
+            return self._index[(app, value)]
+        except KeyError:
+            raise KeyError((app, value)) from None
 
     def series(self, app: str) -> list[SweepCell]:
         """All of one application's cells, in sweep order."""
@@ -52,16 +66,36 @@ class SweepResult:
         )
         lines = [
             f"sweep of {self.parameter} for {self.detector} "
-            "(cells: detected/10, alarms)",
+            f"(cells: detected/{self.runs}, alarms)",
             header,
         ]
         for app in apps:
             row = ""
             for value in values:
                 cell = self.cell(app, value)
-                row += f"{f'{cell.detected}/10,{cell.alarms}':>14}"
+                row += f"{f'{cell.detected}/{self.runs},{cell.alarms}':>14}"
             lines.append(f"{app:<16}{row}")
         return "\n".join(lines)
+
+
+def sweep_cells(
+    *,
+    detector: str,
+    parameter: str,
+    values: list[object],
+    apps: tuple[str, ...],
+    runs: int = 10,
+    include_detection: bool = True,
+) -> list[GridCell]:
+    """The full evaluation grid one :func:`sweep` call touches."""
+    cells = []
+    for app in apps:
+        for value in values:
+            config = DetectorConfig.coerce(detector, **{parameter: value})
+            if include_detection:
+                cells.extend(GridCell(app, run, config) for run in range(runs))
+            cells.append(GridCell(app, CLEAN_RUN, config))
+    return cells
 
 
 def sweep(
@@ -75,11 +109,23 @@ def sweep(
 ) -> SweepResult:
     """Measure a detector across a parameter grid.
 
-    ``parameter`` is any keyword accepted by
-    :func:`repro.harness.detectors.make_detector` (``granularity``,
+    ``parameter`` is any knob of
+    :class:`~repro.harness.detectors.DetectorConfig` (``granularity``,
     ``l2_size``, ``vector_bits``, ``barrier_reset``, ``broadcast_updates``,
     ``use_counter_register``).
     """
+    prefetch = getattr(runner, "prefetch", None)
+    if prefetch is not None:
+        prefetch(
+            sweep_cells(
+                detector=detector,
+                parameter=parameter,
+                values=values,
+                apps=apps,
+                runs=getattr(runner, "runs", 10),
+                include_detection=include_detection,
+            )
+        )
     cells = []
     for app in apps:
         for value in values:
@@ -93,4 +139,9 @@ def sweep(
             cells.append(
                 SweepCell(app=app, value=value, detected=detected, alarms=alarms)
             )
-    return SweepResult(detector=detector, parameter=parameter, cells=cells)
+    return SweepResult(
+        detector=detector,
+        parameter=parameter,
+        cells=cells,
+        runs=getattr(runner, "runs", 10),
+    )

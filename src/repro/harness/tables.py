@@ -7,13 +7,21 @@ output can be compared side by side with the publication.  The absolute
 numbers come from our synthetic workloads and functional simulator — the
 *shapes* (who detects more, how alarms respond to granularity/L2/vector
 size) are the reproduction targets; EXPERIMENTS.md records both.
+
+Every exhibit function enumerates its full grid as
+:class:`~repro.harness.parallel.GridCell` tasks and hands them to
+:meth:`ExperimentRunner.prefetch` before assembling the result dict, so a
+runner constructed with ``jobs > 1`` computes the grid across worker
+processes while the assembly below — and therefore the rendered exhibit —
+stays byte-for-byte what a serial run produces.
 """
 
 from __future__ import annotations
 
 from repro.common.config import KB, MB, PAPER_BLOOM_SIZES, PAPER_L2_SIZES
-from repro.harness.detectors import PAPER_DETECTORS
-from repro.harness.experiment import ExperimentRunner
+from repro.harness.detectors import DetectorConfig, PAPER_DETECTORS
+from repro.harness.experiment import CLEAN_RUN, ExperimentRunner
+from repro.harness.parallel import GridCell
 from repro.obs.runreport import overhead_entry
 from repro.workloads.registry import WORKLOAD_NAMES
 
@@ -59,8 +67,36 @@ def _bits(bits: int) -> int | None:
     return None if bits == 16 else bits
 
 
+def _scored_runs(runs: int) -> tuple[int, ...]:
+    """Every run a "detected + alarms" exhibit column touches."""
+    return (*range(runs), CLEAN_RUN)
+
+
+def _prefetch(runner, cells_fn) -> None:
+    """Prefetch an exhibit's grid through ``runner`` when it supports it.
+
+    ``cells_fn`` maps the runner's per-app run count to the grid.
+    Duck-typed so lightweight runner stand-ins (tests, notebooks) that only
+    implement the counting methods keep working.
+    """
+    prefetch = getattr(runner, "prefetch", None)
+    if prefetch is not None:
+        prefetch(cells_fn(getattr(runner, "runs", 10)))
+
+
+def table2_cells(apps=WORKLOAD_NAMES, runs: int = 10) -> list[GridCell]:
+    """The full Table 2 evaluation grid."""
+    return [
+        GridCell(app, run, DetectorConfig(key=key))
+        for app in apps
+        for key in PAPER_DETECTORS
+        for run in _scored_runs(runs)
+    ]
+
+
 def table2(runner: ExperimentRunner, apps=WORKLOAD_NAMES) -> dict:
     """Table 2: bugs detected and false alarms for all four detectors."""
+    _prefetch(runner, lambda runs: table2_cells(apps, runs=runs))
     data: dict[str, dict[str, dict[str, int]]] = {}
     for app in apps:
         row: dict[str, dict[str, int]] = {}
@@ -92,8 +128,14 @@ def render_table2(data: dict, runs: int = 10) -> str:
     return "\n".join(lines)
 
 
+def figure8_cells(apps=WORKLOAD_NAMES) -> list[GridCell]:
+    """The Figure 8 grid: one race-free HARD run per application."""
+    return [GridCell(app, CLEAN_RUN, DetectorConfig()) for app in apps]
+
+
 def figure8(runner: ExperimentRunner, apps=WORKLOAD_NAMES) -> dict:
     """Figure 8: HARD execution overhead on the race-free run."""
+    _prefetch(runner, lambda runs: figure8_cells(apps))
     data = {}
     for app in apps:
         outcome = runner.overhead(app)
@@ -114,6 +156,31 @@ def render_figure8(data: dict) -> str:
     return "\n".join(lines)
 
 
+def _table3_detection_grans(key: str, granularities) -> tuple[int, ...]:
+    """Which granularities get the 10-run detection sweep for ``key``."""
+    if key == "hard-default":
+        return (granularities[0], granularities[-1])
+    return (granularities[-1],)
+
+
+def table3_cells(
+    apps=WORKLOAD_NAMES,
+    granularities=PAPER_TABLE3_GRANULARITIES,
+    runs: int = 10,
+) -> list[GridCell]:
+    """The full Table 3 evaluation grid."""
+    cells = []
+    for app in apps:
+        for key in ("hard-default", "hb-default"):
+            for g in _table3_detection_grans(key, granularities):
+                config = DetectorConfig(key=key, granularity=_gran(g))
+                cells.extend(GridCell(app, run, config) for run in range(runs))
+            for g in granularities:
+                config = DetectorConfig(key=key, granularity=_gran(g))
+                cells.append(GridCell(app, CLEAN_RUN, config))
+    return cells
+
+
 def table3(
     runner: ExperimentRunner,
     apps=WORKLOAD_NAMES,
@@ -127,15 +194,12 @@ def table3(
     are identical, and verifying the extremes covers the invariance claim
     without re-simulating 10 injected runs for the interior points.
     """
+    _prefetch(runner, lambda runs: table3_cells(apps, granularities, runs=runs))
     data: dict[str, dict] = {}
     for app in apps:
         row = {"detected": {}, "alarms": {}}
         for key in ("hard-default", "hb-default"):
-            detection_grans = (
-                (granularities[0], granularities[-1])
-                if key == "hard-default"
-                else (granularities[-1],)
-            )
+            detection_grans = _table3_detection_grans(key, granularities)
             row["detected"][key] = {
                 g: runner.detection_count(app, key, granularity=_gran(g))
                 for g in detection_grans
@@ -167,6 +231,23 @@ def render_table3(data: dict, granularities=PAPER_TABLE3_GRANULARITIES) -> str:
     return "\n".join(lines)
 
 
+def table4_5_cells(
+    apps=WORKLOAD_NAMES, l2_sizes=PAPER_L2_SIZES, runs: int = 10
+) -> list[GridCell]:
+    """The full Tables 4/5 evaluation grid."""
+    detection_sizes = (l2_sizes[0], l2_sizes[-1])
+    cells = []
+    for app in apps:
+        for key in ("hard-default", "hb-default"):
+            for size in detection_sizes:
+                config = DetectorConfig(key=key, l2_size=_l2(size))
+                cells.extend(GridCell(app, run, config) for run in range(runs))
+            for size in l2_sizes:
+                config = DetectorConfig(key=key, l2_size=_l2(size))
+                cells.append(GridCell(app, CLEAN_RUN, config))
+    return cells
+
+
 def table4_and_5(
     runner: ExperimentRunner, apps=WORKLOAD_NAMES, l2_sizes=PAPER_L2_SIZES
 ) -> dict:
@@ -177,6 +258,7 @@ def table4_and_5(
     extreme capacities (128 KB and 1 MB), which carry the paper's finding:
     a small L2 displaces candidate sets and costs detections.
     """
+    _prefetch(runner, lambda runs: table4_5_cells(apps, l2_sizes, runs=runs))
     data: dict[str, dict] = {}
     detection_sizes = (l2_sizes[0], l2_sizes[-1])
     for app in apps:
@@ -218,10 +300,23 @@ def _render_l2_view(data: dict, field: str, title: str, l2_sizes) -> str:
     return "\n".join(lines)
 
 
+def table6_cells(
+    apps=WORKLOAD_NAMES, vector_sizes=PAPER_BLOOM_SIZES, runs: int = 10
+) -> list[GridCell]:
+    """The full Table 6 evaluation grid."""
+    cells = []
+    for app in apps:
+        for bits in vector_sizes:
+            config = DetectorConfig(vector_bits=_bits(bits))
+            cells.extend(GridCell(app, run, config) for run in _scored_runs(runs))
+    return cells
+
+
 def table6(
     runner: ExperimentRunner, apps=WORKLOAD_NAMES, vector_sizes=PAPER_BLOOM_SIZES
 ) -> dict:
     """Table 6: HARD with 16-bit vs 32-bit BFVectors."""
+    _prefetch(runner, lambda runs: table6_cells(apps, vector_sizes, runs=runs))
     data: dict[str, dict] = {}
     for app in apps:
         data[app] = {

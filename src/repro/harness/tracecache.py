@@ -1,0 +1,106 @@
+"""Process-safe on-disk cache of interleaved traces.
+
+Interleaving is the second-most expensive phase of a grid cell (after
+detection), and the Section 5.2 sweeps revisit the same (app, run)
+execution under many detector configurations.  The serial harness memoises
+traces in memory; worker processes of the parallel engine cannot share that
+dict, so this module persists traces to disk where every worker — and every
+later invocation — can reuse them.
+
+Entries are pickled :class:`~repro.common.events.Trace` objects keyed by a
+content hash of (app, run, workload seed, scheduler parameters, program
+digest, format version).  Folding the *program digest* into the key makes
+entries self-invalidate whenever a workload generator or the injection
+protocol changes, exactly like the verdict cache.
+
+Writes use the write-then-:func:`os.replace` protocol (atomic on POSIX),
+so concurrent workers racing to store the same trace are harmless: both
+produce identical bytes and the rename is atomic, so readers only ever see
+complete entries.  Loads tolerate truncated or stale files by treating
+them as misses.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+from repro.common.events import Trace
+from repro.common.rng import derive_seed
+
+#: Bumped whenever the Trace layout or the interleaving semantics change,
+#: so stale pickles from older code self-invalidate.
+TRACE_CACHE_VERSION = 1
+
+
+class TraceCache:
+    """A directory of pickled traces with atomic writes.
+
+    A ``directory`` of ``None`` disables the cache: every lookup misses and
+    every store is a no-op, which keeps call sites branch-free.
+    """
+
+    def __init__(self, directory: str | Path | None):
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        """True when a backing directory is configured."""
+        return self.directory is not None
+
+    def path_for(self, app: str, run: int, *key_parts: object) -> Path | None:
+        """The entry path for one (app, run) execution under ``key_parts``."""
+        if self.directory is None:
+            return None
+        digest = derive_seed("trace", app, run, TRACE_CACHE_VERSION, *key_parts)
+        return self.directory / f"trace_{app}_{run}_{digest:016x}.pkl"
+
+    def load(self, app: str, run: int, *key_parts: object) -> Trace | None:
+        """The cached trace, or ``None`` on a miss (or unreadable entry)."""
+        path = self.path_for(app, run, *key_parts)
+        if path is None:
+            return None
+        try:
+            with path.open("rb") as fh:
+                trace = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError, OSError):
+            # Truncated or written by incompatible code: drop and rebuild.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        if not isinstance(trace, Trace):
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trace
+
+    def store(self, trace: Trace, app: str, run: int, *key_parts: object) -> None:
+        """Persist ``trace`` atomically (no-op when disabled)."""
+        path = self.path_for(app, run, *key_parts)
+        if path is None:
+            return
+        # Suffix the temp name with the pid so two workers racing on the
+        # same entry never interleave writes into one temp file.
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        with tmp.open("wb") as fh:
+            pickle.dump(trace, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        if self.directory is None:
+            return 0
+        removed = 0
+        for path in self.directory.glob("trace_*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

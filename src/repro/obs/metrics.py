@@ -53,6 +53,18 @@ class Histogram:
         """Arithmetic mean of all observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one."""
+        if not other.count:
+            return
+        self.count += other.count
+        self.total += other.total
+        if self.min is None or (other.min is not None and other.min < self.min):
+            self.min = other.min
+        if self.max is None or (other.max is not None and other.max > self.max):
+            self.max = other.max
+        self._values.update(other._values)
+
     def percentile(self, p: float) -> float | None:
         """The smallest observed value covering fraction ``p`` of the mass."""
         if not self.count:
@@ -120,6 +132,17 @@ class Timer:
         """Mean interval length in seconds (0.0 when empty)."""
         return self.total_s / self.count if self.count else 0.0
 
+    def merge(self, other: "Timer") -> None:
+        """Fold another timer's accumulated intervals into this one."""
+        if not other.count:
+            return
+        self.count += other.count
+        self.total_s += other.total_s
+        if self.min_s is None or (other.min_s is not None and other.min_s < self.min_s):
+            self.min_s = other.min_s
+        if self.max_s is None or (other.max_s is not None and other.max_s > self.max_s):
+            self.max_s = other.max_s
+
     def to_dict(self) -> dict:
         """A JSON-serialisable summary."""
         return {
@@ -182,6 +205,22 @@ class MetricsRegistry(StatCounters):
     def timers(self) -> Iterator[Timer]:
         """All timers, sorted by name."""
         return iter(t for _, t in sorted(self._timers.items()))
+
+    # ----------------------------------------------------------------- merge
+
+    def merge_registry(self, other: "MetricsRegistry") -> None:
+        """Fold another registry — counters, histograms, timers — into this one.
+
+        The parallel grid engine collects one registry shard per worker
+        chunk and merges them all here; merging is associative and
+        commutative, so the merged totals are independent of worker
+        scheduling order.
+        """
+        self.merge(other)
+        for name, hist in other._histograms.items():
+            self.histogram(name).merge(hist)
+        for name, timer in other._timers.items():
+            self.timer(name).merge(timer)
 
     # -------------------------------------------------------------- snapshot
 

@@ -1,0 +1,102 @@
+"""Smoke tests for the stable ``repro.api`` facade."""
+
+import pytest
+
+from repro import api
+from repro.harness.detectors import DetectorConfig
+from repro.reporting import DetectionResult
+
+
+@pytest.fixture(scope="module")
+def trace():
+    runner = api.make_runner()
+    return runner.trace_for("raytrace", -1)
+
+
+class TestSurface:
+    def test_all_names_resolve(self):
+        for name in api.__all__:
+            assert hasattr(api, name), name
+
+    def test_top_level_reexports(self):
+        import repro
+
+        for name in (
+            "run_pipeline",
+            "run_table",
+            "sweep",
+            "detect",
+            "DetectorConfig",
+            "TableResult",
+            "GridCell",
+        ):
+            assert getattr(repro, name) is getattr(api, name)
+            assert name in repro.__all__
+
+    def test_vocabularies(self):
+        assert "table2" in api.EXHIBITS and "figure8" in api.EXHIBITS
+        assert "hard-default" in api.DETECTOR_KEYS
+        assert set(api.PAPER_DETECTORS) <= set(api.DETECTOR_KEYS)
+
+
+class TestDetect:
+    def test_runs_any_key(self, trace):
+        result = api.detect(trace, "hard-ideal")
+        assert isinstance(result, DetectionResult)
+        assert result.detector == "hard-ideal"
+
+    def test_accepts_config_dataclass(self, trace):
+        result = api.detect(trace, DetectorConfig(key="hb-ideal", granularity=8))
+        assert result.detector == "hb-ideal"
+
+    def test_rejects_unknown_key(self, trace):
+        with pytest.raises(api.HarnessError):
+            api.detect(trace, "nonsense")
+
+    def test_rejects_overrides_on_dataclass(self, trace):
+        with pytest.raises(api.HarnessError):
+            api.detect(trace, DetectorConfig(), granularity=8)
+
+
+class TestRunTable:
+    def test_unknown_exhibit_rejected(self):
+        with pytest.raises(api.HarnessError):
+            api.run_table("table9")
+
+    def test_figure8_result_shape(self, tmp_path):
+        result = api.run_table(
+            "figure8", apps=("raytrace",), runs=1, cache_dir=tmp_path
+        )
+        assert result.name == "figure8"
+        assert result.jobs == 1
+        assert "raytrace" in result.data
+        assert "Figure 8" in result.text
+        assert "counters" in result.metrics
+        assert result.to_dict()["name"] == "figure8"
+
+
+class TestSweepFacade:
+    def test_sweep_runs_and_indexes(self, tmp_path):
+        result = api.sweep(
+            "hard-ideal",
+            "granularity",
+            [4, 8],
+            apps=("raytrace",),
+            runs=1,
+            include_detection=False,
+            cache_dir=tmp_path,
+        )
+        assert result.cell("raytrace", 4).alarms >= 0
+        assert result.cell("raytrace", 8).alarms >= 0
+        with pytest.raises(KeyError):
+            result.cell("raytrace", 16)
+
+
+class TestRunPipelineJobs:
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            api.run_pipeline("raytrace", jobs=0)
+
+    def test_accepts_jobs(self):
+        run = api.run_pipeline("raytrace", "hard-ideal", jobs=2)
+        assert run.report.app == "raytrace"
