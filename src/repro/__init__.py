@@ -51,8 +51,11 @@ from repro.api import (
     EXHIBITS,
     DetectorConfig,
     ExperimentRunner,
+    FuzzReport,
+    FuzzSpec,
     GridCell,
     GridReport,
+    OracleConfig,
     PipelineRun,
     RunOutcome,
     SweepResult,
@@ -61,6 +64,7 @@ from repro.api import (
     detect,
     make_detector,
     make_runner,
+    run_fuzz,
     run_grid,
     run_pipeline,
     run_table,
@@ -110,7 +114,11 @@ __all__ = [
     "sweep",
     "detect",
     "make_runner",
+    "run_fuzz",
     "run_grid",
+    "FuzzReport",
+    "FuzzSpec",
+    "OracleConfig",
     "PipelineRun",
     "TableResult",
     "SweepResult",

@@ -17,6 +17,10 @@ Four entry points cover the toolkit:
   :class:`~repro.harness.sweeps.SweepResult`.
 * :func:`detect` — run one detector over a trace you already have;
   returns a :class:`~repro.reporting.DetectionResult`.
+* :func:`run_fuzz` — differential fuzzing: generated programs through the
+  whole detector suite, every divergence classified against the paper's
+  approximation taxonomy; returns a
+  :class:`~repro.fuzz.harness.FuzzReport`.
 
 Every grid entry point takes ``jobs``: ``1`` (the default) evaluates the
 grid serially, ``N > 1`` fans it out over worker processes via
@@ -38,6 +42,15 @@ from repro.harness.detectors import (
     config_signature,
     make_detector,
 )
+from repro.fuzz import (
+    DEFAULT_SPEC,
+    FuzzCaseResult,
+    FuzzReport,
+    FuzzSpec,
+    OracleConfig,
+)
+from repro.fuzz import run_fuzz as _run_fuzz
+from repro.fuzz.oracle import DEFAULT_ORACLE
 from repro.harness.experiment import ExperimentRunner, RunOutcome
 from repro.harness.parallel import GridCell, GridReport, default_jobs, run_grid
 from repro.harness.pipeline import PipelineRun, run_pipeline
@@ -182,12 +195,42 @@ def sweep(
     )
 
 
+def run_fuzz(
+    seeds: int = 100,
+    *,
+    jobs: int = 1,
+    workload_seed: object = 0,
+    spec: FuzzSpec = DEFAULT_SPEC,
+    config: OracleConfig = DEFAULT_ORACLE,
+    corpus_dir: str | Path | None = None,
+    log=None,
+) -> FuzzReport:
+    """Differential-fuzz ``seeds`` generated programs (see :mod:`repro.fuzz`).
+
+    Every seed produces a clean case and (when an injectable section
+    exists) an injected-bug case; each case runs the full detector suite
+    and classifies every divergence.  ``jobs > 1`` fans seeds out over
+    worker processes with bit-for-bit identical reports; with
+    ``corpus_dir`` set, unexplained cases are shrunk to reproducers there.
+    """
+    return _run_fuzz(
+        seeds,
+        jobs=jobs,
+        workload_seed=workload_seed,
+        spec=spec,
+        config=config,
+        corpus_dir=corpus_dir,
+        log=log,
+    )
+
+
 __all__ = [
     # entry points
     "run_pipeline",
     "run_table",
     "sweep",
     "detect",
+    "run_fuzz",
     "make_runner",
     "run_grid",
     "default_jobs",
@@ -200,7 +243,11 @@ __all__ = [
     "DetectionResult",
     "RunOutcome",
     "GridReport",
+    "FuzzReport",
+    "FuzzCaseResult",
     # configuration surface
+    "FuzzSpec",
+    "OracleConfig",
     "DetectorConfig",
     "GridCell",
     "ExperimentRunner",

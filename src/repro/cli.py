@@ -11,7 +11,11 @@ Commands:
   hotspots for one app/detector pair;
 * ``exhibit`` — regenerate one paper exhibit (table2–table6, figure8);
 * ``sweep`` — an arbitrary sensitivity study over one detector knob;
-* ``collision`` — print the Section 3.2 Bloom-collision analysis.
+* ``collision`` — print the Section 3.2 Bloom-collision analysis;
+* ``fuzz`` — differential fuzzing: N generated programs through the whole
+  detector suite, every divergence classified against the approximation
+  taxonomy; exits 1 if any divergence stays unexplained (writing shrunk
+  reproducers to ``--corpus``).
 
 Every verb accepts ``--jobs/-j N``: grid commands (``exhibit``, ``sweep``)
 fan their evaluation grid out over N worker processes with bit-for-bit
@@ -33,7 +37,25 @@ from repro.core.bloom import collision_probability
 from repro.obs import CountingEmitter, JsonlEmitter, Observability
 from repro.threads.runtime import interleave
 from repro.threads.scheduler import RandomScheduler
-from repro.workloads.registry import WORKLOAD_NAMES, build_workload
+from repro.workloads.registry import (
+    EXTRA_WORKLOADS,
+    WORKLOAD_NAMES,
+    build_workload,
+)
+
+
+def _workload_name(text: str) -> str:
+    """Argparse type for app arguments: a known workload or ``fuzz:<n>``."""
+    if (
+        text in WORKLOAD_NAMES
+        or text in EXTRA_WORKLOADS
+        or text.startswith("fuzz:")
+    ):
+        return text
+    known = ", ".join(WORKLOAD_NAMES + EXTRA_WORKLOADS)
+    raise argparse.ArgumentTypeError(
+        f"unknown workload {text!r} (known: {known}, or fuzz:<n>)"
+    )
 
 
 def _resolve_jobs(args: argparse.Namespace) -> int:
@@ -220,6 +242,42 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    report = api.run_fuzz(
+        args.seeds,
+        jobs=_resolve_jobs(args),
+        workload_seed=args.seed,
+        corpus_dir=args.corpus,
+        log=lambda message: print(f"[fuzz] {message}", file=sys.stderr),
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"fuzzed {report.seeds} seeds ({report.cases} cases: "
+            f"clean + injected where injectable)"
+        )
+        print("divergences by kind:")
+        counts = report.divergence_counts
+        if not counts:
+            print("  (none)")
+        for kind, count in counts.items():
+            print(f"  {kind:<20}{count:>8}")
+        print(f"unexplained cases: {len(report.unexplained)}")
+        for result in report.unexplained:
+            for divergence in result.verdict.unexplained:
+                print(
+                    f"  seed {result.seed} [{result.case}] "
+                    f"{divergence.direction} at {divergence.site}: "
+                    f"{divergence.evidence}"
+                )
+        for path in report.reproducers:
+            print(f"  reproducer written: {path}")
+    return 1 if report.unexplained else 0
+
+
 def _cmd_collision(_: argparse.Namespace) -> int:
     print(f"{'bits':>5}" + "".join(f"{'m=' + str(m):>10}" for m in range(1, 5)))
     for bits in (8, 16, 32):
@@ -256,7 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser(
         "run", help="run one detector on one workload", parents=[jobs_parent]
     )
-    run.add_argument("app", choices=WORKLOAD_NAMES)
+    run.add_argument("app", type=_workload_name)
     run.add_argument("--detector", default="hard-default")
     run.add_argument("--seed", type=int, default=0, help="workload seed")
     run.add_argument(
@@ -287,7 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-phase timing and event hotspots for one run",
         parents=[jobs_parent],
     )
-    profile.add_argument("app", choices=WORKLOAD_NAMES)
+    profile.add_argument("app", type=_workload_name)
     profile.add_argument("detector", nargs="?", default="hard-default")
     profile.add_argument("--seed", type=int, default=0, help="workload seed")
     profile.add_argument("--schedule-seed", type=int, default=0)
@@ -337,6 +395,28 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cache-dir", default="results/cache")
     sweep.set_defaults(func=_cmd_sweep)
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz the detector suite on generated programs",
+        parents=[jobs_parent],
+    )
+    fuzz.add_argument(
+        "--seeds", type=int, default=100, help="number of generated programs"
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="workload seed")
+    fuzz.add_argument(
+        "--corpus",
+        metavar="DIR",
+        default=None,
+        help="write shrunk reproducers of unexplained divergences here",
+    )
+    fuzz.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable FuzzReport instead of text",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
+
     sub.add_parser(
         "collision",
         help="Bloom collision analysis (Section 3.2)",
@@ -346,7 +426,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser(
         "stats", help="characterize a workload's trace", parents=[jobs_parent]
     )
-    stats.add_argument("app", choices=WORKLOAD_NAMES)
+    stats.add_argument("app", type=_workload_name)
     stats.add_argument("--seed", type=int, default=0)
     stats.set_defaults(func=_cmd_stats)
     return parser

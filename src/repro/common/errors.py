@@ -82,3 +82,13 @@ class HarnessError(ReproError):
     For example: requesting an unknown workload name, or comparing detector
     results produced from different traces.
     """
+
+
+class InjectionError(HarnessError):
+    """Bug injection cannot be applied to the given program.
+
+    Raised when a program offers no injectable dynamic critical section
+    (every section is either unmarked or empty of memory accesses), or when
+    an :class:`~repro.workloads.injection.InjectionCandidate` does not
+    correspond to the program it is applied to.
+    """

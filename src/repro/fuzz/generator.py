@@ -1,0 +1,394 @@
+"""Seeded random program generation for differential fuzzing.
+
+Every fuzz program is a pure function of ``(index, workload_seed, spec)``:
+all randomness flows from :func:`repro.common.rng.make_rng` over those
+inputs, so ``fuzz:17`` names the same :class:`ParallelProgram` on every
+machine and in every worker process — the property the whole harness's
+``-j N`` bit-for-bit reproducibility rests on.
+
+A program is composed from the workload pattern library
+(:mod:`repro.workloads.base`) the way the six application models are, plus
+two fuzz-specific patterns targeting approximations the hand-written
+workloads under-exercise:
+
+* :func:`_emit_nested_locks` — properly nested two-level locking whose
+  *outer* section is injectable, so injection leaves an access protected
+  only part of the time (exercises lock-nesting paths in
+  ``dynamic_critical_sections`` and multi-lock candidate sets);
+* :func:`_emit_wrong_lock` — a deliberate locking bug where two threads
+  guard the same variable with *different* locks placed exactly
+  :data:`BLOOM_ALIAS_STRIDE` bytes apart.  Under the default 16-bit
+  BFVector (which hashes lock-address bits 2–9) the two locks have
+  identical signatures, so HARD's intersection never empties while the
+  exact lockset reports the race — a reliably reproducible Bloom-collision
+  miss (Section 3.2's collision analysis, exercised for real).
+
+Generated programs stay small (roughly 300–2500 operations): the oracle
+runs four detectors plus up to three ablation re-runs per divergent case,
+and HARD simulates tens of thousands of events per second, so program size
+directly bounds fuzz throughput.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.common.errors import HarnessError
+from repro.common.events import read, write
+from repro.common.rng import make_rng
+from repro.threads.program import ParallelProgram
+from repro.workloads.base import (
+    WorkloadBuilder,
+    benign_counters,
+    critical_section,
+    cs_sites,
+    false_sharing_locked,
+    false_sharing_private,
+    flag_handoff,
+    grid_phases,
+    locked_counters,
+    migratory_locked,
+    producer_consumer,
+    read_shared_table,
+    streaming_private,
+)
+
+#: Name prefix routing a workload name to the fuzz generator.
+FUZZ_PREFIX = "fuzz:"
+
+#: Two locks this many bytes apart share a BFVector signature under the
+#: default :class:`~repro.common.config.BloomConfig` (which consumes lock
+#: address bits 2–9: 8 bits of entropy, so signatures repeat every 1 KiB).
+BLOOM_ALIAS_STRIDE = 1024
+
+
+@dataclass(frozen=True)
+class FuzzSpec:
+    """Shape parameters for the generator (frozen: hashable, picklable).
+
+    The bounds are inclusive.  ``scale`` multiplies every pattern's repeat
+    counts; probabilities gate the fuzz-specific structural features so a
+    corpus can be steered toward (or away from) particular approximations.
+    """
+
+    min_threads: int = 2
+    max_threads: int = 4
+    min_phases: int = 1
+    max_phases: int = 3
+    min_patterns_per_phase: int = 1
+    max_patterns_per_phase: int = 3
+    scale: float = 1.0
+    #: Probability a program contains the wrong-lock (Bloom-alias) bug.
+    wrong_lock_probability: float = 0.25
+    #: Probability a program streams enough private data to pressure a
+    #: fuzz-sized L2 (the displacement approximation's trigger).
+    pressure_probability: float = 0.4
+    #: Probability of a write-once/read-many prelude phase.
+    table_probability: float = 0.25
+    #: Probability of a trailing grid (barrier-phased stencil) phase.
+    grid_probability: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_threads <= self.max_threads:
+            raise HarnessError("need 1 <= min_threads <= max_threads")
+        if not 1 <= self.min_phases <= self.max_phases:
+            raise HarnessError("need 1 <= min_phases <= max_phases")
+        if not 1 <= self.min_patterns_per_phase <= self.max_patterns_per_phase:
+            raise HarnessError("need 1 <= min/max patterns per phase")
+        if self.scale <= 0:
+            raise HarnessError("scale must be positive")
+
+
+DEFAULT_SPEC = FuzzSpec()
+
+
+def fuzz_workload_name(index: int) -> str:
+    """The workload name of fuzz program ``index`` (e.g. ``fuzz:17``)."""
+    return f"{FUZZ_PREFIX}{index}"
+
+
+def parse_fuzz_name(name: str) -> int | None:
+    """The index of a ``fuzz:<n>`` workload name, or None for other names."""
+    if not name.startswith(FUZZ_PREFIX):
+        return None
+    suffix = name[len(FUZZ_PREFIX) :]
+    if not suffix.isdigit():
+        raise HarnessError(f"malformed fuzz workload name {name!r}")
+    return int(suffix)
+
+
+# ---------------------------------------------------------------------------
+# Fuzz-specific patterns
+# ---------------------------------------------------------------------------
+
+
+def _emit_nested_locks(
+    builder: WorkloadBuilder, rng: random.Random, tag: str, scale: float
+) -> None:
+    """Properly nested outer/inner locking with an injectable outer section.
+
+    Every thread repeatedly takes the outer lock, touches X, takes the
+    inner lock, touches Y, releases it, and touches X again.  Race-free as
+    written.  When injection removes one dynamic *outer* pair, that
+    iteration's X accesses run with an empty (or inner-only) lock set while
+    other threads keep writing X under the outer lock — a genuine race the
+    exact lockset always sees.
+    """
+    label = f"{tag}.nested"
+    outer = builder.new_lock(f"{label}.outer")
+    inner = builder.new_lock(f"{label}.inner")
+    # X and Y on separate lines so the pattern cannot false-share.
+    region = builder.region(label, 64)
+    x_addr, y_addr = region.at(0), region.at(32)
+    x_site = builder.site(f"{label}.x")
+    y_site = builder.site(f"{label}.y")
+    outer_acq, outer_rel = cs_sites(builder, f"{label}.outer", injectable=True)
+    inner_acq, inner_rel = cs_sites(builder, f"{label}.inner")
+    rounds = max(2, round(3 * scale))
+    for thread_id in range(builder.num_threads):
+        for _ in range(rounds):
+            inner_cs = critical_section(
+                builder,
+                inner,
+                [read(y_addr, y_site), write(y_addr, y_site)],
+                inner_acq,
+                inner_rel,
+            )
+            body = [read(x_addr, x_site), write(x_addr, x_site)]
+            body += inner_cs
+            body.append(write(x_addr, x_site))
+            builder.block(
+                thread_id,
+                critical_section(builder, outer, body, outer_acq, outer_rel),
+            )
+
+
+def _emit_wrong_lock(
+    builder: WorkloadBuilder, rng: random.Random, tag: str, scale: float
+) -> None:
+    """A real locking bug HARD's Bloom filter provably cannot see.
+
+    Thread 0 guards the victim word with lock A; another thread guards the
+    same word with lock B allocated exactly :data:`BLOOM_ALIAS_STRIDE`
+    bytes after A, so ``signature(A) == signature(B)`` under the default
+    16-bit BFVector.  The exact lockset intersects ``{A} ∩ {B} = ∅`` and
+    reports; HARD's AND of identical signatures never empties.  The oracle
+    classifies the resulting miss as BLOOM_COLLISION (a wide-vector re-run
+    separates the signatures and recovers the report).
+    """
+    label = f"{tag}.alias"
+    lock_a = builder.new_lock(f"{label}.a")
+    lock_b = builder.new_lock(f"{label}.pad")
+    while lock_b != lock_a + BLOOM_ALIAS_STRIDE:
+        if lock_b > lock_a + BLOOM_ALIAS_STRIDE:
+            raise HarnessError("lock allocator stride does not divide the alias stride")
+        lock_b = builder.new_lock(f"{label}.pad")
+    victim = builder.region(f"{label}.victim", 32)
+    rw_site = builder.site(f"{label}.victim")
+    a_acq, a_rel = cs_sites(builder, f"{label}.a")
+    b_acq, b_rel = cs_sites(builder, f"{label}.b")
+    rounds = max(3, round(4 * scale))
+    other = rng.randrange(1, builder.num_threads) if builder.num_threads > 1 else 0
+    for _ in range(rounds):
+        builder.block(
+            0,
+            critical_section(
+                builder,
+                lock_a,
+                [read(victim.base, rw_site), write(victim.base, rw_site)],
+                a_acq,
+                a_rel,
+            ),
+        )
+        builder.block(
+            other,
+            critical_section(
+                builder,
+                lock_b,
+                [read(victim.base, rw_site), write(victim.base, rw_site)],
+                b_acq,
+                b_rel,
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# The per-phase pattern menu
+# ---------------------------------------------------------------------------
+
+
+def _menu_counters(builder, rng, tag, scale):
+    locked_counters(
+        builder,
+        label=f"{tag}.ctr",
+        num_counters=rng.randint(2, 4),
+        updates_per_thread=max(3, round(rng.randint(5, 10) * scale)),
+        body_words=rng.randint(1, 3),
+    )
+
+
+def _menu_migratory(builder, rng, tag, scale):
+    migratory_locked(
+        builder,
+        label=f"{tag}.mig",
+        num_objects=rng.randint(3, 6),
+        object_bytes=32,
+        visits_per_thread=max(3, round(rng.randint(4, 8) * scale)),
+        rw_words=rng.randint(1, 2),
+    )
+
+
+def _menu_false_sharing(builder, rng, tag, scale):
+    false_sharing_private(
+        builder,
+        label=f"{tag}.fs",
+        num_lines=rng.randint(1, 3),
+        rounds=max(2, round(rng.randint(2, 4) * scale)),
+        threads_per_line=min(2, builder.num_threads),
+    )
+
+
+def _menu_false_sharing_locked(builder, rng, tag, scale):
+    false_sharing_locked(
+        builder,
+        label=f"{tag}.fsl",
+        num_lines=rng.randint(1, 2),
+        rounds=max(2, round(2 * scale)),
+        hot_lock=builder.new_lock(f"{tag}.fsl.hot"),
+    )
+
+
+def _menu_handoff(builder, rng, tag, scale):
+    flag_handoff(
+        builder,
+        label=f"{tag}.flag",
+        num_instances=rng.randint(1, 3),
+        data_words=rng.randint(1, 3),
+    )
+
+
+def _menu_benign(builder, rng, tag, scale):
+    benign_counters(
+        builder,
+        label=f"{tag}.benign",
+        num_counters=rng.randint(1, 2),
+        updates_per_thread=max(2, round(2 * scale)),
+    )
+
+
+def _menu_producer_consumer(builder, rng, tag, scale):
+    producer_consumer(
+        builder,
+        label=f"{tag}.pc",
+        num_tasks=max(3, round(rng.randint(4, 8) * scale)),
+        payload_words=rng.randint(1, 3),
+        site_groups=rng.randint(1, 2),
+    )
+
+
+def _menu_nested(builder, rng, tag, scale):
+    _emit_nested_locks(builder, rng, tag, scale)
+
+
+#: (name, emitter) pairs — name order is the deterministic choice domain.
+PATTERN_MENU = (
+    ("counters", _menu_counters),
+    ("migratory", _menu_migratory),
+    ("false-sharing", _menu_false_sharing),
+    ("false-sharing-locked", _menu_false_sharing_locked),
+    ("flag-handoff", _menu_handoff),
+    ("benign", _menu_benign),
+    ("producer-consumer", _menu_producer_consumer),
+    ("nested-locks", _menu_nested),
+)
+
+
+# ---------------------------------------------------------------------------
+# Program assembly
+# ---------------------------------------------------------------------------
+
+
+def generate_program(
+    index: int, workload_seed: object = 0, spec: FuzzSpec = DEFAULT_SPEC
+) -> ParallelProgram:
+    """Build fuzz program ``index`` — deterministically.
+
+    The structural RNG (thread count, phase count, pattern choices, feature
+    gates) is seeded from ``("fuzz", index, workload_seed)``; each pattern
+    instance then draws its sizes from the same stream and its *content*
+    randomness from the builder's own labelled sub-streams.  Identical
+    inputs yield an identical program, operation for operation.
+    """
+    rng = make_rng("fuzz", index, workload_seed)
+    num_threads = rng.randint(spec.min_threads, spec.max_threads)
+    num_phases = rng.randint(spec.min_phases, spec.max_phases)
+    builder = WorkloadBuilder(
+        fuzz_workload_name(index), num_threads=num_threads, seed=workload_seed
+    )
+
+    if rng.random() < spec.table_probability:
+        read_shared_table(
+            builder,
+            label="prelude.table",
+            num_lines=rng.randint(4, 12),
+            reads_per_thread=max(4, round(8 * spec.scale)),
+        )
+
+    wrong_lock_phase = (
+        rng.randrange(num_phases)
+        if rng.random() < spec.wrong_lock_probability
+        else None
+    )
+    pressure_phase = (
+        rng.randrange(num_phases)
+        if rng.random() < spec.pressure_probability
+        else None
+    )
+
+    for phase in range(num_phases):
+        tag = f"p{phase}"
+        count = rng.randint(spec.min_patterns_per_phase, spec.max_patterns_per_phase)
+        picks = rng.sample(range(len(PATTERN_MENU)), min(count, len(PATTERN_MENU)))
+        for pick in picks:
+            _, emitter = PATTERN_MENU[pick]
+            emitter(builder, rng, tag, spec.scale)
+        if phase == wrong_lock_phase:
+            _emit_wrong_lock(builder, rng, tag, spec.scale)
+        if phase == pressure_phase:
+            # Sized against the oracle's 16 KiB (512-line) L2: a few hundred
+            # streamed lines per thread evict shared-data metadata between
+            # reuses, which is what arms the displacement approximation.
+            streaming_private(
+                builder,
+                label=f"{tag}.stream",
+                lines_per_thread=max(16, round(rng.randint(64, 192) * spec.scale)),
+                passes=rng.randint(1, 2),
+            )
+        builder.end_phase()
+
+    if rng.random() < spec.grid_probability:
+        grid_phases(
+            builder,
+            label="epilogue.grid",
+            lines_per_band=rng.randint(6, 12),
+            phases=1,
+        )
+
+    return builder.build()
+
+
+def build_fuzz_workload(
+    name: str, seed: object = 0, params: object = None
+) -> ParallelProgram:
+    """Registry adapter: build a ``fuzz:<n>`` workload by name.
+
+    ``params``, when given, must be a :class:`FuzzSpec`.
+    """
+    index = parse_fuzz_name(name)
+    if index is None:
+        raise HarnessError(f"{name!r} is not a fuzz workload name")
+    spec = DEFAULT_SPEC if params is None else params
+    if not isinstance(spec, FuzzSpec):
+        raise HarnessError("fuzz workload params must be a FuzzSpec")
+    return generate_program(index, workload_seed=seed, spec=spec)

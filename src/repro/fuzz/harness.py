@@ -1,0 +1,251 @@
+"""The fuzz driver: fan seeds over workers, merge a deterministic report.
+
+One fuzz *seed* produces up to two *cases*:
+
+* ``clean`` — the generated program as-is (divergences here are detector
+  false positives / approximation artifacts);
+* ``injected`` — the same program with one dynamic lock pair omitted via
+  :func:`~repro.workloads.injection.inject_bug` (divergences here include
+  approximation-caused *misses* of a real race), skipped when the program
+  offers no injectable section.
+
+Seeds fan out over the same :func:`~repro.harness.parallel.fan_out` engine
+the experiment grid uses; every case is a pure function of
+``(seed index, workload_seed, spec, oracle config)``, results are sorted
+into canonical ``(seed, case)`` order after the fan-in, and
+:meth:`FuzzReport.to_dict` carries no wall-clock fields — so ``-j 8`` output
+is bit-for-bit identical to ``-j 1``.
+
+Seeds whose divergences the oracle cannot explain are shrunk (in the parent
+process — they are rare) and written to the corpus directory as regression
+reproducers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.common.errors import HarnessError
+from repro.common.rng import derive_seed
+from repro.harness.parallel import fan_out
+from repro.workloads.injection import inject_bug
+
+from repro.fuzz.corpus import save_case
+from repro.fuzz.generator import DEFAULT_SPEC, FuzzSpec, generate_program
+from repro.fuzz.oracle import (
+    DEFAULT_ORACLE,
+    CaseVerdict,
+    DivergenceKind,
+    OracleConfig,
+    evaluate_program,
+)
+from repro.fuzz.shrink import divergence_predicate, shrink
+
+
+def schedule_seed_for_case(index: int, workload_seed: object, case: str) -> int:
+    """The deterministic schedule seed of one fuzz case."""
+    return derive_seed("fuzz-schedule", index, workload_seed, case)
+
+
+@dataclass
+class FuzzCaseResult:
+    """One judged fuzz case (picklable: crosses the worker boundary)."""
+
+    seed: int
+    case: str
+    verdict: CaseVerdict
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "case": self.case, **self.verdict.to_dict()}
+
+
+@dataclass
+class FuzzReport:
+    """The merged outcome of one fuzz run."""
+
+    seeds: int
+    workload_seed: object
+    results: list[FuzzCaseResult]
+    reproducers: list[str] = field(default_factory=list)
+
+    @property
+    def cases(self) -> int:
+        return len(self.results)
+
+    @property
+    def divergence_counts(self) -> dict[str, int]:
+        """Total divergences per kind, over every case."""
+        counts: Counter[str] = Counter()
+        for result in self.results:
+            for divergence in result.verdict.divergences:
+                counts[divergence.kind.value] += 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def unexplained(self) -> list[FuzzCaseResult]:
+        """Cases with at least one unexplained divergence."""
+        return [r for r in self.results if r.verdict.unexplained]
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON form: no wall-clock, no job count, so the
+        output of a ``-j 8`` run diffs clean against a ``-j 1`` run."""
+        return {
+            "seeds": self.seeds,
+            "workload_seed": str(self.workload_seed),
+            "cases": self.cases,
+            "divergences": self.divergence_counts,
+            "unexplained_cases": len(self.unexplained),
+            "reproducers": list(self.reproducers),
+            "results": [r.to_dict() for r in self.results],
+        }
+
+
+# Worker-process state, installed once per worker by the pool initializer.
+_FUZZ_STATE: tuple[FuzzSpec, OracleConfig, object] | None = None
+
+
+def _fuzz_init(spec: FuzzSpec, config: OracleConfig, workload_seed: object) -> None:
+    global _FUZZ_STATE
+    _FUZZ_STATE = (spec, config, workload_seed)
+
+
+def _reset_fuzz_worker() -> None:
+    global _FUZZ_STATE
+    _FUZZ_STATE = None
+
+
+def build_case_program(
+    index: int,
+    case: str,
+    workload_seed: object = 0,
+    spec: FuzzSpec = DEFAULT_SPEC,
+):
+    """Rebuild the exact program of one fuzz case (clean or injected)."""
+    program = generate_program(index, workload_seed=workload_seed, spec=spec)
+    if case == "clean":
+        return program
+    if case == "injected":
+        return inject_bug(program, seed=("fuzz", index))
+    raise HarnessError(f"unknown fuzz case {case!r}")
+
+
+def _fuzz_worker(index: int) -> list[FuzzCaseResult]:
+    state = _FUZZ_STATE
+    assert state is not None, "fuzz worker used before _fuzz_init"
+    spec, config, workload_seed = state
+    program = generate_program(index, workload_seed=workload_seed, spec=spec)
+    results = [
+        FuzzCaseResult(
+            seed=index,
+            case="clean",
+            verdict=evaluate_program(
+                program,
+                schedule_seed_for_case(index, workload_seed, "clean"),
+                case="clean",
+                config=config,
+            ),
+        )
+    ]
+    try:
+        injected = inject_bug(program, seed=("fuzz", index))
+    except HarnessError:
+        injected = None
+    if injected is not None:
+        results.append(
+            FuzzCaseResult(
+                seed=index,
+                case="injected",
+                verdict=evaluate_program(
+                    injected,
+                    schedule_seed_for_case(index, workload_seed, "injected"),
+                    case="injected",
+                    config=config,
+                ),
+            )
+        )
+    return results
+
+
+def write_reproducer(
+    result: FuzzCaseResult,
+    corpus_dir: str | Path,
+    *,
+    workload_seed: object = 0,
+    spec: FuzzSpec = DEFAULT_SPEC,
+    config: OracleConfig = DEFAULT_ORACLE,
+    max_shrink_evals: int = 200,
+) -> Path:
+    """Shrink one unexplained case and save it as a corpus entry."""
+    program = build_case_program(
+        result.seed, result.case, workload_seed=workload_seed, spec=spec
+    )
+    schedule_seed = schedule_seed_for_case(result.seed, workload_seed, result.case)
+    predicate = divergence_predicate(
+        schedule_seed, kinds=(DivergenceKind.UNEXPLAINED,), config=config
+    )
+    small = shrink(program, predicate, max_evals=max_shrink_evals)
+    path = Path(corpus_dir) / f"unexplained-s{result.seed}-{result.case}.json"
+    return save_case(
+        path,
+        small,
+        schedule_seed=schedule_seed,
+        expected_kinds=tuple(
+            sorted({d.kind.value for d in result.verdict.divergences})
+        ),
+        meta={
+            "fuzz_seed": result.seed,
+            "case": result.case,
+            "workload_seed": str(workload_seed),
+            "unexplained": [d.to_dict() for d in result.verdict.unexplained],
+        },
+    )
+
+
+def run_fuzz(
+    seeds: int = 100,
+    *,
+    jobs: int = 1,
+    workload_seed: object = 0,
+    spec: FuzzSpec = DEFAULT_SPEC,
+    config: OracleConfig = DEFAULT_ORACLE,
+    corpus_dir: str | Path | None = None,
+    log: Callable[[str], None] | None = None,
+) -> FuzzReport:
+    """Fuzz ``seeds`` programs and return the merged deterministic report.
+
+    With ``corpus_dir`` set, every unexplained case is shrunk and written
+    there as a replayable reproducer.
+    """
+    if seeds <= 0:
+        raise HarnessError("need at least one fuzz seed")
+    raw = fan_out(
+        list(range(seeds)),
+        _fuzz_worker,
+        jobs=jobs,
+        initializer=_fuzz_init,
+        initargs=(spec, config, workload_seed),
+        serial_cleanup=_reset_fuzz_worker,
+    )
+    results = [result for batch in raw for result in batch]
+    results.sort(key=lambda r: (r.seed, r.case))
+    report = FuzzReport(seeds=seeds, workload_seed=workload_seed, results=results)
+    if corpus_dir is not None and report.unexplained:
+        for result in report.unexplained:
+            if log is not None:
+                log(
+                    f"shrinking unexplained case seed={result.seed} "
+                    f"case={result.case}"
+                )
+            path = write_reproducer(
+                result,
+                corpus_dir,
+                workload_seed=workload_seed,
+                spec=spec,
+                config=config,
+            )
+            report.reproducers.append(str(path))
+        report.reproducers.sort()
+    return report

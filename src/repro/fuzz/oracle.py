@@ -1,0 +1,474 @@
+"""The differential oracle: run detectors on one trace, explain divergences.
+
+One fuzz case = one interleaved trace evaluated by four detectors:
+
+* ``hard-default`` on a deliberately small L2 (so displacement happens at
+  fuzz-program scale), with the observability stream recorded;
+* ``hard-ideal`` at 4 B granularity — the exact-lockset reference;
+* ``hard-ideal`` at line (32 B) granularity — the granularity oracle;
+* ``hb-ideal`` at 4 B granularity — the happens-before reference.
+
+Divergences are computed at the paper's alarm unit — distinct source sites
+(Section 5.1) — and every one must be *explained* by a known approximation
+before the case passes.  The explanation is never taken on faith: each
+class is verified against independent evidence —
+
+========================  ==================================================
+Kind                      Verification
+========================  ==================================================
+FALSE_SHARING             the site also alarms in the exact lockset run at
+                          *line* granularity (granularity is sufficient)
+BLOOM_COLLISION           a re-run with a 256-bit BFVector (same small L2)
+                          recovers the report — the collision was the cause
+L2_DISPLACEMENT           a re-run with a 4 MB L2 recovers the report, and
+                          the recorded ``l2.displacement`` events include a
+                          line the site accessed
+COMPOUND_LOSS             only the re-run with *both* relaxations recovers
+                          the report (each approximation alone hides it)
+METADATA_EVICTION         no re-run recovers it, but a clean L1 eviction of
+                          a line the site accessed was recorded (HARD's
+                          stale-metadata modelling approximation)
+ORDERED_BY_SYNC           exact lockset reports, happens-before does not:
+                          the Figure 1 algorithmic difference (lock
+                          discipline violated, accesses ordered anyway)
+LSTATE_FORGIVEN           happens-before reports, exact lockset does not: a
+                          4 B-granularity LState replay confirms the
+                          reported chunks never reached Shared-Modified
+                          during this site's accesses (Eraser's
+                          initialization/read-share forgiveness, Figure 2)
+UNEXPLAINED               anything else — a genuine bug in one detector
+========================  ==================================================
+
+The expensive ablation re-runs are lazy: they only execute when the case
+actually has missed-race divergences to explain.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.addresses import spanned_chunks
+from repro.common.events import OpKind, Site, Trace
+from repro.core.lstate import NO_OWNER, LState, transition
+from repro.harness.detectors import DetectorConfig, make_detector
+from repro.obs import Observability, RecordingEmitter
+from repro.reporting import DetectionResult
+from repro.threads.program import ParallelProgram
+from repro.threads.scheduler import RandomScheduler
+from repro.threads.runtime import interleave
+
+#: The machine's line size (MachineConfig default; the granularity oracle).
+LINE_SIZE = 32
+
+
+class DivergenceKind(enum.Enum):
+    """Why two detectors disagreed about one source site."""
+
+    FALSE_SHARING = "false-sharing"
+    BLOOM_COLLISION = "bloom-collision"
+    L2_DISPLACEMENT = "l2-displacement"
+    COMPOUND_LOSS = "compound-loss"
+    METADATA_EVICTION = "metadata-eviction"
+    ORDERED_BY_SYNC = "ordered-by-sync"
+    LSTATE_FORGIVEN = "lstate-forgiven"
+    UNEXPLAINED = "unexplained"
+
+
+#: Divergence directions (which detector pair, which side reported).
+HARD_EXTRA = "hard-extra"  # hard-default reports, exact lockset silent
+HARD_MISSED = "hard-missed"  # exact lockset reports, hard-default silent
+HB_ONLY = "hb-only"  # happens-before reports, exact lockset silent
+LOCKSET_ONLY = "lockset-only"  # exact lockset reports, happens-before silent
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Knobs of the differential oracle (frozen: picklable, hashable).
+
+    ``l2_size`` is intentionally tiny — 16 KiB is 512 lines, which fuzz
+    sized footprints actually overflow, so the displacement approximation
+    gets exercised.  ``big_l2_size`` is the displacement-free ablation;
+    ``wide_vector_bits`` the collision-free one (256 bits consume enough
+    lock-address entropy that the 1 KiB-stride aliases separate).
+    """
+
+    granularity: int = 4
+    l2_size: int = 16 * 1024
+    big_l2_size: int = 4 * 1024 * 1024
+    wide_vector_bits: int = 256
+    schedule_min_burst: int = 1
+    schedule_max_burst: int = 8
+
+
+DEFAULT_ORACLE = OracleConfig()
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One explained (or unexplained) detector disagreement."""
+
+    direction: str
+    site: Site
+    kind: DivergenceKind
+    evidence: str = ""
+
+    @property
+    def is_expected(self) -> bool:
+        """True unless this divergence indicates a genuine bug."""
+        return self.kind is not DivergenceKind.UNEXPLAINED
+
+    def to_dict(self) -> dict:
+        return {
+            "direction": self.direction,
+            "site": [self.site.file, self.site.line, self.site.label],
+            "kind": self.kind.value,
+            "evidence": self.evidence,
+        }
+
+    def sort_key(self) -> tuple:
+        return (self.direction, self.site.file, self.site.line, self.site.label)
+
+
+@dataclass
+class CaseVerdict:
+    """The oracle's judgement of one (program, schedule) case."""
+
+    program: str
+    case: str
+    trace_events: int
+    alarm_counts: dict[str, int] = field(default_factory=dict)
+    divergences: tuple[Divergence, ...] = ()
+
+    @property
+    def unexplained(self) -> tuple[Divergence, ...]:
+        """The divergences no approximation accounts for."""
+        return tuple(d for d in self.divergences if not d.is_expected)
+
+    @property
+    def expected_count(self) -> int:
+        return len(self.divergences) - len(self.unexplained)
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "case": self.case,
+            "trace_events": self.trace_events,
+            "alarm_counts": dict(sorted(self.alarm_counts.items())),
+            "divergences": [d.to_dict() for d in self.divergences],
+            "unexplained": len(self.unexplained),
+        }
+
+
+def _site_sort_key(site: Site) -> tuple:
+    return (site.file, site.line, site.label)
+
+
+def _site_lines(trace: Trace) -> dict[Site, set[int]]:
+    """Map each source site to the cache-line addresses it accessed."""
+    lines: dict[Site, set[int]] = {}
+    for event in trace.memory_accesses():
+        op = event.op
+        if op.site is None:
+            continue
+        per_site = lines.setdefault(op.site, set())
+        first = op.addr & ~(LINE_SIZE - 1)
+        last = (op.addr + op.size - 1) & ~(LINE_SIZE - 1)
+        for line in range(first, last + LINE_SIZE, LINE_SIZE):
+            per_site.add(line)
+    return lines
+
+
+def _lstate_replay(
+    trace: Trace, granularity: int
+) -> tuple[dict[Site, set[int]], dict[Site, set[int]]]:
+    """Replay the lockset over the trace, with and without LState mercy.
+
+    Returns two ``site -> chunks`` maps:
+
+    * ``checked`` — chunks at which an access *from that site* ran the real
+      algorithm's Shared-Modified race check (mirroring
+      :class:`~repro.lockset.exact.IdealLocksetDetector`, barrier reset to
+      Virgin included);
+    * ``strict_empty`` — chunks at which a *strict* lockset — one that
+      intersects the candidate set from the very first access and never
+      forgives initialization or read-sharing — would have alarmed at that
+      site (empty candidate on a chunk touched by more than one thread).
+
+    Together they separate the two faces of LState forgiveness: accesses
+    the algorithm never judged (not in ``checked``), and races it judged
+    but could not see because one side's locks were absorbed during the
+    Virgin/Exclusive window (in ``strict_empty`` yet never reported).
+    """
+    lstates: dict[int, tuple[LState, int]] = {}
+    strict: dict[int, tuple[set[int] | None, set[int]]] = {}
+    held: dict[int, dict[int, int]] = {}
+    arrivals: dict[int, int] = {}
+    checked: dict[Site, set[int]] = {}
+    strict_empty: dict[Site, set[int]] = {}
+    for event in trace:
+        op = event.op
+        thread_id = event.thread_id
+        if op.kind is OpKind.LOCK:
+            locks = held.setdefault(thread_id, {})
+            locks[op.addr] = locks.get(op.addr, 0) + 1
+            continue
+        if op.kind is OpKind.UNLOCK:
+            locks = held.setdefault(thread_id, {})
+            if locks.get(op.addr, 0) > 0:
+                locks[op.addr] -= 1
+                if not locks[op.addr]:
+                    del locks[op.addr]
+            continue
+        if op.kind is OpKind.BARRIER:
+            count = arrivals.get(op.addr, 0) + 1
+            if count < op.participants:
+                arrivals[op.addr] = count
+                continue
+            arrivals[op.addr] = 0
+            lstates.clear()
+            strict.clear()
+            continue
+        if not op.is_memory_access:
+            continue
+        locks = held.setdefault(thread_id, {})
+        for chunk_addr in spanned_chunks(op.addr, op.size, granularity):
+            state, owner = lstates.get(chunk_addr, (LState.VIRGIN, NO_OWNER))
+            outcome = transition(state, owner, thread_id, op.is_write)
+            lstates[chunk_addr] = (outcome.state, outcome.owner)
+            if outcome.check_race and op.site is not None:
+                checked.setdefault(op.site, set()).add(chunk_addr)
+            candidate, threads = strict.get(chunk_addr, (None, set()))
+            candidate = (
+                set(locks) if candidate is None else candidate & locks.keys()
+            )
+            threads = threads | {thread_id}
+            strict[chunk_addr] = (candidate, threads)
+            if not candidate and len(threads) > 1 and op.site is not None:
+                strict_empty.setdefault(op.site, set()).add(chunk_addr)
+    return checked, strict_empty
+
+
+def _hb_chunks_by_site(
+    hb_result: DetectionResult, granularity: int
+) -> dict[Site, set[int]]:
+    """The chunks each happens-before alarm site was reported at."""
+    chunks: dict[Site, set[int]] = {}
+    for report in hb_result.reports:
+        per_site = chunks.setdefault(report.site, set())
+        per_site.update(spanned_chunks(report.addr, report.size, granularity))
+    return chunks
+
+
+def _run(config: DetectorConfig, trace: Trace, obs=None) -> frozenset[Site]:
+    return make_detector(config).run(trace, obs=obs).alarm_sites()
+
+
+def evaluate_trace(
+    trace: Trace,
+    *,
+    program: str = "",
+    case: str = "clean",
+    config: OracleConfig = DEFAULT_ORACLE,
+) -> CaseVerdict:
+    """Run the detector suite over ``trace`` and classify every divergence."""
+    recorder = RecordingEmitter(types={"l2.displacement", "cache.evict"})
+    hard_cfg = DetectorConfig(key="hard-default", l2_size=config.l2_size)
+    hard = make_detector(hard_cfg).run(trace, obs=Observability(emitter=recorder))
+    exact = make_detector(
+        DetectorConfig(key="hard-ideal", granularity=config.granularity)
+    ).run(trace)
+    exact_line = make_detector(
+        DetectorConfig(key="hard-ideal", granularity=LINE_SIZE)
+    ).run(trace)
+    hb = make_detector(
+        DetectorConfig(key="hb-ideal", granularity=config.granularity)
+    ).run(trace)
+
+    hard_sites = hard.alarm_sites()
+    exact_sites = exact.alarm_sites()
+    line_sites = exact_line.alarm_sites()
+    hb_sites = hb.alarm_sites()
+
+    divergences: list[Divergence] = []
+
+    # --- hard-default false positives (vs the exact lockset) --------------
+    for site in sorted(hard_sites - exact_sites, key=_site_sort_key):
+        if site in line_sites:
+            divergences.append(
+                Divergence(
+                    HARD_EXTRA,
+                    site,
+                    DivergenceKind.FALSE_SHARING,
+                    "exact lockset at line granularity also reports this site",
+                )
+            )
+        else:
+            divergences.append(
+                Divergence(
+                    HARD_EXTRA,
+                    site,
+                    DivergenceKind.UNEXPLAINED,
+                    "hard-default alarm absent even from the line-granularity "
+                    "exact lockset",
+                )
+            )
+
+    # --- hard-default missed races (lazy ablation re-runs) ----------------
+    missed = sorted(exact_sites - hard_sites, key=_site_sort_key)
+    if missed:
+        site_lines = _site_lines(trace)
+        displaced = {e["line"] for e in recorder.by_type("l2.displacement")}
+        clean_evicted = {
+            e["line"]
+            for e in recorder.by_type("cache.evict")
+            if e["cache"] != "L2" and not e["dirty"]
+        }
+        wide = _run(
+            hard_cfg.with_overrides(vector_bits=config.wide_vector_bits), trace
+        )
+        big = _run(hard_cfg.with_overrides(l2_size=config.big_l2_size), trace)
+        both = _run(
+            hard_cfg.with_overrides(
+                l2_size=config.big_l2_size, vector_bits=config.wide_vector_bits
+            ),
+            trace,
+        )
+        for site in missed:
+            lines = site_lines.get(site, set())
+            if site in wide:
+                divergences.append(
+                    Divergence(
+                        HARD_MISSED,
+                        site,
+                        DivergenceKind.BLOOM_COLLISION,
+                        f"a {config.wide_vector_bits}-bit BFVector re-run "
+                        "recovers the report",
+                    )
+                )
+            elif site in big:
+                extra = (
+                    "; displacement of an accessed line was recorded"
+                    if lines & displaced
+                    else ""
+                )
+                divergences.append(
+                    Divergence(
+                        HARD_MISSED,
+                        site,
+                        DivergenceKind.L2_DISPLACEMENT,
+                        f"a {config.big_l2_size // 1024} KiB-L2 re-run recovers "
+                        f"the report{extra}",
+                    )
+                )
+            elif site in both:
+                divergences.append(
+                    Divergence(
+                        HARD_MISSED,
+                        site,
+                        DivergenceKind.COMPOUND_LOSS,
+                        "only the wide-vector + big-L2 re-run recovers the "
+                        "report (each approximation alone hides it)",
+                    )
+                )
+            elif lines & clean_evicted:
+                divergences.append(
+                    Divergence(
+                        HARD_MISSED,
+                        site,
+                        DivergenceKind.METADATA_EVICTION,
+                        "clean L1 eviction of an accessed line was recorded "
+                        "(stale sole-holder metadata approximation)",
+                    )
+                )
+            else:
+                divergences.append(
+                    Divergence(
+                        HARD_MISSED,
+                        site,
+                        DivergenceKind.UNEXPLAINED,
+                        "no ablation re-run or recorded event explains the miss",
+                    )
+                )
+
+    # --- lockset vs happens-before (the algorithmic axis) -----------------
+    for site in sorted(exact_sites - hb_sites, key=_site_sort_key):
+        divergences.append(
+            Divergence(
+                LOCKSET_ONLY,
+                site,
+                DivergenceKind.ORDERED_BY_SYNC,
+                "lock discipline violated but the interleaving ordered the "
+                "accesses (Figure 1)",
+            )
+        )
+    hb_extra = sorted(hb_sites - exact_sites, key=_site_sort_key)
+    if hb_extra:
+        checked, strict_empty = _lstate_replay(trace, config.granularity)
+        hb_chunks = _hb_chunks_by_site(hb, config.granularity)
+        for site in hb_extra:
+            reported = hb_chunks.get(site, set())
+            if not reported & checked.get(site, set()):
+                divergences.append(
+                    Divergence(
+                        HB_ONLY,
+                        site,
+                        DivergenceKind.LSTATE_FORGIVEN,
+                        "LState replay: the reported chunks never reached "
+                        "Shared-Modified during this site's accesses",
+                    )
+                )
+            elif reported & strict_empty.get(site, set()):
+                divergences.append(
+                    Divergence(
+                        HB_ONLY,
+                        site,
+                        DivergenceKind.LSTATE_FORGIVEN,
+                        "LState replay: a strict (no-forgiveness) lockset "
+                        "alarms here — the racing side's locks were absorbed "
+                        "in the Virgin/Exclusive window",
+                    )
+                )
+            else:
+                divergences.append(
+                    Divergence(
+                        HB_ONLY,
+                        site,
+                        DivergenceKind.UNEXPLAINED,
+                        "the lockset judged the reported chunks with a "
+                        "non-empty candidate even without LState forgiveness",
+                    )
+                )
+
+    divergences.sort(key=Divergence.sort_key)
+    return CaseVerdict(
+        program=program,
+        case=case,
+        trace_events=len(trace),
+        alarm_counts={
+            "hard-default": len(hard_sites),
+            "hard-ideal": len(exact_sites),
+            "hard-ideal@line": len(line_sites),
+            "hb-ideal": len(hb_sites),
+        },
+        divergences=tuple(divergences),
+    )
+
+
+def evaluate_program(
+    program: ParallelProgram,
+    schedule_seed: int,
+    *,
+    case: str = "clean",
+    config: OracleConfig = DEFAULT_ORACLE,
+) -> CaseVerdict:
+    """Interleave ``program`` under a seeded schedule and judge the trace."""
+    scheduler = RandomScheduler(
+        seed=schedule_seed,
+        min_burst=config.schedule_min_burst,
+        max_burst=config.schedule_max_burst,
+    )
+    result = interleave(program, scheduler)
+    return evaluate_trace(
+        result.trace, program=program.name, case=case, config=config
+    )

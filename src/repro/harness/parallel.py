@@ -39,7 +39,7 @@ import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.harness.detectors import DetectorConfig, config_signature
 from repro.harness.experiment import RunOutcome
@@ -124,6 +124,54 @@ def plan_chunks(cells: Iterable[GridCell]) -> list[Chunk]:
     ]
 
 
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def fan_out(
+    tasks: Sequence[T],
+    worker: Callable[[T], R],
+    *,
+    jobs: int,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
+    serial_cleanup: Callable[[], None] | None = None,
+) -> list[R]:
+    """Map ``worker`` over ``tasks``, serially or across worker processes.
+
+    The shared fan-out engine behind the experiment grid and the fuzzing
+    harness.  With ``jobs <= 1`` (or a single task) everything runs in this
+    process through the identical code path a pool worker would take:
+    ``initializer(*initargs)`` once, then ``worker`` per task, then
+    ``serial_cleanup`` (pool workers are simply discarded instead).  With
+    more jobs, tasks fan out over a ``multiprocessing`` pool.
+
+    Results are returned in **completion order** — callers that need
+    determinism must sort by a key of the task itself, the same way
+    :func:`run_grid` sorts outcomes into canonical grid order.
+    """
+    jobs = max(1, int(jobs))
+    workers = min(jobs, len(tasks)) if tasks else 0
+    results: list[R] = []
+    if workers <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        try:
+            for task in tasks:
+                results.append(worker(task))
+        finally:
+            if serial_cleanup is not None:
+                serial_cleanup()
+        return results
+    ctx = multiprocessing.get_context()
+    with ctx.Pool(
+        processes=workers, initializer=initializer, initargs=initargs
+    ) as pool:
+        for result in pool.imap_unordered(worker, tasks):
+            results.append(result)
+    return results
+
+
 # Worker-process state: one runner per process, created by the pool
 # initializer and reused across chunks so program/digest memos survive.
 _WORKER_RUNNER = None
@@ -179,27 +227,19 @@ def run_grid(
         trace_cache_dir=str(trace_cache_dir) if trace_cache_dir is not None else None,
     )
     jobs = max(1, int(jobs))
-    workers = min(jobs, len(chunks)) if chunks else 0
 
     outcomes: list[RunOutcome] = []
     metrics = MetricsRegistry()
-    if workers <= 1:
-        _worker_init(spec)
-        try:
-            for chunk in chunks:
-                chunk_outcomes, shard = _worker_chunk(chunk)
-                outcomes.extend(chunk_outcomes)
-                metrics.merge_registry(shard)
-        finally:
-            _reset_worker()
-    else:
-        ctx = multiprocessing.get_context()
-        with ctx.Pool(
-            processes=workers, initializer=_worker_init, initargs=(spec,)
-        ) as pool:
-            for chunk_outcomes, shard in pool.imap_unordered(_worker_chunk, chunks):
-                outcomes.extend(chunk_outcomes)
-                metrics.merge_registry(shard)
+    for chunk_outcomes, shard in fan_out(
+        chunks,
+        _worker_chunk,
+        jobs=jobs,
+        initializer=_worker_init,
+        initargs=(spec,),
+        serial_cleanup=_reset_worker,
+    ):
+        outcomes.extend(chunk_outcomes)
+        metrics.merge_registry(shard)
 
     # Canonical order: independent of worker scheduling.
     outcomes.sort(key=lambda o: (o.app, o.run, o.detector))

@@ -38,6 +38,7 @@ from repro.obs.trace import (
     CountingEmitter,
     JsonlEmitter,
     NullEmitter,
+    RecordingEmitter,
     TraceEmitter,
     emit_alarm,
 )
@@ -82,6 +83,7 @@ __all__ = [
     "NULL_EMITTER",
     "CountingEmitter",
     "JsonlEmitter",
+    "RecordingEmitter",
     "emit_alarm",
     "MetricsRegistry",
     "Histogram",

@@ -75,6 +75,32 @@ class CountingEmitter(TraceEmitter):
         return sum(self.counts.values())
 
 
+class RecordingEmitter(TraceEmitter):
+    """Keeps selected events in memory for programmatic inspection.
+
+    The differential-fuzzing oracle uses this to verify its divergence
+    classifications against the detector's own evidence stream (e.g. that a
+    missed detection classified as metadata loss really coincides with an
+    ``l2.displacement`` of the victim line).  Pass ``types`` to keep only
+    the event types you need — detector runs emit one event per metadata
+    mutation, so recording everything on a long trace is memory-hungry.
+    """
+
+    enabled = True
+
+    def __init__(self, types: frozenset[str] | set[str] | None = None):
+        self._types = frozenset(types) if types is not None else None
+        self.events: list[tuple[str, dict]] = []
+
+    def emit(self, etype: str, **fields) -> None:
+        if self._types is None or etype in self._types:
+            self.events.append((etype, fields))
+
+    def by_type(self, etype: str) -> list[dict]:
+        """The payloads of every recorded event of one type, in order."""
+        return [fields for kind, fields in self.events if kind == etype]
+
+
 def emit_alarm(emitter: TraceEmitter, report) -> None:
     """Emit the canonical ``alarm`` event for one RaceReport-shaped record."""
     emitter.emit(

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.common.errors import HarnessError
+from repro.common.errors import HarnessError, InjectionError
 from repro.common.rng import make_rng
 from repro.threads.program import InjectedBug, ParallelProgram, ThreadProgram
 from repro.workloads.base import INJECTABLE_PREFIX
@@ -42,30 +42,49 @@ class InjectionCandidate:
 
 
 def injection_candidates(program: ParallelProgram) -> list[InjectionCandidate]:
-    """All injectable dynamic critical sections, in deterministic order."""
+    """All injectable dynamic critical sections, in deterministic order.
+
+    A section qualifies only if its acquire site is marked injectable *and*
+    its body performs at least one memory access — omitting the lock pair of
+    an access-free section de-protects nothing, so there would be no ground
+    truth to score against.
+    """
     candidates = []
     for thread in program.threads:
         for lock_index, unlock_index, lock_addr in thread.dynamic_critical_sections():
             site = thread.ops[lock_index].site
-            if site is not None and site.label.startswith(INJECTABLE_PREFIX):
-                candidates.append(
-                    InjectionCandidate(
-                        thread_id=thread.thread_id,
-                        lock_index=lock_index,
-                        unlock_index=unlock_index,
-                        lock_addr=lock_addr,
-                    )
+            if site is None or not site.label.startswith(INJECTABLE_PREFIX):
+                continue
+            body = thread.ops[lock_index + 1 : unlock_index]
+            if not any(op.is_memory_access for op in body):
+                continue
+            candidates.append(
+                InjectionCandidate(
+                    thread_id=thread.thread_id,
+                    lock_index=lock_index,
+                    unlock_index=unlock_index,
+                    lock_addr=lock_addr,
                 )
+            )
     return candidates
 
 
 def inject_bug(program: ParallelProgram, seed: object) -> ParallelProgram:
-    """Return a copy of ``program`` with one dynamic lock pair omitted."""
+    """Return a copy of ``program`` with one dynamic lock pair omitted.
+
+    Raises :class:`~repro.common.errors.InjectionError` (a
+    :class:`~repro.common.errors.HarnessError`) when the program has no
+    injectable dynamic critical section — including the edge case where
+    every critical section exists but none is marked injectable, or every
+    injectable section is empty of memory accesses.
+    """
     if program.injected_bug is not None:
         raise HarnessError("program already carries an injected bug")
     candidates = injection_candidates(program)
     if not candidates:
-        raise HarnessError(f"workload {program.name!r} has no injectable sections")
+        raise InjectionError(
+            f"workload {program.name!r} has no injectable sections"
+        )
     rng = make_rng("inject", program.name, seed)
     choice = candidates[rng.randrange(len(candidates))]
     return apply_injection(program, choice)
@@ -75,11 +94,22 @@ def apply_injection(
     program: ParallelProgram, choice: InjectionCandidate
 ) -> ParallelProgram:
     """Remove the chosen lock/unlock pair and record ground truth."""
+    if not 0 <= choice.thread_id < len(program.threads):
+        raise InjectionError(
+            f"injection candidate names thread {choice.thread_id}, but "
+            f"{program.name!r} has {len(program.threads)} threads"
+        )
     victim = program.threads[choice.thread_id]
+    if not 0 <= choice.lock_index < choice.unlock_index < len(victim.ops):
+        raise InjectionError(
+            f"injection candidate indices ({choice.lock_index}, "
+            f"{choice.unlock_index}) fall outside thread {choice.thread_id}'s "
+            f"{len(victim.ops)} operations"
+        )
     lock_op = victim.ops[choice.lock_index]
     unlock_op = victim.ops[choice.unlock_index]
     if lock_op.addr != choice.lock_addr or unlock_op.addr != choice.lock_addr:
-        raise HarnessError("injection candidate does not match the program")
+        raise InjectionError("injection candidate does not match the program")
 
     unprotected = [
         op
@@ -87,7 +117,7 @@ def apply_injection(
         if op.is_memory_access
     ]
     if not unprotected:
-        raise HarnessError("refusing to inject into an empty critical section")
+        raise InjectionError("refusing to inject into an empty critical section")
 
     chunk_addresses: set[int] = set()
     sites = set()

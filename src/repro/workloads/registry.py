@@ -43,10 +43,18 @@ def build_workload(name: str, seed: object = 0, params: object = None) -> Parall
         params: optional app-specific parameter dataclass (e.g.
             :class:`~repro.workloads.cholesky.CholeskyParams`).
     """
+    if name.startswith("fuzz:"):
+        # Generated fuzz programs are addressable like any application:
+        # ``fuzz:<n>`` builds program <n> of the differential-fuzzing
+        # generator (optionally shaped by a FuzzSpec passed as ``params``).
+        from repro.fuzz.generator import build_fuzz_workload
+
+        return build_fuzz_workload(name, seed, params)
     builder = _BUILDERS.get(name)
     if builder is None:
         raise HarnessError(
-            f"unknown workload {name!r}; known: {', '.join(WORKLOAD_NAMES)}"
+            f"unknown workload {name!r}; known: {', '.join(WORKLOAD_NAMES)} "
+            "(or fuzz:<n>)"
         )
     if params is None:
         return builder(seed)

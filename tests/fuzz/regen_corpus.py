@@ -1,0 +1,52 @@
+"""Regenerate the checked-in fuzz regression corpus.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tests/fuzz/regen_corpus.py
+
+Each corpus entry pins one hand-built exemplar from
+:mod:`tests.fuzz.cases` to the first schedule seed whose oracle verdict
+shows the targeted divergence class (and nothing unexplained), so
+``tests/fuzz/test_corpus.py`` can replay every entry and fail loudly when
+a detector change alters any previously-triaged classification.  The
+output is deterministic — re-running this script must produce a clean
+``git diff``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from repro.fuzz.corpus import save_case
+
+from tests.fuzz.cases import EXEMPLARS, find_schedule_seed
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+def main() -> None:
+    for name, (build, required, allowed) in sorted(EXEMPLARS.items()):
+        program = build()
+        seed, verdict = find_schedule_seed(program, required, allowed=allowed)
+        kinds = tuple(sorted({d.kind.value for d in verdict.divergences}))
+        path = save_case(
+            CORPUS_DIR / f"exemplar-{name}.json",
+            program,
+            schedule_seed=seed,
+            expected_kinds=kinds,
+            meta={
+                "source": "tests/fuzz/regen_corpus.py",
+                "exemplar": name,
+                "alarm_counts": dict(sorted(verdict.alarm_counts.items())),
+            },
+        )
+        print(f"{path.name}: seed={seed} kinds={list(kinds)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Corpus round-tripping, plus replay of every checked-in reproducer."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.common.errors import HarnessError
+from repro.fuzz import generate_program, load_case, save_case
+from repro.fuzz.corpus import corpus_paths, program_from_dict, program_to_dict
+from repro.fuzz.oracle import evaluate_program
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+class TestRoundTrip:
+    def test_program_survives_serialization(self):
+        original = generate_program(0)
+        rebuilt = program_from_dict(program_to_dict(original))
+        assert rebuilt.name == original.name
+        assert rebuilt.num_threads == original.num_threads
+        for a, b in zip(rebuilt.threads, original.threads):
+            assert a.thread_id == b.thread_id
+            assert a.ops == b.ops
+        assert set(rebuilt.lock_addresses) == set(original.lock_addresses)
+        assert rebuilt.benign_racy_sites == original.benign_racy_sites
+
+    def test_save_load_case(self, tmp_path):
+        program = generate_program(1)
+        path = save_case(
+            tmp_path / "case.json",
+            program,
+            schedule_seed=42,
+            expected_kinds=("false-sharing",),
+            meta={"note": "roundtrip"},
+        )
+        case = load_case(path)
+        assert case.schedule_seed == 42
+        assert case.expected_kinds == ("false-sharing",)
+        assert case.meta == {"note": "roundtrip"}
+        assert [t.ops for t in case.program.threads] == [
+            t.ops for t in program.threads
+        ]
+
+    def test_serialization_is_stable(self, tmp_path):
+        program = generate_program(2)
+        first = save_case(tmp_path / "a.json", program, schedule_seed=1)
+        second = save_case(tmp_path / "b.json", program, schedule_seed=1)
+        assert first.read_text() == second.read_text()
+
+    def test_schema_version_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": 999}')
+        with pytest.raises(HarnessError):
+            load_case(path)
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert corpus_paths(tmp_path / "nope") == []
+
+
+class TestCheckedInCorpus:
+    def test_corpus_is_present(self):
+        assert len(corpus_paths(CORPUS_DIR)) >= 5
+
+    @pytest.mark.parametrize(
+        "path", corpus_paths(CORPUS_DIR), ids=lambda p: p.stem
+    )
+    def test_replay_matches_triage(self, path):
+        # Rebuild the program, re-interleave under the saved schedule, and
+        # re-run the whole detector suite: the divergence classes must be
+        # exactly what was triaged at save time, and none unexplained.
+        case = load_case(path)
+        verdict = evaluate_program(
+            case.program, case.schedule_seed, case=path.stem
+        )
+        assert not verdict.unexplained, [d.to_dict() for d in verdict.unexplained]
+        kinds = tuple(sorted({d.kind.value for d in verdict.divergences}))
+        assert kinds == case.expected_kinds

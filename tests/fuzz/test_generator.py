@@ -1,0 +1,105 @@
+"""Generator determinism and well-formedness (tentpole satellite)."""
+
+import pytest
+
+from repro.common.errors import HarnessError
+from repro.fuzz import DEFAULT_SPEC, FuzzSpec, fuzz_workload_name, generate_program
+from repro.fuzz.generator import BLOOM_ALIAS_STRIDE, parse_fuzz_name
+from repro.workloads.registry import build_workload
+
+
+def _fingerprint(program):
+    return [(t.thread_id, tuple(t.ops)) for t in program.threads]
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        a = generate_program(7)
+        b = generate_program(7)
+        assert a.name == b.name == "fuzz:7"
+        assert _fingerprint(a) == _fingerprint(b)
+        assert a.lock_addresses == b.lock_addresses
+        assert a.benign_racy_sites == b.benign_racy_sites
+
+    def test_different_indices_differ(self):
+        prints = {tuple(map(str, _fingerprint(generate_program(i)))) for i in range(6)}
+        assert len(prints) == 6
+
+    def test_workload_seed_changes_program(self):
+        a = generate_program(3, workload_seed=0)
+        b = generate_program(3, workload_seed=1)
+        assert _fingerprint(a) != _fingerprint(b)
+
+    def test_spec_changes_program(self):
+        big = FuzzSpec(scale=2.0)
+        a = generate_program(3)
+        b = generate_program(3, spec=big)
+        assert a.total_ops() != b.total_ops()
+
+
+class TestWellFormed:
+    @pytest.mark.parametrize("index", range(8))
+    def test_locks_balanced_everywhere(self, index):
+        program = generate_program(index)
+        for thread in program.threads:
+            assert thread.lock_balance_errors() == []
+
+    def test_thread_count_within_spec(self):
+        for index in range(8):
+            program = generate_program(index)
+            assert (
+                DEFAULT_SPEC.min_threads
+                <= program.num_threads
+                <= DEFAULT_SPEC.max_threads
+            )
+
+    def test_wrong_lock_pattern_uses_aliased_stride(self):
+        spec = FuzzSpec(wrong_lock_probability=1.0)
+        program = generate_program(0, spec=spec)
+        locks = program.lock_addresses
+        assert any(
+            b - a == BLOOM_ALIAS_STRIDE for a in locks for b in locks
+        )
+        assert any(
+            site.label.endswith("alias.victim") for site in program.all_sites()
+        )
+
+
+class TestSpecValidation:
+    def test_thread_bounds(self):
+        with pytest.raises(HarnessError):
+            FuzzSpec(min_threads=3, max_threads=2)
+        with pytest.raises(HarnessError):
+            FuzzSpec(min_threads=0)
+
+    def test_phase_bounds(self):
+        with pytest.raises(HarnessError):
+            FuzzSpec(min_phases=2, max_phases=1)
+
+    def test_scale_positive(self):
+        with pytest.raises(HarnessError):
+            FuzzSpec(scale=0.0)
+
+
+class TestNaming:
+    def test_name_roundtrip(self):
+        assert fuzz_workload_name(17) == "fuzz:17"
+        assert parse_fuzz_name("fuzz:17") == 17
+
+    def test_non_fuzz_names_pass_through(self):
+        assert parse_fuzz_name("barnes") is None
+
+    def test_malformed_name_rejected(self):
+        with pytest.raises(HarnessError):
+            parse_fuzz_name("fuzz:abc")
+
+
+class TestRegistry:
+    def test_fuzz_workloads_addressable_by_name(self):
+        direct = generate_program(3, workload_seed=5)
+        via_registry = build_workload("fuzz:3", seed=5)
+        assert _fingerprint(direct) == _fingerprint(via_registry)
+
+    def test_registry_rejects_non_spec_params(self):
+        with pytest.raises(HarnessError):
+            build_workload("fuzz:3", seed=0, params={"scale": 2})

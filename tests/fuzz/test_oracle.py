@@ -1,0 +1,129 @@
+"""Oracle classification on hand-built divergence cases (tentpole satellite).
+
+Each test pins one row of the expected-divergence taxonomy to a program
+engineered (in :mod:`tests.fuzz.cases`) to trigger exactly that class, and
+asserts both the classification and its direction/evidence.
+"""
+
+import pytest
+
+from repro.common.events import Site
+from repro.fuzz.oracle import (
+    HARD_EXTRA,
+    HARD_MISSED,
+    HB_ONLY,
+    LOCKSET_ONLY,
+    CaseVerdict,
+    Divergence,
+    DivergenceKind,
+    evaluate_program,
+)
+
+from tests.fuzz.cases import EXEMPLARS, find_schedule_seed
+
+
+def _verdict(name):
+    build, required, allowed = EXEMPLARS[name]
+    program = build()
+    _, verdict = find_schedule_seed(program, required, allowed=allowed)
+    return verdict
+
+
+@pytest.fixture(scope="module")
+def verdicts():
+    return {name: _verdict(name) for name in EXEMPLARS}
+
+
+class TestClassification:
+    def test_false_sharing_is_hard_extra(self, verdicts):
+        verdict = verdicts["false-sharing"]
+        assert not verdict.unexplained
+        kinds = {(d.direction, d.kind) for d in verdict.divergences}
+        assert kinds == {(HARD_EXTRA, DivergenceKind.FALSE_SHARING)}
+        assert verdict.alarm_counts["hard-ideal"] == 0
+        assert verdict.alarm_counts["hard-ideal@line"] > 0
+
+    def test_bloom_collision_is_hard_missed(self, verdicts):
+        verdict = verdicts["bloom-collision"]
+        assert not verdict.unexplained
+        collisions = [
+            d
+            for d in verdict.divergences
+            if d.kind is DivergenceKind.BLOOM_COLLISION
+        ]
+        assert collisions
+        for divergence in collisions:
+            assert divergence.direction == HARD_MISSED
+            assert "BFVector re-run" in divergence.evidence
+
+    def test_l2_displacement_is_hard_missed(self, verdicts):
+        verdict = verdicts["l2-displacement"]
+        assert not verdict.unexplained
+        displaced = [
+            d
+            for d in verdict.divergences
+            if d.kind is DivergenceKind.L2_DISPLACEMENT
+        ]
+        assert displaced
+        for divergence in displaced:
+            assert divergence.direction == HARD_MISSED
+            assert "L2 re-run recovers" in divergence.evidence
+
+    def test_ordered_by_sync_is_lockset_only(self, verdicts):
+        verdict = verdicts["ordered-by-sync"]
+        assert not verdict.unexplained
+        kinds = {(d.direction, d.kind) for d in verdict.divergences}
+        assert kinds == {(LOCKSET_ONLY, DivergenceKind.ORDERED_BY_SYNC)}
+        assert verdict.alarm_counts["hb-ideal"] == 0
+        assert verdict.alarm_counts["hard-ideal"] > 0
+
+    def test_lstate_forgiven_never_checked(self, verdicts):
+        verdict = verdicts["lstate-forgiven"]
+        assert not verdict.unexplained
+        kinds = {(d.direction, d.kind) for d in verdict.divergences}
+        assert kinds == {(HB_ONLY, DivergenceKind.LSTATE_FORGIVEN)}
+        assert any(
+            "never reached" in d.evidence for d in verdict.divergences
+        )
+
+    def test_lstate_forgiven_absorbed_locks(self, verdicts):
+        # The subtler face of forgiveness: the race check DID run, but one
+        # side's locks were absorbed during the Virgin/Exclusive window.
+        # The oracle must verify this with the strict-lockset replay, not
+        # just wave it through.
+        verdict = verdicts["absorbed-locks"]
+        assert not verdict.unexplained
+        assert {d.kind for d in verdict.divergences} == {
+            DivergenceKind.LSTATE_FORGIVEN
+        }
+        assert any("strict" in d.evidence for d in verdict.divergences)
+
+
+class TestDeterminism:
+    def test_same_case_same_verdict(self, verdicts):
+        build, _, _ = EXEMPLARS["bloom-collision"]
+        again = evaluate_program(build(), 0)
+        assert again.to_dict() == evaluate_program(build(), 0).to_dict()
+
+
+class TestVerdictModel:
+    def _divergence(self, kind):
+        site = Site(file="x.c", line=1, label="x")
+        return Divergence(HB_ONLY, site, kind, "synthetic")
+
+    def test_only_unexplained_is_unexpected(self):
+        for kind in DivergenceKind:
+            expected = kind is not DivergenceKind.UNEXPLAINED
+            assert self._divergence(kind).is_expected is expected
+
+    def test_unexplained_property_filters(self):
+        divergences = (
+            self._divergence(DivergenceKind.FALSE_SHARING),
+            self._divergence(DivergenceKind.UNEXPLAINED),
+        )
+        verdict = CaseVerdict(
+            program="p", case="clean", trace_events=0, divergences=divergences
+        )
+        assert verdict.unexplained == (divergences[1],)
+        assert verdict.expected_count == 1
+        assert verdict.to_dict()["unexplained"] == 1

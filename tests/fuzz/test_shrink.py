@@ -1,0 +1,161 @@
+"""Delta-debugging shrinker: unit behaviour and end-to-end convergence."""
+
+import pytest
+
+from repro.common.errors import HarnessError
+from repro.common.events import OpKind, read, write
+from repro.fuzz import shrink
+from repro.fuzz.oracle import DivergenceKind
+from repro.fuzz.shrink import divergence_predicate, drop_thread, remove_window
+from repro.workloads.base import WorkloadBuilder, critical_section, cs_sites
+
+from tests.fuzz.cases import find_schedule_seed
+
+
+def _three_thread_program():
+    builder = WorkloadBuilder("case:three", num_threads=3, seed=0)
+    region = builder.region("data", 96)
+    for thread_id in range(3):
+        site = builder.site(f"t{thread_id}")
+        builder.block(
+            thread_id,
+            [write(region.at(32 * thread_id), site)] * 2,
+        )
+    builder.end_phase(shuffle=False, with_barrier=True)
+    return builder.build()
+
+
+def _noisy_racy_program():
+    """A false-sharing kernel between threads 0 and 1, buried in locked noise.
+
+    The divergence (hard-extra FALSE_SHARING) fires under *any* interleaving
+    that includes one write per thread to the shared line, so the shrinker's
+    predicate stays true while threads and windows are cut — removal never
+    perturbs the schedule into hiding the divergence.
+    """
+    builder = WorkloadBuilder("case:noisy", num_threads=4, seed=0)
+    shared = builder.region("race.line", 32)
+    slot0 = builder.site("race.slot0")
+    slot1 = builder.site("race.slot1")
+    builder.block(0, [write(shared.at(0), slot0)] * 2)
+    builder.block(1, [write(shared.at(4), slot1)] * 2)
+    for thread_id in (2, 3):
+        guard = builder.new_lock(f"noise.{thread_id}")
+        region = builder.region(f"noise.{thread_id}", 64)
+        site = builder.site(f"noise.{thread_id}")
+        acq, rel = cs_sites(builder, f"noise.{thread_id}")
+        for _ in range(4):
+            builder.block(
+                thread_id,
+                critical_section(
+                    builder,
+                    guard,
+                    [read(region.base, site), write(region.base, site)],
+                    acq,
+                    rel,
+                ),
+            )
+    builder.end_phase(shuffle=False, with_barrier=False)
+    return builder.build()
+
+
+class TestDropThread:
+    def test_refuses_below_two_threads(self):
+        builder = WorkloadBuilder("case:two", num_threads=2, seed=0)
+        region = builder.region("d", 32)
+        builder.block(0, [write(region.base, builder.site("s"))])
+        builder.end_phase(shuffle=False, with_barrier=False)
+        assert drop_thread(builder.build(), 0) is None
+
+    def test_renumbers_and_rewrites_barriers(self):
+        program = _three_thread_program()
+        smaller = drop_thread(program, 1)
+        assert smaller is not None
+        assert smaller.num_threads == 2
+        assert [t.thread_id for t in smaller.threads] == [0, 1]
+        barriers = [
+            op
+            for thread in smaller.threads
+            for op in thread.ops
+            if op.kind is OpKind.BARRIER
+        ]
+        assert barriers and all(op.participants == 2 for op in barriers)
+
+    def test_drops_stale_bug_ground_truth(self):
+        program = _three_thread_program()
+        assert drop_thread(program, 0).injected_bug is None
+
+
+class TestRemoveWindow:
+    def test_empty_window_is_none(self):
+        program = _three_thread_program()
+        assert remove_window(program, 0, 10_000, 4) is None
+
+    def test_barrier_in_window_strips_every_thread(self):
+        program = _three_thread_program()
+        num_ops = len(program.threads[0].ops)
+        smaller = remove_window(program, 0, 0, num_ops)
+        assert smaller is not None
+        assert len(smaller.threads[0].ops) == 0
+        for thread in smaller.threads:
+            assert not any(op.kind is OpKind.BARRIER for op in thread.ops)
+
+    def test_unbalanced_candidates_rejected(self):
+        builder = WorkloadBuilder("case:locked", num_threads=2, seed=0)
+        guard = builder.new_lock("g")
+        region = builder.region("d", 32)
+        acq, rel = cs_sites(builder, "g")
+        builder.block(
+            0,
+            critical_section(
+                builder, guard, [write(region.base, builder.site("s"))], acq, rel
+            ),
+        )
+        builder.end_phase(shuffle=False, with_barrier=False)
+        program = builder.build()
+        # Cutting just the acquire leaves the release dangling.
+        assert remove_window(program, 0, 0, 1) is None
+
+
+class TestShrink:
+    def test_precondition_failure_raises(self):
+        with pytest.raises(HarnessError):
+            shrink(_three_thread_program(), lambda program: False)
+
+    def test_converges_to_the_racy_kernel(self):
+        program = _noisy_racy_program()
+        seed, _ = find_schedule_seed(
+            program, {DivergenceKind.FALSE_SHARING}
+        )
+        predicate = divergence_predicate(
+            seed, kinds=(DivergenceKind.FALSE_SHARING,)
+        )
+        small = shrink(program, predicate)
+        assert predicate(small)
+        assert small.num_threads == 2
+        assert small.total_ops() < program.total_ops() // 3
+
+    def test_deterministic(self):
+        program = _noisy_racy_program()
+        seed, _ = find_schedule_seed(
+            program, {DivergenceKind.FALSE_SHARING}
+        )
+        predicate = divergence_predicate(
+            seed, kinds=(DivergenceKind.FALSE_SHARING,)
+        )
+        a = shrink(program, predicate)
+        b = shrink(program, predicate)
+        assert [t.ops for t in a.threads] == [t.ops for t in b.threads]
+
+    def test_respects_eval_budget(self):
+        program = _noisy_racy_program()
+        calls = 0
+
+        def predicate(candidate):
+            nonlocal calls
+            calls += 1
+            return True
+
+        shrink(program, predicate, max_evals=5)
+        # One precondition call plus at most max_evals candidate calls.
+        assert calls <= 6

@@ -1,0 +1,65 @@
+"""Tier-1 smoke fuzz: 50 seeds through the whole differential harness."""
+
+import json
+
+import pytest
+
+from repro.api import run_fuzz
+from repro.common.errors import HarnessError
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return run_fuzz(seeds=50, jobs=1)
+
+
+@pytest.mark.slow
+class TestSmokeFuzz:
+    def test_no_unexplained_divergences(self, smoke_report):
+        assert smoke_report.unexplained == [], [
+            r.to_dict() for r in smoke_report.unexplained
+        ]
+
+    def test_every_seed_produced_a_clean_case(self, smoke_report):
+        clean = {r.seed for r in smoke_report.results if r.case == "clean"}
+        assert clean == set(range(50))
+
+    def test_injected_cases_exist(self, smoke_report):
+        injected = [r for r in smoke_report.results if r.case == "injected"]
+        # Most generated programs carry at least one injectable section.
+        assert len(injected) > 25
+
+    def test_expected_divergence_classes_appear(self, smoke_report):
+        counts = smoke_report.divergence_counts
+        # The two workhorse approximations of the paper must show up even
+        # in a small run; their absence means a detector lost its alarms.
+        assert counts.get("false-sharing", 0) > 0
+        assert counts.get("lstate-forgiven", 0) > 0
+
+    def test_report_is_wall_clock_free(self, smoke_report):
+        payload = smoke_report.to_dict()
+        assert set(payload) == {
+            "seeds",
+            "workload_seed",
+            "cases",
+            "divergences",
+            "unexplained_cases",
+            "reproducers",
+            "results",
+        }
+
+
+@pytest.mark.slow
+class TestParallelDeterminism:
+    def test_j2_matches_j1_bit_for_bit(self):
+        serial = run_fuzz(seeds=8, jobs=1)
+        parallel = run_fuzz(seeds=8, jobs=2)
+        assert json.dumps(serial.to_dict(), sort_keys=True) == json.dumps(
+            parallel.to_dict(), sort_keys=True
+        )
+
+
+class TestArguments:
+    def test_zero_seeds_rejected(self):
+        with pytest.raises(HarnessError):
+            run_fuzz(seeds=0)

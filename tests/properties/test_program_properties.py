@@ -1,0 +1,143 @@
+"""Property-based tests for ThreadProgram's lock-structure analysis.
+
+``dynamic_critical_sections`` is the foundation of bug injection and of the
+fuzz shrinker's validity checks: it must pair every acquire with *its*
+release (LIFO matching under arbitrary nesting across lock words) no matter
+how lock operations interleave with memory accesses and compute.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.events import Site, compute, lock, read, unlock, write
+from repro.threads.program import ThreadProgram
+
+SITE = Site(file="prop.c", line=1, label="prop")
+
+# An action script: each element either opens a lock (addr chosen from a
+# small pool), closes the innermost open lock, or performs a bystander op.
+# Interpreting "close" against a stack guarantees balanced, properly-nested
+# streams; leftover opens are closed at the end.
+actions = st.lists(
+    st.tuples(
+        st.sampled_from(["open", "close", "read", "write", "compute"]),
+        st.integers(min_value=0, max_value=3),
+    ),
+    max_size=60,
+)
+
+
+def interpret(script):
+    """Build a balanced op stream plus the ground-truth pairing.
+
+    Locks are non-reentrant in this model (re-acquiring a held lock is a
+    balance error), so an "open" of a held lock word is redirected to the
+    first free word of the pool — or skipped when every word is held.
+    """
+    ops = []
+    stack = []  # indices into ops of currently-open LOCK ops
+    expected = []  # (lock_index, unlock_index, lock_addr)
+    held = set()
+    for action, value in script:
+        if action == "open":
+            pool = [0x1000 + 4 * ((value + i) % 4) for i in range(4)]
+            free = [addr for addr in pool if addr not in held]
+            if not free:
+                continue
+            held.add(free[0])
+            stack.append(len(ops))
+            ops.append(lock(free[0], SITE))
+        elif action == "close":
+            if stack:
+                opened = stack.pop()
+                expected.append((opened, len(ops), ops[opened].addr))
+                held.discard(ops[opened].addr)
+                ops.append(unlock(ops[opened].addr, SITE))
+        elif action == "read":
+            ops.append(read(0x2000 + 4 * value, SITE))
+        elif action == "write":
+            ops.append(write(0x2000 + 4 * value, SITE))
+        else:
+            ops.append(compute(1 + value))
+    while stack:
+        opened = stack.pop()
+        expected.append((opened, len(ops), ops[opened].addr))
+        ops.append(unlock(ops[opened].addr, SITE))
+    return ops, expected
+
+
+@given(actions)
+def test_sections_match_the_construction_stack(script):
+    ops, expected = interpret(script)
+    sections = ThreadProgram(0, ops).dynamic_critical_sections()
+    assert sorted(sections) == sorted(expected)
+
+
+@given(actions)
+def test_sections_are_well_formed_pairs(script):
+    ops, _ = interpret(script)
+    thread = ThreadProgram(0, ops)
+    sections = thread.dynamic_critical_sections()
+    num_locks = sum(1 for op in ops if op.kind.value == "lock")
+    assert len(sections) == num_locks
+    for lock_index, unlock_index, lock_addr in sections:
+        assert lock_index < unlock_index
+        assert ops[lock_index].kind.value == "lock"
+        assert ops[unlock_index].kind.value == "unlock"
+        assert ops[lock_index].addr == ops[unlock_index].addr == lock_addr
+    # Every unlock is claimed by exactly one section.
+    unlock_indices = [u for _, u, _ in sections]
+    assert len(unlock_indices) == len(set(unlock_indices))
+
+
+@given(actions)
+def test_same_lock_sections_nest_properly(script):
+    # Two dynamic sections of the same lock word are either disjoint or
+    # strictly nested (LIFO matching) — they never partially overlap.
+    ops, _ = interpret(script)
+    sections = ThreadProgram(0, ops).dynamic_critical_sections()
+    by_addr = {}
+    for lock_index, unlock_index, lock_addr in sections:
+        by_addr.setdefault(lock_addr, []).append((lock_index, unlock_index))
+    for intervals in by_addr.values():
+        for a_lo, a_hi in intervals:
+            for b_lo, b_hi in intervals:
+                if (a_lo, a_hi) == (b_lo, b_hi):
+                    continue
+                disjoint = a_hi < b_lo or b_hi < a_lo
+                nested = (a_lo < b_lo and b_hi < a_hi) or (
+                    b_lo < a_lo and a_hi < b_hi
+                )
+                assert disjoint or nested
+
+
+@given(actions)
+def test_interleaved_bystanders_do_not_change_pairing(script):
+    # The pairing is a function of the lock/unlock subsequence alone:
+    # stripping reads, writes and compute preserves section structure.
+    ops, _ = interpret(script)
+    full = ThreadProgram(0, ops).dynamic_critical_sections()
+    sync_only = [op for op in ops if op.kind.value in ("lock", "unlock")]
+    stripped = ThreadProgram(0, sync_only).dynamic_critical_sections()
+    assert [addr for _, _, addr in sorted(full)] == [
+        addr for _, _, addr in sorted(stripped)
+    ]
+    assert len(full) == len(stripped)
+
+
+@given(actions)
+def test_balanced_streams_have_no_lock_errors(script):
+    ops, _ = interpret(script)
+    assert ThreadProgram(0, ops).lock_balance_errors() == []
+
+
+@given(actions)
+def test_dropping_one_unlock_is_detected(script):
+    ops, _ = interpret(script)
+    unlock_indices = [
+        index for index, op in enumerate(ops) if op.kind.value == "unlock"
+    ]
+    if not unlock_indices:
+        return
+    broken = ops[: unlock_indices[-1]] + ops[unlock_indices[-1] + 1 :]
+    assert ThreadProgram(0, broken).lock_balance_errors() != []

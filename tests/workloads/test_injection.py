@@ -2,9 +2,12 @@
 
 import pytest
 
-from repro.common.errors import HarnessError
-from repro.common.events import OpKind
+from repro.common.errors import HarnessError, InjectionError
+from repro.common.events import OpKind, read, write
+from repro.workloads.base import WorkloadBuilder, critical_section, cs_sites
 from repro.workloads.injection import (
+    InjectionCandidate,
+    apply_injection,
     inject_bug,
     injection_candidates,
 )
@@ -91,3 +94,90 @@ class TestInjection:
         bug = inject_bug(barnes, seed=3).injected_bug
         site = next(iter(bug.sites))
         assert bug.matches_report(0xDEAD0000, 4, site)
+
+
+def _single_section_program(*, injectable: bool, with_accesses: bool):
+    builder = WorkloadBuilder("case:inject", num_threads=2, seed=0)
+    guard = builder.new_lock("g")
+    region = builder.region("d", 32)
+    site = builder.site("d.word")
+    acq, rel = cs_sites(builder, "g", injectable=injectable)
+    body = [read(region.base, site), write(region.base, site)] if with_accesses else []
+    for thread_id in range(2):
+        builder.block(thread_id, critical_section(builder, guard, body, acq, rel))
+    builder.end_phase(shuffle=False, with_barrier=False)
+    return builder.build()
+
+
+class TestNonInjectablePrograms:
+    """Edge cases where no critical section qualifies for injection."""
+
+    def test_uninjectable_sections_raise_typed_error(self):
+        program = _single_section_program(injectable=False, with_accesses=True)
+        assert injection_candidates(program) == []
+        with pytest.raises(InjectionError):
+            inject_bug(program, seed=0)
+
+    def test_access_free_sections_raise_typed_error(self):
+        # The section is marked injectable but de-protects nothing: omitting
+        # its lock pair would leave no ground truth, so it must not qualify.
+        program = _single_section_program(injectable=True, with_accesses=False)
+        assert injection_candidates(program) == []
+        with pytest.raises(InjectionError):
+            inject_bug(program, seed=0)
+
+    def test_injection_error_is_a_harness_error(self):
+        assert issubclass(InjectionError, HarnessError)
+
+
+class TestApplyInjectionValidation:
+    def test_bad_thread_id_rejected(self):
+        program = _single_section_program(injectable=True, with_accesses=True)
+        bogus = InjectionCandidate(
+            thread_id=9, lock_index=0, unlock_index=3, lock_addr=0
+        )
+        with pytest.raises(InjectionError):
+            apply_injection(program, bogus)
+
+    def test_out_of_range_indices_rejected(self):
+        program = _single_section_program(injectable=True, with_accesses=True)
+        bogus = InjectionCandidate(
+            thread_id=0, lock_index=0, unlock_index=10_000, lock_addr=0
+        )
+        with pytest.raises(InjectionError):
+            apply_injection(program, bogus)
+
+    def test_mismatched_lock_addr_rejected(self):
+        program = _single_section_program(injectable=True, with_accesses=True)
+        real = injection_candidates(program)[0]
+        bogus = InjectionCandidate(
+            thread_id=real.thread_id,
+            lock_index=real.lock_index,
+            unlock_index=real.unlock_index,
+            lock_addr=real.lock_addr + 4,
+        )
+        with pytest.raises(InjectionError):
+            apply_injection(program, bogus)
+
+    def test_mixed_programs_only_offer_qualifying_sections(self):
+        # One injectable-with-accesses section per thread next to an
+        # access-free injectable one: only the former may be offered.
+        builder = WorkloadBuilder("case:mixed", num_threads=2, seed=0)
+        guard = builder.new_lock("g")
+        region = builder.region("d", 32)
+        site = builder.site("d.word")
+        acq, rel = cs_sites(builder, "g", injectable=True)
+        for thread_id in range(2):
+            builder.block(
+                thread_id,
+                critical_section(builder, guard, [], acq, rel)
+                + critical_section(
+                    builder, guard, [write(region.base, site)], acq, rel
+                ),
+            )
+        builder.end_phase(shuffle=False, with_barrier=False)
+        program = builder.build()
+        candidates = injection_candidates(program)
+        assert len(candidates) == 2
+        buggy = inject_bug(program, seed=1)
+        assert buggy.injected_bug.chunk_addresses
