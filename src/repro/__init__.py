@@ -50,6 +50,7 @@ from repro.api import (
     DETECTOR_KEYS,
     EXHIBITS,
     DetectorConfig,
+    EngineSession,
     ExperimentRunner,
     FuzzReport,
     FuzzSpec,
@@ -62,6 +63,7 @@ from repro.api import (
     TableResult,
     config_signature,
     detect,
+    detect_many,
     make_detector,
     make_runner,
     run_fuzz,
@@ -113,6 +115,8 @@ __all__ = [
     "run_table",
     "sweep",
     "detect",
+    "detect_many",
+    "EngineSession",
     "make_runner",
     "run_fuzz",
     "run_grid",

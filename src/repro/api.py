@@ -17,6 +17,9 @@ Four entry points cover the toolkit:
   :class:`~repro.harness.sweeps.SweepResult`.
 * :func:`detect` — run one detector over a trace you already have;
   returns a :class:`~repro.reporting.DetectionResult`.
+* :func:`detect_many` — run several detector configurations over one
+  trace in a single engine pass (one trace walk, shared machine replay
+  for compatible configurations, bit-for-bit identical results).
 * :func:`run_fuzz` — differential fuzzing: generated programs through the
   whole detector suite, every divergence classified against the paper's
   approximation taxonomy; returns a
@@ -31,9 +34,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Sequence
 
 from repro.common.errors import HarnessError
 from repro.common.events import Trace
+from repro.engine import EngineSession
 from repro.harness import tables as _tables
 from repro.harness.detectors import (
     DETECTOR_KEYS,
@@ -104,6 +109,30 @@ def detect(
     """Run one detector configuration over an existing trace."""
     detector = make_detector(DetectorConfig.coerce(config, **overrides))
     return detector.run(trace, obs=obs)
+
+
+def detect_many(
+    trace: Trace,
+    configs: Sequence[DetectorConfig | str],
+    *,
+    obs: Observability | None = None,
+) -> list[DetectionResult]:
+    """Run many detector configurations over one trace in a single pass.
+
+    The trace is walked once by an :class:`~repro.engine.EngineSession`
+    feeding every configuration's incremental core; configurations with
+    identical machine configurations additionally share one simulated
+    machine replay.  Each returned :class:`DetectionResult` is bit-for-bit
+    identical to the corresponding standalone :func:`detect` call — the
+    detectors still observe the *identical execution*, exactly as the
+    paper's methodology requires.
+
+    Returns one result per entry of ``configs``, in order.
+    """
+    session = EngineSession(trace, obs=obs)
+    for config in configs:
+        session.add_config(DetectorConfig.coerce(config))
+    return session.run()
 
 
 def make_runner(
@@ -230,6 +259,7 @@ __all__ = [
     "run_table",
     "sweep",
     "detect",
+    "detect_many",
     "run_fuzz",
     "make_runner",
     "run_grid",
@@ -249,6 +279,7 @@ __all__ = [
     "FuzzSpec",
     "OracleConfig",
     "DetectorConfig",
+    "EngineSession",
     "GridCell",
     "ExperimentRunner",
     "config_signature",

@@ -110,17 +110,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     result = run.result
     print(f"trace: {len(run.trace):,} events")
-    print(
-        f"{args.detector}: {result.reports.dynamic_count} dynamic reports, "
-        f"{result.reports.alarm_count} alarms"
-    )
+    for res in run.results or [result]:
+        print(
+            f"{res.detector}: {res.reports.dynamic_count} dynamic reports, "
+            f"{res.reports.alarm_count} alarms"
+        )
     if result.cycles:
         print(f"overhead: {100 * result.overhead_fraction:.2f}%")
     if bug is not None:
         print("injected bug:", "DETECTED" if run.report.verdict["detected"] else "missed")
     if args.show_alarms:
-        for site in sorted(result.reports.sites(), key=str):
-            print(f"  alarm: {site}")
+        results = run.results or [result]
+        for res in results:
+            label = f" [{res.detector}]" if len(results) > 1 else ""
+            for site in sorted(res.reports.sites(), key=str):
+                print(f"  alarm{label}: {site}")
     if args.trace_out:
         print(f"trace events: {emitter.total:,} -> {args.trace_out}")
     if args.metrics:
@@ -233,12 +237,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    from repro.harness.tracestats import characterize
+    from repro.engine import EngineSession
+    from repro.harness.tracestats import TraceStatsCore
 
     program = build_workload(args.app, seed=args.seed)
     trace = interleave(program, RandomScheduler(seed=args.seed, max_burst=8)).trace
+    session = EngineSession(trace)
+    session.add_core(TraceStatsCore())
+    [stats] = session.run()
     print(f"characterization of {args.app!r} (seed {args.seed}):")
-    print(characterize(trace).format())
+    print(stats.format())
     return 0
 
 
@@ -315,7 +323,12 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run one detector on one workload", parents=[jobs_parent]
     )
     run.add_argument("app", type=_workload_name)
-    run.add_argument("--detector", default="hard-default")
+    run.add_argument(
+        "--detector",
+        default="hard-default",
+        help="detector key, or a comma-separated list to run several "
+        "detectors in one single-pass engine session",
+    )
     run.add_argument("--seed", type=int, default=0, help="workload seed")
     run.add_argument(
         "--bug-seed", type=int, default=None, help="inject a bug with this seed"

@@ -13,7 +13,7 @@ and "the same chunk" mean.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.common.errors import ConfigError
 
@@ -95,16 +95,21 @@ def spanned_lines(
         line += line_size
 
 
-def spanned_chunks(addr: int, size: int, granularity: int) -> Iterator[int]:
-    """Yield the base address of every metadata chunk touched by an access."""
+def spanned_chunks(addr: int, size: int, granularity: int) -> Sequence[int]:
+    """The base address of every metadata chunk touched by an access.
+
+    Returns a sequence rather than a generator: this runs once per access
+    per detector, and the common case — an access contained in one chunk —
+    must not pay generator setup/resume costs.
+    """
     if size <= 0:
         raise ConfigError(f"access size must be positive, got {size}")
-    first = chunk_address(addr, granularity)
-    last = chunk_address(addr + size - 1, granularity)
-    chunk = first
-    while chunk <= last:
-        yield chunk
-        chunk += granularity
+    mask = ~(granularity - 1)
+    first = addr & mask
+    last = (addr + size - 1) & mask
+    if first == last:
+        return (first,)
+    return range(first, last + granularity, granularity)
 
 
 @dataclass(frozen=True)

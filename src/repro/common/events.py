@@ -77,6 +77,9 @@ class Op:
     participants: int = 0
 
     def __post_init__(self) -> None:
+        # ``is_write`` is read on every event by every detector core; a
+        # precomputed attribute beats a property on that path.
+        object.__setattr__(self, "is_write", self.kind is OpKind.WRITE)
         if self.kind in (OpKind.READ, OpKind.WRITE):
             if self.size <= 0:
                 raise ProgramError(f"{self.kind.value} needs a positive size")
@@ -96,11 +99,6 @@ class Op:
     def is_memory_access(self) -> bool:
         """True for READ and WRITE operations."""
         return self.kind in (OpKind.READ, OpKind.WRITE)
-
-    @property
-    def is_write(self) -> bool:
-        """True for WRITE operations."""
-        return self.kind is OpKind.WRITE
 
     @property
     def is_sync(self) -> bool:

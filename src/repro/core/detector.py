@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.common.addresses import chunk_index_in_line, line_address, spanned_chunks
+from repro.common.addresses import spanned_chunks
 from repro.common.config import HardConfig, MachineConfig
 from repro.common.errors import DetectorError
 from repro.common.events import OpKind, Trace
@@ -41,7 +41,7 @@ from repro.core.candidate import LineMeta
 from repro.core.lockregister import LockRegister
 from repro.core.lstate import transition
 from repro.obs.trace import emit_alarm
-from repro.reporting import DetectionResult, RaceReportLog
+from repro.reporting import DetectionResult, RaceReportLog, run_core
 from repro.sim.coherence import SourceKind
 from repro.sim.machine import Machine
 from repro.sim.metadata import CacheMetadataStore
@@ -98,24 +98,35 @@ class HardDetector:
 
     # ------------------------------------------------------------------- run
 
+    def core(self) -> "HardCore":
+        """A fresh incremental core for one pass (the engine entry point)."""
+        return HardCore(self)
+
     def run(self, trace: Trace, obs=None) -> DetectionResult:
         """Replay ``trace`` through a fresh machine with HARD attached.
 
         ``obs`` is an optional :class:`repro.obs.Observability`; when absent
         or inactive the replay takes the uninstrumented fast path.
         """
-        run = _HardRun(self, obs)
-        for event in trace:
-            run.step(event)
-        return run.finish()
+        return run_core(self.core(), trace, obs=obs)
 
 
-class _HardRun:
+class HardCore:
     """Mutable state of one detector pass over one trace."""
 
-    def __init__(self, detector: HardDetector, obs=None):
+    def __init__(self, detector: HardDetector):
         self.d = detector
-        self.machine = Machine(detector.machine_config, obs=obs)
+        self.name = detector.name
+        self.machine_config = detector.machine_config
+
+    def begin(self, trace: Trace, obs=None, machine=None) -> None:
+        """Allocate the pass state (``machine`` may be a shared engine lane)."""
+        detector = self.d
+        self.machine = (
+            machine
+            if machine is not None
+            else Machine(detector.machine_config, obs=obs)
+        )
         self.mapper = BloomMapper(detector.config.bloom)
         self.stats = StatCounters()
         self.log = RaceReportLog(detector.name)
@@ -129,6 +140,10 @@ class _HardRun:
         self._tracing = obs is not None and obs.emitter.enabled
         self._lock_registers: dict[int, LockRegister] = {}
         self._barrier_arrivals: dict[int, int] = {}
+        # Hot per-chunk counters, batched into plain ints and flushed in
+        # finish(); the final stats are identical to per-event add() calls.
+        self._n_candidate_updates = 0
+        self._n_piggybacks = 0
         line_size = detector.machine_config.line_size
         config = detector.config
         self.store: CacheMetadataStore[LineMeta] = CacheMetadataStore(
@@ -139,6 +154,12 @@ class _HardRun:
         # One metadata record's bus payload: vector + 2-bit LState per chunk.
         chunks = line_size // config.granularity
         self._line_meta_bits = (config.bloom.vector_bits + 2) * chunks
+        # Precomputed address math for the per-chunk loop (hot path): chunk
+        # base addresses are granularity-aligned, so the slot index is the
+        # line offset shifted down by log2(granularity).
+        self._line_mask = ~(line_size - 1)
+        self._offset_mask = line_size - 1
+        self._chunk_shift = config.granularity.bit_length() - 1
 
     # ---------------------------------------------------------------- events
 
@@ -167,6 +188,10 @@ class _HardRun:
 
     def finish(self) -> DetectionResult:
         """Assemble the detection result after the last event."""
+        if self._n_candidate_updates:
+            self.stats.add("hard.candidate_updates", self._n_candidate_updates)
+        if self._n_piggybacks:
+            self.stats.add("hard.metadata_piggybacks", self._n_piggybacks)
         self.stats.merge(self.machine.stats)
         self.stats.merge(self.machine.bus.stats)
         return DetectionResult(
@@ -212,11 +237,9 @@ class _HardRun:
         op = event.op
         thread_id = event.thread_id
         config = self.d.config
-        line_size = self.d.machine_config.line_size
         lock_vector = self._lock_register(thread_id).value
 
         result = self.machine.access(core, op.addr, op.size, op.is_write)
-        line_results = {lr.line_addr: lr for lr in result.lines}
         if self._observe:
             self.obs.metrics.observe("machine.access_cycles", result.cycles)
 
@@ -229,20 +252,22 @@ class _HardRun:
             if source is not None and source.kind is not SourceKind.MEMORY:
                 cycles = self.machine.bus.metadata_piggyback(self._line_meta_bits)
                 self._charge(cycles, "hard.piggyback")
-                self.stats.add("hard.metadata_piggybacks")
+                self._n_piggybacks += 1
             victim = line_result.l1_victim
             if victim is not None and victim.dirty:
                 cycles = self.machine.bus.metadata_piggyback(self._line_meta_bits)
                 self._charge(cycles, "hard.piggyback")
-                self.stats.add("hard.metadata_piggybacks")
+                self._n_piggybacks += 1
 
         changed_lines: set[int] = set()
+        require = self.store.require
+        line_mask = self._line_mask
+        offset_mask = self._offset_mask
+        chunk_shift = self._chunk_shift
         for chunk_addr in spanned_chunks(op.addr, op.size, config.granularity):
-            line_addr = line_address(chunk_addr, line_size)
-            meta = self.store.require(core, line_addr)
-            chunk = meta.chunks[
-                chunk_index_in_line(chunk_addr, config.granularity, line_size)
-            ]
+            line_addr = chunk_addr & line_mask
+            meta = require(core, line_addr)
+            chunk = meta.chunks[(chunk_addr & offset_mask) >> chunk_shift]
             outcome = transition(chunk.lstate, chunk.owner, thread_id, op.is_write)
             state_changed = (
                 outcome.state is not chunk.lstate or outcome.owner != chunk.owner
@@ -265,7 +290,7 @@ class _HardRun:
                         self._note_refinement(event, chunk_addr, chunk.bf, new_bf)
                     chunk.bf = new_bf
                     state_changed = True
-                self.stats.add("hard.candidate_updates")
+                self._n_candidate_updates += 1
                 if state_changed:
                     # Only a *changed* record costs latency: the new
                     # metadata must be written into the line's extra bits.
@@ -290,7 +315,7 @@ class _HardRun:
         if not config.broadcast_updates:
             return
         for line_addr in changed_lines:
-            if not self.machine.sharers(line_addr, excluding=core):
+            if not self.machine.has_other_sharers(line_addr, excluding=core):
                 continue
             meta = self.store.require(core, line_addr)
             self.store.update_all_copies(line_addr, meta)

@@ -28,7 +28,7 @@ from repro.core.lstate import NO_OWNER, LState, transition
 from repro.hb.vectorclock import SyncClocks
 from repro.lockset.exact import ALL_LOCKS
 from repro.obs.trace import emit_alarm
-from repro.reporting import DetectionResult, RaceReportLog
+from repro.reporting import DetectionResult, RaceReportLog, run_core
 
 
 @dataclass
@@ -54,59 +54,77 @@ class HybridDetector:
     barrier_reset: bool = True
     name: str = "hybrid"
 
+    def core(self) -> "HybridCore":
+        """A fresh incremental core for one pass (the engine entry point)."""
+        return HybridCore(self)
+
     def run(self, trace: Trace, obs=None) -> DetectionResult:
         """Consume the trace; report concurrent lockset violations only.
 
         ``obs`` is an optional :class:`repro.obs.Observability`; alarms are
         recorded and emitted when it is active.
         """
+        return run_core(self.core(), trace, obs=obs)
+
+
+class HybridCore:
+    """Mutable state of one hybrid lockset+HB pass (trace-only)."""
+
+    machine_config = None
+
+    def __init__(self, detector: HybridDetector):
+        self.d = detector
+        self.name = detector.name
+
+    def begin(self, trace: Trace, obs=None, machine=None) -> None:
+        """Allocate the pass state; ``machine`` is ignored (trace-only)."""
         self._obs = obs if obs is not None and obs.active else None
-        log = RaceReportLog(self.name)
-        stats = StatCounters()
-        clocks = SyncClocks(trace.num_threads)
-        held: dict[int, dict[int, int]] = {}
-        chunks: dict[int, HybridChunk] = {}
-        arrivals: dict[int, int] = {}
+        self.log = RaceReportLog(self.d.name)
+        self.stats = StatCounters()
+        self.clocks = SyncClocks(trace.num_threads)
+        self.held: dict[int, dict[int, int]] = {}
+        self.chunks: dict[int, HybridChunk] = {}
+        self._arrivals: dict[int, int] = {}
 
-        for event in trace:
-            op = event.op
-            thread_id = event.thread_id
-            if op.kind is OpKind.COMPUTE:
-                continue
-            if op.kind is OpKind.LOCK:
-                clocks.acquire(thread_id, op.addr)
-                locks = held.setdefault(thread_id, {})
-                locks[op.addr] = locks.get(op.addr, 0) + 1
-            elif op.kind is OpKind.UNLOCK:
-                clocks.release(thread_id, op.addr)
-                locks = held.setdefault(thread_id, {})
-                locks[op.addr] -= 1
-                if not locks[op.addr]:
-                    del locks[op.addr]
-            elif op.kind is OpKind.BARRIER:
-                clocks.barrier_arrive(thread_id, op.addr, op.participants)
-                count = arrivals.get(op.addr, 0) + 1
-                if count < op.participants:
-                    arrivals[op.addr] = count
-                    continue
-                arrivals[op.addr] = 0
-                if self.barrier_reset:
-                    for chunk in chunks.values():
-                        chunk.candidate = ALL_LOCKS
-                        chunk.lstate = LState.VIRGIN
-                        chunk.owner = NO_OWNER
-            else:
-                self._access(
-                    event, chunks, held.setdefault(thread_id, {}), clocks, log, stats
-                )
-
-        return DetectionResult(detector=self.name, reports=log, stats=stats)
-
-    def _access(self, event, chunks, locks, clocks, log, stats) -> None:
+    def step(self, event) -> None:
+        """Process one trace event."""
         op = event.op
         thread_id = event.thread_id
-        clock = clocks.clock(thread_id)
-        for chunk_addr in spanned_chunks(op.addr, op.size, self.granularity):
+        clocks = self.clocks
+        if op.kind is OpKind.COMPUTE:
+            return
+        if op.kind is OpKind.LOCK:
+            clocks.acquire(thread_id, op.addr)
+            locks = self.held.setdefault(thread_id, {})
+            locks[op.addr] = locks.get(op.addr, 0) + 1
+        elif op.kind is OpKind.UNLOCK:
+            clocks.release(thread_id, op.addr)
+            locks = self.held.setdefault(thread_id, {})
+            locks[op.addr] -= 1
+            if not locks[op.addr]:
+                del locks[op.addr]
+        elif op.kind is OpKind.BARRIER:
+            clocks.barrier_arrive(thread_id, op.addr, op.participants)
+            count = self._arrivals.get(op.addr, 0) + 1
+            if count < op.participants:
+                self._arrivals[op.addr] = count
+                return
+            self._arrivals[op.addr] = 0
+            if self.d.barrier_reset:
+                for chunk in self.chunks.values():
+                    chunk.candidate = ALL_LOCKS
+                    chunk.lstate = LState.VIRGIN
+                    chunk.owner = NO_OWNER
+        else:
+            self._access(event, self.held.setdefault(thread_id, {}))
+
+    def _access(self, event, locks) -> None:
+        op = event.op
+        thread_id = event.thread_id
+        chunks = self.chunks
+        stats = self.stats
+        clock = self.clocks.clock(thread_id)
+        for chunk_addr in spanned_chunks(op.addr, op.size, self.d.granularity):
             chunk = chunks.get(chunk_addr)
             if chunk is None:
                 chunk = HybridChunk()
@@ -135,7 +153,7 @@ class HybridDetector:
                     chunk.candidate &= locks.keys()
                 stats.add("hybrid.candidate_updates")
                 if outcome.check_race and chunk.lockset_empty and concurrent_foreign:
-                    report = log.add(
+                    report = self.log.add(
                         seq=event.seq,
                         thread_id=thread_id,
                         addr=op.addr,
@@ -156,3 +174,9 @@ class HybridDetector:
                     stats.add("hybrid.suppressed_by_ordering")
 
             chunk.accessors[thread_id] = clock.values[thread_id]
+
+    def finish(self) -> DetectionResult:
+        """Assemble the detection result after the last event."""
+        return DetectionResult(
+            detector=self.d.name, reports=self.log, stats=self.stats
+        )

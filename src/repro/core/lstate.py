@@ -22,7 +22,7 @@ metadata is allocated before any access.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from typing import NamedTuple
 
 #: Owner value meaning "no owner recorded" (Virgin chunks).
 NO_OWNER = -1
@@ -37,8 +37,7 @@ class LState(enum.Enum):
     SHARED_MODIFIED = "shared-modified"
 
 
-@dataclass(frozen=True)
-class Transition:
+class Transition(NamedTuple):
     """Outcome of one access against the state machine.
 
     Attributes:
@@ -54,22 +53,43 @@ class Transition:
     check_race: bool
 
 
+# transition() runs once per (chunk, access) in every lockset-family
+# detector, and its outcome is fully determined by the branch taken plus a
+# single small integer (the next owner).  Interning one Transition per
+# (branch, owner) keeps the hot path allocation-free.
+_EXCLUSIVE: dict[int, Transition] = {}
+_SHARED: dict[int, Transition] = {}
+_SHARED_MODIFIED: dict[int, Transition] = {}
+
+
 def transition(state: LState, owner: int, thread_id: int, is_write: bool) -> Transition:
     """Apply one access (Figure 2) and say what the lockset core must do."""
     if state is LState.VIRGIN:
-        return Transition(LState.EXCLUSIVE, thread_id, False, False)
+        t = _EXCLUSIVE.get(thread_id)
+        if t is None:
+            t = _EXCLUSIVE[thread_id] = Transition(
+                LState.EXCLUSIVE, thread_id, False, False
+            )
+        return t
 
-    if state is LState.EXCLUSIVE:
-        if thread_id == owner:
-            return Transition(LState.EXCLUSIVE, owner, False, False)
-        if is_write:
-            return Transition(LState.SHARED_MODIFIED, owner, True, True)
-        return Transition(LState.SHARED, owner, True, False)
+    if state is LState.EXCLUSIVE and thread_id == owner:
+        t = _EXCLUSIVE.get(owner)
+        if t is None:
+            t = _EXCLUSIVE[owner] = Transition(LState.EXCLUSIVE, owner, False, False)
+        return t
 
-    if state is LState.SHARED:
-        if is_write:
-            return Transition(LState.SHARED_MODIFIED, owner, True, True)
-        return Transition(LState.SHARED, owner, True, False)
+    if state is not LState.SHARED_MODIFIED and not is_write:
+        # Exclusive --read-by-other--> Shared, or Shared --read--> Shared.
+        t = _SHARED.get(owner)
+        if t is None:
+            t = _SHARED[owner] = Transition(LState.SHARED, owner, True, False)
+        return t
 
-    # Shared-Modified is absorbing.
-    return Transition(LState.SHARED_MODIFIED, owner, True, True)
+    # Every write outside Exclusive-by-owner lands in (absorbing)
+    # Shared-Modified, as does any access once already there.
+    t = _SHARED_MODIFIED.get(owner)
+    if t is None:
+        t = _SHARED_MODIFIED[owner] = Transition(
+            LState.SHARED_MODIFIED, owner, True, True
+        )
+    return t

@@ -1,0 +1,19 @@
+"""``repro.engine`` — the single-pass multi-detector engine.
+
+One trace walk feeds any number of incremental detector cores
+(:class:`~repro.reporting.DetectorCore`); machine-backed cores with equal
+machine configurations share a single cache/coherence replay.  See
+``docs/architecture.md`` for where this sits in the layer stack.
+"""
+
+from repro.engine.machineshare import LaneBus, MachineGroup, MachineLane
+from repro.engine.session import EngineError, EngineSession, detect_with_engine
+
+__all__ = [
+    "EngineError",
+    "EngineSession",
+    "detect_with_engine",
+    "LaneBus",
+    "MachineGroup",
+    "MachineLane",
+]

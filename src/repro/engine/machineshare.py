@@ -1,0 +1,189 @@
+"""Shared data-path replay: one :class:`Machine` feeding many detectors.
+
+Every machine-backed detector drives the simulated CMP through the same
+*canonical* sequence (documented on :class:`repro.reporting.DetectorCore`):
+lock/unlock as one 4-byte write of the lock word, each memory access exactly
+once with the op's address/size/kind, compute charged once, nothing on
+barriers.  Two detectors with equal :class:`~repro.common.config.MachineConfig`s
+therefore replay *identical* cache and coherence state — the paper's
+identical-execution methodology (Section 5.1) made literal.
+
+A :class:`MachineGroup` exploits that: it owns the one real
+:class:`~repro.sim.machine.Machine`, performs the canonical work once per
+event, and hands each member detector a :class:`MachineLane` — a
+machine-compatible facade that returns the shared
+:class:`~repro.sim.machine.AccessResult` and keeps the detector's *own*
+cycle charges and stat counters in a private ledger.  A lane's ``cycles``
+and ``stats`` are the shared baseline plus its private detector costs, so
+every member's :class:`~repro.reporting.DetectionResult` is bit-for-bit what
+a solo replay would have produced.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import MachineConfig
+from repro.common.errors import SimulationError
+from repro.common.events import OpKind
+from repro.common.stats import StatCounters
+from repro.core.detector import LOCK_WORD_BYTES
+from repro.sim.machine import AccessResult, Machine
+
+
+class LaneBus:
+    """Per-lane view of the shared bus: private metadata accounting.
+
+    Data traffic (fills, writebacks, invalidations) is shared state and
+    accrues on the real bus; *detector* metadata traffic — piggybacks and
+    broadcasts — differs per detector and lands in the lane's ledger.  The
+    cycle/byte arithmetic mirrors :class:`repro.sim.bus.Bus` exactly,
+    including the asymmetry that piggybacks count no transaction while
+    broadcasts do.
+    """
+
+    def __init__(self, lane: "MachineLane"):
+        self._lane = lane
+        self._config = lane._shared.bus.config
+
+    @property
+    def stats(self) -> StatCounters:
+        """Shared data-traffic counters plus this lane's metadata traffic."""
+        merged = StatCounters()
+        merged.merge(self._lane._shared.bus.stats)
+        merged.merge(self._lane._bus_stats)
+        return merged
+
+    @property
+    def cycles(self) -> int:
+        """Shared bus cycles plus this lane's metadata cycles."""
+        return self._lane._shared.bus.cycles + self._lane._bus_cycles
+
+    def metadata_piggyback(self, meta_bits: int) -> int:
+        """Charge metadata riding an existing transfer (lane-private)."""
+        lane = self._lane
+        lane._bus_stats.add("bus.bytes.metadata", (meta_bits + 7) // 8)
+        cycles = self._config.metadata_piggyback_cycles
+        lane._bus_cycles += cycles
+        lane._bus_stats.add("bus.cycles.metadata_piggyback", cycles)
+        return cycles
+
+    def metadata_broadcast(self, meta_bits: int) -> int:
+        """Charge a standalone candidate-set broadcast (lane-private)."""
+        lane = self._lane
+        lane._bus_stats.add("bus.bytes.metadata", (meta_bits + 7) // 8)
+        cycles = self._config.cycles_per_transaction + self._config.cycles_per_word
+        lane._bus_cycles += cycles
+        lane._bus_stats.add("bus.cycles.metadata_broadcast", cycles)
+        lane._bus_stats.add("bus.transactions.metadata_broadcast")
+        return cycles
+
+
+class MachineLane:
+    """One detector's machine-compatible view of a shared replay.
+
+    ``access`` returns the result the group computed for the current event
+    (the canonical-sequence invariant guarantees the lane owner would have
+    issued the same call); ``charge`` skips ``"compute"`` — the group
+    charges it once on the shared machine — and books everything else
+    privately.  ``cycles``/``stats`` merge shared baseline + private ledger.
+    """
+
+    def __init__(self, shared: Machine):
+        self._shared = shared
+        self._result: AccessResult | None = None
+        self._cycles = 0
+        self._stats = StatCounters()
+        self._bus_stats = StatCounters()
+        self._bus_cycles = 0
+        self.config = shared.config
+        self.bus = LaneBus(self)
+
+    def access(self, core: int, addr: int, size: int, is_write: bool = False):
+        """The shared :class:`AccessResult` for the current event."""
+        return self._result
+
+    def charge(self, cycles: int, reason: str) -> None:
+        """Book detector cycles privately; ``compute`` is already shared."""
+        if reason == "compute":
+            return
+        if cycles < 0:
+            raise SimulationError(f"negative cycle charge: {cycles}")
+        self._cycles += cycles
+        self._stats.add(f"cycles.{reason}", cycles)
+
+    @property
+    def cycles(self) -> int:
+        """Shared machine cycles plus this lane's private charges."""
+        return self._shared.cycles + self._cycles
+
+    @property
+    def stats(self) -> StatCounters:
+        """Shared machine counters plus this lane's private charges."""
+        merged = StatCounters()
+        merged.merge(self._shared.stats)
+        merged.merge(self._stats)
+        return merged
+
+    def core_for_thread(self, thread_id: int) -> int:
+        """Delegate thread placement to the shared machine."""
+        return self._shared.core_for_thread(thread_id)
+
+    def sharers(self, line_addr: int, *, excluding: int | None = None):
+        """Delegate sharer lookup to the shared machine."""
+        return self._shared.sharers(line_addr, excluding=excluding)
+
+    def has_other_sharers(self, line_addr: int, *, excluding: int) -> bool:
+        """Delegate the sharer fast path to the shared machine."""
+        return self._shared.has_other_sharers(line_addr, excluding=excluding)
+
+    def add_listener(self, listener) -> None:
+        """Attach a metadata store to the shared machine's cache events."""
+        self._shared.add_listener(listener)
+
+    def remove_listener(self, listener) -> None:
+        """Detach a listener from the shared machine."""
+        self._shared.remove_listener(listener)
+
+
+class MachineGroup:
+    """One shared machine replay and the lanes drawing from it."""
+
+    def __init__(self, machine_config: MachineConfig):
+        self.machine_config = machine_config
+        self.machine = Machine(machine_config)
+        self.lanes: list[MachineLane] = []
+        #: Cores assigned to this group (filled by the session).
+        self.members: list = []
+
+    def lane(self) -> MachineLane:
+        """A new lane over the shared machine (one per member detector)."""
+        lane = MachineLane(self.machine)
+        self.lanes.append(lane)
+        return lane
+
+    def feed(self, event) -> None:
+        """Perform the canonical data-path work for one event, once."""
+        op = event.op
+        kind = op.kind
+        machine = self.machine
+        if kind is OpKind.COMPUTE:
+            machine.charge(op.cycles, "compute")
+        elif kind is OpKind.BARRIER:
+            return
+        elif kind is OpKind.LOCK or kind is OpKind.UNLOCK:
+            result = machine.access(
+                machine.core_for_thread(event.thread_id),
+                op.addr,
+                LOCK_WORD_BYTES,
+                True,
+            )
+            for lane in self.lanes:
+                lane._result = result
+        else:
+            result = machine.access(
+                machine.core_for_thread(event.thread_id),
+                op.addr,
+                op.size,
+                op.is_write,
+            )
+            for lane in self.lanes:
+                lane._result = result

@@ -1,0 +1,171 @@
+"""The single-pass engine: one trace walk feeding many detector cores.
+
+The paper evaluates every detector configuration over the *identical*
+execution (Section 5.1).  :class:`EngineSession` turns that methodology into
+the execution strategy: the interleaved trace is walked **once**, each event
+dispatched to every registered :class:`~repro.reporting.DetectorCore`, and
+machine-backed cores with equal :class:`~repro.common.config.MachineConfig`s
+share one cache/coherence replay via
+:class:`~repro.engine.machineshare.MachineGroup`.  Results are bit-for-bit
+identical to running each detector's legacy ``run(trace)`` alone — pinned by
+``tests/engine/test_equivalence.py``.
+
+Machine sharing is disabled while an obs *emitter* is enabled: the simulator
+emits cache events (``l2.displacement``, ``cache.evict``…) through the
+machine, and sharing would conflate which detector's replay produced them.
+Metrics-only observability is share-safe — the machine's behaviour depends
+on ``obs`` only through the emitter.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.common.errors import ReproError
+from repro.common.events import OpKind, Trace
+from repro.engine.machineshare import MachineGroup
+
+
+class EngineError(ReproError):
+    """Misuse of an :class:`EngineSession` (reuse, post-run adds…)."""
+
+
+class EngineSession:
+    """One single-pass walk of one trace over any number of cores.
+
+    Usage::
+
+        session = EngineSession(trace)
+        session.add(HardDetector(...))
+        session.add_config(DetectorConfig("hb-default"))
+        results = session.run()   # DetectionResults, in add order
+
+    Sessions are single-use: ``run`` may be called once, and cores cannot
+    be added afterwards.  ``add_core`` also accepts auxiliary cores whose
+    ``finish`` returns something other than a
+    :class:`~repro.reporting.DetectionResult` (e.g. a trace-statistics
+    collector); their results appear at the same position in the returned
+    list.
+    """
+
+    def __init__(self, trace: Trace, obs=None):
+        self.trace = trace
+        self.obs = obs
+        self._cores: list = []
+        self._ran = False
+
+    # ------------------------------------------------------------ registration
+
+    def add(self, detector):
+        """Register a detector (via its ``core()``); returns the core."""
+        return self.add_core(detector.core())
+
+    def add_config(self, config):
+        """Register a harness :class:`DetectorConfig`; returns the core."""
+        from repro.harness.detectors import make_detector
+
+        return self.add(make_detector(config))
+
+    def add_core(self, core):
+        """Register a prepared core (detector or auxiliary); returns it."""
+        if self._ran:
+            raise EngineError("cannot add cores to a session that already ran")
+        self._cores.append(core)
+        return core
+
+    # --------------------------------------------------------------------- run
+
+    def run(self) -> list:
+        """Walk the trace once per replay context; results in add order.
+
+        Cores that share a machine must consume events in lockstep with the
+        shared replay, so each :class:`MachineGroup` is driven by one
+        interleaved walk.  Independent cores — trace-only detectors and
+        machine-backed cores with a unique machine configuration — have no
+        cross-core state, so they run in their own tight loops instead,
+        which avoids the per-event dispatch overhead entirely.  Either way
+        every core sees the exact event sequence ``Detector.run`` would
+        feed it, so results are bit-for-bit identical.
+        """
+        if self._ran:
+            raise EngineError("EngineSession is single-use; build a new one")
+        if not self._cores:
+            raise EngineError("no cores registered")
+        self._ran = True
+        obs = self.obs
+        tracing = obs is not None and obs.emitter.enabled
+
+        if tracing:
+            for core in self._cores:
+                core.begin(self.trace, obs=obs)
+            self._walk_traced()
+            return [core.finish() for core in self._cores]
+
+        groups: dict = {}
+        for core in self._cores:
+            machine_config = getattr(core, "machine_config", None)
+            if machine_config is None:
+                continue
+            group = groups.get(machine_config)
+            if group is None:
+                groups[machine_config] = group = MachineGroup(machine_config)
+            group.members.append(core)
+
+        solo: list = []
+        for core in self._cores:
+            machine_config = getattr(core, "machine_config", None)
+            group = groups.get(machine_config) if machine_config is not None else None
+            if group is not None and len(group.members) > 1:
+                core.begin(self.trace, obs=obs, machine=group.lane())
+            else:
+                solo.append(core)
+        for group in groups.values():
+            if len(group.members) > 1:
+                self._walk_group(group)
+        for core in solo:
+            core.begin(self.trace, obs=obs)
+            step = core.step
+            for event in self.trace:
+                step(event)
+        return [core.finish() for core in self._cores]
+
+    def _walk_group(self, group: MachineGroup) -> None:
+        # COMPUTE events touch only the shared machine's cycle ledger (the
+        # group charges it once; lane charges of "compute" are no-ops), and
+        # BARRIER events touch no machine state at all — so the member
+        # dispatch can skip nothing: members still need BARRIER (resets) but
+        # not COMPUTE.
+        feed = group.feed
+        steps = [core.step for core in group.members]
+        COMPUTE = OpKind.COMPUTE
+        for event in self.trace:
+            feed(event)
+            if event.op.kind is not COMPUTE:
+                for step in steps:
+                    step(event)
+
+    def _walk_traced(self) -> None:
+        # Emitter active: every core replays its own machine (no sharing),
+        # and the walk emits one span per core with its cumulative step time.
+        emitter = self.obs.emitter
+        steps = [core.step for core in self._cores]
+        spent = [0.0] * len(steps)
+        perf = time.perf_counter
+        with emitter.span("engine.walk", cores=len(steps)):
+            for event in self.trace:
+                for index, step in enumerate(steps):
+                    t0 = perf()
+                    step(event)
+                    spent[index] += perf() - t0
+        for core, wall in zip(self._cores, spent):
+            emitter.emit(
+                "span", name=f"engine.core.{core.name}", wall_s=round(wall, 6)
+            )
+
+
+def detect_with_engine(trace: Trace, detectors, obs=None) -> list:
+    """Run ``detectors`` (an iterable) over ``trace`` in one session."""
+    session = EngineSession(trace, obs=obs)
+    for detector in detectors:
+        session.add(detector)
+    return session.run()

@@ -51,7 +51,8 @@ from dataclasses import dataclass, field
 from repro.common.addresses import spanned_chunks
 from repro.common.events import OpKind, Site, Trace
 from repro.core.lstate import NO_OWNER, LState, transition
-from repro.harness.detectors import DetectorConfig, make_detector
+from repro.engine import EngineSession
+from repro.harness.detectors import DetectorConfig
 from repro.obs import Observability, RecordingEmitter
 from repro.reporting import DetectionResult
 from repro.threads.program import ParallelProgram
@@ -260,10 +261,6 @@ def _hb_chunks_by_site(
     return chunks
 
 
-def _run(config: DetectorConfig, trace: Trace, obs=None) -> frozenset[Site]:
-    return make_detector(config).run(trace, obs=obs).alarm_sites()
-
-
 def evaluate_trace(
     trace: Trace,
     *,
@@ -271,19 +268,24 @@ def evaluate_trace(
     case: str = "clean",
     config: OracleConfig = DEFAULT_ORACLE,
 ) -> CaseVerdict:
-    """Run the detector suite over ``trace`` and classify every divergence."""
+    """Run the detector suite over ``trace`` and classify every divergence.
+
+    The four-detector differential suite is one
+    :class:`~repro.engine.EngineSession` pass (the three reference
+    detectors are trace-only cores riding the same walk that replays
+    ``hard-default``'s machine); the lazy ablation re-runs, when a case has
+    misses to explain, are a second session sharing one big-L2 machine
+    replay between the ``big`` and ``both`` variants.  Every result is
+    bit-for-bit what a standalone run of the same configuration returns.
+    """
     recorder = RecordingEmitter(types={"l2.displacement", "cache.evict"})
     hard_cfg = DetectorConfig(key="hard-default", l2_size=config.l2_size)
-    hard = make_detector(hard_cfg).run(trace, obs=Observability(emitter=recorder))
-    exact = make_detector(
-        DetectorConfig(key="hard-ideal", granularity=config.granularity)
-    ).run(trace)
-    exact_line = make_detector(
-        DetectorConfig(key="hard-ideal", granularity=LINE_SIZE)
-    ).run(trace)
-    hb = make_detector(
-        DetectorConfig(key="hb-ideal", granularity=config.granularity)
-    ).run(trace)
+    session = EngineSession(trace, obs=Observability(emitter=recorder))
+    session.add_config(hard_cfg)
+    session.add_config(DetectorConfig(key="hard-ideal", granularity=config.granularity))
+    session.add_config(DetectorConfig(key="hard-ideal", granularity=LINE_SIZE))
+    session.add_config(DetectorConfig(key="hb-ideal", granularity=config.granularity))
+    hard, exact, exact_line, hb = session.run()
 
     hard_sites = hard.alarm_sites()
     exact_sites = exact.alarm_sites()
@@ -324,16 +326,20 @@ def evaluate_trace(
             for e in recorder.by_type("cache.evict")
             if e["cache"] != "L2" and not e["dirty"]
         }
-        wide = _run(
-            hard_cfg.with_overrides(vector_bits=config.wide_vector_bits), trace
+        # One ablation session: a single trace walk for all three re-runs,
+        # with the big-L2 and both-relaxations variants (identical machine
+        # configurations) sharing one machine replay.
+        ablations = EngineSession(trace)
+        ablations.add_config(
+            hard_cfg.with_overrides(vector_bits=config.wide_vector_bits)
         )
-        big = _run(hard_cfg.with_overrides(l2_size=config.big_l2_size), trace)
-        both = _run(
+        ablations.add_config(hard_cfg.with_overrides(l2_size=config.big_l2_size))
+        ablations.add_config(
             hard_cfg.with_overrides(
                 l2_size=config.big_l2_size, vector_bits=config.wide_vector_bits
-            ),
-            trace,
+            )
         )
+        wide, big, both = (r.alarm_sites() for r in ablations.run())
         for site in missed:
             lines = site_lines.get(site, set())
             if site in wide:

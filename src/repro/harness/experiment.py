@@ -38,13 +38,15 @@ from __future__ import annotations
 
 import json
 import os
+from collections import OrderedDict
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.common.events import Trace
 from repro.common.rng import derive_seed
-from repro.harness.detectors import DetectorConfig, config_signature, make_detector
+from repro.engine import EngineSession
+from repro.harness.detectors import DetectorConfig, config_signature
 from repro.harness.tracecache import TraceCache
 from repro.obs.metrics import MetricsRegistry
 from repro.reporting import DetectionResult
@@ -123,7 +125,20 @@ class ExperimentRunner:
         runs: injected runs per application (the paper uses 10).
         jobs: worker processes for :meth:`prefetch`; ``1`` (the default)
             evaluates everything serially in this process.
+        trace_memo_limit: maximum number of traces held in the in-memory
+            memo at once (least-recently-used eviction via
+            :meth:`drop_trace`).  Traces are by far the largest objects a
+            sweep touches — hundreds of thousands of events each — so an
+            unbounded memo grows linearly with the number of (app, run)
+            executions visited.  ``None`` disables the bound.  The on-disk
+            trace cache is unaffected: evicted traces reload from disk.
     """
+
+    #: Default LRU capacity of the in-memory trace memo.  A full Table 2
+    #: assembly revisits each (app, run) execution for several detector
+    #: configurations back to back, so a small window captures nearly all
+    #: reuse while bounding peak memory to a handful of traces.
+    DEFAULT_TRACE_MEMO_LIMIT = 8
 
     def __init__(
         self,
@@ -133,6 +148,7 @@ class ExperimentRunner:
         runs: int = 10,
         jobs: int = 1,
         trace_cache_dir: str | Path | None = None,
+        trace_memo_limit: int | None = DEFAULT_TRACE_MEMO_LIMIT,
     ):
         self.workload_seed = workload_seed
         self.runs = runs
@@ -144,8 +160,11 @@ class ExperimentRunner:
             trace_cache_dir = self.cache_dir / "traces"
         self.trace_cache = TraceCache(trace_cache_dir)
         self.metrics = MetricsRegistry()
+        if trace_memo_limit is not None and trace_memo_limit < 1:
+            trace_memo_limit = 1
+        self.trace_memo_limit = trace_memo_limit
         self._programs: dict[tuple[str, int], ParallelProgram] = {}
-        self._traces: dict[tuple[str, int], Trace] = {}
+        self._traces: OrderedDict[tuple[str, int], Trace] = OrderedDict()
         self._digests: dict[tuple[str, int], int] = {}
         self._outcomes: dict[tuple[str, int, str], RunOutcome] = {}
 
@@ -163,12 +182,25 @@ class ExperimentRunner:
         return program
 
     def trace_for(self, app: str, run: int) -> Trace:
-        """The interleaved trace of one run (memoised, disk-cached)."""
+        """The interleaved trace of one run (memoised, disk-cached).
+
+        The memo is an LRU bounded by :attr:`trace_memo_limit`; the least
+        recently used trace is released (via :meth:`drop_trace`) when a new
+        one would exceed the bound.
+        """
         key = (app, run)
         trace = self._traces.get(key)
         if trace is None:
             trace = self._build_trace(app, run)
             self._traces[key] = trace
+            limit = self.trace_memo_limit
+            if limit is not None:
+                while len(self._traces) > limit:
+                    oldest_app, oldest_run = next(iter(self._traces))
+                    self.drop_trace(oldest_app, oldest_run)
+                    self.metrics.add("harness.trace_memo_evictions")
+        else:
+            self._traces.move_to_end(key)
         return trace
 
     def _build_trace(self, app: str, run: int) -> Trace:
@@ -211,41 +243,72 @@ class ExperimentRunner:
         """Run one detector configuration on one run (memoised, disk-cached).
 
         ``config`` is a :class:`~repro.harness.detectors.DetectorConfig`
-        or a detector key with legacy keyword overrides.
+        or a detector key with legacy keyword overrides.  A thin shim over
+        :meth:`run_detectors` with a single-config batch.
         """
         cfg = DetectorConfig.coerce(config, **overrides)
-        signature = config_signature(cfg)
-        memo_key = (app, run, signature)
-        outcome = self._outcomes.get(memo_key)
-        if outcome is not None:
-            return outcome
-        outcome = self._cache_get(app, run, signature)
-        if outcome is None:
-            outcome = self._evaluate(app, run, cfg, signature)
-            self._cache_put(outcome, signature)
-        self._outcomes[memo_key] = outcome
-        return outcome
+        return self.run_detectors(app, run, [cfg])[0]
 
-    def _evaluate(
-        self, app: str, run: int, cfg: DetectorConfig, signature: str
-    ) -> RunOutcome:
-        """Compute one grid cell: interleave (or reuse) the trace, detect, score."""
-        trace = self.trace_for(app, run)
-        detector = make_detector(cfg)
-        with self.metrics.time("harness.detect"):
-            result = detector.run(trace)
-        self.metrics.add("harness.cells_evaluated")
-        bug = self.program_for(app, run).injected_bug
-        return RunOutcome(
-            detector=signature,
-            app=app,
-            run=run,
-            detected=score_detection(result, bug),
-            alarm_count=result.reports.alarm_count,
-            dynamic_reports=result.reports.dynamic_count,
-            cycles=result.cycles,
-            detector_extra_cycles=result.detector_extra_cycles,
-        )
+    def run_detectors(
+        self, app: str, run: int, configs: Sequence[DetectorConfig | str]
+    ) -> list[RunOutcome]:
+        """Score many detector configurations against one run's trace.
+
+        Every configuration not already memoised or disk-cached is evaluated
+        in a single :class:`~repro.engine.EngineSession` pass over the trace:
+        the trace is walked once and compatible configurations share one
+        simulated machine replay, while each outcome stays bit-for-bit what
+        a standalone :meth:`run_detector` call would have produced.
+
+        Returns one :class:`RunOutcome` per entry of ``configs``, in order.
+        """
+        cfgs = [DetectorConfig.coerce(config) for config in configs]
+        signatures = [config_signature(cfg) for cfg in cfgs]
+        outcomes: dict[int, RunOutcome] = {}
+        pending: list[tuple[int, DetectorConfig, str]] = []
+        pending_signatures: set[str] = set()
+        for index, (cfg, signature) in enumerate(zip(cfgs, signatures)):
+            memo_key = (app, run, signature)
+            outcome = self._outcomes.get(memo_key)
+            if outcome is None:
+                outcome = self._cache_get(app, run, signature)
+                if outcome is not None:
+                    self._outcomes[memo_key] = outcome
+            if outcome is not None:
+                outcomes[index] = outcome
+            elif signature not in pending_signatures:
+                pending.append((index, cfg, signature))
+                pending_signatures.add(signature)
+        if pending:
+            trace = self.trace_for(app, run)
+            session = EngineSession(trace)
+            for _, cfg, _ in pending:
+                session.add_config(cfg)
+            with self.metrics.time("harness.detect"):
+                results = session.run()
+            bug = self.program_for(app, run).injected_bug
+            for (index, cfg, signature), result in zip(pending, results):
+                self.metrics.add("harness.cells_evaluated")
+                outcome = RunOutcome(
+                    detector=signature,
+                    app=app,
+                    run=run,
+                    detected=score_detection(result, bug),
+                    alarm_count=result.reports.alarm_count,
+                    dynamic_reports=result.reports.dynamic_count,
+                    cycles=result.cycles,
+                    detector_extra_cycles=result.detector_extra_cycles,
+                )
+                self._cache_put(outcome, signature)
+                self._outcomes[(app, run, signature)] = outcome
+                outcomes[index] = outcome
+        # Duplicate configurations in one batch resolve from the memo.
+        return [
+            outcomes[index]
+            if index in outcomes
+            else self._outcomes[(app, run, signatures[index])]
+            for index in range(len(cfgs))
+        ]
 
     def detection_count(
         self, app: str, config: DetectorConfig | str, **overrides
@@ -289,8 +352,11 @@ class ExperimentRunner:
         if not pending:
             return None
         if self.jobs <= 1:
-            for cell in pending:
-                self.run_detector(cell.app, cell.run, cell.config)
+            # Group the pending cells by execution so each (app, run) trace
+            # is walked once for all of its configurations — the same
+            # single-pass chunking the parallel workers use.
+            for app, run, configs in parallel.plan_chunks(pending):
+                self.run_detectors(app, run, configs)
             return None
         report = parallel.run_grid(
             pending,

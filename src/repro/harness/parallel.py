@@ -27,9 +27,9 @@ Design:
   scheduling.
 
 Serial equivalence is structural, not incidental: workers run the very
-same :meth:`ExperimentRunner.run_detector` code path a ``jobs=1`` run
-does, with the same derived seeds, so ``-j N`` is bit-for-bit identical
-to ``-j 1``.
+same :meth:`ExperimentRunner.run_detectors` single-pass engine code path
+a ``jobs=1`` run does, with the same derived seeds, so ``-j N`` is
+bit-for-bit identical to ``-j 1``.
 """
 
 from __future__ import annotations
@@ -198,7 +198,9 @@ def _worker_chunk(chunk: Chunk) -> tuple[list[RunOutcome], MetricsRegistry]:
     # A fresh registry per chunk makes the returned shard exactly this
     # chunk's activity, with no cross-chunk double counting.
     runner.metrics = MetricsRegistry()
-    outcomes = [runner.run_detector(app, run, config) for config in configs]
+    # One engine session per execution: the chunk's trace is walked once
+    # for every configuration scoring against it.
+    outcomes = runner.run_detectors(app, run, configs)
     # The trace of this (app, run) will not be needed again in this worker
     # (chunks partition the grid by execution), so release the memory.
     runner.drop_trace(app, run)

@@ -1,19 +1,26 @@
 """The observed end-to-end pipeline: build → interleave → detect → report.
 
 :func:`run_pipeline` is the single entry point behind ``repro run`` and
-``repro profile``: it executes one workload through one detector with the
-full observability bundle threaded through every layer, times each phase
-with a :class:`~repro.obs.profile.PhaseProfiler`, attributes detector
+``repro profile``: it executes one workload through one or more detectors
+with the full observability bundle threaded through every layer, times each
+phase with a :class:`~repro.obs.profile.PhaseProfiler`, attributes detector
 activity to the detect phase via a stats snapshot/delta, and assembles the
 machine-readable :class:`~repro.obs.runreport.RunReport`.
+
+The detect phase is one :class:`~repro.engine.EngineSession` pass: every
+requested detector's incremental core consumes the identical trace walk
+(and compatible configurations share one simulated machine replay), so
+``detector_key="hard-default,hb-default"`` costs far less than two
+pipeline runs while producing the same per-detector results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.common.events import Trace
-from repro.harness.detectors import make_detector
+from repro.engine import EngineSession
+from repro.harness.detectors import DetectorConfig
 from repro.harness.experiment import score_detection
 from repro.harness.tracestats import characterize
 from repro.obs import Observability, PhaseProfiler, RunReport, cycles_entry
@@ -27,7 +34,12 @@ from repro.workloads.registry import build_workload
 
 @dataclass
 class PipelineRun:
-    """Everything one :func:`run_pipeline` call produced."""
+    """Everything one :func:`run_pipeline` call produced.
+
+    ``result`` is the primary (first-requested) detector's outcome; when
+    several detectors ran in the session, ``results`` holds all of them in
+    request order (``results[0] is result``).
+    """
 
     report: RunReport
     result: DetectionResult
@@ -35,6 +47,24 @@ class PipelineRun:
     program: ParallelProgram
     profiler: PhaseProfiler
     bug: InjectedBug | None = None
+    results: list[DetectionResult] = field(default_factory=list)
+
+
+def _coerce_detector_keys(detector_key) -> list[DetectorConfig | str]:
+    """Normalise ``detector_key`` into a non-empty list of configurations.
+
+    Accepts a single key or :class:`DetectorConfig`, a comma-separated
+    string of keys, or a sequence of either.
+    """
+    if isinstance(detector_key, str):
+        keys = [part.strip() for part in detector_key.split(",") if part.strip()]
+    elif isinstance(detector_key, DetectorConfig):
+        keys = [detector_key]
+    else:
+        keys = list(detector_key)
+    if not keys:
+        raise ValueError(f"no detector named in {detector_key!r}")
+    return keys
 
 
 def _bug_entry(bug: InjectedBug | None) -> dict | None:
@@ -65,7 +95,9 @@ def run_pipeline(
         app: workload name from :data:`repro.workloads.registry.WORKLOAD_NAMES`.
         detector_key: detector configuration key (or a
             :class:`~repro.harness.detectors.DetectorConfig`) for
-            :func:`repro.harness.detectors.make_detector`.
+            :func:`repro.harness.detectors.make_detector`; a
+            comma-separated string or a sequence of keys runs every named
+            detector in one engine pass over the same trace.
         workload_seed: seed of the workload generator.
         schedule_seed: seed of the interleaving scheduler.
         bug_seed: when given, inject a dynamic race with this seed before
@@ -104,10 +136,18 @@ def run_pipeline(
     with profiler.phase("characterize"):
         workload = characterize(trace).to_dict()
 
-    detector = make_detector(detector_key, **detector_overrides)
-    with profiler.phase("detect", detector=detector_key) as rec:
+    configs = [
+        DetectorConfig.coerce(key, **detector_overrides)
+        for key in _coerce_detector_keys(detector_key)
+    ]
+    detector_label = ",".join(cfg.key for cfg in configs)
+    with profiler.phase("detect", detector=detector_label) as rec:
         before = obs.metrics.snapshot()
-        result = detector.run(trace, obs=obs)
+        session = EngineSession(trace, obs=obs)
+        for cfg in configs:
+            session.add_config(cfg)
+        results = session.run()
+        result = results[0]
         rec.counters_delta = result.stats.snapshot()
         for name, value in obs.metrics.delta(before).items():
             rec.counters_delta.setdefault(name, value)
@@ -129,11 +169,20 @@ def run_pipeline(
         "alarms": result.reports.alarm_count,
         "alarm_sites": sorted(str(site) for site in result.reports.sites()),
     }
+    if len(results) > 1:
+        verdict["detectors"] = {
+            r.detector: {
+                "detected": score_detection(r, bug) if bug is not None else None,
+                "dynamic_reports": r.reports.dynamic_count,
+                "alarms": r.reports.alarm_count,
+            }
+            for r in results
+        }
 
     metrics = obs.metrics.snapshot_all()
     report = RunReport(
         app=app,
-        detector=detector_key,
+        detector=detector_label,
         workload_seed=workload_seed,
         schedule_seed=schedule_seed,
         bug_seed=bug_seed,
@@ -156,4 +205,5 @@ def run_pipeline(
         program=program,
         profiler=profiler,
         bug=bug,
+        results=results,
     )

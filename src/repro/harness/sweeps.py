@@ -7,6 +7,12 @@ broadcast/counter-register ablations across every application) with the
 harness's caching and scoring.  A sweep enumerates its full grid up front
 and prefetches it through the runner, so a runner built with ``jobs > 1``
 evaluates the grid across worker processes with identical results.
+
+Prefetch chunks the grid by (app, run) execution, and the runner scores
+every configuration of a chunk in one single-pass
+:class:`~repro.engine.EngineSession` walk of that execution's trace — a
+sweep of N settings walks each trace once, not N times, while each cell's
+outcome stays bit-for-bit what a standalone evaluation produces.
 """
 
 from __future__ import annotations

@@ -31,7 +31,7 @@ from repro.common.rng import derive_seed
 
 #: Bumped whenever the Trace layout or the interleaving semantics change,
 #: so stale pickles from older code self-invalidate.
-TRACE_CACHE_VERSION = 1
+TRACE_CACHE_VERSION = 2
 
 
 class TraceCache:

@@ -101,58 +101,95 @@ class TraceStats:
         return "\n".join(lines)
 
 
-def characterize(trace: Trace, line_size: int = 32) -> TraceStats:
-    """Measure the characterization statistics of ``trace``."""
-    stats = TraceStats(threads=trace.num_threads)
-    line_readers: dict[int, set[int]] = {}
-    line_writers: dict[int, set[int]] = {}
-    locks_seen: set[int] = set()
-    sites: set = set()
-    nesting: Counter[int] = Counter()
+class TraceStatsCore:
+    """Incremental trace characterization (an engine-compatible core).
 
-    for event in trace:
+    Trace-only: it never touches a machine, so an
+    :class:`~repro.engine.EngineSession` can run it alongside any detector
+    cores on the same walk — the ``repro stats`` verb and the pipeline's
+    characterize phase both feed it this way.  ``finish`` returns a
+    :class:`TraceStats` (not a DetectionResult).
+    """
+
+    machine_config = None
+    name = "trace-stats"
+
+    def __init__(self, line_size: int = 32):
+        self.line_size = line_size
+
+    def begin(self, trace: Trace, obs=None, machine=None) -> None:
+        """Allocate the pass state; ``machine`` is ignored (trace-only)."""
+        self.stats = TraceStats(threads=trace.num_threads)
+        self._line_readers: dict[int, set[int]] = {}
+        self._line_writers: dict[int, set[int]] = {}
+        self._locks_seen: set[int] = set()
+        self._sites: set = set()
+        self._nesting: Counter[int] = Counter()
+
+    def step(self, event) -> None:
+        """Fold one trace event into the characterization."""
         op = event.op
+        stats = self.stats
         stats.total_events += 1
         if op.kind is OpKind.COMPUTE:
             stats.compute_events += 1
         elif op.kind is OpKind.LOCK:
             stats.lock_acquires += 1
-            locks_seen.add(op.addr)
-            nesting[event.thread_id] += 1
+            self._locks_seen.add(op.addr)
+            self._nesting[event.thread_id] += 1
             stats.max_lock_nesting = max(
-                stats.max_lock_nesting, nesting[event.thread_id]
+                stats.max_lock_nesting, self._nesting[event.thread_id]
             )
         elif op.kind is OpKind.UNLOCK:
             stats.lock_releases += 1
-            nesting[event.thread_id] -= 1
+            self._nesting[event.thread_id] -= 1
         elif op.kind is OpKind.BARRIER:
             stats.barrier_waits += 1
         else:
             stats.memory_accesses += 1
             if op.is_write:
                 stats.writes += 1
-            if nesting[event.thread_id] > 0:
+            if self._nesting[event.thread_id] > 0:
                 stats.accesses_under_lock += 1
             if op.site is not None:
-                sites.add(op.site)
-            line = line_address(op.addr, line_size)
+                self._sites.add(op.site)
+            line = line_address(op.addr, self.line_size)
             if op.is_write:
-                line_writers.setdefault(line, set()).add(event.thread_id)
+                self._line_writers.setdefault(line, set()).add(event.thread_id)
             else:
-                line_readers.setdefault(line, set()).add(event.thread_id)
+                self._line_readers.setdefault(line, set()).add(event.thread_id)
 
-    all_lines = set(line_readers) | set(line_writers)
-    stats.distinct_lines = len(all_lines)
-    stats.distinct_locks = len(locks_seen)
-    stats.sites = len(sites)
-    histogram: Counter[int] = Counter()
-    for line in all_lines:
-        sharers = line_readers.get(line, set()) | line_writers.get(line, set())
-        histogram[len(sharers)] += 1
-        if len(sharers) > 1:
-            stats.shared_lines += 1
-            writers = line_writers.get(line, set())
-            if writers and (len(writers) > 1 or sharers - writers):
-                stats.write_shared_lines += 1
-    stats.sharers_histogram = dict(sorted(histogram.items()))
-    return stats
+    def finish(self) -> TraceStats:
+        """Aggregate the per-line sharing structure into the final stats."""
+        stats = self.stats
+        line_readers = self._line_readers
+        line_writers = self._line_writers
+        all_lines = set(line_readers) | set(line_writers)
+        stats.distinct_lines = len(all_lines)
+        stats.distinct_locks = len(self._locks_seen)
+        stats.sites = len(self._sites)
+        histogram: Counter[int] = Counter()
+        for line in all_lines:
+            sharers = line_readers.get(line, set()) | line_writers.get(line, set())
+            histogram[len(sharers)] += 1
+            if len(sharers) > 1:
+                stats.shared_lines += 1
+                writers = line_writers.get(line, set())
+                if writers and (len(writers) > 1 or sharers - writers):
+                    stats.write_shared_lines += 1
+        stats.sharers_histogram = dict(sorted(histogram.items()))
+        return stats
+
+
+def characterize(trace: Trace, line_size: int = 32) -> TraceStats:
+    """Measure the characterization statistics of ``trace``.
+
+    A thin shim over :class:`TraceStatsCore` — one incremental pass,
+    exactly what an engine session feeding the core would compute.
+    """
+    core = TraceStatsCore(line_size)
+    core.begin(trace)
+    step = core.step
+    for event in trace:
+        step(event)
+    return core.finish()

@@ -16,7 +16,7 @@ the caches, as the paper's hardware proposals do for per-thread state.
 
 from __future__ import annotations
 
-from repro.common.addresses import chunk_index_in_line, line_address, spanned_chunks
+from repro.common.addresses import spanned_chunks
 from repro.common.config import HappensBeforeConfig, MachineConfig
 from repro.common.errors import DetectorError
 from repro.common.events import OpKind, Trace
@@ -25,7 +25,7 @@ from repro.core.detector import LOCK_WORD_BYTES
 from repro.hb.meta import HBLineMeta
 from repro.hb.vectorclock import SyncClocks
 from repro.obs.trace import emit_alarm
-from repro.reporting import DetectionResult, RaceReportLog
+from repro.reporting import DetectionResult, RaceReportLog, run_core
 from repro.sim.machine import Machine
 from repro.sim.metadata import SharedMetadataStore
 
@@ -48,81 +48,122 @@ class HappensBeforeDetector:
                 f"line size {self.machine_config.line_size}"
             )
 
+    def core(self) -> "HappensBeforeCore":
+        """A fresh incremental core for one pass (the engine entry point)."""
+        return HappensBeforeCore(self)
+
     def run(self, trace: Trace, obs=None) -> DetectionResult:
         """Replay ``trace`` through a fresh machine with HB metadata attached.
 
         ``obs`` is an optional :class:`repro.obs.Observability`; alarms and
         history-update metrics are recorded when it is active.
         """
-        observe = obs is not None and obs.active
-        tracing = obs is not None and obs.emitter.enabled
-        machine = Machine(self.machine_config, obs=obs)
-        clocks = SyncClocks(trace.num_threads)
-        stats = StatCounters()
-        log = RaceReportLog(self.name)
-        granularity = self.config.granularity
-        line_size = self.machine_config.line_size
+        return run_core(self.core(), trace, obs=obs)
+
+
+class HappensBeforeCore:
+    """Mutable state of one cache-resident happens-before pass."""
+
+    def __init__(self, detector: HappensBeforeDetector):
+        self.d = detector
+        self.name = detector.name
+        self.machine_config = detector.machine_config
+
+    def begin(self, trace: Trace, obs=None, machine=None) -> None:
+        """Allocate the pass state (``machine`` may be a shared engine lane)."""
+        detector = self.d
+        self.obs = obs
+        self._observe = obs is not None and obs.active
+        self._tracing = obs is not None and obs.emitter.enabled
+        self.machine = (
+            machine
+            if machine is not None
+            else Machine(detector.machine_config, obs=obs)
+        )
+        self.clocks = SyncClocks(trace.num_threads)
+        self.stats = StatCounters()
+        self.log = RaceReportLog(detector.name)
+        self._granularity = detector.config.granularity
+        self._line_size = detector.machine_config.line_size
+        granularity = self._granularity
+        line_size = self._line_size
         # The access-history updates are broadcast to every copy on every
         # access (mirroring HARD's Figure 6 mechanism applied to HB), so
         # all copies are permanently identical and one shared object per
         # line suffices.
-        store: SharedMetadataStore[HBLineMeta] = SharedMetadataStore(
+        self.store: SharedMetadataStore[HBLineMeta] = SharedMetadataStore(
             fresh=lambda line_addr: HBLineMeta.fresh(granularity, line_size),
         )
-        machine.add_listener(store)
+        self.machine.add_listener(self.store)
+        # Hot per-chunk counter, batched and flushed in finish().
+        self._n_history_updates = 0
+        # Precomputed address math for the per-chunk loop (hot path).
+        self._line_mask = ~(line_size - 1)
+        self._offset_mask = line_size - 1
+        self._chunk_shift = granularity.bit_length() - 1
 
-        for event in trace:
-            op = event.op
-            thread_id = event.thread_id
-            core = machine.core_for_thread(thread_id)
-            if op.kind is OpKind.COMPUTE:
-                machine.charge(op.cycles, "compute")
-            elif op.kind is OpKind.LOCK:
-                machine.access(core, op.addr, LOCK_WORD_BYTES, is_write=True)
-                clocks.acquire(thread_id, op.addr)
-                stats.add("hb.acquires")
-            elif op.kind is OpKind.UNLOCK:
-                machine.access(core, op.addr, LOCK_WORD_BYTES, is_write=True)
-                clocks.release(thread_id, op.addr)
-                stats.add("hb.releases")
-            elif op.kind is OpKind.BARRIER:
-                if clocks.barrier_arrive(thread_id, op.addr, op.participants):
-                    stats.add("hb.barrier_episodes")
-            else:
-                access = machine.access(core, op.addr, op.size, op.is_write)
-                if observe:
-                    obs.metrics.observe("machine.access_cycles", access.cycles)
-                clock = clocks.clock(thread_id)
-                for chunk_addr in spanned_chunks(op.addr, op.size, granularity):
-                    line_addr = line_address(chunk_addr, line_size)
-                    meta = store.require(core, line_addr)
-                    chunk = meta.chunks[
-                        chunk_index_in_line(chunk_addr, granularity, line_size)
-                    ]
-                    conflicts = chunk.check_and_update(thread_id, clock, op.is_write)
-                    stats.add("hb.history_updates")
-                    for detail in conflicts:
-                        report = log.add(
-                            seq=event.seq,
-                            thread_id=thread_id,
-                            addr=op.addr,
-                            size=op.size,
-                            site=op.site,
-                            is_write=op.is_write,
-                            detail=f"{detail} (chunk 0x{chunk_addr:x})",
-                        )
-                        stats.add("hb.dynamic_reports")
-                        if observe:
-                            obs.metrics.add("obs.alarms")
-                            if tracing:
-                                emit_alarm(obs.emitter, report)
+    def step(self, event) -> None:
+        """Process one trace event."""
+        op = event.op
+        thread_id = event.thread_id
+        machine = self.machine
+        clocks = self.clocks
+        stats = self.stats
+        core = machine.core_for_thread(thread_id)
+        if op.kind is OpKind.COMPUTE:
+            machine.charge(op.cycles, "compute")
+        elif op.kind is OpKind.LOCK:
+            machine.access(core, op.addr, LOCK_WORD_BYTES, is_write=True)
+            clocks.acquire(thread_id, op.addr)
+            stats.add("hb.acquires")
+        elif op.kind is OpKind.UNLOCK:
+            machine.access(core, op.addr, LOCK_WORD_BYTES, is_write=True)
+            clocks.release(thread_id, op.addr)
+            stats.add("hb.releases")
+        elif op.kind is OpKind.BARRIER:
+            if clocks.barrier_arrive(thread_id, op.addr, op.participants):
+                stats.add("hb.barrier_episodes")
+        else:
+            access = machine.access(core, op.addr, op.size, op.is_write)
+            if self._observe:
+                self.obs.metrics.observe("machine.access_cycles", access.cycles)
+            clock = clocks.clock(thread_id)
+            require = self.store.require
+            line_mask = self._line_mask
+            offset_mask = self._offset_mask
+            chunk_shift = self._chunk_shift
+            for chunk_addr in spanned_chunks(op.addr, op.size, self._granularity):
+                line_addr = chunk_addr & line_mask
+                meta = require(core, line_addr)
+                chunk = meta.chunks[(chunk_addr & offset_mask) >> chunk_shift]
+                conflicts = chunk.check_and_update(thread_id, clock, op.is_write)
+                self._n_history_updates += 1
+                for detail in conflicts:
+                    report = self.log.add(
+                        seq=event.seq,
+                        thread_id=thread_id,
+                        addr=op.addr,
+                        size=op.size,
+                        site=op.site,
+                        is_write=op.is_write,
+                        detail=f"{detail} (chunk 0x{chunk_addr:x})",
+                    )
+                    stats.add("hb.dynamic_reports")
+                    if self._observe:
+                        self.obs.metrics.add("obs.alarms")
+                        if self._tracing:
+                            emit_alarm(self.obs.emitter, report)
 
-        stats.merge(machine.stats)
-        stats.merge(machine.bus.stats)
+    def finish(self) -> DetectionResult:
+        """Assemble the detection result after the last event."""
+        if self._n_history_updates:
+            self.stats.add("hb.history_updates", self._n_history_updates)
+        self.stats.merge(self.machine.stats)
+        self.stats.merge(self.machine.bus.stats)
         return DetectionResult(
-            detector=self.name,
-            reports=log,
-            stats=stats,
-            cycles=machine.cycles,
+            detector=self.d.name,
+            reports=self.log,
+            stats=self.stats,
+            cycles=self.machine.cycles,
         )
 

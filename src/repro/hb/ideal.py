@@ -19,7 +19,7 @@ from repro.common.stats import StatCounters
 from repro.hb.meta import HBChunkMeta
 from repro.hb.vectorclock import SyncClocks
 from repro.obs.trace import emit_alarm
-from repro.reporting import DetectionResult, RaceReportLog
+from repro.reporting import DetectionResult, RaceReportLog, run_core
 
 
 @dataclass
@@ -30,52 +30,83 @@ class IdealHappensBeforeDetector:
     name: str = "hb-ideal"
     stats: StatCounters = field(default_factory=StatCounters)
 
+    def core(self) -> "IdealHappensBeforeCore":
+        """A fresh incremental core for one pass (the engine entry point)."""
+        return IdealHappensBeforeCore(self)
+
     def run(self, trace: Trace, obs=None) -> DetectionResult:
         """Consume the trace; report every access pair unordered in it.
 
         ``obs`` is an optional :class:`repro.obs.Observability`; alarms are
         recorded and emitted when it is active.
         """
-        observe = obs is not None and obs.active
-        log = RaceReportLog(self.name)
-        stats = StatCounters()
-        clocks = SyncClocks(trace.num_threads)
-        chunks: dict[int, HBChunkMeta] = {}
+        return run_core(self.core(), trace, obs=obs)
 
-        for event in trace:
-            op = event.op
-            thread_id = event.thread_id
-            if op.kind is OpKind.COMPUTE:
-                continue
-            if op.kind is OpKind.LOCK:
-                clocks.acquire(thread_id, op.addr)
-            elif op.kind is OpKind.UNLOCK:
-                clocks.release(thread_id, op.addr)
-            elif op.kind is OpKind.BARRIER:
-                clocks.barrier_arrive(thread_id, op.addr, op.participants)
-            else:
-                clock = clocks.clock(thread_id)
-                for chunk_addr in spanned_chunks(op.addr, op.size, self.granularity):
-                    chunk = chunks.get(chunk_addr)
-                    if chunk is None:
-                        chunk = HBChunkMeta()
-                        chunks[chunk_addr] = chunk
-                    conflicts = chunk.check_and_update(thread_id, clock, op.is_write)
-                    stats.add("hb.history_updates")
-                    for detail in conflicts:
-                        report = log.add(
-                            seq=event.seq,
-                            thread_id=thread_id,
-                            addr=op.addr,
-                            size=op.size,
-                            site=op.site,
-                            is_write=op.is_write,
-                            detail=f"{detail} (chunk 0x{chunk_addr:x})",
-                        )
-                        stats.add("hb.dynamic_reports")
-                        if observe:
-                            obs.metrics.add("obs.alarms")
-                            if obs.emitter.enabled:
-                                emit_alarm(obs.emitter, report)
 
-        return DetectionResult(detector=self.name, reports=log, stats=stats)
+class IdealHappensBeforeCore:
+    """Mutable state of one ideal happens-before pass (trace-only)."""
+
+    machine_config = None
+
+    def __init__(self, detector: IdealHappensBeforeDetector):
+        self.d = detector
+        self.name = detector.name
+
+    def begin(self, trace: Trace, obs=None, machine=None) -> None:
+        """Allocate the pass state; ``machine`` is ignored (trace-only)."""
+        self.obs = obs
+        self._observe = obs is not None and obs.active
+        self.log = RaceReportLog(self.d.name)
+        self.run_stats = StatCounters()
+        self.clocks = SyncClocks(trace.num_threads)
+        self.chunks: dict[int, HBChunkMeta] = {}
+        # Hot per-chunk counter, batched and flushed in finish().
+        self._n_history_updates = 0
+
+    def step(self, event) -> None:
+        """Process one trace event."""
+        op = event.op
+        thread_id = event.thread_id
+        clocks = self.clocks
+        if op.kind is OpKind.COMPUTE:
+            return
+        if op.kind is OpKind.LOCK:
+            clocks.acquire(thread_id, op.addr)
+        elif op.kind is OpKind.UNLOCK:
+            clocks.release(thread_id, op.addr)
+        elif op.kind is OpKind.BARRIER:
+            clocks.barrier_arrive(thread_id, op.addr, op.participants)
+        else:
+            chunks = self.chunks
+            stats = self.run_stats
+            clock = clocks.clock(thread_id)
+            for chunk_addr in spanned_chunks(op.addr, op.size, self.d.granularity):
+                chunk = chunks.get(chunk_addr)
+                if chunk is None:
+                    chunk = HBChunkMeta()
+                    chunks[chunk_addr] = chunk
+                conflicts = chunk.check_and_update(thread_id, clock, op.is_write)
+                self._n_history_updates += 1
+                for detail in conflicts:
+                    report = self.log.add(
+                        seq=event.seq,
+                        thread_id=thread_id,
+                        addr=op.addr,
+                        size=op.size,
+                        site=op.site,
+                        is_write=op.is_write,
+                        detail=f"{detail} (chunk 0x{chunk_addr:x})",
+                    )
+                    stats.add("hb.dynamic_reports")
+                    if self._observe:
+                        self.obs.metrics.add("obs.alarms")
+                        if self.obs.emitter.enabled:
+                            emit_alarm(self.obs.emitter, report)
+
+    def finish(self) -> DetectionResult:
+        """Assemble the detection result after the last event."""
+        if self._n_history_updates:
+            self.run_stats.add("hb.history_updates", self._n_history_updates)
+        return DetectionResult(
+            detector=self.d.name, reports=self.log, stats=self.run_stats
+        )

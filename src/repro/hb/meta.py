@@ -20,6 +20,11 @@ from repro.hb.vectorclock import VectorClock
 #: Epoch meaning "no prior access recorded".
 NO_EPOCH: tuple[int, int] | None = None
 
+#: Shared "no conflicts" result.  check_and_update runs once per (chunk,
+#: access); returning one preallocated empty list keeps the overwhelmingly
+#: common race-free path allocation-free.  Callers only ever iterate it.
+_NO_CONFLICTS: list[str] = []
+
 
 @dataclass
 class HBChunkMeta:
@@ -39,23 +44,27 @@ class HBChunkMeta:
 
         Returns human-readable conflict descriptions (empty = no race).
         """
-        conflicts = []
+        conflicts = None
         write = self.last_write
         if (
             write is not None
             and write[0] != thread_id
             and not clock.knows(write)
         ):
-            conflicts.append(f"unordered with write by t{write[0]}@{write[1]}")
+            conflicts = [f"unordered with write by t{write[0]}@{write[1]}"]
         if is_write:
-            for reader, value in self.reads.items():
-                if reader != thread_id and not clock.knows((reader, value)):
-                    conflicts.append(f"unordered with read by t{reader}@{value}")
+            reads = self.reads
+            if reads:
+                for reader, value in reads.items():
+                    if reader != thread_id and not clock.knows((reader, value)):
+                        if conflicts is None:
+                            conflicts = []
+                        conflicts.append(f"unordered with read by t{reader}@{value}")
+                reads.clear()
             self.last_write = clock.epoch(thread_id)
-            self.reads.clear()
         else:
             self.reads[thread_id] = clock.values[thread_id]
-        return conflicts
+        return conflicts if conflicts is not None else _NO_CONFLICTS
 
 
 class HBLineMeta:

@@ -27,7 +27,7 @@ from repro.common.events import OpKind, Trace
 from repro.common.stats import StatCounters
 from repro.core.lstate import NO_OWNER, LState, transition
 from repro.obs.trace import emit_alarm
-from repro.reporting import DetectionResult, RaceReportLog
+from repro.reporting import DetectionResult, RaceReportLog, run_core
 
 #: Sentinel meaning "all possible locks" (the initial candidate set).
 ALL_LOCKS = None
@@ -70,61 +70,83 @@ class IdealLocksetDetector:
     name: str = "lockset-ideal"
     stats: StatCounters = field(default_factory=StatCounters)
 
+    def core(self) -> "IdealLocksetCore":
+        """A fresh incremental core for one pass (the engine entry point)."""
+        return IdealLocksetCore(self)
+
     def run(self, trace: Trace, obs=None) -> DetectionResult:
         """Consume the trace; return every lockset-discipline violation.
 
         ``obs`` is an optional :class:`repro.obs.Observability`; alarms and
         candidate-set sizes are recorded when it is active.
         """
+        return run_core(self.core(), trace, obs=obs)
+
+
+class IdealLocksetCore:
+    """Mutable state of one exact-lockset pass (trace-only)."""
+
+    machine_config = None
+
+    def __init__(self, detector: IdealLocksetDetector):
+        self.d = detector
+        self.name = detector.name
+
+    def begin(self, trace: Trace, obs=None, machine=None) -> None:
+        """Allocate the pass state; ``machine`` is ignored (trace-only)."""
         self._obs = obs if obs is not None and obs.active else None
-        log = RaceReportLog(self.name)
-        stats = StatCounters()
-        held: dict[int, dict[int, int]] = {}  # thread -> lock -> depth
-        chunks: dict[int, ExactChunk] = {}
-        arrivals: dict[int, int] = {}
+        self.log = RaceReportLog(self.d.name)
+        self.run_stats = StatCounters()
+        self.held: dict[int, dict[int, int]] = {}  # thread -> lock -> depth
+        self.chunks: dict[int, ExactChunk] = {}
+        self._arrivals: dict[int, int] = {}
+        # Hot per-chunk counter, batched and flushed in finish().
+        self._n_candidate_updates = 0
 
-        for event in trace:
-            op = event.op
-            thread_id = event.thread_id
-            if op.kind is OpKind.COMPUTE:
-                continue
-            if op.kind is OpKind.LOCK:
-                locks = held.setdefault(thread_id, {})
-                locks[op.addr] = locks.get(op.addr, 0) + 1
-                stats.add("lockset.acquires")
-            elif op.kind is OpKind.UNLOCK:
-                locks = held.setdefault(thread_id, {})
-                if locks.get(op.addr, 0) <= 0:
-                    raise DetectorError(
-                        f"t{thread_id} released lock 0x{op.addr:x} it never took"
-                    )
-                locks[op.addr] -= 1
-                if not locks[op.addr]:
-                    del locks[op.addr]
-                stats.add("lockset.releases")
-            elif op.kind is OpKind.BARRIER:
-                count = arrivals.get(op.addr, 0) + 1
-                if count < op.participants:
-                    arrivals[op.addr] = count
-                    continue
-                arrivals[op.addr] = 0
-                stats.add("lockset.barrier_episodes")
-                if self.barrier_reset:
-                    # Discard pre-barrier access and lock history
-                    # (Section 3.5; see LineMeta.reset_for_barrier for why
-                    # the LState must be forgotten too).
-                    for chunk in chunks.values():
-                        chunk.candidate = ALL_LOCKS
-                        chunk.lstate = LState.VIRGIN
-                        chunk.owner = NO_OWNER
-            else:
-                self._access(event, chunks, held.setdefault(thread_id, {}), log, stats)
-
-        return DetectionResult(detector=self.name, reports=log, stats=stats)
-
-    def _access(self, event, chunks, locks, log, stats) -> None:
+    def step(self, event) -> None:
+        """Process one trace event."""
         op = event.op
-        for chunk_addr in spanned_chunks(op.addr, op.size, self.granularity):
+        thread_id = event.thread_id
+        stats = self.run_stats
+        if op.kind is OpKind.COMPUTE:
+            return
+        if op.kind is OpKind.LOCK:
+            locks = self.held.setdefault(thread_id, {})
+            locks[op.addr] = locks.get(op.addr, 0) + 1
+            stats.add("lockset.acquires")
+        elif op.kind is OpKind.UNLOCK:
+            locks = self.held.setdefault(thread_id, {})
+            if locks.get(op.addr, 0) <= 0:
+                raise DetectorError(
+                    f"t{thread_id} released lock 0x{op.addr:x} it never took"
+                )
+            locks[op.addr] -= 1
+            if not locks[op.addr]:
+                del locks[op.addr]
+            stats.add("lockset.releases")
+        elif op.kind is OpKind.BARRIER:
+            count = self._arrivals.get(op.addr, 0) + 1
+            if count < op.participants:
+                self._arrivals[op.addr] = count
+                return
+            self._arrivals[op.addr] = 0
+            stats.add("lockset.barrier_episodes")
+            if self.d.barrier_reset:
+                # Discard pre-barrier access and lock history
+                # (Section 3.5; see LineMeta.reset_for_barrier for why
+                # the LState must be forgotten too).
+                for chunk in self.chunks.values():
+                    chunk.candidate = ALL_LOCKS
+                    chunk.lstate = LState.VIRGIN
+                    chunk.owner = NO_OWNER
+        else:
+            self._access(event, self.held.setdefault(thread_id, {}))
+
+    def _access(self, event, locks) -> None:
+        op = event.op
+        chunks = self.chunks
+        stats = self.run_stats
+        for chunk_addr in spanned_chunks(op.addr, op.size, self.d.granularity):
             chunk = chunks.get(chunk_addr)
             if chunk is None:
                 chunk = ExactChunk()
@@ -135,7 +157,7 @@ class IdealLocksetDetector:
             if not outcome.update_candidate:
                 continue
             refined = chunk.intersect(locks)
-            stats.add("lockset.candidate_updates")
+            self._n_candidate_updates += 1
             obs = self._obs
             if obs is not None and refined:
                 obs.metrics.add("obs.lockset_refinements")
@@ -143,7 +165,7 @@ class IdealLocksetDetector:
                     "lockset.candidate_size", len(chunk.candidate or ())
                 )
             if outcome.check_race and chunk.is_empty:
-                report = log.add(
+                report = self.log.add(
                     seq=event.seq,
                     thread_id=event.thread_id,
                     addr=op.addr,
@@ -157,3 +179,11 @@ class IdealLocksetDetector:
                     obs.metrics.add("obs.alarms")
                     if obs.emitter.enabled:
                         emit_alarm(obs.emitter, report)
+
+    def finish(self) -> DetectionResult:
+        """Assemble the detection result after the last event."""
+        if self._n_candidate_updates:
+            self.run_stats.add("lockset.candidate_updates", self._n_candidate_updates)
+        return DetectionResult(
+            detector=self.d.name, reports=self.log, stats=self.run_stats
+        )

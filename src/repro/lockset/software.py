@@ -33,7 +33,7 @@ from repro.core.detector import LOCK_WORD_BYTES
 from repro.core.lstate import NO_OWNER, LState, transition
 from repro.lockset.exact import ALL_LOCKS, ExactChunk
 from repro.obs.trace import emit_alarm
-from repro.reporting import DetectionResult, RaceReportLog
+from repro.reporting import DetectionResult, RaceReportLog, run_core
 from repro.sim.machine import Machine
 
 
@@ -65,101 +65,130 @@ class SoftwareLocksetDetector:
         self.costs = costs or SoftwareCosts()
         self.name = name
 
+    def core(self) -> "SoftwareLocksetCore":
+        """A fresh incremental core for one pass (the engine entry point)."""
+        return SoftwareLocksetCore(self)
+
     def run(self, trace: Trace, obs=None) -> DetectionResult:
         """Replay ``trace`` with software monitoring costs charged.
 
         ``obs`` is an optional :class:`repro.obs.Observability`; alarms are
         recorded and emitted when it is active.
         """
-        observe = obs is not None and obs.active
-        machine = Machine(self.machine_config, obs=obs)
-        costs = self.costs
-        stats = StatCounters()
-        log = RaceReportLog(self.name)
-        extra = 0
-        held: dict[int, dict[int, int]] = {}
-        chunks: dict[int, ExactChunk] = {}
-        arrivals: dict[int, int] = {}
-
-        for event in trace:
-            op = event.op
-            thread_id = event.thread_id
-            core = machine.core_for_thread(thread_id)
-            if op.kind is OpKind.COMPUTE:
-                machine.charge(op.cycles, "compute")
-            elif op.kind in (OpKind.LOCK, OpKind.UNLOCK):
-                machine.access(core, op.addr, LOCK_WORD_BYTES, True)
-                locks = held.setdefault(thread_id, {})
-                if op.kind is OpKind.LOCK:
-                    locks[op.addr] = locks.get(op.addr, 0) + 1
-                else:
-                    locks[op.addr] -= 1
-                    if not locks[op.addr]:
-                        del locks[op.addr]
-                machine.charge(costs.lock_maintenance, "sw.lock_maintenance")
-                extra += costs.lock_maintenance
-                stats.add("sw.sync_events")
-            elif op.kind is OpKind.BARRIER:
-                count = arrivals.get(op.addr, 0) + 1
-                if count < op.participants:
-                    arrivals[op.addr] = count
-                    continue
-                arrivals[op.addr] = 0
-                if self.barrier_reset:
-                    for chunk in chunks.values():
-                        chunk.candidate = ALL_LOCKS
-                        chunk.lstate = LState.VIRGIN
-                        chunk.owner = NO_OWNER
-            else:
-                machine.access(core, op.addr, op.size, op.is_write)
-                locks = held.setdefault(thread_id, {})
-                for chunk_addr in spanned_chunks(op.addr, op.size, self.granularity):
-                    machine.charge(costs.access_check, "sw.access_check")
-                    extra += costs.access_check
-                    stats.add("sw.monitored_accesses")
-                    chunk = chunks.get(chunk_addr)
-                    if chunk is None:
-                        chunk = ExactChunk()
-                        chunks[chunk_addr] = chunk
-                    outcome = transition(
-                        chunk.lstate, chunk.owner, thread_id, op.is_write
-                    )
-                    chunk.lstate = outcome.state
-                    chunk.owner = outcome.owner
-                    if not outcome.update_candidate:
-                        continue
-                    chunk.intersect(locks)
-                    machine.charge(costs.set_intersection, "sw.intersection")
-                    extra += costs.set_intersection
-                    if outcome.check_race and chunk.is_empty:
-                        machine.charge(costs.report, "sw.report")
-                        extra += costs.report
-                        report = log.add(
-                            seq=event.seq,
-                            thread_id=thread_id,
-                            addr=op.addr,
-                            size=op.size,
-                            site=op.site,
-                            is_write=op.is_write,
-                            detail=f"candidate set empty (sw, 0x{chunk_addr:x})",
-                        )
-                        if observe:
-                            obs.metrics.add("obs.alarms")
-                            if obs.emitter.enabled:
-                                emit_alarm(obs.emitter, report)
-
-        stats.merge(machine.stats)
-        stats.merge(machine.bus.stats)
-        return DetectionResult(
-            detector=self.name,
-            reports=log,
-            stats=stats,
-            cycles=machine.cycles,
-            detector_extra_cycles=extra,
-        )
+        return run_core(self.core(), trace, obs=obs)
 
     @staticmethod
     def slowdown(result: DetectionResult) -> float:
         """Execution-time multiplier vs the uninstrumented run (e.g. 12.0x)."""
         base = result.baseline_cycles
         return result.cycles / base if base > 0 else 1.0
+
+
+class SoftwareLocksetCore:
+    """Mutable state of one software-lockset pass over one trace."""
+
+    def __init__(self, detector: SoftwareLocksetDetector):
+        self.d = detector
+        self.name = detector.name
+        self.machine_config = detector.machine_config
+
+    def begin(self, trace: Trace, obs=None, machine=None) -> None:
+        """Allocate the pass state (``machine`` may be a shared engine lane)."""
+        detector = self.d
+        self.obs = obs
+        self._observe = obs is not None and obs.active
+        self.machine = (
+            machine
+            if machine is not None
+            else Machine(detector.machine_config, obs=obs)
+        )
+        self.stats = StatCounters()
+        self.log = RaceReportLog(detector.name)
+        self.extra_cycles = 0
+        self.held: dict[int, dict[int, int]] = {}
+        self.chunks: dict[int, ExactChunk] = {}
+        self._arrivals: dict[int, int] = {}
+
+    def step(self, event) -> None:
+        """Process one trace event."""
+        op = event.op
+        thread_id = event.thread_id
+        machine = self.machine
+        costs = self.d.costs
+        core = machine.core_for_thread(thread_id)
+        if op.kind is OpKind.COMPUTE:
+            machine.charge(op.cycles, "compute")
+        elif op.kind in (OpKind.LOCK, OpKind.UNLOCK):
+            machine.access(core, op.addr, LOCK_WORD_BYTES, True)
+            locks = self.held.setdefault(thread_id, {})
+            if op.kind is OpKind.LOCK:
+                locks[op.addr] = locks.get(op.addr, 0) + 1
+            else:
+                locks[op.addr] -= 1
+                if not locks[op.addr]:
+                    del locks[op.addr]
+            machine.charge(costs.lock_maintenance, "sw.lock_maintenance")
+            self.extra_cycles += costs.lock_maintenance
+            self.stats.add("sw.sync_events")
+        elif op.kind is OpKind.BARRIER:
+            count = self._arrivals.get(op.addr, 0) + 1
+            if count < op.participants:
+                self._arrivals[op.addr] = count
+                return
+            self._arrivals[op.addr] = 0
+            if self.d.barrier_reset:
+                for chunk in self.chunks.values():
+                    chunk.candidate = ALL_LOCKS
+                    chunk.lstate = LState.VIRGIN
+                    chunk.owner = NO_OWNER
+        else:
+            machine.access(core, op.addr, op.size, op.is_write)
+            locks = self.held.setdefault(thread_id, {})
+            chunks = self.chunks
+            stats = self.stats
+            for chunk_addr in spanned_chunks(op.addr, op.size, self.d.granularity):
+                machine.charge(costs.access_check, "sw.access_check")
+                self.extra_cycles += costs.access_check
+                stats.add("sw.monitored_accesses")
+                chunk = chunks.get(chunk_addr)
+                if chunk is None:
+                    chunk = ExactChunk()
+                    chunks[chunk_addr] = chunk
+                outcome = transition(
+                    chunk.lstate, chunk.owner, thread_id, op.is_write
+                )
+                chunk.lstate = outcome.state
+                chunk.owner = outcome.owner
+                if not outcome.update_candidate:
+                    continue
+                chunk.intersect(locks)
+                machine.charge(costs.set_intersection, "sw.intersection")
+                self.extra_cycles += costs.set_intersection
+                if outcome.check_race and chunk.is_empty:
+                    machine.charge(costs.report, "sw.report")
+                    self.extra_cycles += costs.report
+                    report = self.log.add(
+                        seq=event.seq,
+                        thread_id=thread_id,
+                        addr=op.addr,
+                        size=op.size,
+                        site=op.site,
+                        is_write=op.is_write,
+                        detail=f"candidate set empty (sw, 0x{chunk_addr:x})",
+                    )
+                    if self._observe:
+                        self.obs.metrics.add("obs.alarms")
+                        if self.obs.emitter.enabled:
+                            emit_alarm(self.obs.emitter, report)
+
+    def finish(self) -> DetectionResult:
+        """Assemble the detection result after the last event."""
+        self.stats.merge(self.machine.stats)
+        self.stats.merge(self.machine.bus.stats)
+        return DetectionResult(
+            detector=self.d.name,
+            reports=self.log,
+            stats=self.stats,
+            cycles=self.machine.cycles,
+            detector_extra_cycles=self.extra_cycles,
+        )

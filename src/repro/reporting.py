@@ -174,3 +174,55 @@ class Detector(Protocol):
         when it is absent or inactive.
         """
         ...
+
+    def core(self) -> "DetectorCore":
+        """A fresh incremental core for one pass over one trace."""
+        ...
+
+
+class DetectorCore(Protocol):
+    """One incremental detector pass: ``begin`` / ``step`` / ``finish``.
+
+    A core is single-use mutable state — :meth:`begin` allocates it for one
+    trace, :meth:`step` consumes one event at a time, :meth:`finish` seals
+    and returns the :class:`DetectionResult`.  ``Detector.run`` is a thin
+    shim over this contract (:func:`run_core`), and
+    :class:`repro.engine.EngineSession` drives many cores from a single
+    trace walk.
+
+    ``machine_config`` is the :class:`~repro.common.config.MachineConfig`
+    the core replays the data path through, or ``None`` for trace-only
+    (ideal) cores.  A machine-backed core must issue the *canonical* data
+    path for every event — locks/unlocks as one 4-byte write of the lock
+    word, each memory access exactly once with the op's address/size/kind,
+    compute charged once, nothing on barriers — which is the invariant that
+    lets an engine session replay one shared machine for many cores.  When
+    the session supplies ``machine``, the core must route every machine
+    interaction through it instead of building its own.
+    """
+
+    name: str
+    machine_config: object | None
+
+    def begin(self, trace: Trace, obs: "Observability | None" = None, machine: object | None = None) -> None:
+        """Allocate the pass state for ``trace`` (and optional shared machine)."""
+        ...
+
+    def step(self, event: object) -> None:
+        """Consume one trace event."""
+        ...
+
+    def finish(self) -> DetectionResult:
+        """Seal the pass and return its result."""
+        ...
+
+
+def run_core(
+    core: DetectorCore, trace: Trace, obs: "Observability | None" = None
+) -> DetectionResult:
+    """Drive one core over a full trace — the ``Detector.run`` shim."""
+    core.begin(trace, obs=obs)
+    step = core.step
+    for event in trace:
+        step(event)
+    return core.finish()

@@ -100,6 +100,18 @@ class Machine:
             return sorted(holders)
         return sorted(core for core in holders if core != excluding)
 
+    def has_other_sharers(self, line_addr: int, *, excluding: int) -> bool:
+        """True iff any core besides ``excluding`` holds ``line_addr``.
+
+        Equivalent to ``bool(self.sharers(line_addr, excluding=excluding))``
+        but without building (and sorting) the list — the detectors call this
+        on every metadata change to decide whether a broadcast is needed.
+        """
+        holders = self._holders.get(line_addr)
+        if not holders:
+            return False
+        return len(holders) > 1 or excluding not in holders
+
     def _track_fill(self, core: int, line_addr: int) -> None:
         self._holders.setdefault(line_addr, set()).add(core)
 
