@@ -10,7 +10,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine.py \
         [--app NAME] [--detectors a,b,c] [--rounds N] \
-        [--min-speedup X] [--json] [--markdown PATH]
+        [--min-speedup X] [--json] [--markdown PATH] [--bench-out PATH]
 
 The default cell is the Table 2 shape the harness actually evaluates per
 (app, run) chunk: four detector configurations over one water-nsquared
@@ -114,6 +114,41 @@ PYTHONPATH=src python benchmarks/bench_engine.py --rounds {summary["rounds"]}
 """
 
 
+def write_bench_artifact(path: str, summary: dict, trace, configs) -> None:
+    """Emit the structured observatory artifact (repro.obs.perf schema).
+
+    The counter snapshot comes from one extra flight-recorded engine pass
+    run *after* the A/B timing rounds, so telemetry never skews the
+    legacy-vs-engine ratio.
+    """
+    from repro.obs import FlightRecorder, Observability
+    from repro.obs.perf import BenchResult, write_bench
+
+    recorder = FlightRecorder()
+    session = EngineSession(trace, obs=Observability(telemetry=recorder))
+    for config in configs:
+        session.add_config(config)
+    session.run()
+    telemetry = recorder.snapshot()
+
+    result = BenchResult(name="engine_vs_legacy", rounds=summary["rounds"])
+    result.add_phase("legacy", summary["legacy_wall_s"])
+    result.add_phase("engine", summary["engine_wall_s"])
+    result.counters = telemetry["counters"]
+    result.extras = {
+        "app": summary["app"],
+        "detectors": summary["detectors"],
+        "trace_events": summary["trace_events"],
+        "speedup": round(summary["speedup"], 3),
+        "median_speedup": round(summary["median_speedup"], 3),
+        "telemetry": {
+            "derived": telemetry["derived"],
+            "cores": telemetry["cores"],
+        },
+    }
+    write_bench(result, path)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--app", default="water-nsquared", help="workload name")
@@ -138,6 +173,13 @@ def main() -> int:
     )
     parser.add_argument(
         "--markdown", default=None, help="write a markdown report to this path"
+    )
+    parser.add_argument(
+        "--bench-out",
+        default=None,
+        metavar="PATH",
+        help="write a structured BENCH_engine_vs_legacy.json artifact "
+        "(repro.obs.perf schema) to PATH",
     )
     args = parser.parse_args()
 
@@ -203,6 +245,9 @@ def main() -> int:
     if args.markdown:
         Path(args.markdown).write_text(render_markdown(summary))
         print(f"wrote {args.markdown}")
+    if args.bench_out:
+        write_bench_artifact(args.bench_out, summary, trace, configs)
+        print(f"wrote {args.bench_out}")
     if args.json:
         print(json.dumps(summary))
 

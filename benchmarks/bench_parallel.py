@@ -8,7 +8,7 @@ bit-for-bit identical, and reports the wall-clock speedup.
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_parallel.py \
-        [--jobs N] [--apps a,b] [--runs R] [--min-speedup X]
+        [--jobs N] [--apps a,b] [--runs R] [--min-speedup X] [--bench-out PATH]
 
 The default grid is scaled down (two applications, three injected runs) so
 the benchmark finishes in minutes; ``--apps all --runs 10`` measures the
@@ -67,6 +67,13 @@ def main() -> int:
     parser.add_argument(
         "--json", action="store_true", help="emit a machine-readable summary"
     )
+    parser.add_argument(
+        "--bench-out",
+        default=None,
+        metavar="PATH",
+        help="write a structured BENCH_parallel.json artifact "
+        "(repro.obs.perf schema) to PATH",
+    )
     args = parser.parse_args()
 
     apps = (
@@ -114,6 +121,21 @@ def main() -> int:
                 }
             )
         )
+    if args.bench_out:
+        from repro.obs.perf import BenchResult, write_bench
+
+        result = BenchResult(name="parallel", rounds=1)
+        result.add_phase("serial", [serial_wall])
+        result.add_phase("parallel", [parallel_wall])
+        result.counters = dict(counters)
+        result.extras = {
+            "apps": list(apps),
+            "runs": args.runs,
+            "jobs": jobs,
+            "speedup": round(speedup, 3),
+        }
+        write_bench(result, args.bench_out)
+        print(f"wrote {args.bench_out}")
 
     if args.min_speedup is not None and speedup < args.min_speedup:
         print(

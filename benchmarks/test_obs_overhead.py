@@ -7,6 +7,11 @@ precomputed boolean (``obs is not None and obs.active``), which this
 benchmark holds to a hard ratio: a ``HardDetector.run`` with the null
 bundle may take at most 1.05x the bare ``run(trace)`` wall-clock, best of
 N to shed scheduler noise.
+
+The flight recorder makes the same claim for *enabled* telemetry: its
+sampled engine walks pay one countdown per stepped event, so an engine
+pass with ``Observability(telemetry=FlightRecorder())`` must stay inside
+the identical 5% budget.
 """
 
 from __future__ import annotations
@@ -15,8 +20,9 @@ import time
 
 import pytest
 
-from repro.harness.detectors import make_detector
-from repro.obs import Observability
+from repro.engine import EngineSession
+from repro.harness.detectors import DetectorConfig, make_detector
+from repro.obs import FlightRecorder, Observability
 from repro.threads.runtime import interleave
 from repro.threads.scheduler import RandomScheduler
 from repro.workloads.registry import build_workload
@@ -64,5 +70,37 @@ def test_null_observability_overhead_under_5_percent(barnes_trace, benchmark):
     )
     assert ratio <= MAX_NULL_OBS_RATIO, (
         f"null-sink observability costs {100 * (ratio - 1):.1f}% "
+        f"(budget {100 * (MAX_NULL_OBS_RATIO - 1):.0f}%)"
+    )
+
+
+def test_flight_recorder_overhead_under_5_percent(barnes_trace, benchmark):
+    """An engine pass with telemetry enabled stays inside the 5% budget."""
+    config = DetectorConfig.coerce("hard-default")
+
+    def run_engine(obs):
+        session = EngineSession(barnes_trace, obs=obs)
+        session.add_config(config)
+        return session.run()
+
+    # Warm both paths once (allocator, branch caches) before timing.
+    run_engine(None)
+    run_engine(Observability(telemetry=FlightRecorder()))
+
+    bare = _best_of(lambda: run_engine(None))
+    observed = benchmark.pedantic(
+        lambda: _best_of(
+            lambda: run_engine(Observability(telemetry=FlightRecorder()))
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    ratio = observed / bare
+    print(
+        f"\nbare {bare:.3f}s vs telemetry {observed:.3f}s -> ratio {ratio:.3f}"
+    )
+    assert ratio <= MAX_NULL_OBS_RATIO, (
+        f"flight-recorder telemetry costs {100 * (ratio - 1):.1f}% "
         f"(budget {100 * (MAX_NULL_OBS_RATIO - 1):.0f}%)"
     )

@@ -24,6 +24,10 @@ Four entry points cover the toolkit:
   whole detector suite, every divergence classified against the paper's
   approximation taxonomy; returns a
   :class:`~repro.fuzz.harness.FuzzReport`.
+* :func:`run_benchmark` — one named performance benchmark (``engine``,
+  ``pipeline``) as a structured :class:`~repro.obs.perf.BenchResult`;
+  :func:`compare_bench` / :func:`load_bench` / :func:`write_bench` round
+  out the continuous performance observatory.
 
 Every grid entry point takes ``jobs``: ``1`` (the default) evaluates the
 grid serially, ``N > 1`` fans it out over worker processes via
@@ -58,10 +62,22 @@ from repro.fuzz import run_fuzz as _run_fuzz
 from repro.fuzz.oracle import DEFAULT_ORACLE
 from repro.harness.experiment import ExperimentRunner, RunOutcome
 from repro.harness.parallel import GridCell, GridReport, default_jobs, run_grid
+from repro.harness.bench import BENCHMARKS, run_benchmark
 from repro.harness.pipeline import PipelineRun, run_pipeline
 from repro.harness.sweeps import SweepCell, SweepResult
 from repro.harness.sweeps import sweep as _sweep
-from repro.obs import Observability, RunReport
+from repro.obs import FlightRecorder, Observability, RunReport
+from repro.obs.perf import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    BenchComparison,
+    BenchResult,
+    BenchSchemaError,
+    bench_path,
+    compare_bench,
+    load_bench,
+    validate_bench,
+    write_bench,
+)
 from repro.reporting import DetectionResult
 from repro.workloads.registry import WORKLOAD_NAMES
 
@@ -203,16 +219,24 @@ def sweep(
     workload_seed: object = 0,
     cache_dir: str | Path | None = None,
     jobs: int = 1,
+    obs: Observability | None = None,
 ) -> SweepResult:
     """Measure a detector across an arbitrary parameter grid.
 
     ``parameter`` is any knob of :class:`DetectorConfig`; ``values`` are
     the settings to sweep (defaults to the paper's Table 3 granularities).
+    An ``obs`` bundle gets one span per assembled cell and — when its
+    registry is shared with the runner, as here — the harness counters;
+    the result's ``metrics`` carries the same snapshot either way.
     """
     if values is None:
         values = list(_tables.PAPER_TABLE3_GRANULARITIES)
-    runner = make_runner(
-        workload_seed=workload_seed, runs=runs, cache_dir=cache_dir, jobs=jobs
+    runner = ExperimentRunner(
+        workload_seed=workload_seed,
+        runs=runs,
+        cache_dir=cache_dir,
+        jobs=jobs,
+        metrics=obs.metrics if obs is not None else None,
     )
     return _sweep(
         runner,
@@ -221,6 +245,7 @@ def sweep(
         values=values,
         apps=apps,
         include_detection=include_detection,
+        obs=obs,
     )
 
 
@@ -233,6 +258,7 @@ def run_fuzz(
     config: OracleConfig = DEFAULT_ORACLE,
     corpus_dir: str | Path | None = None,
     log=None,
+    obs: Observability | None = None,
 ) -> FuzzReport:
     """Differential-fuzz ``seeds`` generated programs (see :mod:`repro.fuzz`).
 
@@ -241,6 +267,8 @@ def run_fuzz(
     and classifies every divergence.  ``jobs > 1`` fans seeds out over
     worker processes with bit-for-bit identical reports; with
     ``corpus_dir`` set, unexplained cases are shrunk to reproducers there.
+    An ``obs`` bundle gets one ``fuzz.case`` event per case plus ``fuzz.*``
+    counters (emitted after the fan-in; the report is unaffected).
     """
     return _run_fuzz(
         seeds,
@@ -250,6 +278,7 @@ def run_fuzz(
         config=config,
         corpus_dir=corpus_dir,
         log=log,
+        obs=obs,
     )
 
 
@@ -261,9 +290,22 @@ __all__ = [
     "detect",
     "detect_many",
     "run_fuzz",
+    "run_benchmark",
     "make_runner",
     "run_grid",
     "default_jobs",
+    # performance observatory
+    "BENCHMARKS",
+    "BenchResult",
+    "BenchComparison",
+    "BenchSchemaError",
+    "bench_path",
+    "compare_bench",
+    "load_bench",
+    "validate_bench",
+    "write_bench",
+    "DEFAULT_REGRESSION_THRESHOLD",
+    "FlightRecorder",
     # typed results
     "PipelineRun",
     "RunReport",

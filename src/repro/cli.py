@@ -15,7 +15,11 @@ Commands:
 * ``fuzz`` — differential fuzzing: N generated programs through the whole
   detector suite, every divergence classified against the approximation
   taxonomy; exits 1 if any divergence stays unexplained (writing shrunk
-  reproducers to ``--corpus``).
+  reproducers to ``--corpus``);
+* ``bench`` — the continuous performance observatory: run one named
+  benchmark, write the structured ``BENCH_<name>.json`` artifact, and with
+  ``--compare OLD.json`` exit 1 on any per-phase regression >= the
+  threshold (default 10%).
 
 Every verb accepts ``--jobs/-j N``: grid commands (``exhibit``, ``sweep``)
 fan their evaluation grid out over N worker processes with bit-for-bit
@@ -77,15 +81,27 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _open_trace_out(path: str | None):
+    """A JSONL emitter for ``--trace-out`` (or None), with a usage error."""
+    if not path:
+        return None, 0
+    try:
+        return JsonlEmitter.to_path(path), 0
+    except OSError as exc:
+        print(f"cannot open --trace-out {path!r}: {exc}", file=sys.stderr)
+        return None, 2
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    emitter = None
-    if args.trace_out:
-        try:
-            emitter = JsonlEmitter.to_path(args.trace_out)
-        except OSError as exc:
-            print(f"cannot open --trace-out {args.trace_out!r}: {exc}", file=sys.stderr)
-            return 2
-    obs = Observability(emitter=emitter, collect_metrics=args.metrics)
+    emitter, status = _open_trace_out(args.trace_out)
+    if status:
+        return status
+    recorder = None
+    if args.telemetry or args.flame:
+        recorder = api.FlightRecorder()
+    obs = Observability(
+        emitter=emitter, collect_metrics=args.metrics, telemetry=recorder
+    )
     try:
         run = api.run_pipeline(
             args.app,
@@ -98,6 +114,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     finally:
         obs.close()
+
+    if args.flame:
+        recorder.write_flame(args.flame)
 
     if args.json:
         print(run.report.to_json(indent=2))
@@ -129,6 +148,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"trace events: {emitter.total:,} -> {args.trace_out}")
     if args.metrics:
         print(obs.metrics.format("run metrics"))
+    if recorder is not None:
+        print(recorder.format())
+    if args.flame:
+        print(f"collapsed stacks -> {args.flame}")
     return 0
 
 
@@ -187,9 +210,14 @@ def _cmd_exhibit(args: argparse.Namespace) -> int:
         built = counters.get("harness.traces_built", 0)
         cached = counters.get("harness.trace_cache_hits", 0)
         verdicts = counters.get("harness.verdict_cache_hits", 0)
+        memo_hits = counters.get("harness.trace_memo_hits", 0)
+        memo_misses = counters.get("harness.trace_memo_misses", 0)
+        evictions = counters.get("harness.trace_memo_evictions", 0)
         print(
             f"[grid] jobs={result.jobs} traces built={built} "
-            f"trace-cache hits={cached} verdict-cache hits={verdicts}",
+            f"trace-cache hits={cached} verdict-cache hits={verdicts} "
+            f"memo hits={memo_hits} misses={memo_misses} "
+            f"evictions={evictions}",
             file=sys.stderr,
         )
     return 0
@@ -222,17 +250,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
         return 2
-    result = api.sweep(
-        args.detector,
-        args.parameter,
-        values,
-        apps=apps,
-        runs=args.runs,
-        include_detection=not args.no_detection,
-        cache_dir=args.cache_dir,
-        jobs=_resolve_jobs(args),
-    )
+    emitter, status = _open_trace_out(args.trace_out)
+    if status:
+        return status
+    obs = Observability(emitter=emitter, collect_metrics=args.metrics)
+    try:
+        result = api.sweep(
+            args.detector,
+            args.parameter,
+            values,
+            apps=apps,
+            runs=args.runs,
+            include_detection=not args.no_detection,
+            cache_dir=args.cache_dir,
+            jobs=_resolve_jobs(args),
+            obs=obs,
+        )
+    finally:
+        obs.close()
     print(result.format())
+    if args.trace_out:
+        print(f"trace events: {emitter.total:,} -> {args.trace_out}")
+    if args.metrics:
+        print(obs.metrics.format("sweep metrics"))
     return 0
 
 
@@ -253,13 +293,28 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     import json
 
-    report = api.run_fuzz(
-        args.seeds,
-        jobs=_resolve_jobs(args),
-        workload_seed=args.seed,
-        corpus_dir=args.corpus,
-        log=lambda message: print(f"[fuzz] {message}", file=sys.stderr),
-    )
+    emitter, status = _open_trace_out(args.trace_out)
+    if status:
+        return status
+    obs = Observability(emitter=emitter, collect_metrics=args.metrics)
+    try:
+        report = api.run_fuzz(
+            args.seeds,
+            jobs=_resolve_jobs(args),
+            workload_seed=args.seed,
+            corpus_dir=args.corpus,
+            log=lambda message: print(f"[fuzz] {message}", file=sys.stderr),
+            obs=obs,
+        )
+    finally:
+        obs.close()
+    if args.trace_out:
+        print(
+            f"[fuzz] trace events: {emitter.total:,} -> {args.trace_out}",
+            file=sys.stderr,
+        )
+    if args.metrics:
+        print(obs.metrics.format("fuzz metrics"), file=sys.stderr)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -284,6 +339,60 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         for path in report.reproducers:
             print(f"  reproducer written: {path}")
     return 1 if report.unexplained else 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.load:
+        try:
+            result = api.load_bench(args.load)
+        except api.BenchSchemaError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    else:
+        if not args.name:
+            print("bench: name a benchmark or pass --load PATH", file=sys.stderr)
+            return 2
+        try:
+            result = api.run_benchmark(
+                args.name,
+                app=args.app,
+                detectors=args.detectors,
+                rounds=args.rounds,
+                workload_seed=args.seed,
+                schedule_seed=args.schedule_seed,
+                log=lambda message: print(f"[bench] {message}", file=sys.stderr),
+            )
+        except api.HarnessError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if not args.no_out:
+            path = api.write_bench(result, args.out or api.bench_path(result.name))
+            print(f"[bench] wrote {path}", file=sys.stderr)
+
+    if args.json:
+        print(result.to_json(indent=2))
+    else:
+        print(f"bench {result.name}: {result.rounds} round(s)")
+        for name, entry in result.phases.items():
+            rounds = ", ".join(f"{s:.3f}" for s in entry["rounds_s"])
+            print(f"  {name:<18}{entry['min_s']:>9.3f}s  (rounds: {rounds})")
+
+    if args.compare:
+        try:
+            old = api.load_bench(args.compare)
+        except api.BenchSchemaError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        comparison = api.compare_bench(old, result, threshold=args.threshold)
+        print(comparison.format())
+        if not comparison.ok:
+            if args.warn_only:
+                print(
+                    "bench compare: regressed, but --warn-only set", file=sys.stderr
+                )
+                return 0
+            return 1
+    return 0
 
 
 def _cmd_collision(_: argparse.Namespace) -> int:
@@ -351,6 +460,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the machine-readable RunReport instead of text",
     )
+    run.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="attach the engine flight recorder (sampled per-core step "
+        "time, lane dedup ratio, sync density)",
+    )
+    run.add_argument(
+        "--flame",
+        metavar="PATH",
+        default=None,
+        help="write flamegraph collapsed stacks to PATH (implies --telemetry)",
+    )
     run.set_defaults(func=_cmd_run)
 
     profile = sub.add_parser(
@@ -406,6 +527,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the injected-run detection columns (alarms only)",
     )
     sweep.add_argument("--cache-dir", default="results/cache")
+    sweep.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="stream typed JSONL events (sweep.cell spans) to PATH",
+    )
+    sweep.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the harness metrics (trace memo/cache counters, timers)",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     fuzz = sub.add_parser(
@@ -428,7 +560,85 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the machine-readable FuzzReport instead of text",
     )
+    fuzz.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="stream typed JSONL events (fuzz.case) to PATH",
+    )
+    fuzz.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print fuzz.* counters and histograms to stderr",
+    )
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run a named performance benchmark (continuous observatory)",
+        parents=[jobs_parent],
+    )
+    bench.add_argument(
+        "name",
+        nargs="?",
+        choices=api.BENCHMARKS,
+        help="benchmark to run (omit with --load)",
+    )
+    bench.add_argument(
+        "--rounds", type=int, default=3, help="timing rounds (min is kept)"
+    )
+    bench.add_argument(
+        "--app",
+        type=_workload_name,
+        default=None,
+        help="workload override (benchmark default otherwise)",
+    )
+    bench.add_argument(
+        "--detectors",
+        default=None,
+        help="comma-separated detector keys (benchmark default otherwise)",
+    )
+    bench.add_argument("--seed", type=int, default=0, help="workload seed")
+    bench.add_argument("--schedule-seed", type=int, default=0)
+    bench.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="artifact path (default BENCH_<name>.json)",
+    )
+    bench.add_argument(
+        "--no-out", action="store_true", help="do not write the artifact"
+    )
+    bench.add_argument(
+        "--load",
+        metavar="PATH",
+        default=None,
+        help="load an existing artifact instead of running the benchmark",
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="OLD",
+        default=None,
+        help="compare against this artifact; exit 1 on any per-phase "
+        "regression at --threshold",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=api.DEFAULT_REGRESSION_THRESHOLD,
+        help="regression threshold as a fraction (default 0.10 = 10%%)",
+    )
+    bench.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (cross-machine CI trend jobs)",
+    )
+    bench.add_argument(
+        "--json",
+        action="store_true",
+        help="print the BenchResult JSON instead of the phase table",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     sub.add_parser(
         "collision",

@@ -1,0 +1,44 @@
+"""Atomic file writes shared by every on-disk artifact the toolkit emits.
+
+Every durable artifact — cached verdicts, pickled traces, run reports,
+benchmark results, metrics exports — goes through the same protocol: write
+the full payload to a process-private temporary file in the destination
+directory, then :func:`os.replace` it over the final name.  ``os.replace``
+is atomic on POSIX (and on Windows within one volume), so a reader never
+observes a truncated file and a killed writer leaves at worst an orphaned
+``*.tmp`` alongside the previous complete version.
+
+The temporary name carries the writer's pid, so concurrent processes racing
+to produce the same artifact never interleave writes into one temp file;
+the last rename wins with a complete payload either way.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def _tmp_path(path: Path) -> Path:
+    """The process-private temporary sibling of ``path``."""
+    return path.with_name(f"{path.name}.{os.getpid()}.tmp")
+
+
+def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> Path:
+    """Write ``text`` to ``path`` atomically; returns the final path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = _tmp_path(path)
+    tmp.write_text(text, encoding=encoding)
+    os.replace(tmp, path)
+    return path
+
+
+def atomic_write_bytes(path: str | Path, payload: bytes) -> Path:
+    """Write ``payload`` to ``path`` atomically; returns the final path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = _tmp_path(path)
+    tmp.write_bytes(payload)
+    os.replace(tmp, path)
+    return path

@@ -153,6 +153,10 @@ class MachineGroup:
         self.lanes: list[MachineLane] = []
         #: Cores assigned to this group (filled by the session).
         self.members: list = []
+        #: Machine accesses performed once on the shared replay.  Each one
+        #: is a dedup win of (members - 1) avoided replays — the quantity
+        #: the flight recorder reports as the lane dedup hit ratio.
+        self.accesses = 0
 
     def lane(self) -> MachineLane:
         """A new lane over the shared machine (one per member detector)."""
@@ -170,6 +174,7 @@ class MachineGroup:
         elif kind is OpKind.BARRIER:
             return
         elif kind is OpKind.LOCK or kind is OpKind.UNLOCK:
+            self.accesses += 1
             result = machine.access(
                 machine.core_for_thread(event.thread_id),
                 op.addr,
@@ -179,6 +184,7 @@ class MachineGroup:
             for lane in self.lanes:
                 lane._result = result
         else:
+            self.accesses += 1
             result = machine.access(
                 machine.core_for_thread(event.thread_id),
                 op.addr,

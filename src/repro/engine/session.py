@@ -15,6 +15,12 @@ emits cache events (``l2.displacement``, ``cache.evict``…) through the
 machine, and sharing would conflate which detector's replay produced them.
 Metrics-only observability is share-safe — the machine's behaviour depends
 on ``obs`` only through the emitter.
+
+A :class:`~repro.obs.telemetry.FlightRecorder` on the bundle
+(``obs.telemetry``) is also share-safe: the engine switches to sampled walk
+variants that dispatch the *identical* event sequence and add only one
+countdown per stepped event, timing every ``sample_period``-th step to
+estimate per-core wall time, events/sec, and the lane dedup ratio.
 """
 
 from __future__ import annotations
@@ -53,6 +59,8 @@ class EngineSession:
         self.obs = obs
         self._cores: list = []
         self._ran = False
+        #: Op-kind census estimates of the last telemetry-recorded run.
+        self._census: dict | None = None
 
     # ------------------------------------------------------------ registration
 
@@ -94,11 +102,14 @@ class EngineSession:
         self._ran = True
         obs = self.obs
         tracing = obs is not None and obs.emitter.enabled
+        recorder = obs.telemetry if obs is not None else None
+        if recorder is not None:
+            self._census = recorder.observe_trace(self.trace)
 
         if tracing:
             for core in self._cores:
                 core.begin(self.trace, obs=obs)
-            self._walk_traced()
+            self._walk_traced(recorder)
             return [core.finish() for core in self._cores]
 
         groups: dict = {}
@@ -121,13 +132,81 @@ class EngineSession:
                 solo.append(core)
         for group in groups.values():
             if len(group.members) > 1:
-                self._walk_group(group)
+                if recorder is not None:
+                    self._walk_group_sampled(group, recorder)
+                else:
+                    self._walk_group(group)
         for core in solo:
             core.begin(self.trace, obs=obs)
-            step = core.step
-            for event in self.trace:
-                step(event)
+            if recorder is not None:
+                self._walk_solo_sampled(core, recorder)
+            else:
+                step = core.step
+                for event in self.trace:
+                    step(event)
         return [core.finish() for core in self._cores]
+
+    def _walk_group_sampled(self, group: MachineGroup, recorder) -> None:
+        # The flight-recorder variant of _walk_group: identical event
+        # dispatch (so results stay bit-for-bit), plus one countdown per
+        # stepped event; every sample_period-th stepped event times each
+        # member's step individually.  The sampled means scale to per-core
+        # wall estimates, and the stepped count falls out of the countdown
+        # arithmetic — no extra per-event accounting.
+        feed = group.feed
+        steps = [core.step for core in group.members]
+        indices = range(len(steps))
+        COMPUTE = OpKind.COMPUTE
+        perf = time.perf_counter
+        period = recorder.sample_period
+        countdown = period
+        samples = 0
+        spent = [0.0] * len(steps)
+        t_walk = perf()
+        for event in self.trace:
+            feed(event)
+            if event.op.kind is not COMPUTE:
+                countdown -= 1
+                if countdown:
+                    for step in steps:
+                        step(event)
+                else:
+                    countdown = period
+                    samples += 1
+                    for index in indices:
+                        t0 = perf()
+                        steps[index](event)
+                        spent[index] += perf() - t0
+        wall = perf() - t_walk
+        stepped = samples * period + (period - countdown)
+        recorder.record_walk(wall)
+        for core, sampled_s in zip(group.members, spent):
+            recorder.record_core_walk(core.name, stepped, sampled_s, samples)
+        recorder.record_group(len(steps), group.accesses)
+
+    def _walk_solo_sampled(self, core, recorder) -> None:
+        # Sampled walk of one independent core (own machine or trace-only).
+        step = core.step
+        perf = time.perf_counter
+        period = recorder.sample_period
+        countdown = period
+        samples = 0
+        spent = 0.0
+        t_walk = perf()
+        for event in self.trace:
+            countdown -= 1
+            if countdown:
+                step(event)
+            else:
+                countdown = period
+                samples += 1
+                t0 = perf()
+                step(event)
+                spent += perf() - t0
+        wall = perf() - t_walk
+        stepped = samples * period + (period - countdown)
+        recorder.record_walk(wall)
+        recorder.record_core_walk(core.name, stepped, spent, samples)
 
     def _walk_group(self, group: MachineGroup) -> None:
         # COMPUTE events touch only the shared machine's cycle ledger (the
@@ -144,13 +223,16 @@ class EngineSession:
                 for step in steps:
                     step(event)
 
-    def _walk_traced(self) -> None:
+    def _walk_traced(self, recorder=None) -> None:
         # Emitter active: every core replays its own machine (no sharing),
         # and the walk emits one span per core with its cumulative step time.
+        # Per-core timing is exact here, so a flight recorder (if any) gets
+        # samples == stepped rather than a sampled estimate.
         emitter = self.obs.emitter
         steps = [core.step for core in self._cores]
         spent = [0.0] * len(steps)
         perf = time.perf_counter
+        t_walk = perf()
         with emitter.span("engine.walk", cores=len(steps)):
             for event in self.trace:
                 for index, step in enumerate(steps):
@@ -161,6 +243,11 @@ class EngineSession:
             emitter.emit(
                 "span", name=f"engine.core.{core.name}", wall_s=round(wall, 6)
             )
+        if recorder is not None:
+            events = len(self.trace)
+            recorder.record_walk(perf() - t_walk)
+            for core, wall in zip(self._cores, spent):
+                recorder.record_core_walk(core.name, events, wall, events)
 
 
 def detect_with_engine(trace: Trace, detectors, obs=None) -> list:

@@ -204,6 +204,39 @@ def write_reproducer(
     )
 
 
+def _observe_report(report: FuzzReport, obs) -> None:
+    """Emit one ``fuzz.case`` event per judged case and book counters.
+
+    Runs in the parent after the deterministic fan-in, so ``--trace-out``
+    and ``--metrics`` never perturb worker results: the report stays
+    bit-for-bit identical with or without observability.
+    """
+    emitter = obs.emitter
+    metrics = obs.metrics
+    metrics.add("fuzz.seeds", report.seeds)
+    for result in report.results:
+        divergences = len(result.verdict.divergences)
+        unexplained = len(result.verdict.unexplained)
+        metrics.add("fuzz.cases")
+        metrics.add(f"fuzz.case.{result.case}")
+        if unexplained:
+            metrics.add("fuzz.cases_unexplained")
+        metrics.observe("fuzz.divergences_per_case", divergences)
+        if emitter.enabled:
+            emitter.emit(
+                "fuzz.case",
+                seed=result.seed,
+                case=result.case,
+                divergences=divergences,
+                unexplained=unexplained,
+                kinds=sorted(
+                    {d.kind.value for d in result.verdict.divergences}
+                ),
+            )
+    for kind, count in report.divergence_counts.items():
+        metrics.add(f"fuzz.divergence.{kind}", count)
+
+
 def run_fuzz(
     seeds: int = 100,
     *,
@@ -213,11 +246,14 @@ def run_fuzz(
     config: OracleConfig = DEFAULT_ORACLE,
     corpus_dir: str | Path | None = None,
     log: Callable[[str], None] | None = None,
+    obs=None,
 ) -> FuzzReport:
     """Fuzz ``seeds`` programs and return the merged deterministic report.
 
     With ``corpus_dir`` set, every unexplained case is shrunk and written
-    there as a replayable reproducer.
+    there as a replayable reproducer.  An ``obs`` bundle gets one typed
+    ``fuzz.case`` event per case plus ``fuzz.*`` counters, emitted after
+    the fan-in so the report itself is unaffected.
     """
     if seeds <= 0:
         raise HarnessError("need at least one fuzz seed")
@@ -232,6 +268,8 @@ def run_fuzz(
     results = [result for batch in raw for result in batch]
     results.sort(key=lambda r: (r.seed, r.case))
     report = FuzzReport(seeds=seeds, workload_seed=workload_seed, results=results)
+    if obs is not None:
+        _observe_report(report, obs)
     if corpus_dir is not None and report.unexplained:
         for result in report.unexplained:
             if log is not None:

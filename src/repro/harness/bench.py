@@ -1,0 +1,212 @@
+"""Named benchmarks behind ``repro bench``: structured, comparable, cheap.
+
+Each benchmark runs a fixed pipeline shape for N rounds, times every phase
+per round, and packs the result into the observatory's
+:class:`~repro.obs.perf.BenchResult` schema — per-phase min-of-rounds
+timings plus a :class:`~repro.obs.telemetry.FlightRecorder` counter
+snapshot — so ``BENCH_<name>.json`` artifacts diff cleanly across commits
+via :func:`repro.obs.perf.compare_bench`.
+
+Two benchmarks cover the engine's hot paths:
+
+* ``engine`` — the Table 2 cell shape: one interleaved trace scored by
+  several detector configurations in a single
+  :class:`~repro.engine.EngineSession` pass (machine sharing on, flight
+  recorder on).  Phases: ``build``, ``interleave``, ``detect``.
+* ``pipeline`` — one full observed :func:`~repro.harness.pipeline.run_pipeline`
+  (build → interleave → characterize → detect), phases straight from its
+  :class:`~repro.obs.profile.PhaseProfiler`.
+
+Both accept ``--app``/``--detectors`` overrides so CI can run the full
+water-nsquared cell while tests use a seconds-scale workload.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.common.errors import HarnessError
+from repro.engine import EngineSession
+from repro.harness.detectors import DetectorConfig
+from repro.obs import FlightRecorder, Observability
+from repro.obs.perf import BenchResult
+from repro.threads.runtime import interleave
+from repro.threads.scheduler import RandomScheduler
+from repro.workloads.registry import build_workload
+
+#: The Table 2 cell the engine benchmark replays by default.
+DEFAULT_ENGINE_APP = "water-nsquared"
+DEFAULT_ENGINE_DETECTORS = ("hard-default", "hb-default", "software", "hb-ideal")
+DEFAULT_PIPELINE_APP = "raytrace"
+
+#: Names ``run_benchmark`` accepts.
+BENCHMARKS = ("engine", "pipeline")
+
+
+def _coerce_configs(detectors) -> list[DetectorConfig]:
+    if isinstance(detectors, str):
+        detectors = [key.strip() for key in detectors.split(",") if key.strip()]
+    configs = [DetectorConfig.coerce(key) for key in detectors]
+    if not configs:
+        raise HarnessError("benchmark needs at least one detector")
+    return configs
+
+
+def _bench_engine(
+    *,
+    app: str,
+    detectors,
+    rounds: int,
+    workload_seed: int,
+    schedule_seed: int,
+    log: Callable[[str], None] | None,
+) -> BenchResult:
+    configs = _coerce_configs(detectors)
+    recorder = FlightRecorder()
+    perf = time.perf_counter
+    build_s: list[float] = []
+    interleave_s: list[float] = []
+    detect_s: list[float] = []
+    trace_events = 0
+    for index in range(rounds):
+        t0 = perf()
+        program = build_workload(app, seed=workload_seed)
+        build_s.append(perf() - t0)
+
+        t0 = perf()
+        scheduler = RandomScheduler(seed=schedule_seed, max_burst=8)
+        trace = interleave(program, scheduler).trace
+        interleave_s.append(perf() - t0)
+        trace_events = len(trace)
+
+        session = EngineSession(trace, obs=Observability(telemetry=recorder))
+        for config in configs:
+            session.add_config(config)
+        t0 = perf()
+        session.run()
+        detect_s.append(perf() - t0)
+        if log is not None:
+            log(
+                f"round {index + 1}/{rounds}: build {build_s[-1]:.3f}s "
+                f"interleave {interleave_s[-1]:.3f}s detect {detect_s[-1]:.3f}s"
+            )
+
+    telemetry = recorder.snapshot()
+    result = BenchResult(name="engine", rounds=rounds)
+    result.add_phase("build", build_s)
+    result.add_phase("interleave", interleave_s)
+    result.add_phase("detect", detect_s)
+    result.counters = telemetry["counters"]
+    result.extras = {
+        "app": app,
+        "detectors": [config.key for config in configs],
+        "trace_events": trace_events,
+        "workload_seed": workload_seed,
+        "schedule_seed": schedule_seed,
+        "telemetry": {
+            "derived": telemetry["derived"],
+            "cores": telemetry["cores"],
+            "frames": telemetry["frames"],
+        },
+    }
+    return result
+
+
+def _bench_pipeline(
+    *,
+    app: str,
+    detectors,
+    rounds: int,
+    workload_seed: int,
+    schedule_seed: int,
+    log: Callable[[str], None] | None,
+) -> BenchResult:
+    from repro.harness.pipeline import run_pipeline
+
+    configs = _coerce_configs(detectors)
+    detector_key = ",".join(config.key for config in configs)
+    recorder = FlightRecorder()
+    phase_rounds: dict[str, list[float]] = {}
+    trace_events = 0
+    for index in range(rounds):
+        obs = Observability(telemetry=recorder)
+        run = run_pipeline(
+            app,
+            detector_key,
+            workload_seed=workload_seed,
+            schedule_seed=schedule_seed,
+            obs=obs,
+        )
+        trace_events = run.report.trace_events
+        for record in run.profiler.records:
+            phase_rounds.setdefault(record.name, []).append(record.wall_s)
+        if log is not None:
+            log(
+                f"round {index + 1}/{rounds}: "
+                f"{run.profiler.total_wall_s:.3f}s total"
+            )
+
+    telemetry = recorder.snapshot()
+    result = BenchResult(name="pipeline", rounds=rounds)
+    for name, rounds_s in phase_rounds.items():
+        result.add_phase(name, rounds_s)
+    result.counters = telemetry["counters"]
+    result.extras = {
+        "app": app,
+        "detectors": [config.key for config in configs],
+        "trace_events": trace_events,
+        "workload_seed": workload_seed,
+        "schedule_seed": schedule_seed,
+        "telemetry": {
+            "derived": telemetry["derived"],
+            "cores": telemetry["cores"],
+            "frames": telemetry["frames"],
+        },
+    }
+    return result
+
+
+def run_benchmark(
+    name: str,
+    *,
+    app: str | None = None,
+    detectors=None,
+    rounds: int = 3,
+    workload_seed: int = 0,
+    schedule_seed: int = 0,
+    log: Callable[[str], None] | None = None,
+) -> BenchResult:
+    """Run one named benchmark and return its structured result.
+
+    Args:
+        name: one of :data:`BENCHMARKS`.
+        app: workload override (defaults per benchmark).
+        detectors: detector keys (sequence or comma-separated string).
+        rounds: timing rounds; every phase keeps all of them and the min.
+        workload_seed / schedule_seed: the usual determinism knobs.
+        log: optional per-round progress sink (e.g. stderr printer).
+    """
+    if rounds < 1:
+        raise HarnessError(f"rounds must be >= 1, got {rounds}")
+    if name == "engine":
+        return _bench_engine(
+            app=app or DEFAULT_ENGINE_APP,
+            detectors=detectors or DEFAULT_ENGINE_DETECTORS,
+            rounds=rounds,
+            workload_seed=workload_seed,
+            schedule_seed=schedule_seed,
+            log=log,
+        )
+    if name == "pipeline":
+        return _bench_pipeline(
+            app=app or DEFAULT_PIPELINE_APP,
+            detectors=detectors or ("hard-default",),
+            rounds=rounds,
+            workload_seed=workload_seed,
+            schedule_seed=schedule_seed,
+            log=log,
+        )
+    raise HarnessError(
+        f"unknown benchmark {name!r}; expected one of {BENCHMARKS}"
+    )

@@ -37,13 +37,13 @@ Three caches keep the sweeps cheap:
 from __future__ import annotations
 
 import json
-import os
 from collections import OrderedDict
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.common.events import Trace
+from repro.common.fsio import atomic_write_text
 from repro.common.rng import derive_seed
 from repro.engine import EngineSession
 from repro.harness.detectors import DetectorConfig, config_signature
@@ -132,6 +132,10 @@ class ExperimentRunner:
             unbounded memo grows linearly with the number of (app, run)
             executions visited.  ``None`` disables the bound.  The on-disk
             trace cache is unaffected: evicted traces reload from disk.
+        metrics: an existing :class:`~repro.obs.metrics.MetricsRegistry` to
+            book harness counters into (defaults to a private registry);
+            pass an Observability bundle's registry to surface trace-memo
+            and cache counters in its RunReport.
     """
 
     #: Default LRU capacity of the in-memory trace memo.  A full Table 2
@@ -149,6 +153,7 @@ class ExperimentRunner:
         jobs: int = 1,
         trace_cache_dir: str | Path | None = None,
         trace_memo_limit: int | None = DEFAULT_TRACE_MEMO_LIMIT,
+        metrics: MetricsRegistry | None = None,
     ):
         self.workload_seed = workload_seed
         self.runs = runs
@@ -159,7 +164,9 @@ class ExperimentRunner:
         if trace_cache_dir is None and self.cache_dir is not None:
             trace_cache_dir = self.cache_dir / "traces"
         self.trace_cache = TraceCache(trace_cache_dir)
-        self.metrics = MetricsRegistry()
+        # Callers may share a registry (e.g. an Observability bundle's) so
+        # harness cache counters surface in their RunReport/metrics output.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         if trace_memo_limit is not None and trace_memo_limit < 1:
             trace_memo_limit = 1
         self.trace_memo_limit = trace_memo_limit
@@ -191,6 +198,7 @@ class ExperimentRunner:
         key = (app, run)
         trace = self._traces.get(key)
         if trace is None:
+            self.metrics.add("harness.trace_memo_misses")
             trace = self._build_trace(app, run)
             self._traces[key] = trace
             limit = self.trace_memo_limit
@@ -200,6 +208,7 @@ class ExperimentRunner:
                     self.drop_trace(oldest_app, oldest_run)
                     self.metrics.add("harness.trace_memo_evictions")
         else:
+            self.metrics.add("harness.trace_memo_hits")
             self._traces.move_to_end(key)
         return trace
 
@@ -436,12 +445,9 @@ class ExperimentRunner:
                 "detector_extra_cycles": outcome.detector_extra_cycles,
             }
         )
-        # Write-then-rename so a crashed or parallel sweep never leaves a
-        # truncated JSON file that poisons every later cache hit.  The pid
-        # suffix keeps concurrent workers off each other's temp files.
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(payload)
-        os.replace(tmp, path)
+        # Atomic write-then-rename so a crashed or parallel sweep never
+        # leaves a truncated JSON file that poisons every later cache hit.
+        atomic_write_text(path, payload)
 
 
 @dataclass

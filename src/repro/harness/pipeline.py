@@ -179,7 +179,20 @@ def run_pipeline(
             for r in results
         }
 
+    recorder = obs.telemetry
+    if recorder is not None:
+        # Per-phase wall time lands in the flame frames too, so a collapsed
+        # dump shows the whole pipeline, not just the engine walk.
+        for record in profiler.records:
+            recorder.record_frame(("pipeline", record.name), record.wall_s)
+    telemetry = recorder.snapshot() if recorder is not None else {}
+
     metrics = obs.metrics.snapshot_all()
+    cache = {
+        name: value
+        for name, value in metrics["counters"].items()
+        if name.startswith("harness.")
+    }
     report = RunReport(
         app=app,
         detector=detector_label,
@@ -197,6 +210,8 @@ def run_pipeline(
         timers=metrics["timers"],
         event_counts=dict(emitted) if emitted is not None else {},
         throughput=throughput,
+        cache=cache,
+        telemetry=telemetry,
     )
     return PipelineRun(
         report=report,

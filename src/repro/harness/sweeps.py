@@ -17,6 +17,7 @@ outcome stays bit-for-bit what a standalone evaluation produces.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.harness.detectors import DetectorConfig
@@ -42,6 +43,9 @@ class SweepResult:
     parameter: str
     cells: list[SweepCell]
     runs: int = 10
+    #: The runner's harness metrics snapshot (trace memo/cache counters,
+    #: per-phase timers) — ``repro sweep --metrics`` prints it.
+    metrics: dict = field(default_factory=dict, compare=False)
     _index: dict[tuple[str, object], SweepCell] = field(
         init=False, repr=False, compare=False, default_factory=dict
     )
@@ -112,6 +116,7 @@ def sweep(
     values: list[object],
     apps: tuple[str, ...],
     include_detection: bool = True,
+    obs=None,
 ) -> SweepResult:
     """Measure a detector across a parameter grid.
 
@@ -119,7 +124,12 @@ def sweep(
     :class:`~repro.harness.detectors.DetectorConfig` (``granularity``,
     ``l2_size``, ``vector_bits``, ``barrier_reset``, ``broadcast_updates``,
     ``use_counter_register``).
+
+    An ``obs`` bundle gets one ``span`` event per assembled (app, value)
+    cell; the returned result's ``metrics`` carries the runner's harness
+    counters either way.
     """
+    emitter = obs.emitter if obs is not None else None
     prefetch = getattr(runner, "prefetch", None)
     if prefetch is not None:
         prefetch(
@@ -136,18 +146,28 @@ def sweep(
     for app in apps:
         for value in values:
             overrides = {parameter: value}
-            detected = (
-                runner.detection_count(app, detector, **overrides)
-                if include_detection
-                else 0
-            )
-            alarms = runner.false_alarm_count(app, detector, **overrides)
+            with _cell_span(emitter, app, parameter, value):
+                detected = (
+                    runner.detection_count(app, detector, **overrides)
+                    if include_detection
+                    else 0
+                )
+                alarms = runner.false_alarm_count(app, detector, **overrides)
             cells.append(
                 SweepCell(app=app, value=value, detected=detected, alarms=alarms)
             )
+    runner_metrics = getattr(runner, "metrics", None)
     return SweepResult(
         detector=detector,
         parameter=parameter,
         cells=cells,
         runs=getattr(runner, "runs", 10),
+        metrics=runner_metrics.snapshot_all() if runner_metrics is not None else {},
     )
+
+
+def _cell_span(emitter, app: str, parameter: str, value: object):
+    """A ``sweep.cell`` span over one cell assembly (no-op without emitter)."""
+    if emitter is None or not emitter.enabled:
+        return nullcontext()
+    return emitter.span("sweep.cell", app=app, parameter=parameter, value=str(value))

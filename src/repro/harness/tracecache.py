@@ -22,11 +22,11 @@ them as misses.
 
 from __future__ import annotations
 
-import os
 import pickle
 from pathlib import Path
 
 from repro.common.events import Trace
+from repro.common.fsio import atomic_write_bytes
 from repro.common.rng import derive_seed
 
 #: Bumped whenever the Trace layout or the interleaving semantics change,
@@ -88,12 +88,9 @@ class TraceCache:
         path = self.path_for(app, run, *key_parts)
         if path is None:
             return
-        # Suffix the temp name with the pid so two workers racing on the
-        # same entry never interleave writes into one temp file.
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        with tmp.open("wb") as fh:
-            pickle.dump(trace, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        atomic_write_bytes(
+            path, pickle.dumps(trace, protocol=pickle.HIGHEST_PROTOCOL)
+        )
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

@@ -10,6 +10,11 @@ The observability layer threaded through the whole pipeline:
   with counter-delta attribution;
 * :class:`~repro.obs.runreport.RunReport` — the machine-readable artifact
   of one run;
+* :class:`~repro.obs.telemetry.FlightRecorder` — sampled engine telemetry
+  (per-core step time, lane dedup, sync density, flamegraph frames);
+* :mod:`repro.obs.perf` and :mod:`repro.obs.export` — the continuous
+  performance observatory: the ``BENCH_<name>.json`` schema/writer/compare
+  and the Prometheus-text + JSON metrics exporters;
 * :class:`Observability` — the bundle detectors, the simulator and the
   runtime accept.  ``Observability()`` with no arguments is the *disabled*
   configuration: hot paths see ``active == False`` and skip all event and
@@ -33,6 +38,10 @@ from repro.obs.schema import (
     validate_event,
     validate_jsonl,
 )
+from repro.obs.telemetry import (
+    TELEMETRY_SCHEMA_VERSION,
+    FlightRecorder,
+)
 from repro.obs.trace import (
     NULL_EMITTER,
     CountingEmitter,
@@ -52,19 +61,26 @@ class Observability:
         metrics: the run's metrics registry.
         collect_metrics: record per-event metrics even when tracing is off
             (``repro run --metrics``).
+        telemetry: the optional engine flight recorder
+            (:class:`~repro.obs.telemetry.FlightRecorder`).  Unlike the
+            emitter, telemetry is *sampled* — the engine pays one countdown
+            per stepped event — so it does not flip :attr:`active` and the
+            detectors' per-event instrumentation stays off.
     """
 
-    __slots__ = ("emitter", "metrics", "collect_metrics")
+    __slots__ = ("emitter", "metrics", "collect_metrics", "telemetry")
 
     def __init__(
         self,
         emitter: TraceEmitter | None = None,
         metrics: MetricsRegistry | None = None,
         collect_metrics: bool = False,
+        telemetry: "FlightRecorder | None" = None,
     ):
         self.emitter = emitter if emitter is not None else NULL_EMITTER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.collect_metrics = collect_metrics
+        self.telemetry = telemetry
 
     @property
     def active(self) -> bool:
@@ -88,6 +104,8 @@ __all__ = [
     "MetricsRegistry",
     "Histogram",
     "Timer",
+    "FlightRecorder",
+    "TELEMETRY_SCHEMA_VERSION",
     "PhaseProfiler",
     "PhaseRecord",
     "RunReport",

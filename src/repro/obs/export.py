@@ -1,0 +1,100 @@
+"""Metrics exporters: Prometheus text format and JSON.
+
+The future streaming service (ROADMAP item 2) needs a ``/metrics``
+endpoint; these functions give it one for free by rendering any
+:class:`~repro.obs.metrics.MetricsRegistry` — including a
+:class:`~repro.obs.telemetry.FlightRecorder`'s registry — in the two
+formats monitoring stacks actually scrape:
+
+* :func:`to_prometheus` — the Prometheus text exposition format (0.0.4):
+  counters as ``counter``, timers as ``_seconds_total``/``_count`` pairs,
+  histograms as quantile-labelled ``summary`` families;
+* :func:`to_json` — the registry's full snapshot under a schema-versioned
+  envelope.
+
+Both have ``write_*`` companions using the repo-wide atomic write path, so
+a scraped-from-disk deployment never reads a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.common.fsio import atomic_write_text
+from repro.obs.metrics import MetricsRegistry
+
+#: Bumped on any backwards-incompatible change to the JSON envelope.
+METRICS_EXPORT_SCHEMA_VERSION = 1
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """A Prometheus-legal metric name for one registry key.
+
+    Dots (the registry's namespace separator) and any other illegal
+    characters become underscores; the ``prefix`` namespaces the whole
+    toolkit's metrics in a shared scrape.
+    """
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = f"_{sanitized}"
+    return f"{prefix}_{sanitized}" if prefix else sanitized
+
+
+def to_prometheus(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+
+    for name, value in registry.items():
+        metric = metric_name(name, prefix)
+        lines.append(f"# HELP {metric} Counter {name!r}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+
+    for hist in registry.histograms():
+        metric = metric_name(hist.name, prefix)
+        lines.append(f"# HELP {metric} Histogram {hist.name!r}")
+        lines.append(f"# TYPE {metric} summary")
+        for quantile in (0.5, 0.9, 0.99):
+            value = hist.percentile(quantile)
+            if value is not None:
+                lines.append(f'{metric}{{quantile="{quantile}"}} {value}')
+        lines.append(f"{metric}_sum {hist.total}")
+        lines.append(f"{metric}_count {hist.count}")
+
+    for timer in registry.timers():
+        metric = metric_name(timer.name, prefix)
+        lines.append(f"# HELP {metric}_seconds Timer {timer.name!r}")
+        lines.append(f"# TYPE {metric}_seconds_total counter")
+        lines.append(f"{metric}_seconds_total {timer.total_s}")
+        lines.append(f"# TYPE {metric}_count counter")
+        lines.append(f"{metric}_count {timer.count}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def to_json(registry: MetricsRegistry, indent: int | None = 2) -> str:
+    """Render a registry's full snapshot as one schema-versioned JSON object."""
+    return json.dumps(
+        {
+            "schema_version": METRICS_EXPORT_SCHEMA_VERSION,
+            **registry.snapshot_all(),
+        },
+        indent=indent,
+        sort_keys=True,
+    )
+
+
+def write_prometheus(
+    registry: MetricsRegistry, path: str | Path, prefix: str = "repro"
+) -> Path:
+    """Write the Prometheus rendering atomically; returns the path."""
+    return atomic_write_text(path, to_prometheus(registry, prefix))
+
+
+def write_json(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write the JSON rendering atomically; returns the path."""
+    return atomic_write_text(path, to_json(registry) + "\n")

@@ -1,0 +1,287 @@
+"""The continuous performance observatory: ``BENCH_<name>.json`` artifacts.
+
+Every benchmark in the repo — the drivers under ``benchmarks/`` and the
+``repro bench`` CLI verb — emits its result through one structured schema,
+so perf is comparable across commits, machines and CI runs:
+
+* :class:`BenchResult` — one benchmark outcome: machine info, round count,
+  per-phase timings (every round plus the min — min-of-rounds is the
+  established least-noise estimator here), a counter snapshot (typically a
+  :class:`~repro.obs.telemetry.FlightRecorder` snapshot's counters), and
+  free-form extras;
+* :func:`write_bench` / :func:`load_bench` — the shared writer (atomic
+  :func:`os.replace`, so a killed benchmark never leaves a truncated
+  artifact) and its validating loader;
+* :func:`validate_bench` — the schema check CI and tests run on emitted
+  artifacts;
+* :func:`compare_bench` — per-phase regression detection between two
+  artifacts; ``repro bench --compare OLD.json`` turns its verdict into an
+  exit code, which is the perf-trend gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.errors import ReproError
+from repro.common.fsio import atomic_write_text
+
+#: Bumped on any backwards-incompatible artifact change.
+BENCH_SCHEMA_VERSION = 1
+
+#: A phase must slow down by at least this fraction to count as a regression.
+DEFAULT_REGRESSION_THRESHOLD = 0.10
+
+
+class BenchSchemaError(ReproError):
+    """A benchmark artifact does not conform to the schema."""
+
+
+def machine_info() -> dict:
+    """The host identity stamped into every benchmark artifact."""
+    return {
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+@dataclass
+class BenchResult:
+    """One structured benchmark outcome.
+
+    ``phases`` maps a phase name to ``{"rounds_s": [...], "min_s": float}``;
+    use :meth:`add_phase` to keep the two consistent.
+    """
+
+    name: str
+    rounds: int
+    machine: dict = field(default_factory=machine_info)
+    phases: dict[str, dict] = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
+    schema_version: int = BENCH_SCHEMA_VERSION
+
+    def add_phase(self, name: str, rounds_s: list[float]) -> None:
+        """Record one phase's per-round wall times (min derived)."""
+        if not rounds_s:
+            raise BenchSchemaError(f"phase {name!r} needs at least one round")
+        self.phases[name] = {
+            "rounds_s": [round(s, 6) for s in rounds_s],
+            "min_s": round(min(rounds_s), 6),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "name": self.name,
+            "rounds": self.rounds,
+            "machine": dict(self.machine),
+            "phases": {name: dict(entry) for name, entry in self.phases.items()},
+            "counters": dict(self.counters),
+            "extras": dict(self.extras),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchResult":
+        problems = validate_bench(data)
+        if problems:
+            raise BenchSchemaError("; ".join(problems))
+        return cls(
+            name=data["name"],
+            rounds=data["rounds"],
+            machine=dict(data["machine"]),
+            phases={name: dict(entry) for name, entry in data["phases"].items()},
+            counters=dict(data.get("counters", {})),
+            extras=dict(data.get("extras", {})),
+            schema_version=data["schema_version"],
+        )
+
+
+def validate_bench(data: object) -> list[str]:
+    """Problems with one decoded benchmark artifact (empty list = valid)."""
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return [f"artifact is not an object: {type(data).__name__}"]
+    version = data.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {version!r} != {BENCH_SCHEMA_VERSION}"
+        )
+    if not isinstance(data.get("name"), str) or not data.get("name"):
+        problems.append("missing or empty 'name'")
+    if not isinstance(data.get("rounds"), int) or data.get("rounds", 0) < 1:
+        problems.append("'rounds' must be a positive integer")
+    machine = data.get("machine")
+    if not isinstance(machine, dict) or "platform" not in machine:
+        problems.append("'machine' must be an object with a 'platform'")
+    phases = data.get("phases")
+    if not isinstance(phases, dict) or not phases:
+        problems.append("'phases' must be a non-empty object")
+    else:
+        for name, entry in phases.items():
+            if not isinstance(entry, dict):
+                problems.append(f"phase {name!r} is not an object")
+                continue
+            rounds_s = entry.get("rounds_s")
+            if not isinstance(rounds_s, list) or not rounds_s:
+                problems.append(f"phase {name!r}: 'rounds_s' must be non-empty")
+                continue
+            if any(not isinstance(s, (int, float)) or s < 0 for s in rounds_s):
+                problems.append(f"phase {name!r}: non-numeric round timing")
+                continue
+            min_s = entry.get("min_s")
+            if not isinstance(min_s, (int, float)):
+                problems.append(f"phase {name!r}: missing 'min_s'")
+            elif abs(min_s - min(rounds_s)) > 1e-5:
+                problems.append(
+                    f"phase {name!r}: min_s {min_s} != min(rounds_s)"
+                )
+    if not isinstance(data.get("counters", {}), dict):
+        problems.append("'counters' must be an object")
+    if not isinstance(data.get("extras", {}), dict):
+        problems.append("'extras' must be an object")
+    return problems
+
+
+def bench_path(name: str, directory: str | Path = ".") -> Path:
+    """The canonical artifact path for one benchmark name."""
+    return Path(directory) / f"BENCH_{name}.json"
+
+
+def write_bench(result: BenchResult, path: str | Path) -> Path:
+    """Validate and write one artifact atomically; returns the path."""
+    data = result.to_dict()
+    problems = validate_bench(data)
+    if problems:
+        raise BenchSchemaError(
+            f"refusing to write invalid artifact: {'; '.join(problems)}"
+        )
+    return atomic_write_text(path, json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def load_bench(path: str | Path) -> BenchResult:
+    """Load and validate one artifact."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BenchSchemaError(f"cannot load benchmark artifact {path}: {exc}") from exc
+    try:
+        return BenchResult.from_dict(data)
+    except BenchSchemaError as exc:
+        raise BenchSchemaError(f"{path}: {exc}") from exc
+
+
+@dataclass
+class PhaseDelta:
+    """One phase's old-vs-new comparison."""
+
+    phase: str
+    old_min_s: float
+    new_min_s: float
+
+    @property
+    def ratio(self) -> float:
+        """new/old (1.0 = unchanged; inf when the old phase took no time)."""
+        if self.old_min_s <= 0:
+            return float("inf") if self.new_min_s > 0 else 1.0
+        return self.new_min_s / self.old_min_s
+
+    def to_dict(self) -> dict:
+        return {
+            "phase": self.phase,
+            "old_min_s": self.old_min_s,
+            "new_min_s": self.new_min_s,
+            "ratio": round(self.ratio, 4),
+        }
+
+
+@dataclass
+class BenchComparison:
+    """Old-vs-new verdict over every shared phase."""
+
+    old_name: str
+    new_name: str
+    threshold: float
+    deltas: list[PhaseDelta]
+    missing_phases: list[str]
+
+    @property
+    def regressions(self) -> list[PhaseDelta]:
+        """Phases at least ``threshold`` slower than the old artifact."""
+        return [d for d in self.deltas if d.ratio >= 1.0 + self.threshold]
+
+    @property
+    def ok(self) -> bool:
+        """True when no phase regressed and none disappeared."""
+        return not self.regressions and not self.missing_phases
+
+    def to_dict(self) -> dict:
+        return {
+            "old": self.old_name,
+            "new": self.new_name,
+            "threshold": self.threshold,
+            "ok": self.ok,
+            "phases": [d.to_dict() for d in self.deltas],
+            "regressions": [d.to_dict() for d in self.regressions],
+            "missing_phases": list(self.missing_phases),
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"bench compare: {self.new_name} vs {self.old_name} "
+            f"(regression threshold {100 * self.threshold:.0f}%)",
+            f"  {'phase':<18}{'old':>10}{'new':>10}{'ratio':>8}",
+        ]
+        for delta in self.deltas:
+            flag = "  <-- REGRESSION" if delta in self.regressions else ""
+            lines.append(
+                f"  {delta.phase:<18}{delta.old_min_s:>9.3f}s"
+                f"{delta.new_min_s:>9.3f}s{delta.ratio:>7.2f}x{flag}"
+            )
+        for name in self.missing_phases:
+            lines.append(f"  {name:<18}  present in old artifact, missing in new")
+        lines.append("  verdict: " + ("OK" if self.ok else "REGRESSED"))
+        return "\n".join(lines)
+
+
+def compare_bench(
+    old: BenchResult,
+    new: BenchResult,
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+) -> BenchComparison:
+    """Compare per-phase min-of-rounds timings of two artifacts.
+
+    A phase regresses when its new min is at least ``threshold`` slower
+    than its old min; phases present only in the new artifact are ignored
+    (new instrumentation is not a regression), phases that *disappeared*
+    are flagged.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative: {threshold}")
+    deltas = [
+        PhaseDelta(
+            phase=name,
+            old_min_s=old.phases[name]["min_s"],
+            new_min_s=new.phases[name]["min_s"],
+        )
+        for name in old.phases
+        if name in new.phases
+    ]
+    missing = sorted(name for name in old.phases if name not in new.phases)
+    return BenchComparison(
+        old_name=old.name,
+        new_name=new.name,
+        threshold=threshold,
+        deltas=deltas,
+        missing_phases=missing,
+    )

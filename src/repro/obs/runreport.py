@@ -12,6 +12,9 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.common.fsio import atomic_write_text
 
 #: Bumped on any backwards-incompatible field change.
 RUNREPORT_SCHEMA_VERSION = 1
@@ -42,6 +45,11 @@ class RunReport:
     event_counts: dict = field(default_factory=dict)
     #: Wall-clock throughput of the detect phase.
     throughput: dict = field(default_factory=dict)
+    #: Harness cache counters (``harness.*``): trace-memo LRU hits, misses
+    #: and evictions, on-disk trace/verdict cache hits, traces built.
+    cache: dict = field(default_factory=dict)
+    #: Flight-recorder snapshot (empty when telemetry was off).
+    telemetry: dict = field(default_factory=dict)
     schema_version: int = RUNREPORT_SCHEMA_VERSION
 
     def to_dict(self) -> dict:
@@ -51,6 +59,10 @@ class RunReport:
     def to_json(self, indent: int | None = None) -> str:
         """Serialise to a single JSON object."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def write(self, path: str | Path) -> Path:
+        """Write the report atomically (the TraceCache write protocol)."""
+        return atomic_write_text(path, self.to_json(indent=2) + "\n")
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunReport":

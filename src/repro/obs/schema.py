@@ -45,6 +45,8 @@ EVENT_TYPES: dict[str, frozenset[str]] = {
     "alarm": frozenset(
         {"detector", "seq", "thread", "addr", "size", "site", "is_write"}
     ),
+    # One judged differential-fuzz case (clean or injected).
+    "fuzz.case": frozenset({"seed", "case", "divergences", "unexplained"}),
 }
 
 

@@ -26,7 +26,16 @@ from typing import IO
 
 
 class TraceEmitter:
-    """Base emitter: disabled, event-free, but span-capable."""
+    """Base emitter: disabled, event-free, but span-capable.
+
+    Enabled emitters stamp every ``span`` event with a hierarchical id:
+    top-level spans are numbered ``"1"``, ``"2"``, … in open order, and a
+    span opened inside another gets its parent's id plus a child ordinal
+    (``"2.1"``, ``"2.1.3"``).  The ``parent`` field repeats the enclosing
+    span's id (``None`` at top level), so consumers can rebuild the span
+    tree — and a collapsed flamegraph — from a flat JSONL stream even
+    though spans are emitted on *exit* (children before parents).
+    """
 
     #: Hot paths gate all event construction on this flag.
     enabled: bool = False
@@ -34,17 +43,46 @@ class TraceEmitter:
     def emit(self, etype: str, **fields) -> None:
         """Record one typed event (no-op unless overridden)."""
 
+    def _open_span(self) -> str:
+        """Push a new span frame; returns its hierarchical id."""
+        # Lazily initialised so the stateless shared NULL_EMITTER (which
+        # never calls this) stays attribute-free and subclasses need no
+        # cooperative __init__.
+        stack = getattr(self, "_span_stack", None)
+        if stack is None:
+            stack = self._span_stack = [["", 0]]
+        parent = stack[-1]
+        parent[1] += 1
+        span_id = f"{parent[0]}.{parent[1]}" if parent[0] else str(parent[1])
+        stack.append([span_id, 0])
+        return span_id
+
+    def _close_span(self) -> str | None:
+        """Pop the current span frame; returns the parent id (or None)."""
+        stack = self._span_stack
+        stack.pop()
+        return stack[-1][0] or None
+
     @contextmanager
     def span(self, name: str, **attrs):
         """Time the body and emit a ``span`` event on exit (if enabled)."""
+        if not self.enabled:
+            yield
+            return
+        span_id = self._open_span()
         t0 = time.perf_counter()
         try:
             yield
         finally:
-            if self.enabled:
-                self.emit(
-                    "span", name=name, wall_s=round(time.perf_counter() - t0, 6), **attrs
-                )
+            parent = self._close_span()
+            self.emit(
+                "span",
+                name=name,
+                wall_s=round(time.perf_counter() - t0, 6),
+                id=span_id,
+                parent=parent,
+                **attrs,
+            )
 
     def close(self) -> None:
         """Release any underlying resource (no-op by default)."""

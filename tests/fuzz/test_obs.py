@@ -1,0 +1,37 @@
+"""Observability hooks on the fuzz harness: deterministic and typed."""
+
+import json
+
+from repro.api import run_fuzz
+from repro.obs import Observability, RecordingEmitter, validate_event
+
+
+class TestFuzzObservability:
+    def test_report_identical_with_and_without_obs(self):
+        plain = run_fuzz(seeds=3, jobs=1)
+        observed = run_fuzz(
+            seeds=3, jobs=1, obs=Observability(emitter=RecordingEmitter())
+        )
+        assert json.dumps(plain.to_dict(), sort_keys=True) == json.dumps(
+            observed.to_dict(), sort_keys=True
+        )
+
+    def test_case_events_validate_and_cover_every_case(self):
+        emitter = RecordingEmitter(types={"fuzz.case"})
+        report = run_fuzz(seeds=3, jobs=1, obs=Observability(emitter=emitter))
+        assert len(emitter.events) == report.cases
+        for etype, fields in emitter.events:
+            assert validate_event({"type": etype, **fields}) == []
+            assert fields["case"] in ("clean", "injected")
+
+    def test_metrics_summarize_the_report(self):
+        obs = Observability(collect_metrics=True)
+        report = run_fuzz(seeds=3, jobs=1, obs=obs)
+        counters = obs.metrics.snapshot()
+        assert counters["fuzz.seeds"] == 3
+        assert counters["fuzz.cases"] == report.cases
+        assert counters.get("fuzz.cases_unexplained", 0) == len(
+            report.unexplained
+        )
+        hist = obs.metrics.histogram("fuzz.divergences_per_case")
+        assert hist.count == report.cases

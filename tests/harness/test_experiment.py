@@ -42,6 +42,37 @@ class TestProtocol:
         assert trace is again
 
 
+class TestMemoMetrics:
+    def test_hit_miss_counters(self):
+        runner = ExperimentRunner()
+        runner.trace_for("raytrace", CLEAN_RUN)
+        runner.trace_for("raytrace", CLEAN_RUN)
+        runner.trace_for("raytrace", CLEAN_RUN)
+        counters = runner.metrics.snapshot()
+        assert counters["harness.trace_memo_misses"] == 1
+        assert counters["harness.trace_memo_hits"] == 2
+        assert counters["harness.traces_built"] == 1
+
+    def test_eviction_counter(self):
+        runner = ExperimentRunner(trace_memo_limit=1)
+        runner.trace_for("raytrace", CLEAN_RUN)
+        runner.trace_for("raytrace", 0)  # evicts the clean-run trace
+        runner.trace_for("raytrace", CLEAN_RUN)  # miss again: rebuilt
+        counters = runner.metrics.snapshot()
+        assert counters["harness.trace_memo_evictions"] == 2
+        assert counters["harness.trace_memo_misses"] == 3
+        assert counters.get("harness.trace_memo_hits", 0) == 0
+
+    def test_shared_registry_surfaces_counters(self):
+        from repro.obs import MetricsRegistry
+
+        shared = MetricsRegistry()
+        runner = ExperimentRunner(metrics=shared)
+        assert runner.metrics is shared
+        runner.trace_for("raytrace", CLEAN_RUN)
+        assert shared.snapshot()["harness.trace_memo_misses"] == 1
+
+
 class TestScoring:
     def make_result(self, addr: int, site: Site) -> DetectionResult:
         log = RaceReportLog("d")

@@ -1,0 +1,83 @@
+"""Tests for the Prometheus-text and JSON metrics exporters."""
+
+import json
+
+from repro.obs.export import (
+    METRICS_EXPORT_SCHEMA_VERSION,
+    metric_name,
+    to_json,
+    to_prometheus,
+    write_json,
+    write_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def populated_registry():
+    registry = MetricsRegistry()
+    registry.add("telemetry.engine.walks", 3)
+    registry.observe("telemetry.step_us", 10.0)
+    registry.observe("telemetry.step_us", 30.0)
+    registry.timer("telemetry.engine.walk").observe(1.5)
+    return registry
+
+
+class TestMetricName:
+    def test_dots_become_underscores(self):
+        assert metric_name("telemetry.engine.walks") == "repro_telemetry_engine_walks"
+
+    def test_illegal_characters_sanitized(self):
+        assert metric_name("harness.memo-hits/total") == "repro_harness_memo_hits_total"
+
+    def test_leading_digit_guarded_without_prefix(self):
+        assert metric_name("2pc.commits", prefix="") == "_2pc_commits"
+
+    def test_custom_prefix(self):
+        assert metric_name("a.b", prefix="hard") == "hard_a_b"
+
+
+class TestPrometheus:
+    def test_counter_lines(self):
+        text = to_prometheus(populated_registry())
+        assert "# TYPE repro_telemetry_engine_walks counter" in text
+        assert "repro_telemetry_engine_walks 3" in text
+
+    def test_histogram_as_summary_with_quantiles(self):
+        text = to_prometheus(populated_registry())
+        assert "# TYPE repro_telemetry_step_us summary" in text
+        assert 'repro_telemetry_step_us{quantile="0.5"} 10.0' in text
+        assert "repro_telemetry_step_us_sum 40.0" in text
+        assert "repro_telemetry_step_us_count 2" in text
+
+    def test_timer_as_seconds_total(self):
+        text = to_prometheus(populated_registry())
+        assert "repro_telemetry_engine_walk_seconds_total 1.5" in text
+        assert "repro_telemetry_engine_walk_count 1" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_ends_with_newline(self):
+        assert to_prometheus(populated_registry()).endswith("\n")
+
+
+class TestJson:
+    def test_envelope_carries_schema_version(self):
+        data = json.loads(to_json(populated_registry()))
+        assert data["schema_version"] == METRICS_EXPORT_SCHEMA_VERSION
+        assert data["counters"]["telemetry.engine.walks"] == 3
+        assert data["histograms"]["telemetry.step_us"]["count"] == 2
+        assert data["timers"]["telemetry.engine.walk"]["total_s"] == 1.5
+
+
+class TestWriters:
+    def test_write_prometheus(self, tmp_path):
+        path = write_prometheus(populated_registry(), tmp_path / "metrics.prom")
+        assert "repro_telemetry_engine_walks 3" in path.read_text()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_write_json(self, tmp_path):
+        path = write_json(populated_registry(), tmp_path / "metrics.json")
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == METRICS_EXPORT_SCHEMA_VERSION
+        assert not list(tmp_path.glob("*.tmp"))

@@ -46,6 +46,41 @@ class TestHistogram:
         assert data["values"] == {"3": 2}
         assert data["p50"] == 3
 
+    def test_single_sample_percentiles(self):
+        hist = Histogram("h")
+        hist.record(42)
+        # Every percentile of a one-sample distribution is that sample.
+        assert hist.percentile(0.01) == 42
+        assert hist.percentile(0.5) == 42
+        assert hist.percentile(0.99) == 42
+        assert hist.min == hist.max == 42
+
+    def test_merge_disjoint_bucket_sets(self):
+        low, high = Histogram("low"), Histogram("high")
+        for value in (1, 2, 3):
+            low.record(value)
+        for value in (100, 200):
+            high.record(value)
+        low.merge(high)
+        assert low.count == 5
+        assert low.min == 1 and low.max == 200
+        assert low.values() == {1: 1, 2: 1, 3: 1, 100: 1, 200: 1}
+        assert low.percentile(0.5) == 3
+
+    def test_merge_empty_into_populated_is_noop(self):
+        hist = Histogram("h")
+        hist.record(5)
+        hist.merge(Histogram("empty"))
+        assert hist.count == 1
+        assert hist.min == hist.max == 5
+
+    def test_merge_populated_into_empty(self):
+        empty, full = Histogram("empty"), Histogram("full")
+        full.record(7)
+        empty.merge(full)
+        assert empty.count == 1
+        assert empty.min == empty.max == 7
+
 
 class TestTimer:
     def test_empty(self):
@@ -66,6 +101,23 @@ class TestTimer:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             Timer("t").observe(-1.0)
+
+    def test_merge(self):
+        a, b = Timer("a"), Timer("b")
+        a.observe(1.0)
+        b.observe(0.25)
+        b.observe(2.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.total_s == 3.25
+        assert a.min_s == 0.25 and a.max_s == 2.0
+
+    def test_merge_empty_is_noop(self):
+        timer = Timer("t")
+        timer.observe(0.5)
+        timer.merge(Timer("empty"))
+        assert timer.count == 1
+        assert timer.min_s == timer.max_s == 0.5
 
 
 class TestMetricsRegistry:
@@ -98,6 +150,21 @@ class TestMetricsRegistry:
         snap = metrics.snapshot_all()
         assert snap["counters"] == {"c": 2}
         assert snap["histograms"]["h"]["count"] == 1
+        assert snap["timers"]["t"]["count"] == 1
+
+    def test_merge_registry_folds_all_instruments(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.add("c", 1)
+        b.add("c", 2)
+        a.observe("h", 1)
+        b.observe("h", 100)  # disjoint value buckets across shards
+        b.timer("t").observe(0.5)
+        a.merge_registry(b)
+        snap = a.snapshot_all()
+        assert snap["counters"] == {"c": 3}
+        assert snap["histograms"]["h"]["count"] == 2
+        assert snap["histograms"]["h"]["min"] == 1
+        assert snap["histograms"]["h"]["max"] == 100
         assert snap["timers"]["t"]["count"] == 1
 
     def test_format_includes_all_instruments(self):

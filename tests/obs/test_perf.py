@@ -1,0 +1,195 @@
+"""Tests for the performance observatory schema, writer, and comparator."""
+
+import json
+
+import pytest
+
+from repro.obs.perf import (
+    BENCH_SCHEMA_VERSION,
+    BenchResult,
+    BenchSchemaError,
+    PhaseDelta,
+    bench_path,
+    compare_bench,
+    load_bench,
+    validate_bench,
+    write_bench,
+)
+
+
+def make_result(name="engine", **phases):
+    result = BenchResult(name=name, rounds=3)
+    if not phases:
+        phases = {"detect": [1.0, 1.2, 1.1]}
+    for phase, rounds_s in phases.items():
+        result.add_phase(phase, rounds_s)
+    return result
+
+
+class TestBenchResult:
+    def test_add_phase_derives_min(self):
+        result = make_result(detect=[1.5, 1.2, 1.9])
+        assert result.phases["detect"]["min_s"] == pytest.approx(1.2)
+        assert result.phases["detect"]["rounds_s"] == [1.5, 1.2, 1.9]
+
+    def test_add_phase_rejects_empty(self):
+        with pytest.raises(BenchSchemaError):
+            make_result().add_phase("empty", [])
+
+    def test_machine_info_stamped(self):
+        machine = make_result().machine
+        assert machine["platform"]
+        assert machine["cpus"] >= 1
+
+    def test_round_trip_through_dict(self):
+        result = make_result()
+        result.counters = {"telemetry.engine.walks": 3}
+        result.extras = {"app": "water-nsquared"}
+        again = BenchResult.from_dict(result.to_dict())
+        assert again.to_dict() == result.to_dict()
+
+
+class TestValidate:
+    def test_valid_artifact_has_no_problems(self):
+        assert validate_bench(make_result().to_dict()) == []
+
+    def test_non_object_rejected(self):
+        assert validate_bench([1, 2]) != []
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.update(schema_version=99),
+            lambda d: d.update(name=""),
+            lambda d: d.update(rounds=0),
+            lambda d: d.update(machine={}),
+            lambda d: d.update(phases={}),
+            lambda d: d["phases"].update(bad={"rounds_s": []}),
+            lambda d: d["phases"].update(bad={"rounds_s": [1.0, "x"]}),
+            lambda d: d["phases"]["detect"].update(min_s=999.0),
+            lambda d: d.update(counters=[]),
+            lambda d: d.update(extras=[]),
+        ],
+        ids=[
+            "schema_version",
+            "empty_name",
+            "zero_rounds",
+            "machine_platform",
+            "no_phases",
+            "empty_rounds",
+            "non_numeric",
+            "min_mismatch",
+            "counters_type",
+            "extras_type",
+        ],
+    )
+    def test_each_schema_rule_enforced(self, mutate):
+        data = make_result().to_dict()
+        mutate(data)
+        assert validate_bench(data) != []
+
+
+class TestWriterLoader:
+    def test_write_load_round_trip(self, tmp_path):
+        result = make_result()
+        path = write_bench(result, bench_path("engine", tmp_path))
+        assert path.name == "BENCH_engine.json"
+        assert load_bench(path).to_dict() == result.to_dict()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_write_refuses_invalid(self, tmp_path):
+        result = BenchResult(name="broken", rounds=1)  # no phases
+        with pytest.raises(BenchSchemaError):
+            write_bench(result, tmp_path / "BENCH_broken.json")
+        assert not (tmp_path / "BENCH_broken.json").exists()
+
+    def test_load_rejects_corrupt_json(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchSchemaError):
+            load_bench(path)
+
+    def test_load_rejects_schema_violation(self, tmp_path):
+        data = make_result().to_dict()
+        data["schema_version"] = 99
+        path = tmp_path / "BENCH_old.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(BenchSchemaError):
+            load_bench(path)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(BenchSchemaError):
+            load_bench(tmp_path / "BENCH_absent.json")
+
+
+class TestCompare:
+    def test_identical_artifacts_are_ok(self):
+        old = make_result(detect=[1.0], build=[0.5])
+        comparison = compare_bench(old, make_result(detect=[1.0], build=[0.5]))
+        assert comparison.ok
+        assert comparison.regressions == []
+
+    def test_regression_at_threshold_flagged(self):
+        old = make_result(detect=[1.0])
+        new = make_result(detect=[1.10])  # exactly +10%
+        comparison = compare_bench(old, new, threshold=0.10)
+        assert not comparison.ok
+        assert [d.phase for d in comparison.regressions] == ["detect"]
+        assert "REGRESSION" in comparison.format()
+        assert "REGRESSED" in comparison.format()
+
+    def test_just_under_threshold_passes(self):
+        comparison = compare_bench(
+            make_result(detect=[1.0]), make_result(detect=[1.09])
+        )
+        assert comparison.ok
+
+    def test_speedup_is_ok(self):
+        comparison = compare_bench(
+            make_result(detect=[2.0]), make_result(detect=[1.0])
+        )
+        assert comparison.ok
+        assert "OK" in comparison.format()
+
+    def test_new_only_phases_ignored(self):
+        old = make_result(detect=[1.0])
+        new = make_result(detect=[1.0], census=[0.2])  # new instrumentation
+        comparison = compare_bench(old, new)
+        assert comparison.ok
+        assert [d.phase for d in comparison.deltas] == ["detect"]
+
+    def test_disappeared_phase_flagged(self):
+        old = make_result(detect=[1.0], build=[0.5])
+        new = make_result(detect=[1.0])
+        comparison = compare_bench(old, new)
+        assert not comparison.ok
+        assert comparison.missing_phases == ["build"]
+        assert "missing in new" in comparison.format()
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare_bench(make_result(), make_result(), threshold=-0.1)
+
+    def test_to_dict_shape(self):
+        comparison = compare_bench(
+            make_result(detect=[1.0]), make_result(detect=[2.0])
+        )
+        data = comparison.to_dict()
+        assert data["ok"] is False
+        assert data["phases"][0]["ratio"] == pytest.approx(2.0)
+        assert data["regressions"][0]["phase"] == "detect"
+
+
+class TestPhaseDelta:
+    def test_ratio_plain(self):
+        assert PhaseDelta("p", 2.0, 1.0).ratio == pytest.approx(0.5)
+
+    def test_ratio_infinite_when_old_is_zero(self):
+        assert PhaseDelta("p", 0.0, 1.0).ratio == float("inf")
+
+    def test_ratio_unchanged_when_both_zero(self):
+        assert PhaseDelta("p", 0.0, 0.0).ratio == 1.0
+
+
+def test_schema_version_constant():
+    assert make_result().to_dict()["schema_version"] == BENCH_SCHEMA_VERSION

@@ -45,3 +45,22 @@ class TestRunReport:
     def test_overhead_fraction_property(self):
         assert abs(self._report().overhead_fraction - 0.1) < 1e-12
         assert RunReport(app="a", detector="d").overhead_fraction == 0.0
+
+    def test_cache_and_telemetry_blocks_round_trip(self):
+        report = self._report()
+        report.cache = {"harness.trace_memo_hits": 4}
+        report.telemetry = {"schema_version": 1, "counters": {}}
+        rebuilt = RunReport.from_dict(json.loads(report.to_json()))
+        assert rebuilt.cache == {"harness.trace_memo_hits": 4}
+        assert rebuilt.telemetry["schema_version"] == 1
+
+    def test_blocks_default_empty(self):
+        report = RunReport(app="a", detector="d")
+        assert report.cache == {}
+        assert report.telemetry == {}
+
+    def test_write_is_atomic(self, tmp_path):
+        report = self._report()
+        path = report.write(tmp_path / "report.json")
+        assert RunReport.from_dict(json.loads(path.read_text())) == report
+        assert not list(tmp_path.glob("*.tmp"))
