@@ -2,21 +2,26 @@
 """Benchmark: single-pass engine vs legacy per-detector replay.
 
 Builds one interleaved trace, verifies the engine's results are bit-for-bit
-identical to running each detector's legacy ``run(trace)`` alone, then times
-both strategies over several interleaved A/B rounds and reports the
-wall-clock speedup as ``min(legacy) / min(engine)``.
+identical to running each detector core alone on the per-event scalar
+reference walk, then times both strategies over several interleaved A/B
+rounds and reports the wall-clock speedup as ``min(legacy) / min(engine)``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine.py \
-        [--app NAME] [--detectors a,b,c] [--rounds N] \
+        [--app NAME] [--detectors a,b,c] [--rounds N] [--engine-path P] \
         [--min-speedup X] [--json] [--markdown PATH] [--bench-out PATH]
 
 The default cell is the Table 2 shape the harness actually evaluates per
 (app, run) chunk: four detector configurations over one water-nsquared
-execution, three of which share one simulated machine replay.  Interleaving
-the A/B rounds and taking the *minimum* per side keeps the ratio robust to
-background load; ``--min-speedup`` exits non-zero when it falls short.
+execution.  The legacy side walks the trace once per configuration (one
+machine replay each); the engine side is one ``EngineSession``, which by
+default takes the vectorized batch path — every core consumes the packed
+columnar encoding in sync-run batches, with the machine-backed cores
+replaying one prerecorded machine tape (``--engine-path scalar`` times the
+old shared-replay walk instead).  Interleaving the A/B rounds and taking
+the *minimum* per side keeps the ratio robust to background load;
+``--min-speedup`` exits non-zero when it falls short.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from repro.harness.detectors import DetectorConfig, make_detector  # noqa: E402
 from repro.threads.runtime import interleave  # noqa: E402
 from repro.threads.scheduler import RandomScheduler  # noqa: E402
 from repro.workloads.registry import build_workload  # noqa: E402
+from repro.reporting import run_core
 
 DEFAULT_DETECTORS = "hard-default,hb-default,software,hb-ideal"
 
@@ -47,12 +53,12 @@ def build_trace(app: str, workload_seed: int, schedule_seed: int):
 
 def run_legacy(trace, configs) -> list:
     """One trace walk (and machine replay) per detector."""
-    return [make_detector(config).run(trace) for config in configs]
+    return [run_core(make_detector(config).core(), trace) for config in configs]
 
 
-def run_engine(trace, configs) -> list:
-    """One shared trace walk; compatible configs share one replay."""
-    session = EngineSession(trace)
+def run_engine(trace, configs, path: str = "auto") -> list:
+    """One shared engine pass (vectorized batch walk when available)."""
+    session = EngineSession(trace, path=path)
     for config in configs:
         session.add_config(config)
     return session.run()
@@ -85,10 +91,12 @@ One `{summary["app"]}` trace ({summary["trace_events"]:,} events) scored by
 {len(summary["detectors"])} detector configurations
 ({", ".join(summary["detectors"])}):
 
-- **legacy**: each detector's `run(trace)` alone — one trace walk and one
-  machine replay per configuration.
-- **engine**: one `EngineSession` — a single trace walk, with the
-  machine-backed configurations sharing one simulated replay.
+- **legacy**: each detector core alone on the per-event scalar reference
+  walk — one trace walk and one machine replay per configuration.
+- **engine**: one `EngineSession` on the `{summary["engine_path"]}` path —
+  by default the vectorized batch kernels over the packed columnar
+  encoding, with the machine-backed configurations replaying one
+  prerecorded machine tape.
 
 Results verified bit-for-bit identical before timing.  Rounds are
 interleaved A/B; the speedup is `min(legacy) / min(engine)`, which is
@@ -139,6 +147,7 @@ def write_bench_artifact(path: str, summary: dict, trace, configs) -> None:
         "app": summary["app"],
         "detectors": summary["detectors"],
         "trace_events": summary["trace_events"],
+        "engine_path": summary["engine_path"],
         "speedup": round(summary["speedup"], 3),
         "median_speedup": round(summary["median_speedup"], 3),
         "telemetry": {
@@ -162,6 +171,13 @@ def main() -> int:
     )
     parser.add_argument("--workload-seed", type=int, default=0)
     parser.add_argument("--schedule-seed", type=int, default=0)
+    parser.add_argument(
+        "--engine-path",
+        choices=("auto", "batch", "scalar"),
+        default="auto",
+        help="the engine side's walk (batch = vectorized kernels over the "
+        "columnar encoding; scalar = the per-event shared-replay walk)",
+    )
     parser.add_argument(
         "--min-speedup",
         type=float,
@@ -194,7 +210,7 @@ def main() -> int:
 
     # Correctness first: a fast wrong engine is worthless.
     legacy_results = run_legacy(trace, configs)
-    engine_results = run_engine(trace, configs)
+    engine_results = run_engine(trace, configs, path=args.engine_path)
     for legacy, engine in zip(legacy_results, engine_results):
         if result_key(legacy) != result_key(engine):
             print(
@@ -211,7 +227,7 @@ def main() -> int:
         run_legacy(trace, configs)
         legacy_walls.append(time.perf_counter() - t0)
         t0 = time.perf_counter()
-        run_engine(trace, configs)
+        run_engine(trace, configs, path=args.engine_path)
         engine_walls.append(time.perf_counter() - t0)
         print(
             f"round {round_index + 1}: legacy {legacy_walls[-1]:6.2f}s  "
@@ -230,6 +246,7 @@ def main() -> int:
         "app": args.app,
         "trace_events": len(trace),
         "detectors": [config.key for config in configs],
+        "engine_path": args.engine_path,
         "rounds": args.rounds,
         "legacy_wall_s": [round(w, 3) for w in legacy_walls],
         "engine_wall_s": [round(w, 3) for w in engine_walls],

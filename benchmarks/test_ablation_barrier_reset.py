@@ -9,6 +9,7 @@ Ocean — the barrier application — is the showcase.
 import pytest
 
 from repro.harness.detectors import make_detector
+from repro.reporting import run_core
 
 
 @pytest.fixture(scope="module")
@@ -21,7 +22,7 @@ def alarms_by_reset(ocean_clean_trace):
     counts = {}
     for reset in (True, False):
         detector = make_detector("hard-ideal", barrier_reset=reset)
-        counts[reset] = detector.run(ocean_clean_trace).reports.alarm_count
+        counts[reset] = run_core(detector.core(), ocean_clean_trace).reports.alarm_count
     return counts
 
 
@@ -45,7 +46,7 @@ def test_reset_does_not_hurt_detection(runner, checked):
         for run in range(5):
             trace = runner.trace_for("ocean", run)
             detector = make_detector("hard-ideal", barrier_reset=True)
-            result = detector.run(trace)
+            result = run_core(detector.core(), trace)
             bug = runner.program_for("ocean", run).injected_bug
             detected += any(
                 bug.matches_report(r.addr, r.size, r.site) for r in result.reports
@@ -58,6 +59,6 @@ def test_reset_does_not_hurt_detection(runner, checked):
 def test_bench_reset_pass(ocean_clean_trace, benchmark):
     detector = make_detector("hard-ideal", barrier_reset=True)
     result = benchmark.pedantic(
-        lambda: detector.run(ocean_clean_trace), rounds=1, iterations=1
+        lambda: run_core(detector.core(), ocean_clean_trace), rounds=1, iterations=1
     )
     assert result.reports.alarm_count >= 0

@@ -10,6 +10,7 @@ bus traffic — trading coverage for bandwidth.
 import pytest
 
 from repro.harness.detectors import make_detector
+from repro.reporting import run_core
 
 
 @pytest.fixture(scope="module")
@@ -18,7 +19,7 @@ def broadcast_comparison(runner):
     results = {}
     for enabled in (True, False):
         detector = make_detector("hard-default", broadcast_updates=enabled)
-        results[enabled] = detector.run(trace)
+        results[enabled] = run_core(detector.core(), trace)
     return results
 
 
@@ -55,5 +56,5 @@ def test_broadcast_traffic_is_modest(broadcast_comparison, checked):
 def test_bench_broadcast_pass(runner, benchmark):
     trace = runner.trace_for("raytrace", -1)
     detector = make_detector("hard-default", broadcast_updates=False)
-    result = benchmark.pedantic(lambda: detector.run(trace), rounds=1, iterations=1)
+    result = benchmark.pedantic(lambda: run_core(detector.core(), trace), rounds=1, iterations=1)
     assert result.stats.get("hard.metadata_broadcasts") == 0

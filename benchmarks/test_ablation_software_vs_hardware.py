@@ -11,13 +11,14 @@ import pytest
 
 from repro.harness.detectors import make_detector
 from repro.lockset.software import SoftwareLocksetDetector
+from repro.reporting import run_core
 
 
 @pytest.fixture(scope="module")
 def comparison(runner):
     trace = runner.trace_for("raytrace", -1)
-    hard = make_detector("hard-default").run(trace)
-    software = SoftwareLocksetDetector().run(runner.trace_for("raytrace", -1))
+    hard = run_core(make_detector("hard-default").core(), trace)
+    software = run_core(SoftwareLocksetDetector().core(), runner.trace_for("raytrace", -1))
     return hard, software
 
 
@@ -55,5 +56,5 @@ def test_same_algorithm_same_coverage(comparison, checked):
 def test_bench_software_pass(runner, benchmark):
     trace = runner.trace_for("raytrace", -1)
     detector = SoftwareLocksetDetector()
-    result = benchmark.pedantic(lambda: detector.run(trace), rounds=1, iterations=1)
+    result = benchmark.pedantic(lambda: run_core(detector.core(), trace), rounds=1, iterations=1)
     assert result.cycles > 0

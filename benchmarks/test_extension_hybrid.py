@@ -19,6 +19,7 @@ import pytest
 from repro.harness.detectors import make_detector
 from repro.harness.experiment import score_detection
 from repro.workloads.registry import WORKLOAD_NAMES
+from repro.reporting import run_core
 
 
 @pytest.fixture(scope="module")
@@ -30,12 +31,12 @@ def hybrid_data(runner):
             trace = runner.trace_for(app, run)
             bug = runner.program_for(app, run).injected_bug
             for key in detected:
-                result = make_detector(key).run(trace)
+                result = run_core(make_detector(key).core(), trace)
                 detected[key] += score_detection(result, bug)
             runner.drop_trace(app, run)
         clean = runner.trace_for(app, -1)
         alarms = {
-            key: make_detector(key).run(clean).reports.alarm_count
+            key: run_core(make_detector(key).core(), clean).reports.alarm_count
             for key in ("hybrid", "hard-ideal", "hb-ideal")
         }
         data[app] = {"detected": detected, "alarms": alarms}
@@ -92,5 +93,5 @@ def test_hybrid_detection_between_parents(hybrid_data, checked):
 def test_bench_one_hybrid_pass(runner, benchmark):
     trace = runner.trace_for("raytrace", -1)
     detector = make_detector("hybrid")
-    result = benchmark.pedantic(lambda: detector.run(trace), rounds=1, iterations=1)
+    result = benchmark.pedantic(lambda: run_core(detector.core(), trace), rounds=1, iterations=1)
     assert result.reports.alarm_count >= 0

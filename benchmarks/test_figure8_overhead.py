@@ -14,6 +14,7 @@ import pytest
 
 from repro.harness.tables import PAPER_FIGURE8, figure8, render_figure8
 from repro.workloads.registry import WORKLOAD_NAMES
+from repro.reporting import run_core
 
 
 @pytest.fixture(scope="module")
@@ -54,7 +55,7 @@ def _overhead_components(runner, app: str) -> dict:
     from repro.harness.detectors import make_detector
 
     trace = runner.trace_for(app, -1)
-    result = make_detector("hard-default").run(trace)
+    result = run_core(make_detector("hard-default").core(), trace)
     return {
         "piggyback": result.stats.get("cycles.hard.piggyback"),
         "broadcast": result.stats.get("cycles.hard.broadcast"),

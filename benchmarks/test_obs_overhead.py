@@ -26,6 +26,7 @@ from repro.obs import FlightRecorder, Observability
 from repro.threads.runtime import interleave
 from repro.threads.scheduler import RandomScheduler
 from repro.workloads.registry import build_workload
+from repro.reporting import run_core
 
 #: Acceptance threshold: disabled observability adds < 5% wall-clock.
 MAX_NULL_OBS_RATIO = 1.05
@@ -54,12 +55,12 @@ def test_null_observability_overhead_under_5_percent(barnes_trace, benchmark):
     assert not null_obs.active
 
     # Warm both paths once (allocator, branch caches) before timing.
-    detector.run(barnes_trace)
-    detector.run(barnes_trace, obs=null_obs)
+    run_core(detector.core(), barnes_trace)
+    run_core(detector.core(), barnes_trace, obs=null_obs)
 
-    bare = _best_of(lambda: detector.run(barnes_trace))
+    bare = _best_of(lambda: run_core(detector.core(), barnes_trace))
     observed = benchmark.pedantic(
-        lambda: _best_of(lambda: detector.run(barnes_trace, obs=null_obs)),
+        lambda: _best_of(lambda: run_core(detector.core(), barnes_trace, obs=null_obs)),
         rounds=1,
         iterations=1,
     )

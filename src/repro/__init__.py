@@ -28,13 +28,13 @@ The package implements, from scratch:
 Quickstart::
 
     from repro import (
-        HardDetector, build_workload, inject_bug, interleave, RandomScheduler,
+        build_workload, detect, inject_bug, interleave, RandomScheduler,
     )
 
     program = build_workload("barnes", seed=1)
     buggy = inject_bug(program, seed=7)
     trace = interleave(buggy, RandomScheduler(seed=3)).trace
-    result = HardDetector().run(trace)
+    result = detect(trace, "hard-default")
     for report in result.reports:
         print(report)
 
@@ -78,6 +78,7 @@ from repro.common.config import (
     HardConfig,
     MachineConfig,
 )
+from repro.common.coltrace import ColumnarTrace, SyncRun
 from repro.common.events import Site, Trace
 from repro.core.bloom import BloomVector, collision_probability
 from repro.core.detector import HardDetector
@@ -142,6 +143,8 @@ __all__ = [
     "MachineConfig",
     "Site",
     "Trace",
+    "ColumnarTrace",
+    "SyncRun",
     "BloomVector",
     "collision_probability",
     "HardDetector",

@@ -40,9 +40,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
+from repro.common.coltrace import ColumnarTrace, SyncRun
 from repro.common.errors import HarnessError
 from repro.common.events import Trace
-from repro.engine import EngineSession
+from repro.engine import EngineSession, detect_with_engine
 from repro.harness import tables as _tables
 from repro.harness.detectors import (
     DETECTOR_KEYS,
@@ -116,36 +117,49 @@ class TableResult:
 
 
 def detect(
-    trace: Trace,
+    trace: Trace | ColumnarTrace,
     config: DetectorConfig | str = "hard-default",
     *,
     obs: Observability | None = None,
+    engine_path: str = "auto",
     **overrides,
 ) -> DetectionResult:
-    """Run one detector configuration over an existing trace."""
+    """Run one detector configuration over an existing trace.
+
+    ``trace`` may be a :class:`~repro.common.events.Trace` or its packed
+    :class:`~repro.common.coltrace.ColumnarTrace` encoding (e.g. straight
+    from an mmap-loaded cache file).  ``engine_path`` selects the walk:
+    ``"auto"`` uses the vectorized batch kernels when available,
+    ``"scalar"`` forces the per-event reference walk, ``"batch"`` asserts
+    the vectorized path is taken.
+    """
     detector = make_detector(DetectorConfig.coerce(config, **overrides))
-    return detector.run(trace, obs=obs)
+    return detect_with_engine(trace, [detector], obs=obs, path=engine_path)[0]
 
 
 def detect_many(
-    trace: Trace,
+    trace: Trace | ColumnarTrace,
     configs: Sequence[DetectorConfig | str],
     *,
     obs: Observability | None = None,
+    engine_path: str = "auto",
 ) -> list[DetectionResult]:
     """Run many detector configurations over one trace in a single pass.
 
-    The trace is walked once by an :class:`~repro.engine.EngineSession`
-    feeding every configuration's incremental core; configurations with
-    identical machine configurations additionally share one simulated
-    machine replay.  Each returned :class:`DetectionResult` is bit-for-bit
-    identical to the corresponding standalone :func:`detect` call — the
-    detectors still observe the *identical execution*, exactly as the
-    paper's methodology requires.
+    The trace — either representation, as in :func:`detect` — is walked
+    once by an :class:`~repro.engine.EngineSession` feeding every
+    configuration's incremental core; with ``engine_path="auto"`` cores
+    that support it consume the columnar encoding through the vectorized
+    batch kernels (sharing one prerecorded machine tape), and the rest
+    share one simulated machine replay per machine configuration.  Each
+    returned :class:`DetectionResult` is bit-for-bit identical to the
+    corresponding standalone :func:`detect` call — the detectors still
+    observe the *identical execution*, exactly as the paper's methodology
+    requires.
 
     Returns one result per entry of ``configs``, in order.
     """
-    session = EngineSession(trace, obs=obs)
+    session = EngineSession(trace, obs=obs, path=engine_path)
     for config in configs:
         session.add_config(DetectorConfig.coerce(config))
     return session.run()
@@ -317,11 +331,16 @@ __all__ = [
     "GridReport",
     "FuzzReport",
     "FuzzCaseResult",
+    # trace representations
+    "Trace",
+    "ColumnarTrace",
+    "SyncRun",
     # configuration surface
     "FuzzSpec",
     "OracleConfig",
     "DetectorConfig",
     "EngineSession",
+    "detect_with_engine",
     "GridCell",
     "ExperimentRunner",
     "config_signature",

@@ -360,6 +360,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 rounds=args.rounds,
                 workload_seed=args.seed,
                 schedule_seed=args.schedule_seed,
+                engine_path=args.engine_path,
                 log=lambda message: print(f"[bench] {message}", file=sys.stderr),
             )
         except api.HarnessError as exc:
@@ -383,7 +384,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         except api.BenchSchemaError as exc:
             print(str(exc), file=sys.stderr)
             return 2
-        comparison = api.compare_bench(old, result, threshold=args.threshold)
+        min_speedups: dict[str, float] = {}
+        for spec in args.min_speedup:
+            phase, sep, factor = spec.partition("=")
+            try:
+                if not sep or not phase:
+                    raise ValueError(spec)
+                min_speedups[phase] = float(factor)
+            except ValueError:
+                print(
+                    f"bench: bad --min-speedup {spec!r} (want PHASE=FACTOR)",
+                    file=sys.stderr,
+                )
+                return 2
+        comparison = api.compare_bench(
+            old, result, threshold=args.threshold, min_speedups=min_speedups
+        )
         print(comparison.format())
         if not comparison.ok:
             if args.warn_only:
@@ -601,6 +617,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=0, help="workload seed")
     bench.add_argument("--schedule-seed", type=int, default=0)
     bench.add_argument(
+        "--engine-path",
+        choices=("auto", "batch", "scalar"),
+        default="auto",
+        help="engine benchmark walk: vectorized batch kernels, per-event "
+        "scalar reference, or auto (batch when every core supports it)",
+    )
+    bench.add_argument(
         "--out",
         metavar="PATH",
         default=None,
@@ -627,6 +650,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=api.DEFAULT_REGRESSION_THRESHOLD,
         help="regression threshold as a fraction (default 0.10 = 10%%)",
+    )
+    bench.add_argument(
+        "--min-speedup",
+        metavar="PHASE=FACTOR",
+        action="append",
+        default=[],
+        help="with --compare, require PHASE to be at least FACTOR times "
+        "faster than the old artifact (repeatable; e.g. detect=3.0 gates "
+        "the batch kernels against a pre-columnar baseline)",
     )
     bench.add_argument(
         "--warn-only",

@@ -77,9 +77,6 @@ class Op:
     participants: int = 0
 
     def __post_init__(self) -> None:
-        # ``is_write`` is read on every event by every detector core; a
-        # precomputed attribute beats a property on that path.
-        object.__setattr__(self, "is_write", self.kind is OpKind.WRITE)
         if self.kind in (OpKind.READ, OpKind.WRITE):
             if self.size <= 0:
                 raise ProgramError(f"{self.kind.value} needs a positive size")
@@ -94,6 +91,17 @@ class Op:
         elif self.kind is OpKind.COMPUTE:
             if self.cycles < 0:
                 raise ProgramError("compute cycles must be non-negative")
+
+    @property
+    def is_write(self) -> bool:
+        """True for WRITE operations.
+
+        Hot paths should not query this per event: the columnar encoding
+        (:meth:`Trace.columns`) carries a packed ``is_write`` column instead,
+        so the flag lives in data rather than behind a bent frozen-dataclass
+        ``object.__setattr__`` back-door.
+        """
+        return self.kind is OpKind.WRITE
 
     @property
     def is_memory_access(self) -> bool:
@@ -189,6 +197,30 @@ class Trace:
         event = TraceEvent(seq=len(self.events), thread_id=thread_id, op=op)
         self.events.append(event)
         return event
+
+    def columns(self):
+        """The packed columnar encoding of this trace (memoised).
+
+        Returns a :class:`~repro.common.coltrace.ColumnarTrace`.  The
+        encoding is built once and cached; appending further events
+        invalidates the cache (guarded by event count).
+        """
+        columnar = getattr(self, "_columnar", None)
+        if columnar is None or columnar.n != len(self.events):
+            from repro.common.coltrace import ColumnarTrace
+
+            columnar = ColumnarTrace.from_events(self)
+            self._columnar = columnar
+        return columnar
+
+    def sync_runs(self):
+        """Trace segments between global sync points (memoised).
+
+        Returns the columnar encoding's
+        :meth:`~repro.common.coltrace.ColumnarTrace.sync_runs` — maximal
+        barrier-free runs, with each barrier a singleton ``sync`` run.
+        """
+        return self.columns().sync_runs()
 
     def memory_accesses(self) -> list[TraceEvent]:
         """All READ/WRITE events, in trace order."""

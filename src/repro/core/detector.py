@@ -39,9 +39,9 @@ from repro.common.stats import StatCounters
 from repro.core.bloom import BloomMapper
 from repro.core.candidate import LineMeta
 from repro.core.lockregister import LockRegister
-from repro.core.lstate import transition
+from repro.core.lstate import NO_OWNER, transition
 from repro.obs.trace import emit_alarm
-from repro.reporting import DetectionResult, RaceReportLog, run_core
+from repro.reporting import DetectionResult, RaceReportLog, run_deprecated
 from repro.sim.coherence import SourceKind
 from repro.sim.machine import Machine
 from repro.sim.metadata import CacheMetadataStore
@@ -108,7 +108,7 @@ class HardDetector:
         ``obs`` is an optional :class:`repro.obs.Observability`; when absent
         or inactive the replay takes the uninstrumented fast path.
         """
-        return run_core(self.core(), trace, obs=obs)
+        return run_deprecated(self, trace, obs=obs)
 
 
 class HardCore:
@@ -326,6 +326,322 @@ class HardCore:
     def _charge(self, cycles: int, reason: str) -> None:
         self.machine.charge(cycles, reason)
         self.extra_cycles += cycles
+
+    # ------------------------------------------------------------- batch path
+    # The vectorized kernel: same algorithm over the columnar trace and a
+    # prerecorded machine tape, bit-for-bit identical results.  Chunk records
+    # are flat int triples ``[bf, lstate, owner]`` (LState int-coded 0..3 in
+    # Figure 2 order), per-holder metadata copies are plain lists keyed by
+    # core id (L2 copy under ``_L2``), and the Figure 2 transition runs
+    # inline — no Transition/ChunkMeta/Machine objects on the hot path.
+
+    _L2 = -2  # metadata holder key of the shared L2's copy
+    _VIRGIN, _EXCLUSIVE, _SHARED, _SHARED_MODIFIED = 0, 1, 2, 3
+
+    def begin_batch(self, cols, tape) -> None:
+        """Allocate batch-pass state over a columnar trace + machine tape."""
+        detector = self.d
+        config = detector.config
+        machine_config = detector.machine_config
+        self._tape = tape
+        self.mapper = BloomMapper(config.bloom)
+        self.stats = StatCounters()
+        self.log = RaceReportLog(detector.name)
+        self._lock_registers = {}
+        self._barrier_arrivals = {}
+        line_size = machine_config.line_size
+        chunks = line_size // config.granularity
+        self._line_meta_bits = (config.bloom.vector_bits + 2) * chunks
+        self._line_mask = ~(line_size - 1)
+        self._offset_mask = line_size - 1
+        self._chunk_shift = config.granularity.bit_length() - 1
+        self._chunk_mask = ~(config.granularity - 1)
+        self._num_cores = machine_config.num_cores
+        # line -> holder -> flat [bf, lstate, owner] * chunks
+        self._lines: dict[int, dict[int, list[int]]] = {}
+        self._fresh = [self.mapper.full_mask, self._VIRGIN, NO_OWNER] * chunks
+        self._empty_memo: dict[int, bool] = {}
+        # Occurrence counters: every scalar-path ``charge``/``stats.add`` call
+        # site gets one, so finish_batch can reconstruct the exact stat keys
+        # (including zero-valued ones like ``cycles.hard.lockreg``).
+        self._n_candidate_updates = 0
+        self._n_piggybacks = 0
+        self._n_acquires = 0
+        self._n_releases = 0
+        self._n_lockreg = 0
+        self._n_checks = 0
+        self._n_broadcasts = 0
+        self._n_reports = 0
+        self._n_episodes = 0
+        self._n_resets = 0
+        self._n_reset_copies = 0
+
+    def step_batch(self, cols, lo: int, hi: int) -> None:
+        """Process events ``[lo, hi)`` of ``cols`` against the tape."""
+        rows = cols.rows()
+        sites = cols.sites
+        participants = cols.participants
+        tape = self._tape
+        hook_off = tape.hook_off
+        hook_code = tape.hook_code
+        hook_line = tape.hook_line
+        hook_core = tape.hook_core
+        hook_aux = tape.hook_aux
+        pig = tape.pig
+        sharer_off = tape.sharer_off
+        sharer_line = tape.sharer_line
+        sharer_flag = tape.sharer_flag
+
+        detector = self.d
+        config = detector.config
+        broadcast_updates = config.broadcast_updates
+        barrier_reset = config.barrier_reset
+        granularity = config.granularity
+        full_mask = self.mapper.full_mask
+        is_empty = self.mapper.is_empty
+        empty_memo = self._empty_memo
+        lines = self._lines
+        fresh = self._fresh
+        registers = self._lock_registers
+        arrivals = self._barrier_arrivals
+        log_add = self.log.add
+        line_mask = self._line_mask
+        offset_mask = self._offset_mask
+        chunk_shift = self._chunk_shift
+        chunk_mask = self._chunk_mask
+        num_cores = self._num_cores
+        L2 = self._L2
+
+        n_candidate_updates = self._n_candidate_updates
+        n_piggybacks = self._n_piggybacks
+        n_lockreg = self._n_lockreg
+        n_checks = self._n_checks
+        n_broadcasts = self._n_broadcasts
+        n_reports = self._n_reports
+
+        h = hook_off[lo]
+        for i in range(lo, hi):
+            kind, tid, addr, size, sid = rows[i]
+            h1 = hook_off[i + 1]
+            while h < h1:
+                code = hook_code[h]
+                line_addr = hook_line[h]
+                if code == 0:  # fill from memory: fresh copies, L2 + core
+                    meta = fresh[:]
+                    lines[line_addr] = {L2: meta[:], hook_core[h]: meta}
+                elif code <= 2:  # fill from the L2 (1) or a peer core (2)
+                    holders = lines[line_addr]
+                    supplier = L2 if code == 1 else hook_aux[h]
+                    holders[hook_core[h]] = holders[supplier][:]
+                elif code == 3:  # writeback refreshes the L2 copy
+                    holders = lines[line_addr]
+                    holders[L2] = holders[hook_core[h]][:]
+                elif code == 6:  # L2 displacement: all record disappears
+                    del lines[line_addr]
+                else:  # L1 eviction / invalidation drops that copy
+                    del lines[line_addr][hook_core[h]]
+                h += 1
+
+            if kind <= 1:  # READ / WRITE
+                is_write = kind == 1
+                core = tid % num_cores
+                count = pig[i]
+                if count:
+                    n_piggybacks += count
+                register = registers.get(tid)
+                lock_vector = register.value if register is not None else 0
+
+                first = addr & chunk_mask
+                last = (addr + size - 1) & chunk_mask
+                chunk_addr = first
+                changed_lines = None
+                changed_line = -1
+                while True:
+                    line_addr = chunk_addr & line_mask
+                    meta = lines[line_addr][core]
+                    slot = ((chunk_addr & offset_mask) >> chunk_shift) * 3
+                    state = meta[slot + 1]
+                    owner = meta[slot + 2]
+                    # Figure 2, inline (0=V, 1=E, 2=S, 3=SM).
+                    if state == 0:
+                        next_state = 1
+                        next_owner = tid
+                        update = check = False
+                    elif state == 1 and tid == owner:
+                        next_state = 1
+                        next_owner = owner
+                        update = check = False
+                    elif state != 3 and not is_write:
+                        next_state = 2
+                        next_owner = owner
+                        update = True
+                        check = False
+                    else:
+                        next_state = 3
+                        next_owner = owner
+                        update = check = True
+                    state_changed = next_state != state or next_owner != owner
+                    meta[slot + 1] = next_state
+                    meta[slot + 2] = next_owner
+                    if update:
+                        bf = meta[slot]
+                        new_bf = bf & lock_vector
+                        if new_bf != bf:
+                            meta[slot] = new_bf
+                            state_changed = True
+                        n_candidate_updates += 1
+                        if state_changed:
+                            n_checks += 1
+                        if check:
+                            empty = empty_memo.get(new_bf)
+                            if empty is None:
+                                empty = empty_memo[new_bf] = is_empty(new_bf)
+                            if empty:
+                                log_add(
+                                    seq=i,
+                                    thread_id=tid,
+                                    addr=addr,
+                                    size=size,
+                                    site=sites[sid],
+                                    is_write=is_write,
+                                    detail="candidate set empty "
+                                    f"(chunk 0x{chunk_addr:x})",
+                                )
+                                n_reports += 1
+                    if state_changed:
+                        if changed_line < 0:
+                            changed_line = line_addr
+                        elif line_addr != changed_line:
+                            if changed_lines is None:
+                                changed_lines = [changed_line]
+                            if line_addr not in changed_lines:
+                                changed_lines.append(line_addr)
+                    if chunk_addr == last:
+                        break
+                    chunk_addr += granularity
+
+                if changed_line >= 0 and broadcast_updates:
+                    if changed_lines is None:
+                        changed_lines = (changed_line,)
+                    s0 = sharer_off[i]
+                    s1 = sharer_off[i + 1]
+                    for line_addr in changed_lines:
+                        shared = False
+                        for s in range(s0, s1):
+                            if sharer_line[s] == line_addr:
+                                shared = sharer_flag[s] == 1
+                                break
+                        if not shared:
+                            continue
+                        holders = lines[line_addr]
+                        meta = holders[core]
+                        for holder in holders:
+                            holders[holder] = meta[:]
+                        n_broadcasts += 1
+            elif kind == 2:  # LOCK
+                register = registers.get(tid)
+                if register is None:
+                    register = registers[tid] = LockRegister(config, self.mapper)
+                register.acquire(addr)
+                n_lockreg += 1
+                self._n_acquires += 1
+            elif kind == 3:  # UNLOCK
+                register = registers.get(tid)
+                if register is None:
+                    register = registers[tid] = LockRegister(config, self.mapper)
+                register.release(addr)
+                n_lockreg += 1
+                self._n_releases += 1
+            elif kind == 4:  # BARRIER
+                count = arrivals.get(addr, 0) + 1
+                if count < participants[i]:
+                    arrivals[addr] = count
+                else:
+                    arrivals[addr] = 0
+                    self._n_episodes += 1
+                    if barrier_reset:
+                        touched = 0
+                        for holders in lines.values():
+                            for meta in holders.values():
+                                for slot in range(0, len(meta), 3):
+                                    meta[slot] = full_mask
+                                    meta[slot + 1] = 0
+                                    meta[slot + 2] = NO_OWNER
+                                touched += 1
+                        self._n_resets += 1
+                        self._n_reset_copies += touched
+            # kind == 5 (COMPUTE): cycles already on the tape.
+
+        self._n_candidate_updates = n_candidate_updates
+        self._n_piggybacks = n_piggybacks
+        self._n_lockreg = n_lockreg
+        self._n_checks = n_checks
+        self._n_broadcasts = n_broadcasts
+        self._n_reports = n_reports
+
+    def finish_batch(self) -> DetectionResult:
+        """Assemble the result: private charges over the shared tape totals."""
+        tape = self._tape
+        costs = self.d.costs
+        bus_config = self.d.machine_config.bus
+        stats = self.stats
+        extra = 0
+
+        if self._n_candidate_updates:
+            stats.add("hard.candidate_updates", self._n_candidate_updates)
+        if self._n_piggybacks:
+            stats.add("hard.metadata_piggybacks", self._n_piggybacks)
+        if self._n_acquires:
+            stats.add("hard.lock_acquires", self._n_acquires)
+        if self._n_releases:
+            stats.add("hard.lock_releases", self._n_releases)
+        if self._n_episodes:
+            stats.add("hard.barrier_episodes", self._n_episodes)
+        if self._n_resets:
+            stats.add("hard.barrier_reset_copies", self._n_reset_copies)
+            cycles = self._n_resets * costs.barrier_reset_flash
+            stats.add("cycles.hard.barrier_reset", cycles)
+            extra += cycles
+        if self._n_reports:
+            stats.add("hard.dynamic_reports", self._n_reports)
+        if self._n_lockreg:
+            cycles = self._n_lockreg * costs.lock_register_update
+            stats.add("cycles.hard.lockreg", cycles)
+            extra += cycles
+        if self._n_checks:
+            cycles = self._n_checks * costs.candidate_check
+            stats.add("cycles.hard.check", cycles)
+            extra += cycles
+        meta_bytes = (self._line_meta_bits + 7) // 8
+        if self._n_piggybacks:
+            cycles = self._n_piggybacks * bus_config.metadata_piggyback_cycles
+            stats.add("cycles.hard.piggyback", cycles)
+            stats.add("bus.cycles.metadata_piggyback", cycles)
+            extra += cycles
+        if self._n_broadcasts:
+            stats.add("hard.metadata_broadcasts", self._n_broadcasts)
+            per_broadcast = (
+                bus_config.cycles_per_transaction + bus_config.cycles_per_word
+            )
+            cycles = self._n_broadcasts * per_broadcast
+            stats.add("cycles.hard.broadcast", cycles)
+            stats.add("bus.cycles.metadata_broadcast", cycles)
+            stats.add("bus.transactions.metadata_broadcast", self._n_broadcasts)
+            extra += cycles
+        if self._n_piggybacks or self._n_broadcasts:
+            stats.add(
+                "bus.bytes.metadata",
+                (self._n_piggybacks + self._n_broadcasts) * meta_bytes,
+            )
+        stats._counts.update(tape.machine_stats)
+        stats._counts.update(tape.bus_stats)
+        return DetectionResult(
+            detector=self.d.name,
+            reports=self.log,
+            stats=stats,
+            cycles=tape.machine_cycles + extra,
+            detector_extra_cycles=extra,
+        )
 
     # ---------------------------------------------------------- observability
     # Cold paths: called only when an Observability bundle is active.

@@ -25,7 +25,7 @@ from repro.core.detector import LOCK_WORD_BYTES, HardCosts
 from repro.core.lockregister import LockRegister
 from repro.core.lstate import transition
 from repro.obs.trace import emit_alarm
-from repro.reporting import DetectionResult, RaceReportLog, run_core
+from repro.reporting import DetectionResult, RaceReportLog, run_deprecated
 from repro.sim.directory import Directory
 from repro.sim.machine import Machine
 
@@ -57,7 +57,7 @@ class DirectoryHardDetector:
         ``obs`` is an optional :class:`repro.obs.Observability`; alarms,
         refinements and barrier resets are reported when it is active.
         """
-        return run_core(self.core(), trace, obs=obs)
+        return run_deprecated(self, trace, obs=obs)
 
 
 class DirectoryHardCore:

@@ -28,7 +28,7 @@ from repro.core.lstate import NO_OWNER, LState, transition
 from repro.hb.vectorclock import SyncClocks
 from repro.lockset.exact import ALL_LOCKS
 from repro.obs.trace import emit_alarm
-from repro.reporting import DetectionResult, RaceReportLog, run_core
+from repro.reporting import DetectionResult, RaceReportLog, run_deprecated
 
 
 @dataclass
@@ -64,7 +64,7 @@ class HybridDetector:
         ``obs`` is an optional :class:`repro.obs.Observability`; alarms are
         recorded and emitted when it is active.
         """
-        return run_core(self.core(), trace, obs=obs)
+        return run_deprecated(self, trace, obs=obs)
 
 
 class HybridCore:

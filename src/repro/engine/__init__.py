@@ -8,6 +8,7 @@ machine configurations share a single cache/coherence replay.  See
 
 from repro.engine.machineshare import LaneBus, MachineGroup, MachineLane
 from repro.engine.session import EngineError, EngineSession, detect_with_engine
+from repro.engine.tape import MachineTape
 
 __all__ = [
     "EngineError",
@@ -16,4 +17,5 @@ __all__ = [
     "LaneBus",
     "MachineGroup",
     "MachineLane",
+    "MachineTape",
 ]

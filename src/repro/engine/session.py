@@ -21,6 +21,16 @@ A :class:`~repro.obs.telemetry.FlightRecorder` on the bundle
 variants that dispatch the *identical* event sequence and add only one
 countdown per stepped event, timing every ``sample_period``-th step to
 estimate per-core wall time, events/sec, and the lane dedup ratio.
+
+When no observability is active, cores that advertise the batch protocol
+(``begin_batch``/``step_batch``/``finish_batch``) are driven through the
+*vectorized* walk instead: whole sync runs of the columnar trace
+(:meth:`~repro.common.events.Trace.columns`) in one call each, with the
+simulated machine's data-path prerecorded once per
+(columns, machine config) by :class:`~repro.engine.tape.MachineTape`.
+Results remain bit-for-bit identical to the scalar walk; ``path="scalar"``
+forces the per-event reference oracle and ``path="batch"`` asserts the
+vectorized path is actually taken.
 """
 
 from __future__ import annotations
@@ -54,13 +64,38 @@ class EngineSession:
     list.
     """
 
-    def __init__(self, trace: Trace, obs=None):
-        self.trace = trace
+    def __init__(self, trace, obs=None, path: str = "auto"):
+        if path not in ("auto", "batch", "scalar"):
+            raise EngineError(
+                f"unknown engine path {path!r} (expected auto, batch or scalar)"
+            )
+        if isinstance(trace, Trace):
+            self._trace = trace
+            self._cols = None
+        else:  # a ColumnarTrace: materialise event objects only if needed
+            self._trace = None
+            self._cols = trace
         self.obs = obs
+        self.path = path
         self._cores: list = []
         self._ran = False
         #: Op-kind census estimates of the last telemetry-recorded run.
         self._census: dict | None = None
+
+    @property
+    def trace(self) -> Trace:
+        """The event-object view of the input (materialised on demand)."""
+        trace = self._trace
+        if trace is None:
+            trace = self._trace = self._cols.to_trace()
+        return trace
+
+    def columns(self):
+        """The columnar view of the input (memoised either way)."""
+        cols = self._cols
+        if cols is None:
+            cols = self._cols = self._trace.columns()
+        return cols
 
     # ------------------------------------------------------------ registration
 
@@ -106,14 +141,51 @@ class EngineSession:
         if recorder is not None:
             self._census = recorder.observe_trace(self.trace)
 
-        if tracing:
+        if tracing and self.path != "batch":
             for core in self._cores:
                 core.begin(self.trace, obs=obs)
             self._walk_traced(recorder)
             return [core.finish() for core in self._cores]
 
+        # Batch path: observability hooks fire per event inside scalar
+        # ``step`` implementations, so any active obs (emitter, metrics, or
+        # a flight recorder) forces the scalar walk — silently under "auto",
+        # loudly under "batch".
+        batch_allowed = (
+            self.path != "scalar"
+            and not tracing
+            and recorder is None
+            and (obs is None or not obs.active)
+        )
+        if self.path == "batch":
+            if not batch_allowed:
+                raise EngineError(
+                    "engine path 'batch' is incompatible with active "
+                    "observability (emitter, metrics, or flight recorder)"
+                )
+            laggards = [
+                core.name
+                for core in self._cores
+                if not hasattr(core, "begin_batch")
+            ]
+            if laggards:
+                raise EngineError(
+                    "engine path 'batch' requires step_batch support, "
+                    f"which these cores lack: {', '.join(laggards)}"
+                )
+        batch_cores = (
+            [core for core in self._cores if hasattr(core, "begin_batch")]
+            if batch_allowed
+            else []
+        )
+        batch_ids = {id(core) for core in batch_cores}
+        scalar_cores = [c for c in self._cores if id(c) not in batch_ids]
+
+        if batch_cores:
+            self._walk_batch(batch_cores)
+
         groups: dict = {}
-        for core in self._cores:
+        for core in scalar_cores:
             machine_config = getattr(core, "machine_config", None)
             if machine_config is None:
                 continue
@@ -123,7 +195,7 @@ class EngineSession:
             group.members.append(core)
 
         solo: list = []
-        for core in self._cores:
+        for core in scalar_cores:
             machine_config = getattr(core, "machine_config", None)
             group = groups.get(machine_config) if machine_config is not None else None
             if group is not None and len(group.members) > 1:
@@ -144,7 +216,32 @@ class EngineSession:
                 step = core.step
                 for event in self.trace:
                     step(event)
-        return [core.finish() for core in self._cores]
+        return [
+            core.finish_batch() if id(core) in batch_ids else core.finish()
+            for core in self._cores
+        ]
+
+    def _walk_batch(self, cores: list) -> None:
+        # The vectorized walk: cores consume whole sync runs of the columnar
+        # trace in one ``step_batch`` call each.  Machine-backed cores get a
+        # MachineTape — the recorded data-path of (columns, machine config),
+        # memoised on the columns so repeated sessions replay nothing.
+        from repro.engine.tape import MachineTape
+
+        cols = self.columns()
+        for core in cores:
+            machine_config = getattr(core, "machine_config", None)
+            tape = (
+                MachineTape.for_columns(cols, machine_config)
+                if machine_config is not None
+                else None
+            )
+            core.begin_batch(cols, tape)
+        for run in cols.sync_runs():
+            lo = run.lo
+            hi = run.hi
+            for core in cores:
+                core.step_batch(cols, lo, hi)
 
     def _walk_group_sampled(self, group: MachineGroup, recorder) -> None:
         # The flight-recorder variant of _walk_group: identical event
@@ -250,9 +347,14 @@ class EngineSession:
                 recorder.record_core_walk(core.name, events, wall, events)
 
 
-def detect_with_engine(trace: Trace, detectors, obs=None) -> list:
-    """Run ``detectors`` (an iterable) over ``trace`` in one session."""
-    session = EngineSession(trace, obs=obs)
+def detect_with_engine(trace, detectors, obs=None, path: str = "auto") -> list:
+    """Run ``detectors`` (an iterable) over ``trace`` in one session.
+
+    ``trace`` may be a :class:`~repro.common.events.Trace` or a
+    :class:`~repro.common.coltrace.ColumnarTrace`; ``path`` selects the walk
+    strategy (``"auto"``, ``"batch"``, or ``"scalar"``).
+    """
+    session = EngineSession(trace, obs=obs, path=path)
     for detector in detectors:
         session.add(detector)
     return session.run()

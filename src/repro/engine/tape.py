@@ -1,0 +1,203 @@
+"""Machine replay tapes: the data-path of one trace, recorded once.
+
+Every machine-backed detector core drives the simulated CMP through the
+same *canonical* access sequence (see
+:class:`repro.reporting.DetectorCore`), so for a given
+(:class:`~repro.common.coltrace.ColumnarTrace`,
+:class:`~repro.common.config.MachineConfig`) pair the cache/coherence
+behaviour — fills and their sources, writebacks, evictions, invalidations,
+L2 displacements, per-access piggyback opportunities, post-access sharer
+flags, total data-path cycles and counters — is a pure function of the
+trace.  :class:`MachineTape` records that behaviour once, by replaying the
+trace through a real :class:`~repro.sim.machine.Machine` with a recording
+listener attached, into flat packed arrays the vectorized batch kernels
+(``DetectorCore.step_batch``) consume without touching the simulator again.
+
+This is :class:`~repro.engine.machineshare.MachineGroup` taken to its
+logical end: the group deduplicates the replay *across cores within one
+walk*; the tape deduplicates it *across walks* — a second
+:class:`~repro.engine.EngineSession` over the same trace (a benchmark
+round, a fuzz-oracle ablation, an experiment-runner memo hit) replays
+nothing at all.
+
+Tape layout (all dense, ``n`` = number of trace events):
+
+* ``hook_off['q', n+1]`` — per-event spans into the hook stream;
+* ``hook_code['B']``/``hook_line['q']``/``hook_core['i']``/``hook_aux['i']``
+  — one record per coherence-listener callback, in callback order.
+  ``hook_aux`` carries the supplying core for cache-to-cache fills and the
+  dirty flag for L1 evictions;
+* ``pig['B', n]`` — per-event metadata-piggyback opportunity count
+  (memory events only: one per non-memory fill + one per dirty L1 victim,
+  exactly the transfers HARD's metadata rides — Section 3.4);
+* ``sharer_off['q', n+1]`` / ``sharer_line['q']`` / ``sharer_flag['B']``
+  — for each line a memory event touched, whether any *other* core still
+  held it once the access completed (the broadcast predicate of Figure 6);
+* ``machine_cycles`` / ``machine_stats`` / ``bus_stats`` — the shared
+  data-path totals a kernel merges under its private detector charges.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.common.coltrace import (
+    KIND_BARRIER,
+    KIND_COMPUTE,
+    ColumnarTrace,
+)
+from repro.common.config import MachineConfig
+from repro.sim.coherence import FillSource, MachineListener, SourceKind
+from repro.sim.machine import Machine
+
+#: Size in bytes of a lock word (mirrors repro.core.detector.LOCK_WORD_BYTES;
+#: redefined here to keep the tape importable without the detector stack).
+_LOCK_WORD_BYTES = 4
+
+#: Hook stream opcodes.
+HOOK_FILL_MEM = 0
+HOOK_FILL_L2 = 1
+HOOK_FILL_CORE = 2
+HOOK_WRITEBACK = 3
+HOOK_L1_EVICT = 4
+HOOK_INVALIDATE = 5
+HOOK_L2_EVICT = 6
+
+
+class _Recorder(MachineListener):
+    """Appends every coherence callback to the flat hook arrays."""
+
+    __slots__ = ("code", "line", "core", "aux")
+
+    def __init__(self):
+        self.code = array("B")
+        self.line = array("q")
+        self.core = array("i")
+        self.aux = array("i")
+
+    def _append(self, code: int, line_addr: int, core: int, aux: int) -> None:
+        self.code.append(code)
+        self.line.append(line_addr)
+        self.core.append(core)
+        self.aux.append(aux)
+
+    def on_fill(self, core: int, line_addr: int, source: FillSource) -> None:
+        kind = source.kind
+        if kind is SourceKind.MEMORY:
+            self._append(HOOK_FILL_MEM, line_addr, core, 0)
+        elif kind is SourceKind.L2:
+            self._append(HOOK_FILL_L2, line_addr, core, 0)
+        else:
+            self._append(HOOK_FILL_CORE, line_addr, core, source.core)
+
+    def on_writeback(self, core: int, line_addr: int) -> None:
+        self._append(HOOK_WRITEBACK, line_addr, core, 0)
+
+    def on_l1_evict(self, core: int, line_addr: int, dirty: bool) -> None:
+        self._append(HOOK_L1_EVICT, line_addr, core, 1 if dirty else 0)
+
+    def on_invalidate(self, core: int, line_addr: int) -> None:
+        self._append(HOOK_INVALIDATE, line_addr, core, 0)
+
+    def on_l2_evict(self, line_addr: int) -> None:
+        self._append(HOOK_L2_EVICT, line_addr, -1, 0)
+
+
+class MachineTape:
+    """The recorded data-path of one columnar trace on one machine config."""
+
+    __slots__ = (
+        "machine_config",
+        "hook_off",
+        "hook_code",
+        "hook_line",
+        "hook_core",
+        "hook_aux",
+        "pig",
+        "sharer_off",
+        "sharer_line",
+        "sharer_flag",
+        "machine_cycles",
+        "machine_stats",
+        "bus_stats",
+    )
+
+    def __init__(self, cols: ColumnarTrace, machine_config: MachineConfig):
+        self.machine_config = machine_config
+        n = cols.n
+        machine = Machine(machine_config)
+        recorder = _Recorder()
+        machine.add_listener(recorder)
+
+        hook_off = array("q", bytes(8 * (n + 1)))
+        pig = array("B", bytes(n))
+        sharer_off = array("q", bytes(8 * (n + 1)))
+        sharer_line = array("q")
+        sharer_flag = array("B")
+
+        access = machine.access
+        charge = machine.charge
+        has_other_sharers = machine.has_other_sharers
+        num_cores = machine_config.num_cores
+        memory_source = SourceKind.MEMORY
+        n_sharers = 0
+
+        kinds = cols.kind
+        tids = cols.tid
+        addrs = cols.addr
+        sizes = cols.size
+        cycles_col = cols.cycles
+        for i in range(n):
+            hook_off[i] = len(recorder.code)
+            sharer_off[i] = n_sharers
+            kind = kinds[i]
+            if kind <= 1:  # READ / WRITE
+                core = tids[i] % num_cores
+                result = access(core, addrs[i], sizes[i], kind == 1)
+                count = 0
+                for line_result in result.lines:
+                    source = line_result.fill_source
+                    if source is not None and source.kind is not memory_source:
+                        count += 1
+                    victim = line_result.l1_victim
+                    if victim is not None and victim.dirty:
+                        count += 1
+                pig[i] = count
+                for line_result in result.lines:
+                    line_addr = line_result.line_addr
+                    sharer_line.append(line_addr)
+                    sharer_flag.append(
+                        1 if has_other_sharers(line_addr, excluding=core) else 0
+                    )
+                    n_sharers += 1
+            elif kind == KIND_COMPUTE:
+                charge(cycles_col[i], "compute")
+            elif kind != KIND_BARRIER:  # LOCK / UNLOCK
+                access(tids[i] % num_cores, addrs[i], _LOCK_WORD_BYTES, True)
+        hook_off[n] = len(recorder.code)
+        sharer_off[n] = n_sharers
+
+        machine.remove_listener(recorder)
+        self.hook_off = hook_off
+        self.hook_code = recorder.code
+        self.hook_line = recorder.line
+        self.hook_core = recorder.core
+        self.hook_aux = recorder.aux
+        self.pig = pig
+        self.sharer_off = sharer_off
+        self.sharer_line = sharer_line
+        self.sharer_flag = sharer_flag
+        self.machine_cycles = machine.cycles
+        self.machine_stats = machine.stats.snapshot()
+        self.bus_stats = machine.bus.stats.snapshot()
+
+    @classmethod
+    def for_columns(
+        cls, cols: ColumnarTrace, machine_config: MachineConfig
+    ) -> "MachineTape":
+        """The tape for ``(cols, machine_config)``, memoised on ``cols``."""
+        tape = cols._tapes.get(machine_config)
+        if tape is None:
+            tape = cls(cols, machine_config)
+            cols._tapes[machine_config] = tape
+        return tape

@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 
 from repro.common.addresses import spanned_chunks
 from repro.common.events import OpKind, Site, Trace
+from repro.common.rng import derive_seed
 from repro.core.lstate import NO_OWNER, LState, transition
 from repro.engine import EngineSession
 from repro.harness.detectors import DetectorConfig
@@ -92,6 +93,15 @@ class OracleConfig:
     gets exercised.  ``big_l2_size`` is the displacement-free ablation;
     ``wide_vector_bits`` the collision-free one (256 bits consume enough
     lock-address entropy that the 1 KiB-stride aliases separate).
+
+    ``engine_path`` selects the engine walk for the detector sessions:
+    ``"auto"``/``"batch"``/``"scalar"`` as in
+    :class:`~repro.engine.EngineSession`, or ``"random"`` (the default) to
+    choose batch or scalar deterministically per schedule seed — so a
+    nightly fuzz run doubles as a batch-vs-scalar cross-check: the two
+    walks must produce bit-for-bit identical verdicts, and any kernel
+    disagreement surfaces as an ``UNEXPLAINED`` divergence on exactly the
+    seeds that took one path.
     """
 
     granularity: int = 4
@@ -100,6 +110,7 @@ class OracleConfig:
     wide_vector_bits: int = 256
     schedule_min_burst: int = 1
     schedule_max_burst: int = 8
+    engine_path: str = "random"
 
 
 DEFAULT_ORACLE = OracleConfig()
@@ -261,12 +272,25 @@ def _hb_chunks_by_site(
     return chunks
 
 
+def resolve_engine_path(config: OracleConfig, schedule_seed: int) -> str:
+    """The concrete engine path of one case under ``config``.
+
+    ``"random"`` picks batch or scalar deterministically from the schedule
+    seed (so ``-j 8`` and ``-j 1`` runs agree on which seeds take which
+    walk); anything else passes through unchanged.
+    """
+    if config.engine_path != "random":
+        return config.engine_path
+    return ("batch", "scalar")[derive_seed("fuzz-engine-path", schedule_seed) % 2]
+
+
 def evaluate_trace(
     trace: Trace,
     *,
     program: str = "",
     case: str = "clean",
     config: OracleConfig = DEFAULT_ORACLE,
+    engine_path: str | None = None,
 ) -> CaseVerdict:
     """Run the detector suite over ``trace`` and classify every divergence.
 
@@ -277,10 +301,28 @@ def evaluate_trace(
     misses to explain, are a second session sharing one big-L2 machine
     replay between the ``big`` and ``both`` variants.  Every result is
     bit-for-bit what a standalone run of the same configuration returns.
+
+    ``engine_path`` overrides ``config.engine_path`` (``"random"`` here
+    falls back to ``"auto"`` — the per-seed coin is flipped by
+    :func:`evaluate_program`, which knows the schedule seed).  On the batch
+    path the suite runs without the event recorder (the vectorized kernels
+    replay a prerecorded tape and emit no event stream); the eviction
+    evidence a missed-race case needs is then gathered lazily by one
+    scalar ``hard-default`` re-run, so verdicts stay bit-for-bit identical
+    across paths.
     """
-    recorder = RecordingEmitter(types={"l2.displacement", "cache.evict"})
+    path = engine_path if engine_path is not None else config.engine_path
+    if path == "random":
+        path = "auto"
     hard_cfg = DetectorConfig(key="hard-default", l2_size=config.l2_size)
-    session = EngineSession(trace, obs=Observability(emitter=recorder))
+    if path == "batch":
+        recorder = None
+        session = EngineSession(trace, path="batch")
+    else:
+        recorder = RecordingEmitter(types={"l2.displacement", "cache.evict"})
+        session = EngineSession(
+            trace, obs=Observability(emitter=recorder), path=path
+        )
     session.add_config(hard_cfg)
     session.add_config(DetectorConfig(key="hard-ideal", granularity=config.granularity))
     session.add_config(DetectorConfig(key="hard-ideal", granularity=LINE_SIZE))
@@ -319,6 +361,16 @@ def evaluate_trace(
     # --- hard-default missed races (lazy ablation re-runs) ----------------
     missed = sorted(exact_sites - hard_sites, key=_site_sort_key)
     if missed:
+        if recorder is None:
+            # Batch-path case with misses to explain: replay hard-default
+            # once on the scalar path to capture the eviction evidence the
+            # tape-driven kernels don't stream.
+            recorder = RecordingEmitter(types={"l2.displacement", "cache.evict"})
+            evidence = EngineSession(
+                trace, obs=Observability(emitter=recorder), path="scalar"
+            )
+            evidence.add_config(hard_cfg)
+            evidence.run()
         site_lines = _site_lines(trace)
         displaced = {e["line"] for e in recorder.by_type("l2.displacement")}
         clean_evicted = {
@@ -329,7 +381,7 @@ def evaluate_trace(
         # One ablation session: a single trace walk for all three re-runs,
         # with the big-L2 and both-relaxations variants (identical machine
         # configurations) sharing one machine replay.
-        ablations = EngineSession(trace)
+        ablations = EngineSession(trace, path=path)
         ablations.add_config(
             hard_cfg.with_overrides(vector_bits=config.wide_vector_bits)
         )
@@ -476,5 +528,9 @@ def evaluate_program(
     )
     result = interleave(program, scheduler)
     return evaluate_trace(
-        result.trace, program=program.name, case=case, config=config
+        result.trace,
+        program=program.name,
+        case=case,
+        config=config,
+        engine_path=resolve_engine_path(config, schedule_seed),
     )

@@ -154,8 +154,10 @@ class ExperimentRunner:
         trace_cache_dir: str | Path | None = None,
         trace_memo_limit: int | None = DEFAULT_TRACE_MEMO_LIMIT,
         metrics: MetricsRegistry | None = None,
+        engine_path: str = "auto",
     ):
         self.workload_seed = workload_seed
+        self.engine_path = engine_path
         self.runs = runs
         self.jobs = max(1, int(jobs))
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
@@ -266,8 +268,10 @@ class ExperimentRunner:
         Every configuration not already memoised or disk-cached is evaluated
         in a single :class:`~repro.engine.EngineSession` pass over the trace:
         the trace is walked once and compatible configurations share one
-        simulated machine replay, while each outcome stays bit-for-bit what
-        a standalone :meth:`run_detector` call would have produced.
+        simulated machine replay (or, on the batch path, one prerecorded
+        machine tape over the columnar encoding — :attr:`engine_path`
+        selects the walk), while each outcome stays bit-for-bit what a
+        standalone :meth:`run_detector` call would have produced.
 
         Returns one :class:`RunOutcome` per entry of ``configs``, in order.
         """
@@ -290,7 +294,7 @@ class ExperimentRunner:
                 pending_signatures.add(signature)
         if pending:
             trace = self.trace_for(app, run)
-            session = EngineSession(trace)
+            session = EngineSession(trace, path=self.engine_path)
             for _, cfg, _ in pending:
                 session.add_config(cfg)
             with self.metrics.time("harness.detect"):

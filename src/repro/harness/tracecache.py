@@ -7,35 +7,48 @@ traces in memory; worker processes of the parallel engine cannot share that
 dict, so this module persists traces to disk where every worker — and every
 later invocation — can reuse them.
 
-Entries are pickled :class:`~repro.common.events.Trace` objects keyed by a
-content hash of (app, run, workload seed, scheduler parameters, program
-digest, format version).  Folding the *program digest* into the key makes
-entries self-invalidate whenever a workload generator or the injection
-protocol changes, exactly like the verdict cache.
+Entries are the *columnar* binary encoding
+(:meth:`~repro.common.coltrace.ColumnarTrace.to_bytes` — layout in
+``docs/trace_format.md``) keyed by a content hash of (app, run, workload
+seed, scheduler parameters, program digest, format version).  Folding the
+*program digest* into the key makes entries self-invalidate whenever a
+workload generator or the injection protocol changes, exactly like the
+verdict cache.
+
+Loads ``mmap`` the entry and cast the columns zero-copy out of the mapped
+buffer: the packed arrays a batch-path engine session consumes come
+straight off the page cache, and the loaded trace carries them pre-attached
+(``Trace.columns()`` returns the mapped encoding without re-packing).
 
 Writes use the write-then-:func:`os.replace` protocol (atomic on POSIX),
 so concurrent workers racing to store the same trace are harmless: both
 produce identical bytes and the rename is atomic, so readers only ever see
-complete entries.  Loads tolerate truncated or stale files by treating
-them as misses.
+complete entries.  Loads tolerate truncated, corrupt, or stale files by
+treating them as misses.  Pre-columnar caches (version 2 pickles and
+older) are invalidated by the version bump — their keys no longer hash
+equal, and :meth:`clear` sweeps both generations of files.
 """
 
 from __future__ import annotations
 
-import pickle
+import mmap
+import struct
 from pathlib import Path
 
+from repro.common.coltrace import ColumnarTrace
+from repro.common.errors import ReproError
 from repro.common.events import Trace
 from repro.common.fsio import atomic_write_bytes
 from repro.common.rng import derive_seed
 
-#: Bumped whenever the Trace layout or the interleaving semantics change,
-#: so stale pickles from older code self-invalidate.
-TRACE_CACHE_VERSION = 2
+#: Bumped whenever the trace layout or the interleaving semantics change,
+#: so stale entries from older code self-invalidate.  2 -> 3: entries
+#: switched from pickled Trace objects to the columnar binary encoding.
+TRACE_CACHE_VERSION = 3
 
 
 class TraceCache:
-    """A directory of pickled traces with atomic writes.
+    """A directory of columnar trace files with atomic writes.
 
     A ``directory`` of ``None`` disables the cache: every lookup misses and
     every store is a no-op, which keeps call sites branch-free.
@@ -58,25 +71,36 @@ class TraceCache:
         if self.directory is None:
             return None
         digest = derive_seed("trace", app, run, TRACE_CACHE_VERSION, *key_parts)
-        return self.directory / f"trace_{app}_{run}_{digest:016x}.pkl"
+        return self.directory / f"trace_{app}_{run}_{digest:016x}.cols"
 
     def load(self, app: str, run: int, *key_parts: object) -> Trace | None:
-        """The cached trace, or ``None`` on a miss (or unreadable entry)."""
+        """The cached trace, or ``None`` on a miss (or unreadable entry).
+
+        The returned trace carries the mmap-backed columnar encoding
+        pre-attached, so ``trace.columns()`` is free and the batch engine
+        path reads the packed arrays straight from the mapping.
+        """
         path = self.path_for(app, run, *key_parts)
         if path is None:
             return None
         try:
             with path.open("rb") as fh:
-                trace = pickle.load(fh)
+                buf = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            cols = ColumnarTrace.from_bytes(buf)
+            trace = cols.to_trace()
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (pickle.UnpicklingError, EOFError, AttributeError, OSError):
+        except (
+            ReproError,
+            ValueError,
+            OSError,
+            KeyError,
+            TypeError,
+            IndexError,
+            struct.error,
+        ):
             # Truncated or written by incompatible code: drop and rebuild.
-            path.unlink(missing_ok=True)
-            self.misses += 1
-            return None
-        if not isinstance(trace, Trace):
             path.unlink(missing_ok=True)
             self.misses += 1
             return None
@@ -84,20 +108,19 @@ class TraceCache:
         return trace
 
     def store(self, trace: Trace, app: str, run: int, *key_parts: object) -> None:
-        """Persist ``trace`` atomically (no-op when disabled)."""
+        """Persist ``trace``'s columnar encoding atomically (no-op when disabled)."""
         path = self.path_for(app, run, *key_parts)
         if path is None:
             return
-        atomic_write_bytes(
-            path, pickle.dumps(trace, protocol=pickle.HIGHEST_PROTOCOL)
-        )
+        atomic_write_bytes(path, trace.columns().to_bytes())
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (either generation); returns the number removed."""
         if self.directory is None:
             return 0
         removed = 0
-        for path in self.directory.glob("trace_*.pkl"):
-            path.unlink(missing_ok=True)
-            removed += 1
+        for pattern in ("trace_*.cols", "trace_*.pkl"):
+            for path in self.directory.glob(pattern):
+                path.unlink(missing_ok=True)
+                removed += 1
         return removed

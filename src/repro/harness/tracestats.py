@@ -159,6 +159,67 @@ class TraceStatsCore:
             else:
                 self._line_readers.setdefault(line, set()).add(event.thread_id)
 
+    # ------------------------------------------------------------- batch path
+    # Columnar kernel: same folds over the packed columns, no event objects.
+
+    def begin_batch(self, cols, tape=None) -> None:
+        """Allocate batch-pass state over a columnar trace (tape unused)."""
+        self.stats = TraceStats(threads=cols.num_threads)
+        self._line_readers = {}
+        self._line_writers = {}
+        self._locks_seen = set()
+        self._sites = set()
+        self._nesting = Counter()
+
+    def step_batch(self, cols, lo: int, hi: int) -> None:
+        """Fold events ``[lo, hi)`` of ``cols`` into the characterization."""
+        rows = cols.rows()
+        sites = cols.sites
+        stats = self.stats
+        line_mask = ~(self.line_size - 1)
+        line_readers = self._line_readers
+        line_writers = self._line_writers
+        locks_seen = self._locks_seen
+        sites_seen = self._sites
+        nesting = self._nesting
+        stats.total_events += hi - lo
+        for i in range(lo, hi):
+            kind, tid, addr, size, sid = rows[i]
+            if kind <= 1:  # READ / WRITE
+                stats.memory_accesses += 1
+                if nesting[tid] > 0:
+                    stats.accesses_under_lock += 1
+                if sid >= 0:
+                    sites_seen.add(sites[sid])
+                line = addr & line_mask
+                if kind == 1:
+                    stats.writes += 1
+                    sharers = line_writers.get(line)
+                    if sharers is None:
+                        sharers = line_writers[line] = set()
+                else:
+                    sharers = line_readers.get(line)
+                    if sharers is None:
+                        sharers = line_readers[line] = set()
+                sharers.add(tid)
+            elif kind == 2:  # LOCK
+                stats.lock_acquires += 1
+                locks_seen.add(addr)
+                nesting[tid] += 1
+                if nesting[tid] > stats.max_lock_nesting:
+                    stats.max_lock_nesting = nesting[tid]
+            elif kind == 3:  # UNLOCK
+                stats.lock_releases += 1
+                nesting[tid] -= 1
+            elif kind == 4:  # BARRIER
+                stats.barrier_waits += 1
+            else:  # COMPUTE
+                stats.compute_events += 1
+
+    def finish_batch(self) -> TraceStats:
+        """Aggregate the batch pass (same reduction as :meth:`finish`)."""
+        return self.finish()
+
     def finish(self) -> TraceStats:
         """Aggregate the per-line sharing structure into the final stats."""
         stats = self.stats

@@ -25,7 +25,7 @@ from repro.core.detector import LOCK_WORD_BYTES
 from repro.hb.meta import HBLineMeta
 from repro.hb.vectorclock import SyncClocks
 from repro.obs.trace import emit_alarm
-from repro.reporting import DetectionResult, RaceReportLog, run_core
+from repro.reporting import DetectionResult, RaceReportLog, run_deprecated
 from repro.sim.machine import Machine
 from repro.sim.metadata import SharedMetadataStore
 
@@ -58,7 +58,7 @@ class HappensBeforeDetector:
         ``obs`` is an optional :class:`repro.obs.Observability`; alarms and
         history-update metrics are recorded when it is active.
         """
-        return run_core(self.core(), trace, obs=obs)
+        return run_deprecated(self, trace, obs=obs)
 
 
 class HappensBeforeCore:
@@ -165,5 +165,138 @@ class HappensBeforeCore:
             reports=self.log,
             stats=self.stats,
             cycles=self.machine.cycles,
+        )
+
+    # ------------------------------------------------------------- batch path
+    # Vectorized kernel over the columnar trace + machine tape.  The shared
+    # metadata store keeps one object per line, so only memory fills (fresh
+    # history) and L2 displacements (history lost) need replaying from the
+    # tape's hook stream; vector clocks and chunk histories are the same
+    # objects the scalar path uses.
+
+    def begin_batch(self, cols, tape) -> None:
+        """Allocate batch-pass state over a columnar trace + machine tape."""
+        detector = self.d
+        self._tape = tape
+        self.clocks = SyncClocks(cols.num_threads)
+        self.stats = StatCounters()
+        self.log = RaceReportLog(detector.name)
+        granularity = detector.config.granularity
+        line_size = detector.machine_config.line_size
+        self._granularity = granularity
+        self._chunks_per_line = line_size // granularity
+        self._line_mask = ~(line_size - 1)
+        self._offset_mask = line_size - 1
+        self._chunk_shift = granularity.bit_length() - 1
+        self._chunk_mask = ~(granularity - 1)
+        self._lines: dict[int, list] = {}
+        self._n_history_updates = 0
+        self._n_acquires = 0
+        self._n_releases = 0
+        self._n_episodes = 0
+        self._n_reports = 0
+
+    def step_batch(self, cols, lo: int, hi: int) -> None:
+        """Process events ``[lo, hi)`` of ``cols`` against the tape."""
+        from repro.hb.meta import HBChunkMeta
+
+        rows = cols.rows()
+        sites = cols.sites
+        participants = cols.participants
+        tape = self._tape
+        hook_off = tape.hook_off
+        hook_code = tape.hook_code
+        hook_line = tape.hook_line
+
+        clocks = self.clocks
+        threads = clocks.threads
+        acquire = clocks.acquire
+        release = clocks.release
+        barrier_arrive = clocks.barrier_arrive
+        lines = self._lines
+        log_add = self.log.add
+        granularity = self._granularity
+        chunks_per_line = self._chunks_per_line
+        line_mask = self._line_mask
+        offset_mask = self._offset_mask
+        chunk_shift = self._chunk_shift
+        chunk_mask = self._chunk_mask
+        n_history_updates = self._n_history_updates
+        n_reports = self._n_reports
+
+        h = hook_off[lo]
+        for i in range(lo, hi):
+            kind, tid, addr, size, sid = rows[i]
+            h1 = hook_off[i + 1]
+            while h < h1:
+                code = hook_code[h]
+                if code == 0:  # fill from memory: fresh (empty) history
+                    lines[hook_line[h]] = [
+                        HBChunkMeta() for _ in range(chunks_per_line)
+                    ]
+                elif code == 6:  # L2 displacement: history lost
+                    del lines[hook_line[h]]
+                h += 1
+
+            if kind <= 1:  # READ / WRITE
+                is_write = kind == 1
+                clock = threads[tid]
+                first = addr & chunk_mask
+                last = (addr + size - 1) & chunk_mask
+                chunk_addr = first
+                while True:
+                    meta = lines[chunk_addr & line_mask]
+                    chunk = meta[(chunk_addr & offset_mask) >> chunk_shift]
+                    conflicts = chunk.check_and_update(tid, clock, is_write)
+                    n_history_updates += 1
+                    for detail in conflicts:
+                        log_add(
+                            seq=i,
+                            thread_id=tid,
+                            addr=addr,
+                            size=size,
+                            site=sites[sid],
+                            is_write=is_write,
+                            detail=f"{detail} (chunk 0x{chunk_addr:x})",
+                        )
+                        n_reports += 1
+                    if chunk_addr == last:
+                        break
+                    chunk_addr += granularity
+            elif kind == 2:  # LOCK
+                acquire(tid, addr)
+                self._n_acquires += 1
+            elif kind == 3:  # UNLOCK
+                release(tid, addr)
+                self._n_releases += 1
+            elif kind == 4:  # BARRIER
+                if barrier_arrive(tid, addr, participants[i]):
+                    self._n_episodes += 1
+            # kind == 5 (COMPUTE): cycles already on the tape.
+
+        self._n_history_updates = n_history_updates
+        self._n_reports = n_reports
+
+    def finish_batch(self) -> DetectionResult:
+        """Assemble the result: private counters over the shared tape totals."""
+        tape = self._tape
+        stats = self.stats
+        if self._n_acquires:
+            stats.add("hb.acquires", self._n_acquires)
+        if self._n_releases:
+            stats.add("hb.releases", self._n_releases)
+        if self._n_episodes:
+            stats.add("hb.barrier_episodes", self._n_episodes)
+        if self._n_reports:
+            stats.add("hb.dynamic_reports", self._n_reports)
+        if self._n_history_updates:
+            stats.add("hb.history_updates", self._n_history_updates)
+        stats._counts.update(tape.machine_stats)
+        stats._counts.update(tape.bus_stats)
+        return DetectionResult(
+            detector=self.d.name,
+            reports=self.log,
+            stats=stats,
+            cycles=tape.machine_cycles,
         )
 

@@ -19,7 +19,7 @@ from repro.common.stats import StatCounters
 from repro.hb.meta import HBChunkMeta
 from repro.hb.vectorclock import SyncClocks
 from repro.obs.trace import emit_alarm
-from repro.reporting import DetectionResult, RaceReportLog, run_core
+from repro.reporting import DetectionResult, RaceReportLog, run_deprecated
 
 
 @dataclass
@@ -40,7 +40,7 @@ class IdealHappensBeforeDetector:
         ``obs`` is an optional :class:`repro.obs.Observability`; alarms are
         recorded and emitted when it is active.
         """
-        return run_core(self.core(), trace, obs=obs)
+        return run_deprecated(self, trace, obs=obs)
 
 
 class IdealHappensBeforeCore:
@@ -110,3 +110,82 @@ class IdealHappensBeforeCore:
         return DetectionResult(
             detector=self.d.name, reports=self.log, stats=self.run_stats
         )
+
+    # ------------------------------------------------------------- batch path
+    # Vectorized kernel over the columnar trace.  Trace-only (no machine, no
+    # tape); the vector clocks and per-chunk histories are the same objects
+    # the scalar path uses — only the event dispatch is flattened.
+
+    def begin_batch(self, cols, tape=None) -> None:
+        """Allocate batch-pass state over a columnar trace (tape unused)."""
+        self.log = RaceReportLog(self.d.name)
+        self.run_stats = StatCounters()
+        self.clocks = SyncClocks(cols.num_threads)
+        self.chunks = {}
+        self._n_history_updates = 0
+        self._n_reports = 0
+
+    def step_batch(self, cols, lo: int, hi: int) -> None:
+        """Process events ``[lo, hi)`` of ``cols``."""
+        rows = cols.rows()
+        sites = cols.sites
+        participants = cols.participants
+        granularity = self.d.granularity
+        chunk_mask = ~(granularity - 1)
+        clocks = self.clocks
+        threads = clocks.threads
+        acquire = clocks.acquire
+        release = clocks.release
+        barrier_arrive = clocks.barrier_arrive
+        chunks = self.chunks
+        log_add = self.log.add
+        n_history_updates = self._n_history_updates
+        n_reports = self._n_reports
+
+        for i in range(lo, hi):
+            kind, tid, addr, size, sid = rows[i]
+            if kind <= 1:  # READ / WRITE
+                is_write = kind == 1
+                clock = threads[tid]
+                first = addr & chunk_mask
+                last = (addr + size - 1) & chunk_mask
+                chunk_addr = first
+                while True:
+                    chunk = chunks.get(chunk_addr)
+                    if chunk is None:
+                        chunk = chunks[chunk_addr] = HBChunkMeta()
+                    conflicts = chunk.check_and_update(tid, clock, is_write)
+                    n_history_updates += 1
+                    for detail in conflicts:
+                        log_add(
+                            seq=i,
+                            thread_id=tid,
+                            addr=addr,
+                            size=size,
+                            site=sites[sid],
+                            is_write=is_write,
+                            detail=f"{detail} (chunk 0x{chunk_addr:x})",
+                        )
+                        n_reports += 1
+                    if chunk_addr == last:
+                        break
+                    chunk_addr += granularity
+            elif kind == 2:  # LOCK
+                acquire(tid, addr)
+            elif kind == 3:  # UNLOCK
+                release(tid, addr)
+            elif kind == 4:  # BARRIER
+                barrier_arrive(tid, addr, participants[i])
+            # kind == 5 (COMPUTE): no effect.
+
+        self._n_history_updates = n_history_updates
+        self._n_reports = n_reports
+
+    def finish_batch(self) -> DetectionResult:
+        """Assemble the detection result after the last batch."""
+        stats = self.run_stats
+        if self._n_reports:
+            stats.add("hb.dynamic_reports", self._n_reports)
+        if self._n_history_updates:
+            stats.add("hb.history_updates", self._n_history_updates)
+        return DetectionResult(detector=self.d.name, reports=self.log, stats=stats)

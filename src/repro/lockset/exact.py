@@ -27,7 +27,7 @@ from repro.common.events import OpKind, Trace
 from repro.common.stats import StatCounters
 from repro.core.lstate import NO_OWNER, LState, transition
 from repro.obs.trace import emit_alarm
-from repro.reporting import DetectionResult, RaceReportLog, run_core
+from repro.reporting import DetectionResult, RaceReportLog, run_deprecated
 
 #: Sentinel meaning "all possible locks" (the initial candidate set).
 ALL_LOCKS = None
@@ -80,7 +80,7 @@ class IdealLocksetDetector:
         ``obs`` is an optional :class:`repro.obs.Observability`; alarms and
         candidate-set sizes are recorded when it is active.
         """
-        return run_core(self.core(), trace, obs=obs)
+        return run_deprecated(self, trace, obs=obs)
 
 
 class IdealLocksetCore:
@@ -187,3 +187,142 @@ class IdealLocksetCore:
         return DetectionResult(
             detector=self.d.name, reports=self.log, stats=self.run_stats
         )
+
+    # ------------------------------------------------------------- batch path
+    # Vectorized kernel over the columnar trace.  Trace-only (no machine, no
+    # tape); chunk records are flat ``[candidate, state, owner]`` triples with
+    # the Figure 2 transition inlined, int-coded 0=V/1=E/2=S/3=SM and
+    # ``candidate is None`` standing for :data:`ALL_LOCKS`.
+
+    def begin_batch(self, cols, tape=None) -> None:
+        """Allocate batch-pass state over a columnar trace (tape unused)."""
+        self.log = RaceReportLog(self.d.name)
+        self.run_stats = StatCounters()
+        self.held = {}
+        self._flat_chunks: dict[int, list] = {}
+        self._arrivals = {}
+        self._n_candidate_updates = 0
+        self._n_acquires = 0
+        self._n_releases = 0
+        self._n_episodes = 0
+        self._n_reports = 0
+
+    def step_batch(self, cols, lo: int, hi: int) -> None:
+        """Process events ``[lo, hi)`` of ``cols``."""
+        rows = cols.rows()
+        sites = cols.sites
+        participants = cols.participants
+        granularity = self.d.granularity
+        barrier_reset = self.d.barrier_reset
+        chunk_mask = ~(granularity - 1)
+        held = self.held
+        chunks = self._flat_chunks
+        arrivals = self._arrivals
+        log_add = self.log.add
+        n_candidate_updates = self._n_candidate_updates
+        n_reports = self._n_reports
+
+        for i in range(lo, hi):
+            kind, tid, addr, size, sid = rows[i]
+            if kind <= 1:  # READ / WRITE
+                is_write = kind == 1
+                locks = held.get(tid)
+                if locks is None:
+                    locks = held[tid] = {}
+                first = addr & chunk_mask
+                last = (addr + size - 1) & chunk_mask
+                chunk_addr = first
+                while True:
+                    chunk = chunks.get(chunk_addr)
+                    if chunk is None:
+                        chunk = chunks[chunk_addr] = [ALL_LOCKS, 0, NO_OWNER]
+                    state = chunk[1]
+                    owner = chunk[2]
+                    # Figure 2, inline (0=V, 1=E, 2=S, 3=SM).
+                    if state == 0:
+                        chunk[1] = 1
+                        chunk[2] = tid
+                    elif state == 1 and tid == owner:
+                        pass
+                    elif state != 3 and not is_write:
+                        chunk[1] = 2
+                        candidate = chunk[0]
+                        chunk[0] = (
+                            set(locks)
+                            if candidate is None
+                            else candidate & locks.keys()
+                        )
+                        n_candidate_updates += 1
+                    else:
+                        chunk[1] = 3
+                        candidate = chunk[0]
+                        candidate = chunk[0] = (
+                            set(locks)
+                            if candidate is None
+                            else candidate & locks.keys()
+                        )
+                        n_candidate_updates += 1
+                        if not candidate:
+                            log_add(
+                                seq=i,
+                                thread_id=tid,
+                                addr=addr,
+                                size=size,
+                                site=sites[sid],
+                                is_write=is_write,
+                                detail="candidate set empty "
+                                f"(exact, chunk 0x{chunk_addr:x})",
+                            )
+                            n_reports += 1
+                    if chunk_addr == last:
+                        break
+                    chunk_addr += granularity
+            elif kind == 2:  # LOCK
+                locks = held.get(tid)
+                if locks is None:
+                    locks = held[tid] = {}
+                locks[addr] = locks.get(addr, 0) + 1
+                self._n_acquires += 1
+            elif kind == 3:  # UNLOCK
+                locks = held.get(tid)
+                if locks is None:
+                    locks = held[tid] = {}
+                if locks.get(addr, 0) <= 0:
+                    raise DetectorError(
+                        f"t{tid} released lock 0x{addr:x} it never took"
+                    )
+                locks[addr] -= 1
+                if not locks[addr]:
+                    del locks[addr]
+                self._n_releases += 1
+            elif kind == 4:  # BARRIER
+                count = arrivals.get(addr, 0) + 1
+                if count < participants[i]:
+                    arrivals[addr] = count
+                else:
+                    arrivals[addr] = 0
+                    self._n_episodes += 1
+                    if barrier_reset:
+                        for chunk in chunks.values():
+                            chunk[0] = ALL_LOCKS
+                            chunk[1] = 0
+                            chunk[2] = NO_OWNER
+            # kind == 5 (COMPUTE): no effect.
+
+        self._n_candidate_updates = n_candidate_updates
+        self._n_reports = n_reports
+
+    def finish_batch(self) -> DetectionResult:
+        """Assemble the detection result after the last batch."""
+        stats = self.run_stats
+        if self._n_acquires:
+            stats.add("lockset.acquires", self._n_acquires)
+        if self._n_releases:
+            stats.add("lockset.releases", self._n_releases)
+        if self._n_episodes:
+            stats.add("lockset.barrier_episodes", self._n_episodes)
+        if self._n_reports:
+            stats.add("lockset.dynamic_reports", self._n_reports)
+        if self._n_candidate_updates:
+            stats.add("lockset.candidate_updates", self._n_candidate_updates)
+        return DetectionResult(detector=self.d.name, reports=self.log, stats=stats)

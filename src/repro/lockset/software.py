@@ -33,7 +33,7 @@ from repro.core.detector import LOCK_WORD_BYTES
 from repro.core.lstate import NO_OWNER, LState, transition
 from repro.lockset.exact import ALL_LOCKS, ExactChunk
 from repro.obs.trace import emit_alarm
-from repro.reporting import DetectionResult, RaceReportLog, run_core
+from repro.reporting import DetectionResult, RaceReportLog, run_deprecated
 from repro.sim.machine import Machine
 
 
@@ -75,7 +75,7 @@ class SoftwareLocksetDetector:
         ``obs`` is an optional :class:`repro.obs.Observability`; alarms are
         recorded and emitted when it is active.
         """
-        return run_core(self.core(), trace, obs=obs)
+        return run_deprecated(self, trace, obs=obs)
 
     @staticmethod
     def slowdown(result: DetectionResult) -> float:
@@ -191,4 +191,161 @@ class SoftwareLocksetCore:
             stats=self.stats,
             cycles=self.machine.cycles,
             detector_extra_cycles=self.extra_cycles,
+        )
+
+    # ------------------------------------------------------------- batch path
+    # Vectorized kernel over the columnar trace + machine tape.  The software
+    # tool keeps no cache-resident metadata (unbounded shadow tables), so no
+    # hook replay is needed; chunk records are flat ``[candidate, state,
+    # owner]`` triples with the Figure 2 transition inlined, int-coded
+    # 0=V/1=E/2=S/3=SM, ``candidate is None`` standing for ALL_LOCKS.
+
+    def begin_batch(self, cols, tape) -> None:
+        """Allocate batch-pass state over a columnar trace + machine tape."""
+        detector = self.d
+        self._tape = tape
+        self.stats = StatCounters()
+        self.log = RaceReportLog(detector.name)
+        self.held = {}
+        self._flat_chunks: dict[int, list] = {}
+        self._arrivals = {}
+        self._n_sync = 0
+        self._n_checks = 0
+        self._n_intersections = 0
+        self._n_reports = 0
+
+    def step_batch(self, cols, lo: int, hi: int) -> None:
+        """Process events ``[lo, hi)`` of ``cols`` against the tape."""
+        rows = cols.rows()
+        sites = cols.sites
+        participants = cols.participants
+        granularity = self.d.granularity
+        barrier_reset = self.d.barrier_reset
+        chunk_mask = ~(granularity - 1)
+        held = self.held
+        chunks = self._flat_chunks
+        arrivals = self._arrivals
+        log_add = self.log.add
+        n_sync = self._n_sync
+        n_checks = self._n_checks
+        n_intersections = self._n_intersections
+        n_reports = self._n_reports
+
+        for i in range(lo, hi):
+            kind, tid, addr, size, sid = rows[i]
+            if kind <= 1:  # READ / WRITE
+                is_write = kind == 1
+                locks = held.get(tid)
+                if locks is None:
+                    locks = held[tid] = {}
+                first = addr & chunk_mask
+                last = (addr + size - 1) & chunk_mask
+                chunk_addr = first
+                while True:
+                    n_checks += 1
+                    chunk = chunks.get(chunk_addr)
+                    if chunk is None:
+                        chunk = chunks[chunk_addr] = [None, 0, NO_OWNER]
+                    state = chunk[1]
+                    owner = chunk[2]
+                    # Figure 2, inline (0=V, 1=E, 2=S, 3=SM).
+                    if state == 0:
+                        chunk[1] = 1
+                        chunk[2] = tid
+                    elif state == 1 and tid == owner:
+                        pass
+                    elif state != 3 and not is_write:
+                        chunk[1] = 2
+                        candidate = chunk[0]
+                        chunk[0] = (
+                            set(locks)
+                            if candidate is None
+                            else candidate & locks.keys()
+                        )
+                        n_intersections += 1
+                    else:
+                        chunk[1] = 3
+                        candidate = chunk[0]
+                        candidate = chunk[0] = (
+                            set(locks)
+                            if candidate is None
+                            else candidate & locks.keys()
+                        )
+                        n_intersections += 1
+                        if not candidate:
+                            log_add(
+                                seq=i,
+                                thread_id=tid,
+                                addr=addr,
+                                size=size,
+                                site=sites[sid],
+                                is_write=is_write,
+                                detail="candidate set empty "
+                                f"(sw, 0x{chunk_addr:x})",
+                            )
+                            n_reports += 1
+                    if chunk_addr == last:
+                        break
+                    chunk_addr += granularity
+            elif kind <= 3:  # LOCK / UNLOCK
+                locks = held.get(tid)
+                if locks is None:
+                    locks = held[tid] = {}
+                if kind == 2:
+                    locks[addr] = locks.get(addr, 0) + 1
+                else:
+                    locks[addr] -= 1
+                    if not locks[addr]:
+                        del locks[addr]
+                n_sync += 1
+            elif kind == 4:  # BARRIER
+                count = arrivals.get(addr, 0) + 1
+                if count < participants[i]:
+                    arrivals[addr] = count
+                else:
+                    arrivals[addr] = 0
+                    if barrier_reset:
+                        for chunk in chunks.values():
+                            chunk[0] = None
+                            chunk[1] = 0
+                            chunk[2] = NO_OWNER
+            # kind == 5 (COMPUTE): cycles already on the tape.
+
+        self._n_sync = n_sync
+        self._n_checks = n_checks
+        self._n_intersections = n_intersections
+        self._n_reports = n_reports
+
+    def finish_batch(self) -> DetectionResult:
+        """Assemble the result: private charges over the shared tape totals."""
+        tape = self._tape
+        costs = self.d.costs
+        stats = self.stats
+        extra = 0
+        if self._n_sync:
+            stats.add("sw.sync_events", self._n_sync)
+            cycles = self._n_sync * costs.lock_maintenance
+            stats.add("cycles.sw.lock_maintenance", cycles)
+            extra += cycles
+        if self._n_checks:
+            stats.add("sw.monitored_accesses", self._n_checks)
+            cycles = self._n_checks * costs.access_check
+            stats.add("cycles.sw.access_check", cycles)
+            extra += cycles
+        if self._n_intersections:
+            cycles = self._n_intersections * costs.set_intersection
+            stats.add("cycles.sw.intersection", cycles)
+            extra += cycles
+        if self._n_reports:
+            cycles = self._n_reports * costs.report
+            stats.add("cycles.sw.report", cycles)
+            extra += cycles
+        stats._counts.update(tape.machine_stats)
+        stats._counts.update(tape.bus_stats)
+        return DetectionResult(
+            detector=self.d.name,
+            reports=self.log,
+            stats=stats,
+            cycles=tape.machine_cycles + extra,
+            detector_extra_cycles=extra,
         )

@@ -16,7 +16,10 @@ so perf is comparable across commits, machines and CI runs:
   artifacts;
 * :func:`compare_bench` — per-phase regression detection between two
   artifacts; ``repro bench --compare OLD.json`` turns its verdict into an
-  exit code, which is the perf-trend gate.
+  exit code, which is the perf-trend gate.  ``min_speedups`` inverts the
+  gate for chosen phases: instead of "no slower than threshold", the new
+  artifact must be at least N× *faster* — how CI holds the vectorized
+  batch path to its speedup over the checked-in pre-columnar baseline.
 """
 
 from __future__ import annotations
@@ -214,25 +217,55 @@ class BenchComparison:
     threshold: float
     deltas: list[PhaseDelta]
     missing_phases: list[str]
+    min_speedups: dict[str, float] = field(default_factory=dict)
 
     @property
     def regressions(self) -> list[PhaseDelta]:
-        """Phases at least ``threshold`` slower than the old artifact."""
-        return [d for d in self.deltas if d.ratio >= 1.0 + self.threshold]
+        """Phases at least ``threshold`` slower than the old artifact.
+
+        Phases under a ``min_speedups`` requirement are judged by
+        :attr:`shortfalls` instead (a 3× mandate subsumes "not slower").
+        """
+        return [
+            d
+            for d in self.deltas
+            if d.phase not in self.min_speedups
+            and d.ratio >= 1.0 + self.threshold
+        ]
+
+    @property
+    def shortfalls(self) -> list[PhaseDelta]:
+        """Phases that failed their mandated minimum speedup.
+
+        A phase with ``min_speedups[phase] = 3.0`` passes only when its new
+        min is at most a third of the old min (``ratio <= 1/3``).
+        """
+        return [
+            d
+            for d in self.deltas
+            if d.phase in self.min_speedups
+            and d.ratio > 1.0 / self.min_speedups[d.phase]
+        ]
 
     @property
     def ok(self) -> bool:
-        """True when no phase regressed and none disappeared."""
-        return not self.regressions and not self.missing_phases
+        """True when nothing regressed, fell short, or disappeared."""
+        return (
+            not self.regressions
+            and not self.shortfalls
+            and not self.missing_phases
+        )
 
     def to_dict(self) -> dict:
         return {
             "old": self.old_name,
             "new": self.new_name,
             "threshold": self.threshold,
+            "min_speedups": dict(self.min_speedups),
             "ok": self.ok,
             "phases": [d.to_dict() for d in self.deltas],
             "regressions": [d.to_dict() for d in self.regressions],
+            "shortfalls": [d.to_dict() for d in self.shortfalls],
             "missing_phases": list(self.missing_phases),
         }
 
@@ -242,8 +275,17 @@ class BenchComparison:
             f"(regression threshold {100 * self.threshold:.0f}%)",
             f"  {'phase':<18}{'old':>10}{'new':>10}{'ratio':>8}",
         ]
+        shortfalls = self.shortfalls
         for delta in self.deltas:
-            flag = "  <-- REGRESSION" if delta in self.regressions else ""
+            if delta in shortfalls:
+                required = self.min_speedups[delta.phase]
+                flag = f"  <-- NEEDS >={required:g}x SPEEDUP"
+            elif delta in self.regressions:
+                flag = "  <-- REGRESSION"
+            elif delta.phase in self.min_speedups:
+                flag = f"  (>= {self.min_speedups[delta.phase]:g}x required: ok)"
+            else:
+                flag = ""
             lines.append(
                 f"  {delta.phase:<18}{delta.old_min_s:>9.3f}s"
                 f"{delta.new_min_s:>9.3f}s{delta.ratio:>7.2f}x{flag}"
@@ -258,16 +300,24 @@ def compare_bench(
     old: BenchResult,
     new: BenchResult,
     threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+    min_speedups: dict[str, float] | None = None,
 ) -> BenchComparison:
     """Compare per-phase min-of-rounds timings of two artifacts.
 
     A phase regresses when its new min is at least ``threshold`` slower
     than its old min; phases present only in the new artifact are ignored
     (new instrumentation is not a regression), phases that *disappeared*
-    are flagged.
+    are flagged.  ``min_speedups`` maps phase names to a mandated minimum
+    speedup — those phases must be at least that many times *faster* than
+    the old artifact (the batch-kernel CI gate), and are exempt from the
+    ordinary regression test.
     """
     if threshold < 0:
         raise ValueError(f"threshold must be non-negative: {threshold}")
+    min_speedups = dict(min_speedups or {})
+    for phase, factor in min_speedups.items():
+        if factor <= 0:
+            raise ValueError(f"min speedup for {phase!r} must be positive: {factor}")
     deltas = [
         PhaseDelta(
             phase=name,
@@ -284,4 +334,5 @@ def compare_bench(
         threshold=threshold,
         deltas=deltas,
         missing_phases=missing,
+        min_speedups=min_speedups,
     )

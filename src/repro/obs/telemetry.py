@@ -135,16 +135,34 @@ class FlightRecorder:
         derives the per-1k sync density from them — and come back as a
         dict (op-kind value → estimated count, plus ``"events"``) for the
         caller's own arithmetic.
+
+        ``trace`` may be a :class:`~repro.common.events.Trace` or a
+        :class:`~repro.common.coltrace.ColumnarTrace`; a trace carrying a
+        memoized columnar encoding is censused straight off the packed
+        ``kind`` column (same stride, same counts, no event objects).
         """
+        from repro.common.coltrace import ColumnarTrace, kind_of_code
+
         events = len(trace)
         estimates: dict[str, int] = {"events": events}
         if not events:
             return estimates
-        sampled = trace.events[:: self.census_stride]
+        cols = (
+            trace
+            if isinstance(trace, ColumnarTrace)
+            else getattr(trace, "_columnar", None)
+        )
         counts: dict[OpKind, int] = {}
-        for event in sampled:
-            kind = event.op.kind
-            counts[kind] = counts.get(kind, 0) + 1
+        if cols is not None:
+            sampled = cols.kind[:: self.census_stride]
+            for code in sampled:
+                kind = kind_of_code(code)
+                counts[kind] = counts.get(kind, 0) + 1
+        else:
+            sampled = trace.events[:: self.census_stride]
+            for event in sampled:
+                kind = event.op.kind
+                counts[kind] = counts.get(kind, 0) + 1
         scale = events / len(sampled)
         registry = self.registry
         registry.add("telemetry.trace.events", events)

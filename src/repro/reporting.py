@@ -12,6 +12,7 @@ alarm per static source location, no matter how many dynamic instances fire.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterator, Protocol
 
@@ -190,6 +191,15 @@ class DetectorCore(Protocol):
     :class:`repro.engine.EngineSession` drives many cores from a single
     trace walk.
 
+    A core may additionally advertise the optional *batch* protocol —
+    ``begin_batch(cols, tape)`` / ``step_batch(cols, lo, hi)`` /
+    ``finish_batch()`` — consuming sync runs of a
+    :class:`~repro.common.coltrace.ColumnarTrace` (plus, for machine-backed
+    cores, a prerecorded :class:`~repro.engine.tape.MachineTape`) instead of
+    per-event dispatch.  The engine session uses it whenever no per-event
+    observability is active; results must be bit-for-bit identical to the
+    scalar walk, which remains the reference oracle.
+
     ``machine_config`` is the :class:`~repro.common.config.MachineConfig`
     the core replays the data path through, or ``None`` for trace-only
     (ideal) cores.  A machine-backed core must issue the *canonical* data
@@ -220,9 +230,33 @@ class DetectorCore(Protocol):
 def run_core(
     core: DetectorCore, trace: Trace, obs: "Observability | None" = None
 ) -> DetectionResult:
-    """Drive one core over a full trace — the ``Detector.run`` shim."""
+    """Drive one core over a full trace with per-event ``step`` dispatch.
+
+    This is the scalar reference walk — the oracle the vectorized engine
+    path is validated against — and the implementation behind the
+    deprecated ``Detector.run`` shims.
+    """
     core.begin(trace, obs=obs)
     step = core.step
     for event in trace:
         step(event)
     return core.finish()
+
+
+def run_deprecated(
+    detector: Detector, trace: Trace, obs: "Observability | None" = None
+) -> DetectionResult:
+    """The legacy ``Detector.run(trace)`` shim: warn, then run the core.
+
+    ``Detector.run`` predates the single-pass engine; new code should call
+    :func:`repro.engine.detect_with_engine` (or :func:`repro.api.detect`),
+    which walk the trace once for any number of detectors and use the
+    vectorized batch path when available.
+    """
+    warnings.warn(
+        f"{type(detector).__name__}.run() is deprecated; use "
+        "repro.engine.detect_with_engine (or repro.api.detect) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return run_core(detector.core(), trace, obs=obs)

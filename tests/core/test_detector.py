@@ -6,6 +6,7 @@ from repro.common.config import CacheConfig, HardConfig, MachineConfig
 from repro.common.errors import DetectorError
 from repro.common.events import Site, Trace, barrier, lock, read, unlock, write
 from repro.core.detector import HardDetector
+from repro.reporting import run_core
 
 S = [Site("t.c", i, f"s{i}") for i in range(30)]
 LOCK_A, LOCK_B = 0x1000, 0x1004
@@ -30,7 +31,7 @@ def small_machine() -> MachineConfig:
 
 def run(events, machine=None, config=None):
     detector = HardDetector(machine or MachineConfig(), config or HardConfig())
-    return detector.run(trace_of(events))
+    return run_core(detector.core(), trace_of(events))
 
 
 class TestBasicDetection:

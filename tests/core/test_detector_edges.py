@@ -3,6 +3,7 @@
 from repro.common.config import HardConfig, MachineConfig
 from repro.common.events import Site, Trace, barrier, lock, read, unlock, write
 from repro.core.detector import HardDetector
+from repro.reporting import run_core
 
 S = [Site("edge.c", i, f"s{i}") for i in range(20)]
 LOCK_A, LOCK_B = 0x1000, 0x1004
@@ -13,7 +14,7 @@ def run(events, config=None):
     trace = Trace(num_threads=4)
     for tid, op in events:
         trace.append(tid, op)
-    return HardDetector(MachineConfig(), config or HardConfig()).run(trace)
+    return run_core(HardDetector(MachineConfig(), config or HardConfig()).core(), trace)
 
 
 class TestMidGranularities:

@@ -4,6 +4,7 @@ from repro.common.config import CacheConfig, MachineConfig
 from repro.common.events import Site, Trace, lock, read, unlock, write
 from repro.core.detector import HardDetector
 from repro.core.directory_detector import DirectoryHardDetector
+from repro.reporting import run_core
 
 S = [Site("dir.c", i, f"s{i}") for i in range(10)]
 LOCK_A = 0x1000
@@ -40,28 +41,28 @@ def injected_shape(churn_lines: int):
 
 class TestDirectoryDetection:
     def test_detects_missing_lock(self):
-        result = DirectoryHardDetector(tiny_machine()).run(trace_of(injected_shape(0)))
+        result = run_core(DirectoryHardDetector(tiny_machine()).core(), trace_of(injected_shape(0)))
         assert any(r.site == S[3] for r in result.reports)
 
     def test_immune_to_l2_displacement(self):
         """The snoopy detector forgets across the churn; the directory
         keeps its entries and still detects."""
         trace = trace_of(injected_shape(600))
-        snoopy = HardDetector(tiny_machine()).run(trace)
-        directory = DirectoryHardDetector(tiny_machine()).run(trace_of(injected_shape(600)))
+        snoopy = run_core(HardDetector(tiny_machine()).core(), trace)
+        directory = run_core(DirectoryHardDetector(tiny_machine()).core(), trace_of(injected_shape(600)))
         assert not any(r.site == S[3] for r in snoopy.reports)
         assert any(r.site == S[3] for r in directory.reports)
 
     def test_charges_directory_round_trips(self):
-        result = DirectoryHardDetector(tiny_machine()).run(trace_of(injected_shape(0)))
+        result = run_core(DirectoryHardDetector(tiny_machine()).core(), trace_of(injected_shape(0)))
         assert result.stats.get("cycles.hard.directory") > 0
         assert result.stats.get("directory.fetches") > 0
 
     def test_costlier_than_snoopy_per_access(self):
         """The paper's noted trade-off: even local hits consult the home."""
         trace = trace_of(injected_shape(0))
-        snoopy = HardDetector(tiny_machine()).run(trace)
-        directory = DirectoryHardDetector(tiny_machine()).run(trace_of(injected_shape(0)))
+        snoopy = run_core(HardDetector(tiny_machine()).core(), trace)
+        directory = run_core(DirectoryHardDetector(tiny_machine()).core(), trace_of(injected_shape(0)))
         assert directory.detector_extra_cycles > snoopy.detector_extra_cycles
 
     def test_barrier_reset_applies_to_directory(self):
@@ -70,7 +71,7 @@ class TestDirectoryDetection:
         events = [(0, write(VAR, S[1])), (1, read(VAR, S[4]))]
         events += [(tid, barrier(0, 4)) for tid in range(4)]
         events += [(1, write(VAR, S[2]))]
-        result = DirectoryHardDetector(tiny_machine()).run(trace_of(events))
+        result = run_core(DirectoryHardDetector(tiny_machine()).core(), trace_of(events))
         assert result.reports.alarm_count == 0
 
     def test_locked_program_is_silent(self):
@@ -83,5 +84,5 @@ class TestDirectoryDetection:
                     (tid, write(VAR, S[2])),
                     (tid, unlock(LOCK_A, S[3])),
                 ]
-        result = DirectoryHardDetector(tiny_machine()).run(trace_of(events))
+        result = run_core(DirectoryHardDetector(tiny_machine()).core(), trace_of(events))
         assert result.reports.alarm_count == 0

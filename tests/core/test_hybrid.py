@@ -3,6 +3,7 @@
 from repro.common.events import Site, Trace, barrier, lock, read, unlock, write
 from repro.core.hybrid import HybridDetector
 from repro.lockset.exact import IdealLocksetDetector
+from repro.reporting import run_core
 
 S = [Site("h.c", i, f"s{i}") for i in range(20)]
 LOCK_A = 0x1000
@@ -18,8 +19,8 @@ def run_both(events):
     for tid, op in events:
         trace2.append(tid, op)
     return (
-        IdealLocksetDetector().run(trace),
-        HybridDetector().run(trace2),
+        run_core(IdealLocksetDetector().core(), trace),
+        run_core(HybridDetector().core(), trace2),
     )
 
 
@@ -59,7 +60,7 @@ class TestSuppression:
         trace = Trace(num_threads=4)
         for tid, op in events:
             trace.append(tid, op)
-        hybrid = HybridDetector(barrier_reset=False).run(trace)
+        hybrid = run_core(HybridDetector(barrier_reset=False).core(), trace)
         assert hybrid.reports.alarm_count == 0
 
     def test_lock_discipline_violation_with_concurrency(self):

@@ -19,6 +19,7 @@ from repro.harness.detectors import DETECTOR_KEYS, DetectorConfig, make_detector
 from repro.threads.runtime import interleave
 from repro.threads.scheduler import RandomScheduler
 from repro.workloads.registry import build_workload
+from repro.reporting import run_core
 
 CORPUS_DIR = Path(__file__).parent.parent / "fuzz" / "corpus"
 
@@ -58,7 +59,7 @@ def _compare_all_keys(trace, context):
         session.add_config(DetectorConfig(key))
     engine_results = session.run()
     for key, engine_result in zip(DETECTOR_KEYS, engine_results):
-        legacy = make_detector(DetectorConfig(key)).run(trace)
+        legacy = run_core(make_detector(DetectorConfig(key)).core(), trace)
         assert_identical(engine_result, legacy, f"{context}:{key}")
 
 
@@ -87,7 +88,7 @@ class TestWorkloadEquivalence:
             session.add_config(config)
         engine_results = session.run()
         for config, engine_result in zip(configs, engine_results):
-            legacy = make_detector(config).run(trace)
+            legacy = run_core(make_detector(config).core(), trace)
             assert_identical(engine_result, legacy, repr(config))
 
 

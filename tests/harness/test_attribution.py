@@ -7,6 +7,7 @@ from repro.harness.attribution import (
     pattern_of,
 )
 from repro.reporting import DetectionResult, RaceReportLog
+from repro.reporting import run_core
 
 
 def result_with_sites(labels):
@@ -61,6 +62,6 @@ class TestAttribution:
         b = WorkloadBuilder("t", seed=0)
         benign_counters(b, label="stats", num_counters=2, updates_per_thread=15)
         trace = interleave(b.build(), RandomScheduler(seed=1)).trace
-        result = make_detector("hard-ideal").run(trace)
+        result = run_core(make_detector("hard-ideal").core(), trace)
         attribution = attribute_alarms(result)
         assert dict(attribution.by_pattern).get("stats", 0) >= 1

@@ -3,6 +3,7 @@
 from repro.common.events import Site, Trace, lock, read, unlock, write
 from repro.harness.explain import explain_report
 from repro.lockset.exact import IdealLocksetDetector
+from repro.reporting import run_core
 
 S = [Site("e.c", i, f"s{i}") for i in range(10)]
 LOCK_A, LOCK_B = 0x1000, 0x1004
@@ -27,7 +28,7 @@ def buggy_trace() -> Trace:
 
 def first_report():
     trace = buggy_trace()
-    result = IdealLocksetDetector().run(trace)
+    result = run_core(IdealLocksetDetector().core(), trace)
     reports = list(result.reports)
     assert reports, "setup: the race must be reported"
     return trace, reports[0]
@@ -70,7 +71,7 @@ class TestExplain:
         trace = Trace(num_threads=2)
         for k in range(30):
             trace.append(k % 2, write(VAR, S[1]))
-        result = IdealLocksetDetector().run(trace)
+        result = run_core(IdealLocksetDetector().core(), trace)
         report = list(result.reports)[-1]
         text = explain_report(trace, report).format(max_entries=5)
         assert "earlier accesses" in text
@@ -92,7 +93,7 @@ class TestExplain:
         ]
         for tid, op in events:
             trace.append(tid, op)
-        result = IdealLocksetDetector().run(trace)
+        result = run_core(IdealLocksetDetector().core(), trace)
         report = list(result.reports)[0]
         explanation = explain_report(trace, report)
         culprit = explanation.first_unprotected

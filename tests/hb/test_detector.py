@@ -3,6 +3,7 @@
 from repro.common.config import CacheConfig, HappensBeforeConfig, MachineConfig
 from repro.common.events import Site, Trace, barrier, lock, read, unlock, write
 from repro.hb.detector import HappensBeforeDetector
+from repro.reporting import run_core
 
 S = [Site("hb.c", i, f"s{i}") for i in range(20)]
 LOCK_A = 0x1000
@@ -29,7 +30,7 @@ def run(events, machine=None, config=None):
     detector = HappensBeforeDetector(
         machine or MachineConfig(), config or HappensBeforeConfig()
     )
-    return detector.run(trace_of(events))
+    return run_core(detector.core(), trace_of(events))
 
 
 class TestOrderingDecisions:

@@ -2,6 +2,7 @@
 
 from repro.common.events import Site, Trace, barrier, lock, read, unlock, write
 from repro.hb.ideal import IdealHappensBeforeDetector
+from repro.reporting import run_core
 
 S = [Site("hbi.c", i, f"s{i}") for i in range(20)]
 LOCK_A = 0x1000
@@ -12,7 +13,7 @@ def run(events, granularity=4):
     trace = Trace(num_threads=4)
     for tid, op in events:
         trace.append(tid, op)
-    return IdealHappensBeforeDetector(granularity=granularity).run(trace)
+    return run_core(IdealHappensBeforeDetector(granularity=granularity).core(), trace)
 
 
 class TestBasics:

@@ -8,6 +8,7 @@ and via the broadcast when a Shared line's set changes.
 from repro.common.config import HardConfig, MachineConfig
 from repro.common.events import Site, Trace, lock, read, unlock, write
 from repro.core.detector import HardDetector
+from repro.reporting import run_core
 
 S = [Site("fig6.c", i, f"s{i}") for i in range(20)]
 LOCK_A, LOCK_B = 0x1000, 0x1004
@@ -18,7 +19,7 @@ def run(events, config=None):
     trace = Trace(num_threads=4)
     for tid, op in events:
         trace.append(tid, op)
-    return HardDetector(MachineConfig(), config or HardConfig()).run(trace)
+    return run_core(HardDetector(MachineConfig(), config or HardConfig()).core(), trace)
 
 
 def narrowing_history():

@@ -11,6 +11,7 @@ from repro.harness.detectors import make_detector
 from repro.threads.program import ParallelProgram, ThreadProgram
 from repro.threads.runtime import interleave
 from repro.threads.scheduler import FixedOrderScheduler
+from repro.reporting import run_core
 
 X = 0x2000
 Y = 0x2100
@@ -71,7 +72,7 @@ def figure1_trace():
 class TestFigure1:
     def test_happens_before_is_blind(self):
         trace = figure1_trace()
-        result = make_detector("hb-ideal").run(trace)
+        result = run_core(make_detector("hb-ideal").core(), trace)
         racy = {S_T1_X, S_T2_X}
         assert not (result.reports.sites() & racy), (
             "HB must consider t1's and t2's x accesses ordered through "
@@ -80,13 +81,13 @@ class TestFigure1:
 
     def test_lockset_detects_the_race(self):
         trace = figure1_trace()
-        result = make_detector("hard-ideal").run(trace)
+        result = run_core(make_detector("hard-ideal").core(), trace)
         racy = {S_T1_X, S_T2_X}
         assert result.reports.sites() & racy
 
     def test_hard_default_also_detects(self):
         trace = figure1_trace()
-        result = make_detector("hard-default").run(trace)
+        result = run_core(make_detector("hard-default").core(), trace)
         racy = {S_T1_X, S_T2_X}
         assert result.reports.sites() & racy
 
@@ -100,7 +101,7 @@ class TestFigure1:
         # t1's.  Run t2's remainder before t1's lock section instead:
         scheduler = FixedOrderScheduler([(1, 8), (0, 100), (1, 100)])
         trace = interleave(figure1_program(), scheduler).trace
-        result = make_detector("hb-ideal").run(trace)
+        result = run_core(make_detector("hb-ideal").core(), trace)
         # The race on x manifests and is reported (the report may be
         # attributed to whichever x access observed the conflict).
         assert any(r.addr == X for r in result.reports)

@@ -16,6 +16,7 @@ from repro.threads.scheduler import RandomScheduler
 from repro.workloads.barnes import BarnesParams
 from repro.workloads.injection import inject_bug
 from repro.workloads.registry import build_workload
+from repro.reporting import run_core
 
 TINY = BarnesParams(
     counter_updates_per_thread=160,
@@ -43,7 +44,7 @@ def verdicts():
         ).trace
         bug = buggy.injected_bug
         for key in ("hard-ideal", "hb-ideal", "hybrid"):
-            result = make_detector(key).run(trace)
+            result = run_core(make_detector(key).core(), trace)
             out.setdefault(key, []).append(
                 (score_detection(result, bug), result.reports.alarm_count)
             )
@@ -71,7 +72,7 @@ def test_race_free_run_alarm_profile():
     """Clean toy run: flag/benign alarms only for ideal detectors."""
     program = build_workload("barnes", seed=0, params=TINY)
     trace = interleave(program, RandomScheduler(seed=5, max_burst=8)).trace
-    lockset = make_detector("hard-ideal").run(trace)
+    lockset = run_core(make_detector("hard-ideal").core(), trace)
     from repro.harness.attribution import attribute_alarms
 
     attribution = dict(attribute_alarms(lockset).by_pattern)

@@ -2,6 +2,7 @@
 
 from repro.common.events import Site, Trace, barrier, lock, read, unlock, write
 from repro.lockset.exact import ALL_LOCKS, ExactChunk, IdealLocksetDetector
+from repro.reporting import run_core
 
 S = [Site("t.c", i, f"s{i}") for i in range(20)]
 LOCK_A, LOCK_B = 0x1000, 0x1004
@@ -12,7 +13,7 @@ def run(events: list[tuple[int, object]]):
     trace = Trace(num_threads=4)
     for thread_id, op in events:
         trace.append(thread_id, op)
-    return IdealLocksetDetector().run(trace)
+    return run_core(IdealLocksetDetector().core(), trace)
 
 
 class TestLockingDiscipline:
@@ -99,8 +100,8 @@ class TestBarrierReset:
         for tid in range(4):
             trace.append(tid, barrier(0, 4))
         trace.append(1, write(VAR_X, S[2]))
-        with_reset = IdealLocksetDetector(barrier_reset=True).run(trace)
-        without = IdealLocksetDetector(barrier_reset=False).run(trace)
+        with_reset = run_core(IdealLocksetDetector(barrier_reset=True).core(), trace)
+        without = run_core(IdealLocksetDetector(barrier_reset=False).core(), trace)
         assert with_reset.reports.alarm_count == 0
         assert without.reports.alarm_count >= 1
 
@@ -117,7 +118,7 @@ class TestGranularity:
         for _ in range(3):
             trace.append(0, write(0x2000, S[1]))
             trace.append(1, write(0x2004, S[2]))
-        result = IdealLocksetDetector(granularity=32).run(trace)
+        result = run_core(IdealLocksetDetector(granularity=32).core(), trace)
         assert result.reports.alarm_count >= 1
 
 

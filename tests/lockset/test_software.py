@@ -5,6 +5,7 @@ import pytest
 from repro.common.events import Site, Trace, lock, read, unlock, write
 from repro.lockset.exact import IdealLocksetDetector
 from repro.lockset.software import SoftwareCosts, SoftwareLocksetDetector
+from repro.reporting import run_core
 
 S = [Site("sw.c", i, f"s{i}") for i in range(10)]
 LOCK_A = 0x1000
@@ -35,24 +36,24 @@ def racy_workload(rounds: int = 10):
 class TestAlgorithmEquivalence:
     def test_same_verdicts_as_ideal(self):
         events = racy_workload()
-        software = SoftwareLocksetDetector().run(trace_of(events))
-        ideal = IdealLocksetDetector().run(trace_of(events))
+        software = run_core(SoftwareLocksetDetector().core(), trace_of(events))
+        ideal = run_core(IdealLocksetDetector().core(), trace_of(events))
         assert software.reports.sites() == ideal.reports.sites()
 
     def test_detects_the_missing_lock(self):
-        result = SoftwareLocksetDetector().run(trace_of(racy_workload()))
+        result = run_core(SoftwareLocksetDetector().core(), trace_of(racy_workload()))
         assert any(r.site == S[4] for r in result.reports)
 
 
 class TestCostModel:
     def test_slowdown_is_an_order_of_magnitude(self):
         """The paper's 10-30x range for software lockset."""
-        result = SoftwareLocksetDetector().run(trace_of(racy_workload(rounds=50)))
+        result = run_core(SoftwareLocksetDetector().core(), trace_of(racy_workload(rounds=50)))
         slowdown = SoftwareLocksetDetector.slowdown(result)
         assert slowdown > 5.0
 
     def test_costs_attributed(self):
-        result = SoftwareLocksetDetector().run(trace_of(racy_workload()))
+        result = run_core(SoftwareLocksetDetector().core(), trace_of(racy_workload()))
         assert result.stats.get("cycles.sw.access_check") > 0
         assert result.stats.get("cycles.sw.lock_maintenance") > 0
         assert result.stats.get("sw.monitored_accesses") > 0
@@ -61,8 +62,8 @@ class TestCostModel:
         cheap = SoftwareLocksetDetector(costs=SoftwareCosts(access_check=1))
         dear = SoftwareLocksetDetector(costs=SoftwareCosts(access_check=500))
         trace = trace_of(racy_workload())
-        cheap_result = cheap.run(trace)
-        dear_result = dear.run(trace_of(racy_workload()))
+        cheap_result = run_core(cheap.core(), trace)
+        dear_result = run_core(dear.core(), trace_of(racy_workload()))
         assert (
             dear_result.detector_extra_cycles > cheap_result.detector_extra_cycles
         )

@@ -180,6 +180,58 @@ class TestCompare:
         assert data["regressions"][0]["phase"] == "detect"
 
 
+class TestMinSpeedups:
+    def test_met_mandate_is_ok(self):
+        old = make_result(detect=[3.0], build=[0.5])
+        new = make_result(detect=[1.0], build=[0.5])
+        comparison = compare_bench(old, new, min_speedups={"detect": 3.0})
+        assert comparison.ok
+        assert comparison.shortfalls == []
+        assert "3x required: ok" in comparison.format()
+
+    def test_shortfall_fails(self):
+        old = make_result(detect=[3.0])
+        new = make_result(detect=[2.0])  # only 1.5x, mandate says 3x
+        comparison = compare_bench(old, new, min_speedups={"detect": 3.0})
+        assert not comparison.ok
+        assert [d.phase for d in comparison.shortfalls] == ["detect"]
+        assert "NEEDS >=3x SPEEDUP" in comparison.format()
+
+    def test_mandated_phase_exempt_from_regression_check(self):
+        # A 3x mandate subsumes "not slower": the phase must never appear
+        # in the plain regressions list, even when it regressed outright.
+        old = make_result(detect=[1.0])
+        new = make_result(detect=[2.0])
+        comparison = compare_bench(old, new, min_speedups={"detect": 3.0})
+        assert comparison.regressions == []
+        assert [d.phase for d in comparison.shortfalls] == ["detect"]
+        assert not comparison.ok
+
+    def test_other_phases_still_regression_checked(self):
+        old = make_result(detect=[3.0], build=[0.5])
+        new = make_result(detect=[1.0], build=[1.0])
+        comparison = compare_bench(old, new, min_speedups={"detect": 3.0})
+        assert comparison.shortfalls == []
+        assert [d.phase for d in comparison.regressions] == ["build"]
+        assert not comparison.ok
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(ValueError):
+            compare_bench(
+                make_result(), make_result(), min_speedups={"detect": 0.0}
+            )
+
+    def test_to_dict_includes_mandates(self):
+        comparison = compare_bench(
+            make_result(detect=[3.0]),
+            make_result(detect=[2.0]),
+            min_speedups={"detect": 3.0},
+        )
+        data = comparison.to_dict()
+        assert data["min_speedups"] == {"detect": 3.0}
+        assert data["shortfalls"][0]["phase"] == "detect"
+
+
 class TestPhaseDelta:
     def test_ratio_plain(self):
         assert PhaseDelta("p", 2.0, 1.0).ratio == pytest.approx(0.5)

@@ -6,6 +6,7 @@ from repro.common.config import CacheConfig, HardConfig, MachineConfig
 from repro.common.events import Site, Trace, barrier, lock, read, unlock, write
 from repro.core.detector import HardDetector
 from repro.obs import JsonlEmitter, Observability, ObsSchemaError, validate_event, validate_jsonl
+from repro.reporting import run_core
 
 S = [Site("t.c", i, f"s{i}") for i in range(10)]
 LOCK_A = 0x1000
@@ -87,7 +88,7 @@ class TestDetectorRoundTrip:
         )
         obs = Observability(emitter=JsonlEmitter.to_path(path))
         detector = HardDetector(machine, HardConfig())
-        result = detector.run(self._racy_trace(), obs=obs)
+        result = run_core(detector.core(), self._racy_trace(), obs=obs)
         obs.close()
         counts = validate_jsonl(path)
         assert result.reports.alarm_count > 0

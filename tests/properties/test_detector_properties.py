@@ -8,6 +8,7 @@ from repro.harness.detectors import make_detector
 from repro.threads.program import ParallelProgram, ThreadProgram
 from repro.threads.runtime import interleave
 from repro.threads.scheduler import RandomScheduler
+from repro.reporting import run_core
 
 SITES = [Site("p.c", i) for i in range(64)]
 COMMON_LOCK = 0x1000
@@ -46,7 +47,7 @@ def test_fully_locked_programs_never_alarm(pattern, seed):
     program = well_locked_program(pattern)
     trace = interleave(program, RandomScheduler(seed=seed, max_burst=4)).trace
     for key in ("hard-ideal", "hard-default", "hb-ideal", "hb-default", "hybrid"):
-        result = make_detector(key).run(trace)
+        result = run_core(make_detector(key).core(), trace)
         assert result.reports.alarm_count == 0, key
 
 
@@ -60,8 +61,8 @@ def test_ideal_lockset_is_schedule_invariant(pattern, seed):
     program = well_locked_program(single)
     t1 = interleave(program, RandomScheduler(seed=seed)).trace
     t2 = interleave(well_locked_program(single), RandomScheduler(seed=seed + 99)).trace
-    d1 = make_detector("hard-ideal").run(t1)
-    d2 = make_detector("hard-ideal").run(t2)
+    d1 = run_core(make_detector("hard-ideal").core(), t1)
+    d2 = run_core(make_detector("hard-ideal").core(), t2)
     assert d1.reports.sites() == d2.reports.sites() == frozenset()
 
 
@@ -82,7 +83,7 @@ def test_dynamic_reports_at_least_alarm_sites(pattern, seed):
     )
     trace = interleave(program, RandomScheduler(seed=seed, max_burst=3)).trace
     for key in ("hard-ideal", "hb-ideal"):
-        result = make_detector(key).run(trace)
+        result = run_core(make_detector(key).core(), trace)
         assert result.reports.dynamic_count >= result.reports.alarm_count
 
 
@@ -101,6 +102,6 @@ def test_hybrid_reports_subset_of_lockset(pattern, seed):
         name="racy", threads=[ThreadProgram(t, ops) for t, ops in threads.items()]
     )
     trace = interleave(program, RandomScheduler(seed=seed, max_burst=3)).trace
-    lockset_sites = make_detector("hard-ideal").run(trace).reports.sites()
-    hybrid_sites = make_detector("hybrid").run(trace).reports.sites()
+    lockset_sites = run_core(make_detector("hard-ideal").core(), trace).reports.sites()
+    hybrid_sites = run_core(make_detector("hybrid").core(), trace).reports.sites()
     assert hybrid_sites <= lockset_sites

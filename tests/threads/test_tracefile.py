@@ -5,6 +5,7 @@ import pytest
 from repro.common.errors import ProgramError
 from repro.common.events import Site, Trace, barrier, compute, lock, read, unlock, write
 from repro.threads.tracefile import load_trace, save_trace
+from repro.reporting import run_core
 
 S = Site("t.c", 3, "x")
 
@@ -54,8 +55,8 @@ class TestRoundTrip:
         path = tmp_path / "t.jsonl"
         save_trace(trace, path)
         reloaded = load_trace(path)
-        original = make_detector("hard-ideal").run(trace)
-        replayed = make_detector("hard-ideal").run(reloaded)
+        original = run_core(make_detector("hard-ideal").core(), trace)
+        replayed = run_core(make_detector("hard-ideal").core(), reloaded)
         assert original.reports.sites() == replayed.reports.sites()
         assert original.reports.dynamic_count == replayed.reports.dynamic_count
 

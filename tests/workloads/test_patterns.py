@@ -6,6 +6,7 @@ from repro.common.events import OpKind
 from repro.harness.detectors import make_detector
 from repro.threads.runtime import interleave
 from repro.threads.scheduler import RandomScheduler
+from repro.reporting import run_core
 from repro.workloads.base import (
     STAGE_GRID,
     STAGE_MAIN,
@@ -28,7 +29,7 @@ from repro.workloads.base import (
 def run_detectors(builder, seed=0, keys=("hard-ideal", "hb-ideal")):
     program = builder.build()
     trace = interleave(program, RandomScheduler(seed=seed, max_burst=8)).trace
-    return {key: make_detector(key).run(trace) for key in keys}
+    return {key: run_core(make_detector(key).core(), trace) for key in keys}
 
 
 class TestLockedPatternsAreClean:
@@ -164,11 +165,11 @@ class TestGridAndHandoff:
         trace = interleave(
             build().build(), RandomScheduler(seed=0, max_burst=8)
         ).trace
-        with_reset = make_detector("hard-ideal", barrier_reset=True).run(trace)
-        without = make_detector("hard-ideal", barrier_reset=False).run(trace)
+        with_reset = run_core(make_detector("hard-ideal", barrier_reset=True).core(), trace)
+        without = run_core(make_detector("hard-ideal", barrier_reset=False).core(), trace)
         assert with_reset.reports.alarm_count == 0
         assert without.reports.alarm_count >= 3
-        hb = make_detector("hb-ideal").run(trace)
+        hb = run_core(make_detector("hb-ideal").core(), trace)
         assert hb.reports.alarm_count == 0  # barrier-ordered either way
 
 

@@ -10,6 +10,7 @@ from repro.threads.scheduler import RandomScheduler
 from repro.workloads.injection import injection_candidates
 from repro.workloads.radix import RadixParams, build
 from repro.workloads.registry import EXTRA_WORKLOADS, WORKLOAD_NAMES, build_workload
+from repro.reporting import run_core
 
 SMALL = RadixParams(
     num_groups=2, buckets_per_group=4, updates_per_thread=60,
@@ -50,7 +51,7 @@ class TestLocksetSizes:
     def test_candidate_sets_converge_to_three_locks(self, radix_trace):
         """The paper: radix's maximum candidate/lock set size is 3."""
         detector = IdealLocksetDetector()
-        result = detector.run(radix_trace)
+        result = run_core(detector.core(), radix_trace)
         assert result.reports.alarm_count == 0
         # Re-run manually to inspect final candidate sets.
         from repro.common.events import OpKind as K
@@ -69,9 +70,9 @@ class TestLocksetSizes:
         """m=3 collisions can only *hide* alarms; a race-free program must
         stay silent at any vector size."""
         for bits in (16, 32):
-            result = make_detector("hard-default", vector_bits=bits).run(radix_trace)
+            result = run_core(make_detector("hard-default", vector_bits=bits).core(), radix_trace)
             assert result.reports.alarm_count == 0, bits
 
     def test_happens_before_also_silent(self, radix_trace):
-        result = make_detector("hb-ideal").run(radix_trace)
+        result = run_core(make_detector("hb-ideal").core(), radix_trace)
         assert result.reports.alarm_count == 0
