@@ -79,11 +79,25 @@ from repro.obs.perf import (
     validate_bench,
     write_bench,
 )
-from repro.reporting import DetectionResult
+from repro.hybrids import (
+    ConformanceReport,
+    ConformanceSuiteResult,
+    check_conformance,
+    run_conformance_suite,
+)
+from repro.reporting import DetectionResult, hybrid_comparison
 from repro.workloads.registry import WORKLOAD_NAMES
 
 #: Exhibit names :func:`run_table` accepts.
-EXHIBITS = ("table2", "table3", "table4", "table5", "table6", "figure8")
+EXHIBITS = (
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "figure8",
+    "hybrids",
+)
 
 
 @dataclass
@@ -210,6 +224,9 @@ def run_table(
     elif name == "table6":
         data = _tables.table6(runner, apps=apps)
         text = _tables.render_table6(data)
+    elif name == "hybrids":
+        data = _tables.hybrids(runner, apps=apps)
+        text = _tables.render_hybrids(data, runs=runs)
     else:  # figure8
         data = _tables.figure8(runner, apps=apps)
         text = _tables.render_figure8(data)
@@ -304,6 +321,9 @@ __all__ = [
     "detect",
     "detect_many",
     "run_fuzz",
+    "check_conformance",
+    "run_conformance_suite",
+    "hybrid_comparison",
     "run_benchmark",
     "make_runner",
     "run_grid",
@@ -331,6 +351,8 @@ __all__ = [
     "GridReport",
     "FuzzReport",
     "FuzzCaseResult",
+    "ConformanceReport",
+    "ConformanceSuiteResult",
     # trace representations
     "Trace",
     "ColumnarTrace",

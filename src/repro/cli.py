@@ -341,6 +341,45 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if report.unexplained else 0
 
 
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    import json
+
+    apps = tuple(args.apps.split(",")) if args.apps else None
+    result = api.run_conformance_suite(
+        apps=apps,
+        schedule_seeds=tuple(args.seeds),
+        fuzz_seeds=range(args.fuzz),
+        corpus_dir=args.corpus,
+        check_parity=not args.no_parity,
+        jobs=_resolve_jobs(args),
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        for report in result.reports:
+            status = "OK" if report.ok else "FAIL"
+            kinds: dict[str, int] = {}
+            for divergence in report.divergences:
+                kinds[divergence.kind] = kinds.get(divergence.kind, 0) + 1
+            summary = ", ".join(
+                f"{kind}={count}" for kind, count in sorted(kinds.items())
+            )
+            print(
+                f"[{status}] {report.label}: {report.events} events, "
+                f"sites {report.alarm_sites}"
+                + (f" ({summary})" if summary else "")
+            )
+            for violation in report.violations:
+                print(f"    violation: {violation}")
+            for divergence in report.unexplained:
+                print(f"    unexplained: {divergence.to_dict()}")
+        print(
+            f"conformance: {len(result.reports)} cases, "
+            f"{len(result.failures)} failures"
+        )
+    return 0 if result.ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.load:
         try:
@@ -588,6 +627,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="print fuzz.* counters and histograms to stderr",
     )
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    conformance = sub.add_parser(
+        "conformance",
+        help="pin the hybrid-detector lattice across workloads and corpora",
+        parents=[jobs_parent],
+    )
+    conformance.add_argument(
+        "--apps",
+        default=None,
+        help="comma-separated workload names (default: all six)",
+    )
+    conformance.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[0],
+        help="schedule seeds per program",
+    )
+    conformance.add_argument(
+        "--fuzz",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also run the first N generated fuzz programs",
+    )
+    conformance.add_argument(
+        "--corpus",
+        metavar="DIR",
+        default=None,
+        help="also run every checked-in corpus case from DIR",
+    )
+    conformance.add_argument(
+        "--no-parity",
+        action="store_true",
+        help="skip the batch-vs-scalar bit-for-bit cross-check",
+    )
+    conformance.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable suite result instead of text",
+    )
+    conformance.set_defaults(func=_cmd_conformance)
 
     bench = sub.add_parser(
         "bench",

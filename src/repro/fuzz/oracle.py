@@ -1,12 +1,16 @@
 """The differential oracle: run detectors on one trace, explain divergences.
 
-One fuzz case = one interleaved trace evaluated by four detectors:
+One fuzz case = one interleaved trace evaluated by seven detectors:
 
 * ``hard-default`` on a deliberately small L2 (so displacement happens at
   fuzz-program scale), with the observability stream recorded;
 * ``hard-ideal`` at 4 B granularity — the exact-lockset reference;
 * ``hard-ideal`` at line (32 B) granularity — the granularity oracle;
-* ``hb-ideal`` at 4 B granularity — the happens-before reference.
+* ``hb-ideal`` at 4 B granularity — the happens-before reference;
+* ``fasttrack``, ``acculock`` and ``multilock-hb`` at 4 B granularity —
+  the hybrid lockset×happens-before family, whose warning lattice
+  (fasttrack ≡ hb-ideal ⊆ acculock ⊆ multilock-hb) is asserted on every
+  case; a lattice break is an ``UNEXPLAINED`` divergence.
 
 Divergences are computed at the paper's alarm unit — distinct source sites
 (Section 5.1) — and every one must be *explained* by a known approximation
@@ -36,6 +40,19 @@ LSTATE_FORGIVEN           happens-before reports, exact lockset does not: a
                           reported chunks never reached Shared-Modified
                           during this site's accesses (Eraser's
                           initialization/read-share forgiveness, Figure 2)
+HB_SCHEDULE_MISS          the hybrid (multilock-hb) reports, exact HB does
+                          not: the strict (no-forgiveness) lockset replay
+                          alarms at the site, so the lock discipline is
+                          violated but this schedule ordered the accesses —
+                          the hybrid's schedule-insensitivity at work
+LOCKSET_FALSE_POSITIVE    exact lockset reports, the hybrid does not, and a
+                          no-weak-HB re-run of multilock-hb recovers the
+                          report: a barrier episode orders the pair — the
+                          hybrid pruned a lockset false alarm
+PAIRWISE_LOCKSET          exact lockset reports, the hybrid does not, and
+                          even the no-weak-HB re-run is silent: the
+                          *accumulated* candidate set empties although no
+                          conflicting access pair is pairwise lock-disjoint
 UNEXPLAINED               anything else — a genuine bug in one detector
 ========================  ==================================================
 
@@ -54,6 +71,7 @@ from repro.common.rng import derive_seed
 from repro.core.lstate import NO_OWNER, LState, transition
 from repro.engine import EngineSession
 from repro.harness.detectors import DetectorConfig
+from repro.hybrids.multilock import MultiLockHBDetector
 from repro.obs import Observability, RecordingEmitter
 from repro.reporting import DetectionResult
 from repro.threads.program import ParallelProgram
@@ -74,6 +92,9 @@ class DivergenceKind(enum.Enum):
     METADATA_EVICTION = "metadata-eviction"
     ORDERED_BY_SYNC = "ordered-by-sync"
     LSTATE_FORGIVEN = "lstate-forgiven"
+    HB_SCHEDULE_MISS = "hb-schedule-miss"
+    LOCKSET_FALSE_POSITIVE = "lockset-false-positive"
+    PAIRWISE_LOCKSET = "pairwise-lockset"
     UNEXPLAINED = "unexplained"
 
 
@@ -82,6 +103,9 @@ HARD_EXTRA = "hard-extra"  # hard-default reports, exact lockset silent
 HARD_MISSED = "hard-missed"  # exact lockset reports, hard-default silent
 HB_ONLY = "hb-only"  # happens-before reports, exact lockset silent
 LOCKSET_ONLY = "lockset-only"  # exact lockset reports, happens-before silent
+HYBRID_EXTRA = "hybrid-extra"  # multilock-hb reports, exact HB silent
+HYBRID_MISSED = "hybrid-missed"  # exact lockset reports, multilock-hb silent
+HYBRID_CHAIN = "hybrid-chain"  # a lattice containment broke (always a bug)
 
 
 @dataclass(frozen=True)
@@ -327,14 +351,31 @@ def evaluate_trace(
     session.add_config(DetectorConfig(key="hard-ideal", granularity=config.granularity))
     session.add_config(DetectorConfig(key="hard-ideal", granularity=LINE_SIZE))
     session.add_config(DetectorConfig(key="hb-ideal", granularity=config.granularity))
-    hard, exact, exact_line, hb = session.run()
+    session.add_config(DetectorConfig(key="fasttrack", granularity=config.granularity))
+    session.add_config(DetectorConfig(key="acculock", granularity=config.granularity))
+    session.add_config(
+        DetectorConfig(key="multilock-hb", granularity=config.granularity)
+    )
+    hard, exact, exact_line, hb, ft, al, ml = session.run()
 
     hard_sites = hard.alarm_sites()
     exact_sites = exact.alarm_sites()
     line_sites = exact_line.alarm_sites()
     hb_sites = hb.alarm_sites()
+    ft_sites = ft.alarm_sites()
+    al_sites = al.alarm_sites()
+    ml_sites = ml.alarm_sites()
 
     divergences: list[Divergence] = []
+
+    # The LState/strict-lockset replay feeds both the HB_ONLY and the
+    # HYBRID_EXTRA classifications; compute it at most once, on demand.
+    _lstate_cache: list[tuple[dict[Site, set[int]], dict[Site, set[int]]]] = []
+
+    def lstate_maps() -> tuple[dict[Site, set[int]], dict[Site, set[int]]]:
+        if not _lstate_cache:
+            _lstate_cache.append(_lstate_replay(trace, config.granularity))
+        return _lstate_cache[0]
 
     # --- hard-default false positives (vs the exact lockset) --------------
     for site in sorted(hard_sites - exact_sites, key=_site_sort_key):
@@ -462,7 +503,7 @@ def evaluate_trace(
         )
     hb_extra = sorted(hb_sites - exact_sites, key=_site_sort_key)
     if hb_extra:
-        checked, strict_empty = _lstate_replay(trace, config.granularity)
+        checked, strict_empty = lstate_maps()
         hb_chunks = _hb_chunks_by_site(hb, config.granularity)
         for site in hb_extra:
             reported = hb_chunks.get(site, set())
@@ -498,6 +539,106 @@ def evaluate_trace(
                     )
                 )
 
+    # --- the hybrid lattice (fasttrack ≡ hb-ideal ⊆ acculock ⊆ multilock) --
+    # Any containment break is a detector bug, never an approximation.
+    for site in sorted(ft_sites ^ hb_sites, key=_site_sort_key):
+        which = "fasttrack" if site in ft_sites else "hb-ideal"
+        divergences.append(
+            Divergence(
+                HYBRID_CHAIN,
+                site,
+                DivergenceKind.UNEXPLAINED,
+                f"fasttrack and hb-ideal must agree site-for-site; only "
+                f"{which} reports here",
+            )
+        )
+    for site in sorted(ft_sites - al_sites, key=_site_sort_key):
+        divergences.append(
+            Divergence(
+                HYBRID_CHAIN,
+                site,
+                DivergenceKind.UNEXPLAINED,
+                "fasttrack reports a site acculock misses (exact-HB ⊆ "
+                "acculock broken)",
+            )
+        )
+    for site in sorted(al_sites - ml_sites, key=_site_sort_key):
+        divergences.append(
+            Divergence(
+                HYBRID_CHAIN,
+                site,
+                DivergenceKind.UNEXPLAINED,
+                "acculock reports a site multilock-hb misses (acculock ⊆ "
+                "multilock-hb broken)",
+            )
+        )
+
+    # --- hybrid extra warnings (vs exact happens-before) ------------------
+    hybrid_extra = sorted(ml_sites - hb_sites, key=_site_sort_key)
+    if hybrid_extra:
+        _, strict_empty = lstate_maps()
+        for site in hybrid_extra:
+            if site in strict_empty:
+                divergences.append(
+                    Divergence(
+                        HYBRID_EXTRA,
+                        site,
+                        DivergenceKind.HB_SCHEDULE_MISS,
+                        "strict-lockset replay alarms here: lock discipline "
+                        "is violated, this schedule just ordered the accesses",
+                    )
+                )
+            else:
+                divergences.append(
+                    Divergence(
+                        HYBRID_EXTRA,
+                        site,
+                        DivergenceKind.UNEXPLAINED,
+                        "multilock-hb reports a site even the strict "
+                        "(no-forgiveness) lockset replay never alarms at",
+                    )
+                )
+
+    # --- hybrid missed races (vs the exact lockset, lazy ablation) --------
+    hybrid_missed = sorted(exact_sites - ml_sites, key=_site_sort_key)
+    if hybrid_missed:
+        # One no-weak-HB re-run of multilock-hb: with the epoch filter off
+        # it is a pure pairwise-lockset detector, separating "a barrier
+        # episode orders the pair" from "no access pair is pairwise
+        # lock-disjoint at all".
+        noweak_session = EngineSession(trace, path=path)
+        noweak_session.add(
+            MultiLockHBDetector(
+                granularity=config.granularity,
+                use_weak_hb=False,
+                name="multilock-noweak",
+            )
+        )
+        (noweak,) = noweak_session.run()
+        noweak_sites = noweak.alarm_sites()
+        for site in hybrid_missed:
+            if site in noweak_sites:
+                divergences.append(
+                    Divergence(
+                        HYBRID_MISSED,
+                        site,
+                        DivergenceKind.LOCKSET_FALSE_POSITIVE,
+                        "the no-weak-HB re-run recovers the report: a barrier "
+                        "episode orders the pair the exact lockset flags",
+                    )
+                )
+            else:
+                divergences.append(
+                    Divergence(
+                        HYBRID_MISSED,
+                        site,
+                        DivergenceKind.PAIRWISE_LOCKSET,
+                        "even the no-weak-HB re-run is silent: the accumulated "
+                        "candidate set empties across accesses that are never "
+                        "pairwise lock-disjoint",
+                    )
+                )
+
     divergences.sort(key=Divergence.sort_key)
     return CaseVerdict(
         program=program,
@@ -508,6 +649,9 @@ def evaluate_trace(
             "hard-ideal": len(exact_sites),
             "hard-ideal@line": len(line_sites),
             "hb-ideal": len(hb_sites),
+            "fasttrack": len(ft_sites),
+            "acculock": len(al_sites),
+            "multilock-hb": len(ml_sites),
         },
         divergences=tuple(divergences),
     )

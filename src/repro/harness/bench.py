@@ -41,9 +41,20 @@ from repro.threads.runtime import interleave
 from repro.threads.scheduler import RandomScheduler
 from repro.workloads.registry import build_workload
 
-#: The Table 2 cell the engine benchmark replays by default.
+#: The Table 2 cell the engine benchmark replays by default, enlarged
+#: with the PR-8 hybrid family.  The CI pre-columnar gate pins the
+#: original four keys explicitly (its frozen baseline scored exactly
+#: those), so growing this default does not erode that margin.
 DEFAULT_ENGINE_APP = "water-nsquared"
-DEFAULT_ENGINE_DETECTORS = ("hard-default", "hb-default", "software", "hb-ideal")
+DEFAULT_ENGINE_DETECTORS = (
+    "hard-default",
+    "hb-default",
+    "software",
+    "hb-ideal",
+    "fasttrack",
+    "acculock",
+    "multilock-hb",
+)
 DEFAULT_PIPELINE_APP = "raytrace"
 
 #: Names ``run_benchmark`` accepts.

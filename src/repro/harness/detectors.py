@@ -12,7 +12,13 @@ The paper compares four configurations (Table 2):
 
 The library adds three more: ``hybrid`` (lockset+HB extension),
 ``hard-directory`` (the directory-based variant of Section 6) and
-``software`` (the Eraser-style software lockset with its cost model).
+``software`` (the Eraser-style software lockset with its cost model) —
+plus the post-HARD hybrid family: ``fasttrack`` (epoch-optimized exact
+happens-before), ``acculock`` (epoch + one lockset per location) and
+``multilock-hb`` (per-location reader/writer lockset sets).  The
+conformance harness (:mod:`repro.hybrids.conformance`) pins their
+lattice: fasttrack ≡ hb-ideal ⊆ acculock ⊆ multilock-hb ⊆ strict
+lockset.
 
 :class:`DetectorConfig` is the typed construction protocol: one frozen,
 hashable, picklable dataclass captures a detector key plus every
@@ -33,7 +39,10 @@ from repro.core.detector import HardDetector
 from repro.core.directory_detector import DirectoryHardDetector
 from repro.core.hybrid import HybridDetector
 from repro.hb.detector import HappensBeforeDetector
+from repro.hb.fasttrack import FastTrackDetector
 from repro.hb.ideal import IdealHappensBeforeDetector
+from repro.hybrids.acculock import AccuLockDetector
+from repro.hybrids.multilock import MultiLockHBDetector
 from repro.lockset.exact import IdealLocksetDetector
 from repro.lockset.software import SoftwareLocksetDetector
 from repro.reporting import Detector
@@ -41,8 +50,17 @@ from repro.reporting import Detector
 #: The four Table 2 configurations, in the paper's column order.
 PAPER_DETECTORS = ("hard-default", "hard-ideal", "hb-default", "hb-ideal")
 
+#: The post-HARD hybrid family plus its exact-HB baseline (PR 8).
+HYBRID_DETECTORS = ("fasttrack", "acculock", "multilock-hb")
+
 #: Every key :func:`make_detector` accepts.
-DETECTOR_KEYS = (*PAPER_DETECTORS, "hybrid", "hard-directory", "software")
+DETECTOR_KEYS = (
+    *PAPER_DETECTORS,
+    "hybrid",
+    "hard-directory",
+    "software",
+    *HYBRID_DETECTORS,
+)
 
 
 @dataclass(frozen=True)
@@ -142,6 +160,20 @@ def make_detector(
         return IdealHappensBeforeDetector(granularity=cfg.granularity or 4, name=key)
     if key == "hybrid":
         return HybridDetector(granularity=cfg.granularity or 4, name=key)
+    if key == "fasttrack":
+        return FastTrackDetector(granularity=cfg.granularity or 4, name=key)
+    if key == "acculock":
+        return AccuLockDetector(
+            granularity=cfg.granularity or 4,
+            barrier_reset=cfg.barrier_reset,
+            name=key,
+        )
+    if key == "multilock-hb":
+        return MultiLockHBDetector(
+            granularity=cfg.granularity or 4,
+            barrier_reset=cfg.barrier_reset,
+            name=key,
+        )
     if key == "software":
         machine = MachineConfig()
         if cfg.l2_size is not None:

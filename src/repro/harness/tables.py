@@ -343,3 +343,66 @@ def render_table6(data: dict, vector_sizes=PAPER_BLOOM_SIZES) -> str:
         alarms = "".join(f"{row['alarms'][b]:>9}" for b in vector_sizes)
         lines.append(f"{app:<16}{bugs}{alarms}")
     return "\n".join(lines)
+
+
+#: The hybrid-comparison exhibit's columns: exact HB, the hybrid family
+#: in lattice order, and the exact lockset (all at 4 B granularity —
+#: every key here defaults to 4 B in :func:`make_detector`).
+HYBRID_TABLE_DETECTORS = (
+    "hb-ideal",
+    "fasttrack",
+    "acculock",
+    "multilock-hb",
+    "hard-ideal",
+)
+
+
+def hybrids_cells(apps=WORKLOAD_NAMES, runs: int = 10) -> list[GridCell]:
+    """The full hybrid-comparison evaluation grid."""
+    return [
+        GridCell(app, run, DetectorConfig(key=key))
+        for app in apps
+        for key in HYBRID_TABLE_DETECTORS
+        for run in _scored_runs(runs)
+    ]
+
+
+def hybrids(runner: ExperimentRunner, apps=WORKLOAD_NAMES) -> dict:
+    """The hybrid family next to its exact endpoints (Table 2 shape).
+
+    Bugs detected and clean-run alarms for exact happens-before, the
+    three hybrid cores, and the exact lockset.  On every row the
+    conformance lattice predicts monotone clean-run alarms across
+    hb-ideal = fasttrack ≤ acculock ≤ multilock-hb; detection counts show
+    the schedule-insensitivity payoff on the injected runs.
+    """
+    _prefetch(runner, lambda runs: hybrids_cells(apps, runs=runs))
+    data: dict[str, dict[str, dict[str, int]]] = {}
+    for app in apps:
+        row: dict[str, dict[str, int]] = {}
+        for key in HYBRID_TABLE_DETECTORS:
+            row[key] = {
+                "detected": runner.detection_count(app, key),
+                "alarms": runner.false_alarm_count(app, key),
+            }
+        data[app] = row
+    return data
+
+
+def render_hybrids(data: dict, runs: int = 10) -> str:
+    """Format the hybrid-family comparison table."""
+    titles = ("HB ideal", "FastTrack", "AccuLock", "MultiLock", "Lockset")
+    lines = [
+        "Hybrid family: bugs detected / clean-run alarms (4 B granularity)",
+        f"{'Application':<16}" + "".join(f"{t:>16}" for t in titles),
+    ]
+    for app, row in data.items():
+        cells = []
+        for key in HYBRID_TABLE_DETECTORS:
+            cells.append(f"{row[key]['detected']}/{runs},{row[key]['alarms']}")
+        lines.append(f"{app:<16}" + "".join(f"{c:>16}" for c in cells))
+    lines.append(
+        "lattice check: alarms must be monotone over "
+        "hb-ideal = fasttrack <= acculock <= multilock-hb"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Hybrid lockset x happens-before detectors (the post-HARD lineage).
+
+HARD (Section 3) picks lockset over happens-before for schedule
+insensitivity and pays for it in false positives.  The literature that
+followed split the difference instead:
+
+* :mod:`repro.hybrids.acculock` — AccuLock: one epoch plus one lockset per
+  location; the lockset intersection is consulted *only* for
+  epoch-concurrent accesses, so synchronized hand-offs stop alarming
+  while unordered unlocked accesses still do.
+* :mod:`repro.hybrids.multilock` — MultiLock-HB (DRTracker's scheme): a
+  *set* of reader locksets and writer locksets per location, so a
+  location legitimately protected by different locks in different phases
+  is not collapsed into one ever-shrinking candidate set.
+* :mod:`repro.hb.fasttrack` — FastTrack: the epoch-optimized exact
+  happens-before baseline the hybrids are measured against.
+
+The hybrids use *weak* happens-before (:class:`~repro.hybrids.clocks.
+WeakClocks`): barrier episodes order events, lock edges do not.  That is
+the AccuLock design point — treating release->acquire as an ordering edge
+would reintroduce exactly the schedule sensitivity (Figure 1) that lockset
+exists to avoid.
+
+:mod:`repro.hybrids.conformance` pins the resulting lattice: on every
+trace, exact-HB reports ⊆ AccuLock ⊆ MultiLock-HB ⊆ strict-lockset
+warnings, and classifies each adjacent divergence.
+"""
+
+from repro.hybrids.acculock import AccuLockCore, AccuLockDetector
+from repro.hybrids.clocks import WeakClocks
+from repro.hybrids.conformance import (
+    ConformanceError,
+    ConformanceReport,
+    ConformanceSuiteResult,
+    check_conformance,
+    run_conformance_suite,
+    strict_lockset_sites,
+)
+from repro.hybrids.multilock import MultiLockHBCore, MultiLockHBDetector
+
+__all__ = [
+    "AccuLockCore",
+    "AccuLockDetector",
+    "ConformanceError",
+    "ConformanceReport",
+    "ConformanceSuiteResult",
+    "MultiLockHBCore",
+    "MultiLockHBDetector",
+    "WeakClocks",
+    "check_conformance",
+    "run_conformance_suite",
+    "strict_lockset_sites",
+]

@@ -1,0 +1,67 @@
+"""Weak (barrier-only) happens-before clocks for the hybrid detectors.
+
+AccuLock's key design decision: release->acquire edges are *not*
+happens-before edges.  Treating them as ordering would make the hybrid
+exactly as schedule-sensitive as pure happens-before — the Figure 1 bug
+would again be visible in one interleaving and invisible in the other,
+because whichever critical section happens to run second "learns" the
+first one's clock.  Dropping lock edges keeps the lockset half of the
+hybrid in charge of lock-protected accesses, while barrier episodes —
+which order *every* participant in *every* legal schedule — still
+discharge the classic barrier-phased false positives.
+
+:class:`WeakClocks` is therefore :class:`~repro.hb.vectorclock.SyncClocks`
+minus the lock methods: only barrier episodes create edges.  Since every
+weak edge is also a full happens-before edge, weak-ordered implies
+HB-ordered — the containment the conformance harness pins
+(exact-HB ⊆ hybrid) rests on exactly this.
+"""
+
+from __future__ import annotations
+
+from repro.hb.vectorclock import VectorClock
+
+
+class WeakClocks:
+    """Barrier-only vector clock state shared by the hybrid detectors.
+
+    Lock operations are deliberately *not* edges (see the module
+    docstring); callers simply never feed them in.  Barrier semantics are
+    identical to :class:`~repro.hb.vectorclock.SyncClocks`: arrivals are
+    buffered, and the completing arrival applies an all-to-all join plus
+    per-thread increment.
+    """
+
+    def __init__(self, num_threads: int):
+        self.num_threads = num_threads
+        self.threads = [VectorClock.zero(num_threads) for _ in range(num_threads)]
+        # Same initial-epoch trick as SyncClocks: each thread starts in
+        # epoch 1 of its own component so a first-epoch access epoch
+        # ``(t, 1)`` is distinguishable from "knows nothing" (0 <= 0 would
+        # make unsynchronised first accesses look ordered).
+        for thread_id, clock in enumerate(self.threads):
+            clock.increment(thread_id)
+        self._barrier_waiters: dict[int, list[int]] = {}
+
+    def clock(self, thread_id: int) -> VectorClock:
+        """The current clock of ``thread_id``."""
+        return self.threads[thread_id]
+
+    def barrier_arrive(self, thread_id: int, barrier_id: int, participants: int) -> bool:
+        """Record an arrival; apply the all-to-all join on the last one.
+
+        Returns True when this arrival completed the barrier episode.
+        """
+        waiters = self._barrier_waiters.setdefault(barrier_id, [])
+        waiters.append(thread_id)
+        if len(waiters) < participants:
+            return False
+        joint = VectorClock.zero(self.num_threads)
+        for tid in waiters:
+            joint.join(self.threads[tid])
+        for tid in waiters:
+            clock = self.threads[tid]
+            clock.join(joint)
+            clock.increment(tid)
+        waiters.clear()
+        return True

@@ -260,3 +260,40 @@ def run_deprecated(
         stacklevel=3,
     )
     return run_core(detector.core(), trace, obs=obs)
+
+
+# ------------------------------------------------------- hybrid comparison
+
+
+def hybrid_comparison(results: "list[DetectionResult]") -> dict:
+    """Site-level comparison of one trace's results across detectors.
+
+    Built for the hybrid lockset×happens-before family (PR 8) but happy to
+    compare any result list: per detector the alarm-site count, and per
+    ordered pair whether the first's alarm sites are contained in the
+    second's — the shape the conformance lattice (fasttrack ≡ hb-ideal ⊆
+    acculock ⊆ multilock-hb) predicts on every trace.  ``only_in`` lists
+    each detector's exclusive sites against the union of the others, which
+    is what a report reader actually wants to inspect.
+    """
+    sites = {result.detector: result.alarm_sites() for result in results}
+    order = [result.detector for result in results]
+    contained = {
+        f"{a}<={b}": sites[a] <= sites[b]
+        for a in order
+        for b in order
+        if a != b
+    }
+    exclusive = {}
+    for name in order:
+        others: frozenset[Site] = frozenset().union(
+            *(sites[other] for other in order if other != name)
+        )
+        exclusive[name] = sorted(
+            str(site) for site in sites[name] - others
+        )
+    return {
+        "alarm_sites": {name: len(sites[name]) for name in order},
+        "contained": contained,
+        "only_in": exclusive,
+    }

@@ -29,7 +29,16 @@ CORPUS_DIR = Path(__file__).parent.parent / "fuzz" / "corpus"
 TABLE2_DETECTORS = ("hard-default", "hb-default", "software", "hb-ideal")
 
 #: Every batch-capable detector key.
-BATCH_KEYS = ("hard-default", "hard-ideal", "hb-default", "hb-ideal", "software")
+BATCH_KEYS = (
+    "hard-default",
+    "hard-ideal",
+    "hb-default",
+    "hb-ideal",
+    "software",
+    "fasttrack",
+    "acculock",
+    "multilock-hb",
+)
 
 
 def result_key(result) -> tuple:

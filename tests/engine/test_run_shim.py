@@ -1,0 +1,61 @@
+"""The deprecated ``Detector.run()`` shim, pinned precisely (satellite).
+
+Two guarantees per detector key: calling ``run()`` raises exactly ONE
+DeprecationWarning per call (not zero, not one-per-event, not deduped
+away on repeat calls), and the result is bit-for-bit what the engine's
+scalar walk returns.
+"""
+
+import warnings
+
+import pytest
+
+from repro.api import detect
+from repro.harness.detectors import DETECTOR_KEYS, make_detector
+from repro.threads.runtime import interleave
+from repro.threads.scheduler import RandomScheduler
+from repro.workloads.registry import build_workload
+
+from tests.engine.test_batch_path import result_key
+
+
+@pytest.fixture(scope="module")
+def trace():
+    program = build_workload("water-nsquared", seed=1)
+    return interleave(program, RandomScheduler(seed=2, max_burst=8)).trace
+
+
+class TestRunShim:
+    @pytest.mark.parametrize("key", DETECTOR_KEYS)
+    def test_exactly_one_warning_per_call(self, key, trace):
+        detector = make_detector(key)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            detector.run(trace)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1, key
+        assert "detect_with_engine" in str(deprecations[0].message)
+
+    @pytest.mark.parametrize("key", DETECTOR_KEYS)
+    def test_repeat_calls_warn_again(self, key, trace):
+        # "once per call", not "once per process": the shim must not rely
+        # on the default __warningregistry__ dedup to stay visible.
+        detector = make_detector(key)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            detector.run(trace)
+            make_detector(key).run(trace)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 2, key
+
+    @pytest.mark.parametrize("key", DETECTOR_KEYS)
+    def test_result_matches_detect_bit_for_bit(self, key, trace):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = make_detector(key).run(trace)
+        modern = detect(trace, key, engine_path="scalar")
+        assert result_key(legacy) == result_key(modern), key

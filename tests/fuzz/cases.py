@@ -162,6 +162,44 @@ def lstate_forgiven_case() -> ParallelProgram:
     return builder.build()
 
 
+def pairwise_lockset_case() -> ParallelProgram:
+    """Eraser's accumulated intersection empties; no pair is lock-disjoint.
+
+    Three threads write X, each under two of the three locks {A, B, C}:
+    thread 0 holds {A, B}, thread 1 holds {B, C}, thread 2 holds {A, C}.
+    Every pair of critical sections shares a lock — so they are mutually
+    exclusive, happens-before orders every conflicting pair, and every
+    pairwise lockset scheme (multilock-hb, and its no-weak-HB ablation) is
+    silent.  But the *accumulated* candidate set {A,B} ∩ {B,C} ∩ {A,C} is
+    empty, so the exact lockset reports: the PAIRWISE_LOCKSET hybrid-missed
+    class, verified by the oracle's no-weak-HB re-run staying silent.
+    """
+    builder = WorkloadBuilder("case:pairwise-lockset", num_threads=3, seed=0)
+    lock_a = builder.new_lock("pair.a")
+    lock_b = builder.new_lock("pair.b")
+    lock_c = builder.new_lock("pair.c")
+    shared = builder.region("pair.x", 32)
+    # Each thread acquires its two locks in ascending order, so there is a
+    # consistent global lock order and no schedule can deadlock.
+    pairs = ((lock_a, lock_b), (lock_b, lock_c), (lock_a, lock_c))
+    for thread_id, (outer, inner) in enumerate(pairs):
+        site = builder.site(f"pair.t{thread_id}")
+        acq, rel = cs_sites(builder, f"pair.t{thread_id}")
+        for _ in range(2):
+            builder.block(
+                thread_id,
+                [
+                    lock(outer, acq),
+                    lock(inner, acq),
+                    write(shared.base, site),
+                    unlock(inner, rel),
+                    unlock(outer, rel),
+                ],
+            )
+    builder.end_phase(shuffle=False, with_barrier=False)
+    return builder.build()
+
+
 def absorbed_locks_case() -> ParallelProgram:
     """A real wrong-lock race absorbed in the Virgin/Exclusive window.
 
@@ -208,7 +246,11 @@ EXEMPLARS: dict[str, tuple] = {
     "bloom-collision": (
         bloom_alias_case,
         {DivergenceKind.BLOOM_COLLISION},
-        {DivergenceKind.BLOOM_COLLISION, DivergenceKind.LSTATE_FORGIVEN},
+        {
+            DivergenceKind.BLOOM_COLLISION,
+            DivergenceKind.LSTATE_FORGIVEN,
+            DivergenceKind.HB_SCHEDULE_MISS,
+        },
     ),
     "l2-displacement": (
         l2_displacement_case,
@@ -217,12 +259,21 @@ EXEMPLARS: dict[str, tuple] = {
             DivergenceKind.L2_DISPLACEMENT,
             DivergenceKind.ORDERED_BY_SYNC,
             DivergenceKind.LSTATE_FORGIVEN,
+            DivergenceKind.HB_SCHEDULE_MISS,
         },
     ),
     "ordered-by-sync": (
         ordered_by_sync_case,
-        {DivergenceKind.ORDERED_BY_SYNC},
-        {DivergenceKind.ORDERED_BY_SYNC},
+        # The hybrid makes the Figure 1 scenario two-sided: exact lockset
+        # reports where HB is silent (ORDERED_BY_SYNC), and multilock-hb —
+        # schedule-insensitive — reports it too (HB_SCHEDULE_MISS).
+        {DivergenceKind.ORDERED_BY_SYNC, DivergenceKind.HB_SCHEDULE_MISS},
+        {DivergenceKind.ORDERED_BY_SYNC, DivergenceKind.HB_SCHEDULE_MISS},
+    ),
+    "pairwise-lockset": (
+        pairwise_lockset_case,
+        {DivergenceKind.PAIRWISE_LOCKSET},
+        {DivergenceKind.PAIRWISE_LOCKSET, DivergenceKind.ORDERED_BY_SYNC},
     ),
     "lstate-forgiven": (
         lstate_forgiven_case,

@@ -12,6 +12,8 @@ from repro.fuzz.oracle import (
     HARD_EXTRA,
     HARD_MISSED,
     HB_ONLY,
+    HYBRID_EXTRA,
+    HYBRID_MISSED,
     LOCKSET_ONLY,
     CaseVerdict,
     Divergence,
@@ -70,12 +72,55 @@ class TestClassification:
             assert "L2 re-run recovers" in divergence.evidence
 
     def test_ordered_by_sync_is_lockset_only(self, verdicts):
+        # The Figure 1 scenario is now two-sided: the exact lockset reports
+        # where HB is silent, and the schedule-insensitive hybrid reports
+        # the same discipline violation against exact HB.
         verdict = verdicts["ordered-by-sync"]
         assert not verdict.unexplained
         kinds = {(d.direction, d.kind) for d in verdict.divergences}
-        assert kinds == {(LOCKSET_ONLY, DivergenceKind.ORDERED_BY_SYNC)}
+        assert kinds == {
+            (LOCKSET_ONLY, DivergenceKind.ORDERED_BY_SYNC),
+            (HYBRID_EXTRA, DivergenceKind.HB_SCHEDULE_MISS),
+        }
         assert verdict.alarm_counts["hb-ideal"] == 0
         assert verdict.alarm_counts["hard-ideal"] > 0
+
+    def test_hb_schedule_miss_is_hybrid_extra(self, verdicts):
+        # The hybrid's extra warning must be verified against the strict
+        # lockset replay, and fasttrack must agree with hb-ideal (both
+        # schedule-bound) while multilock-hb alone carries the extra.
+        verdict = verdicts["ordered-by-sync"]
+        misses = [
+            d
+            for d in verdict.divergences
+            if d.kind is DivergenceKind.HB_SCHEDULE_MISS
+        ]
+        assert misses
+        for divergence in misses:
+            assert divergence.direction == HYBRID_EXTRA
+            assert "strict-lockset replay" in divergence.evidence
+        assert verdict.alarm_counts["fasttrack"] == verdict.alarm_counts["hb-ideal"]
+        assert verdict.alarm_counts["multilock-hb"] > verdict.alarm_counts["hb-ideal"]
+
+    def test_pairwise_lockset_is_hybrid_missed(self, verdicts):
+        # {A,B} ∩ {B,C} ∩ {A,C} = ∅ so the exact lockset reports, but every
+        # access pair shares a lock: the hybrid family and even its
+        # no-weak-HB ablation stay silent — Eraser's accumulated
+        # intersection is strictly stronger than any pairwise test.
+        verdict = verdicts["pairwise-lockset"]
+        assert not verdict.unexplained
+        missed = [
+            d
+            for d in verdict.divergences
+            if d.kind is DivergenceKind.PAIRWISE_LOCKSET
+        ]
+        assert missed
+        for divergence in missed:
+            assert divergence.direction == HYBRID_MISSED
+            assert "no-weak-HB re-run is silent" in divergence.evidence
+        assert verdict.alarm_counts["hard-ideal"] > 0
+        assert verdict.alarm_counts["multilock-hb"] == 0
+        assert verdict.alarm_counts["fasttrack"] == 0
 
     def test_lstate_forgiven_never_checked(self, verdicts):
         verdict = verdicts["lstate-forgiven"]

@@ -63,3 +63,28 @@ class TestDetectionResult:
     def test_alarm_sites(self):
         result = DetectionResult(detector="d", reports=make_log(2))
         assert len(result.alarm_sites()) == 2
+
+
+class TestHybridComparison:
+    def _result(self, name, n_sites):
+        return DetectionResult(detector=name, reports=make_log(n_sites))
+
+    def test_counts_and_containment(self):
+        from repro.reporting import hybrid_comparison
+
+        small = self._result("fasttrack", 1)
+        large = self._result("multilock-hb", 3)
+        data = hybrid_comparison([small, large])
+        assert data["alarm_sites"] == {"fasttrack": 1, "multilock-hb": 3}
+        # make_log sites nest: site 0 ⊂ {0, 1, 2}.
+        assert data["contained"]["fasttrack<=multilock-hb"] is True
+        assert data["contained"]["multilock-hb<=fasttrack"] is False
+
+    def test_exclusive_sites_listed(self):
+        from repro.reporting import hybrid_comparison
+
+        a = self._result("a", 1)
+        b = self._result("b", 2)
+        data = hybrid_comparison([a, b])
+        assert data["only_in"]["a"] == []
+        assert len(data["only_in"]["b"]) == 1

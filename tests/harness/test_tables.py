@@ -104,6 +104,29 @@ class TestFigure8:
         assert "paper" in text
 
 
+class TestHybrids:
+    def test_structure(self):
+        data = tables.hybrids(StubRunner(), apps=APPS)
+        assert set(data) == set(APPS)
+        for row in data.values():
+            assert set(row) == set(tables.HYBRID_TABLE_DETECTORS)
+            for cell in row.values():
+                assert {"detected", "alarms"} == set(cell)
+
+    def test_cells_cover_family_and_clean_run(self):
+        cells = tables.hybrids_cells(apps=APPS, runs=2)
+        keys = {cell.config.key for cell in cells}
+        assert keys == set(tables.HYBRID_TABLE_DETECTORS)
+        runs = {cell.run for cell in cells}
+        assert runs == {0, 1, -1}
+
+    def test_render_names_lattice(self):
+        text = tables.render_hybrids(tables.hybrids(StubRunner(), apps=APPS))
+        assert "FastTrack" in text
+        assert "MultiLock" in text
+        assert "lattice check" in text
+
+
 class TestPaperReferences:
     def test_table2_totals(self):
         bugs = sum(v[0] for v in tables.PAPER_TABLE2.values())

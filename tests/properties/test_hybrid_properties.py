@@ -1,0 +1,132 @@
+"""Property-based tests for the hybrid detector family (hypothesis).
+
+Three invariants the conformance harness leans on:
+
+* the exact lockset's candidate sets only ever shrink (intersection
+  monotonicity) — the reason accumulated-lockset warnings are stable;
+* FastTrack's adaptive epoch representation is an *encoding* of the full
+  vector-clock happens-before analysis, not an approximation: identical
+  ``(seq, site)`` reports on arbitrary generated programs and schedules;
+* MultiLock-HB's record lists are keyed by ``(thread, lockset)`` — a
+  repeated access under the same locks refreshes in place, so reader sets
+  are idempotent and bounded by the number of distinct locksets.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz.generator import generate_program
+from repro.hb.fasttrack import FastTrackDetector
+from repro.hb.ideal import IdealHappensBeforeDetector
+from repro.hybrids.multilock import _record
+from repro.lockset.exact import ALL_LOCKS, ExactChunk
+from repro.reporting import run_core
+from repro.threads.runtime import interleave
+from repro.threads.scheduler import RandomScheduler
+
+lock_addr = st.integers(min_value=1, max_value=64).map(lambda v: v * 8)
+held_maps = st.lists(
+    st.dictionaries(lock_addr, st.integers(min_value=1, max_value=3), max_size=5),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestLocksetIntersectionMonotone:
+    @given(held_maps)
+    def test_candidate_sets_only_shrink(self, sequence):
+        chunk = ExactChunk()
+        previous = None
+        for held in sequence:
+            chunk.intersect(held)
+            assert chunk.candidate is not ALL_LOCKS
+            current = set(chunk.candidate)
+            assert current <= set(held)
+            if previous is not None:
+                assert current <= previous
+            previous = current
+
+    @given(held_maps)
+    def test_intersect_reports_changes_exactly(self, sequence):
+        chunk = ExactChunk()
+        for held in sequence:
+            before = (
+                None if chunk.candidate is ALL_LOCKS else set(chunk.candidate)
+            )
+            changed = chunk.intersect(held)
+            after = set(chunk.candidate)
+            if before is None:
+                assert changed
+            else:
+                assert changed == (after != before)
+
+    @given(held_maps)
+    def test_empty_is_absorbing(self, sequence):
+        chunk = ExactChunk()
+        chunk.intersect({})
+        assert chunk.is_empty
+        for held in sequence:
+            chunk.intersect(held)
+            assert chunk.is_empty
+
+
+class TestFastTrackEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=7),
+    )
+    def test_epochs_match_vector_clocks(self, index, seed):
+        # The fuzz generator covers locks, barriers, false sharing and
+        # injected bugs; any divergence from the full vector-clock
+        # analysis would be an epoch-representation bug.
+        program = generate_program(index)
+        trace = interleave(
+            program, RandomScheduler(seed=seed, max_burst=6)
+        ).trace
+        ft = run_core(FastTrackDetector().core(), trace)
+        hb = run_core(IdealHappensBeforeDetector().core(), trace)
+        key = lambda result: {
+            (r.seq, r.site, r.is_write) for r in result.reports
+        }
+        assert key(ft) == key(hb)
+
+
+locksets = st.frozensets(lock_addr, max_size=3)
+record_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=1, max_value=100),
+        locksets,
+    ),
+    max_size=30,
+)
+
+
+class TestMultiLockRecordIdempotence:
+    @given(record_ops)
+    def test_one_record_per_thread_lockset_pair(self, ops):
+        records: list[list] = []
+        for tid, value, lockset in ops:
+            _record(records, tid, value, lockset)
+        keys = [(r[0], r[2]) for r in records]
+        assert len(keys) == len(set(keys))
+        assert set(keys) == {(tid, ls) for tid, _, ls in ops}
+
+    @given(record_ops)
+    def test_refresh_keeps_latest_epoch(self, ops):
+        records: list[list] = []
+        latest: dict = {}
+        for tid, value, lockset in ops:
+            _record(records, tid, value, lockset)
+            latest[(tid, lockset)] = value
+        for tid, value, lockset in records:
+            assert latest[(tid, lockset)] == value
+
+    @given(st.integers(min_value=0, max_value=3), locksets)
+    def test_double_record_is_idempotent(self, tid, lockset):
+        records: list[list] = []
+        _record(records, tid, 1, lockset)
+        snapshot = [list(r) for r in records]
+        _record(records, tid, 1, lockset)
+        assert records == snapshot
