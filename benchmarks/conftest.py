@@ -1,14 +1,19 @@
 """Shared fixtures for the paper-exhibit benchmarks.
 
 Every benchmark regenerates one table or figure of the paper's evaluation.
-Detector verdicts are cached on disk under ``results/cache`` (keyed by
-workload content + detector configuration), so the first full run is
-expensive (hundreds of simulator passes) and later runs are fast.  Each
-benchmark writes its exhibit to ``results/`` and prints it.
+Detector verdicts are cached on disk (keyed by workload content + detector
+configuration), so a warm cache makes re-runs fast.  Benchmark runs write
+their cache entries under a session-scoped temporary directory by default —
+the checked-in ``results/cache`` must not grow as a side effect of running
+the suite (``repro cache gc`` manages its size).  Point
+``REPRO_BENCH_CACHE_DIR`` at a persistent directory (e.g.
+``results/cache``) to keep a warm cache across runs.  Each benchmark
+writes its exhibit to ``results/`` and prints it.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -19,9 +24,13 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
 @pytest.fixture(scope="session")
-def runner() -> ExperimentRunner:
+def runner(tmp_path_factory) -> ExperimentRunner:
     """One experiment runner (and verdict cache) for the whole session."""
-    return ExperimentRunner(cache_dir=RESULTS_DIR / "cache")
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    if not cache_dir:
+        cache_dir = tmp_path_factory.mktemp("bench-cache")
+    with ExperimentRunner(cache_dir=cache_dir) as session_runner:
+        yield session_runner
 
 
 @pytest.fixture

@@ -136,6 +136,7 @@ def detect(
     *,
     obs: Observability | None = None,
     engine_path: str = "auto",
+    jobs: int = 1,
     **overrides,
 ) -> DetectionResult:
     """Run one detector configuration over an existing trace.
@@ -145,10 +146,13 @@ def detect(
     from an mmap-loaded cache file).  ``engine_path`` selects the walk:
     ``"auto"`` uses the vectorized batch kernels when available,
     ``"scalar"`` forces the per-event reference walk, ``"batch"`` asserts
-    the vectorized path is taken.
+    the vectorized path is taken, and ``"sharded"`` partitions the trace
+    by address across ``jobs`` worker processes (``jobs > 1`` also lets
+    ``"auto"`` pick the sharded path on large traces).
     """
-    detector = make_detector(DetectorConfig.coerce(config, **overrides))
-    return detect_with_engine(trace, [detector], obs=obs, path=engine_path)[0]
+    session = EngineSession(trace, obs=obs, path=engine_path, jobs=jobs)
+    session.add_config(DetectorConfig.coerce(config, **overrides))
+    return session.run()[0]
 
 
 def detect_many(
@@ -157,6 +161,7 @@ def detect_many(
     *,
     obs: Observability | None = None,
     engine_path: str = "auto",
+    jobs: int = 1,
 ) -> list[DetectionResult]:
     """Run many detector configurations over one trace in a single pass.
 
@@ -169,11 +174,13 @@ def detect_many(
     returned :class:`DetectionResult` is bit-for-bit identical to the
     corresponding standalone :func:`detect` call — the detectors still
     observe the *identical execution*, exactly as the paper's methodology
-    requires.
+    requires.  ``engine_path="sharded"`` (or ``"auto"`` with ``jobs > 1``
+    on a large trace) additionally partitions the trace by address and
+    fans the shards out over worker processes.
 
     Returns one result per entry of ``configs``, in order.
     """
-    session = EngineSession(trace, obs=obs, path=engine_path)
+    session = EngineSession(trace, obs=obs, path=engine_path, jobs=jobs)
     for config in configs:
         session.add_config(DetectorConfig.coerce(config))
     return session.run()

@@ -33,6 +33,7 @@ anything scriptable here is scriptable there.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import api
@@ -111,6 +112,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             bug_seed=args.bug_seed,
             obs=obs,
             jobs=_resolve_jobs(args),
+            engine_path=args.engine_path,
         )
     finally:
         obs.close()
@@ -400,6 +402,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 workload_seed=args.seed,
                 schedule_seed=args.schedule_seed,
                 engine_path=args.engine_path,
+                engine_jobs=(
+                    _resolve_jobs(args) if getattr(args, "jobs", 1) != 1 else None
+                ),
                 log=lambda message: print(f"[bench] {message}", file=sys.stderr),
             )
         except api.HarnessError as exc:
@@ -447,6 +452,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 )
                 return 0
             return 1
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.harness.cachegc import gc_cache, render_gc_report
+
+    report = gc_cache(
+        args.cache_dir,
+        max_age_days=args.max_age_days,
+        max_size_mb=args.max_size_mb,
+        dry_run=args.dry_run,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(render_gc_report(report))
     return 0
 
 
@@ -526,6 +547,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write flamegraph collapsed stacks to PATH (implies --telemetry)",
+    )
+    run.add_argument(
+        "--engine-path",
+        choices=("auto", "batch", "scalar", "sharded"),
+        default="auto",
+        help="detect-phase engine walk; sharded spreads one large trace "
+        "across -j worker processes",
     )
     run.set_defaults(func=_cmd_run)
 
@@ -699,10 +727,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--schedule-seed", type=int, default=0)
     bench.add_argument(
         "--engine-path",
-        choices=("auto", "batch", "scalar"),
+        choices=("auto", "batch", "scalar", "sharded"),
         default="auto",
         help="engine benchmark walk: vectorized batch kernels, per-event "
-        "scalar reference, or auto (batch when every core supports it)",
+        "scalar reference, address-sharded parallel, or auto (batch when "
+        "every core supports it)",
     )
     bench.add_argument(
         "--out",
@@ -765,6 +794,44 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("app", type=_workload_name)
     stats.add_argument("--seed", type=int, default=0)
     stats.set_defaults(func=_cmd_stats)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect and garbage-collect the on-disk result caches",
+        parents=[jobs_parent],
+    )
+    cache.add_argument(
+        "action",
+        choices=("gc",),
+        help="gc: prune verdict/trace/tape cache entries by age and size",
+    )
+    cache.add_argument("--cache-dir", default="results/cache")
+    cache.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="remove entries whose mtime is older than DAYS",
+    )
+    cache.add_argument(
+        "--max-size-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="after age pruning, remove oldest entries until the cache "
+        "fits in MB",
+    )
+    cache.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="plan and report without deleting anything",
+    )
+    cache.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable report",
+    )
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -49,6 +49,7 @@ barrier event is its own single-event run with ``sync=True``.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import struct
 from array import array
@@ -146,6 +147,9 @@ class ColumnarTrace:
         "_rows",
         "_tapes",
         "_buffer",
+        "_digest",
+        "_source_path",
+        "__weakref__",
     )
 
     def __init__(self):
@@ -162,6 +166,12 @@ class ColumnarTrace:
         self._tapes: dict = {}
         #: Backing buffer for mmap-loaded columns (keeps the map alive).
         self._buffer = None
+        #: Memoised :meth:`content_digest`.
+        self._digest = None
+        #: Path of the on-disk ``.cols`` file these columns were mmap-loaded
+        #: from (set by the trace cache), so shard workers can re-map the
+        #: same file instead of being shipped the event data.
+        self._source_path = None
 
     def __len__(self) -> int:
         return self.n
@@ -325,6 +335,64 @@ class ColumnarTrace:
                 zip(self.kind, self.tid, self.addr, self.size, self.site_id)
             )
         return rows
+
+    def content_digest(self) -> str:
+        """A stable hex digest of the full trace content (memoised).
+
+        Identical for array-backed and mmap-loaded instances of the same
+        trace: the hash covers the serialisation header (metadata + site
+        table) and every packed column's raw bytes, which is exactly what
+        :meth:`to_bytes` round-trips.  Keys the on-disk tape cache.
+        """
+        digest = self._digest
+        if digest is None:
+            h = hashlib.blake2b(digest_size=16)
+            meta = {
+                "version": FORMAT_VERSION,
+                "n": self.n,
+                "num_threads": self.num_threads,
+                "label": self.label,
+                "sites": [[s.file, s.line, s.label] for s in self.sites],
+                "bug_sites": list(self.bug_site_ids),
+            }
+            h.update(json.dumps(meta, separators=(",", ":")).encode("utf-8"))
+            for name, _ in _COLUMNS:
+                column = getattr(self, name)
+                h.update(
+                    column.tobytes()
+                    if isinstance(column, array)
+                    else bytes(column)
+                )
+            digest = self._digest = h.hexdigest()
+        return digest
+
+    def close(self) -> None:
+        """Release mmap-backed resources deterministically (idempotent).
+
+        Closes any machine tapes memoised on these columns, releases the
+        column memoryviews, and closes the backing buffer when it is an
+        ``mmap``.  After closing, the packed columns must not be read again;
+        in-memory (array-backed) instances are unaffected apart from losing
+        their tape memo.
+        """
+        for tape in self._tapes.values():
+            close_tape = getattr(tape, "close", None)
+            if close_tape is not None:
+                close_tape()
+        self._tapes = {}
+        self._rows = None
+        buf = self._buffer
+        if buf is None:
+            return
+        for name, _ in _COLUMNS:
+            column = getattr(self, name, None)
+            if isinstance(column, memoryview):
+                column.release()
+                setattr(self, name, ())
+        self._buffer = None
+        close_buf = getattr(buf, "close", None)
+        if close_buf is not None:
+            close_buf()
 
     # ---------------------------------------------------------- serialisation
 

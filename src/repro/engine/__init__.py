@@ -8,12 +8,15 @@ machine configurations share a single cache/coherence replay.  See
 
 from repro.engine.machineshare import LaneBus, MachineGroup, MachineLane
 from repro.engine.session import EngineError, EngineSession, detect_with_engine
+from repro.engine.shard import DEFAULT_SHARD_THRESHOLD, run_sharded
 from repro.engine.tape import MachineTape
 
 __all__ = [
+    "DEFAULT_SHARD_THRESHOLD",
     "EngineError",
     "EngineSession",
     "detect_with_engine",
+    "run_sharded",
     "LaneBus",
     "MachineGroup",
     "MachineLane",

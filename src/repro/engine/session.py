@@ -31,6 +31,14 @@ simulated machine's data-path prerecorded once per
 Results remain bit-for-bit identical to the scalar walk; ``path="scalar"``
 forces the per-event reference oracle and ``path="batch"`` asserts the
 vectorized path is actually taken.
+
+``path="sharded"`` goes one step further: the trace is partitioned by
+address (:mod:`repro.engine.shard`) and each shard's batch walk runs in a
+worker process reading the columns and tape out of shared ``mmap`` pages,
+with per-shard results merged losslessly.  Under ``"auto"`` the sharded
+path is selected when the session has worker budget (``jobs > 1``), every
+core was registered by config, and the trace is large enough
+(``shard_threshold`` events) for the fan-out to pay for itself.
 """
 
 from __future__ import annotations
@@ -64,10 +72,21 @@ class EngineSession:
     list.
     """
 
-    def __init__(self, trace, obs=None, path: str = "auto"):
-        if path not in ("auto", "batch", "scalar"):
+    def __init__(
+        self,
+        trace,
+        obs=None,
+        path: str = "auto",
+        *,
+        jobs: int = 1,
+        shards: int | None = None,
+        tape_cache=None,
+        shard_threshold: int | None = None,
+    ):
+        if path not in ("auto", "batch", "scalar", "sharded"):
             raise EngineError(
-                f"unknown engine path {path!r} (expected auto, batch or scalar)"
+                f"unknown engine path {path!r} "
+                "(expected auto, batch, scalar or sharded)"
             )
         if isinstance(trace, Trace):
             self._trace = trace
@@ -77,7 +96,19 @@ class EngineSession:
             self._cols = trace
         self.obs = obs
         self.path = path
+        self.jobs = max(1, int(jobs))
+        self.shards = shards
+        self.tape_cache = tape_cache
+        if shard_threshold is None:
+            from repro.engine.shard import DEFAULT_SHARD_THRESHOLD
+
+            shard_threshold = DEFAULT_SHARD_THRESHOLD
+        self.shard_threshold = shard_threshold
         self._cores: list = []
+        #: Parallel to ``_cores``: the DetectorConfig a core was registered
+        #: with (None for cores added directly) — the sharded path rebuilds
+        #: cores from these in worker processes.
+        self._configs: list = []
         self._ran = False
         #: Op-kind census estimates of the last telemetry-recorded run.
         self._census: dict | None = None
@@ -105,16 +136,32 @@ class EngineSession:
 
     def add_config(self, config):
         """Register a harness :class:`DetectorConfig`; returns the core."""
-        from repro.harness.detectors import make_detector
+        from repro.harness.detectors import DetectorConfig, make_detector
 
-        return self.add(make_detector(config))
+        config = DetectorConfig.coerce(config)
+        core = self.add(make_detector(config))
+        self._configs[-1] = config
+        return core
 
     def add_core(self, core):
         """Register a prepared core (detector or auxiliary); returns it."""
         if self._ran:
             raise EngineError("cannot add cores to a session that already ran")
         self._cores.append(core)
+        self._configs.append(None)
         return core
+
+    def close(self) -> None:
+        """Release the session's columnar resources (idempotent).
+
+        Drops the memoised machine tapes and, when the columnar view is
+        ``mmap``-backed (a trace-cache load), releases the mapping — after
+        which the input columns must not be reused.  Long sweeps call this
+        per cell so file descriptors don't pile up until GC.
+        """
+        cols = self._cols
+        if cols is not None:
+            cols.close()
 
     # --------------------------------------------------------------------- run
 
@@ -141,7 +188,7 @@ class EngineSession:
         if recorder is not None:
             self._census = recorder.observe_trace(self.trace)
 
-        if tracing and self.path != "batch":
+        if tracing and self.path not in ("batch", "sharded"):
             for core in self._cores:
                 core.begin(self.trace, obs=obs)
             self._walk_traced(recorder)
@@ -157,6 +204,29 @@ class EngineSession:
             and recorder is None
             and (obs is None or not obs.active)
         )
+        sharded_ok = batch_allowed and all(
+            config is not None for config in self._configs
+        )
+        if self.path == "sharded":
+            if not batch_allowed:
+                raise EngineError(
+                    "engine path 'sharded' is incompatible with active "
+                    "observability (emitter, metrics, or flight recorder)"
+                )
+            if not sharded_ok:
+                raise EngineError(
+                    "engine path 'sharded' requires every core to be "
+                    "registered via add_config, so worker processes can "
+                    "rebuild the cores from their configs"
+                )
+            return self._run_sharded()
+        if (
+            self.path == "auto"
+            and sharded_ok
+            and self.jobs > 1
+            and self.columns().n >= self.shard_threshold
+        ):
+            return self._run_sharded()
         if self.path == "batch":
             if not batch_allowed:
                 raise EngineError(
@@ -221,18 +291,34 @@ class EngineSession:
             for core in self._cores
         ]
 
+    def _run_sharded(self) -> list:
+        # The sharded walk: shard.run_sharded rebuilds each config's core
+        # per shard in worker processes and merges the results losslessly.
+        from repro.engine.shard import run_sharded
+
+        return run_sharded(
+            self.columns(),
+            self._configs,
+            jobs=self.jobs,
+            shards=self.shards,
+            tape_cache=self.tape_cache,
+        )
+
     def _walk_batch(self, cores: list) -> None:
         # The vectorized walk: cores consume whole sync runs of the columnar
         # trace in one ``step_batch`` call each.  Machine-backed cores get a
         # MachineTape — the recorded data-path of (columns, machine config),
-        # memoised on the columns so repeated sessions replay nothing.
+        # memoised on the columns so repeated sessions replay nothing (and
+        # persisted via the tape cache so later *processes* replay nothing).
         from repro.engine.tape import MachineTape
 
         cols = self.columns()
         for core in cores:
             machine_config = getattr(core, "machine_config", None)
             tape = (
-                MachineTape.for_columns(cols, machine_config)
+                MachineTape.for_columns(
+                    cols, machine_config, cache=self.tape_cache
+                )
                 if machine_config is not None
                 else None
             )
@@ -347,14 +433,17 @@ class EngineSession:
                 recorder.record_core_walk(core.name, events, wall, events)
 
 
-def detect_with_engine(trace, detectors, obs=None, path: str = "auto") -> list:
+def detect_with_engine(
+    trace, detectors, obs=None, path: str = "auto", *, jobs: int = 1
+) -> list:
     """Run ``detectors`` (an iterable) over ``trace`` in one session.
 
     ``trace`` may be a :class:`~repro.common.events.Trace` or a
     :class:`~repro.common.coltrace.ColumnarTrace`; ``path`` selects the walk
-    strategy (``"auto"``, ``"batch"``, or ``"scalar"``).
+    strategy (``"auto"``, ``"batch"``, ``"scalar"``, or ``"sharded"``), and
+    ``jobs`` the sharded path's worker budget.
     """
-    session = EngineSession(trace, obs=obs, path=path)
+    session = EngineSession(trace, obs=obs, path=path, jobs=jobs)
     for detector in detectors:
         session.add(detector)
     return session.run()

@@ -39,6 +39,8 @@ Tape layout (all dense, ``n`` = number of trace events):
 
 from __future__ import annotations
 
+import json
+import struct
 from array import array
 
 from repro.common.coltrace import (
@@ -47,8 +49,37 @@ from repro.common.coltrace import (
     ColumnarTrace,
 )
 from repro.common.config import MachineConfig
+from repro.common.errors import ProgramError
 from repro.sim.coherence import FillSource, MachineListener, SourceKind
 from repro.sim.machine import Machine
+
+#: On-disk tape format magic + version (bump on any layout change).
+_TAPE_MAGIC = b"RPRTAPE1"
+TAPE_FORMAT_VERSION = 1
+
+#: (attribute, array typecode) of every packed tape array, in
+#: serialisation order.
+_TAPE_ARRAYS = (
+    ("hook_off", "q"),
+    ("hook_code", "B"),
+    ("hook_line", "q"),
+    ("hook_core", "i"),
+    ("hook_aux", "i"),
+    ("pig", "B"),
+    ("sharer_off", "q"),
+    ("sharer_line", "q"),
+    ("sharer_flag", "B"),
+)
+
+
+def machine_signature(machine_config: MachineConfig) -> str:
+    """A stable string identifying one machine configuration.
+
+    ``MachineConfig`` is a frozen dataclass of primitives, so its ``repr``
+    is deterministic and covers every field — exactly what the tape cache
+    needs to key entries by configuration.
+    """
+    return repr(machine_config)
 
 #: Size in bytes of a lock word (mirrors repro.core.detector.LOCK_WORD_BYTES;
 #: redefined here to keep the tape importable without the detector stack).
@@ -120,10 +151,13 @@ class MachineTape:
         "machine_cycles",
         "machine_stats",
         "bus_stats",
+        "_buffer",
+        "__weakref__",
     )
 
     def __init__(self, cols: ColumnarTrace, machine_config: MachineConfig):
         self.machine_config = machine_config
+        self._buffer = None
         n = cols.n
         machine = Machine(machine_config)
         recorder = _Recorder()
@@ -193,11 +227,142 @@ class MachineTape:
 
     @classmethod
     def for_columns(
-        cls, cols: ColumnarTrace, machine_config: MachineConfig
+        cls, cols: ColumnarTrace, machine_config: MachineConfig, cache=None
     ) -> "MachineTape":
-        """The tape for ``(cols, machine_config)``, memoised on ``cols``."""
+        """The tape for ``(cols, machine_config)``, memoised on ``cols``.
+
+        With a :class:`~repro.harness.tracecache.TapeCache`, a memo miss
+        first tries the on-disk cache (mmap-loaded, zero decode cost) and a
+        fresh recording is persisted for every later process and session —
+        so each (trace, machine config) pair is simulated once *ever*.
+        """
         tape = cols._tapes.get(machine_config)
         if tape is None:
-            tape = cls(cols, machine_config)
+            if cache is not None:
+                tape = cache.load(cols, machine_config)
+            if tape is None:
+                tape = cls(cols, machine_config)
+                if cache is not None:
+                    cache.store(cols, tape)
             cols._tapes[machine_config] = tape
         return tape
+
+    @classmethod
+    def empty(cls, n: int, machine_config: MachineConfig | None = None) -> "MachineTape":
+        """An all-zeros tape over ``n`` events (no hooks, no totals).
+
+        The sharded path's stand-in where no real data-path applies: shard
+        kernels replay only the hooks a shard owns, and the parent adds the
+        real tape's shared totals exactly once at merge time.
+        """
+        self = cls.__new__(cls)
+        self.machine_config = machine_config
+        self._buffer = None
+        self.hook_off = array("q", bytes(8 * (n + 1)))
+        self.hook_code = array("B")
+        self.hook_line = array("q")
+        self.hook_core = array("i")
+        self.hook_aux = array("i")
+        self.pig = array("B", bytes(n))
+        self.sharer_off = array("q", bytes(8 * (n + 1)))
+        self.sharer_line = array("q")
+        self.sharer_flag = array("B")
+        self.machine_cycles = 0
+        self.machine_stats = {}
+        self.bus_stats = {}
+        return self
+
+    # ---------------------------------------------------------- serialisation
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the versioned zero-copy binary form.
+
+        Same shape as the columnar trace format: magic + JSON header +
+        8-byte-aligned packed arrays, so :meth:`from_bytes` can cast the
+        arrays straight out of an ``mmap`` without decoding.
+        """
+        payload_parts: list[bytes] = []
+        arrays_meta: dict[str, list] = {}
+        offset = 0
+        for name, typecode in _TAPE_ARRAYS:
+            column = getattr(self, name)
+            raw = (
+                column.tobytes() if isinstance(column, array) else bytes(column)
+            )
+            pad = (-offset) % 8
+            if pad:
+                payload_parts.append(b"\x00" * pad)
+                offset += pad
+            arrays_meta[name] = [typecode, offset, len(raw)]
+            payload_parts.append(raw)
+            offset += len(raw)
+        header = {
+            "version": TAPE_FORMAT_VERSION,
+            "machine_cycles": self.machine_cycles,
+            "machine_stats": dict(self.machine_stats),
+            "bus_stats": dict(self.bus_stats),
+            "arrays": arrays_meta,
+        }
+        header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        prefix = _TAPE_MAGIC + struct.pack(
+            "<II", TAPE_FORMAT_VERSION, len(header_bytes)
+        )
+        pad = (-(len(prefix) + len(header_bytes))) % 8
+        return b"".join([prefix, header_bytes, b"\x00" * pad, *payload_parts])
+
+    @classmethod
+    def from_bytes(
+        cls, buf, machine_config: MachineConfig | None = None
+    ) -> "MachineTape":
+        """Deserialise from :meth:`to_bytes` output.
+
+        ``buf`` may be ``bytes`` or an ``mmap.mmap``; arrays become
+        zero-copy ``memoryview`` casts into it either way.
+        """
+        view = memoryview(buf)
+        if bytes(view[: len(_TAPE_MAGIC)]) != _TAPE_MAGIC:
+            raise ProgramError("not a machine tape buffer (bad magic)")
+        version, header_len = struct.unpack_from("<II", view, len(_TAPE_MAGIC))
+        if version != TAPE_FORMAT_VERSION:
+            raise ProgramError(
+                f"unsupported machine tape format version {version} "
+                f"(expected {TAPE_FORMAT_VERSION})"
+            )
+        header_start = len(_TAPE_MAGIC) + 8
+        header = json.loads(
+            bytes(view[header_start : header_start + header_len])
+        )
+        payload_start = header_start + header_len
+        payload_start += (-payload_start) % 8
+
+        self = cls.__new__(cls)
+        self.machine_config = machine_config
+        self._buffer = buf
+        self.machine_cycles = header["machine_cycles"]
+        self.machine_stats = header["machine_stats"]
+        self.bus_stats = header["bus_stats"]
+        for name, typecode in _TAPE_ARRAYS:
+            code, offset, nbytes = header["arrays"][name]
+            if code != typecode:
+                raise ProgramError(
+                    f"tape array {name!r} typecode mismatch: "
+                    f"{code!r} != {typecode!r}"
+                )
+            start = payload_start + offset
+            setattr(self, name, view[start : start + nbytes].cast(typecode))
+        return self
+
+    def close(self) -> None:
+        """Release mmap-backed resources deterministically (idempotent)."""
+        buf = self._buffer
+        if buf is None:
+            return
+        for name, _ in _TAPE_ARRAYS:
+            column = getattr(self, name, None)
+            if isinstance(column, memoryview):
+                column.release()
+                setattr(self, name, ())
+        self._buffer = None
+        close_buf = getattr(buf, "close", None)
+        if close_buf is not None:
+            close_buf()

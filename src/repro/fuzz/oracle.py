@@ -119,13 +119,13 @@ class OracleConfig:
     lock-address entropy that the 1 KiB-stride aliases separate).
 
     ``engine_path`` selects the engine walk for the detector sessions:
-    ``"auto"``/``"batch"``/``"scalar"`` as in
+    ``"auto"``/``"batch"``/``"scalar"``/``"sharded"`` as in
     :class:`~repro.engine.EngineSession`, or ``"random"`` (the default) to
-    choose batch or scalar deterministically per schedule seed — so a
-    nightly fuzz run doubles as a batch-vs-scalar cross-check: the two
-    walks must produce bit-for-bit identical verdicts, and any kernel
-    disagreement surfaces as an ``UNEXPLAINED`` divergence on exactly the
-    seeds that took one path.
+    choose batch, scalar, or sharded deterministically per schedule seed —
+    so a nightly fuzz run doubles as a cross-path check: the walks must
+    produce bit-for-bit identical verdicts, and any kernel (or shard
+    merge) disagreement surfaces as an ``UNEXPLAINED`` divergence on
+    exactly the seeds that took one path.
     """
 
     granularity: int = 4
@@ -299,13 +299,17 @@ def _hb_chunks_by_site(
 def resolve_engine_path(config: OracleConfig, schedule_seed: int) -> str:
     """The concrete engine path of one case under ``config``.
 
-    ``"random"`` picks batch or scalar deterministically from the schedule
-    seed (so ``-j 8`` and ``-j 1`` runs agree on which seeds take which
-    walk); anything else passes through unchanged.
+    ``"random"`` picks batch, scalar, or sharded deterministically from
+    the schedule seed (so ``-j 8`` and ``-j 1`` runs agree on which seeds
+    take which walk); anything else passes through unchanged.  Sharded
+    draws run serially (two shards in-process), so the shard/merge
+    machinery is exercised without per-seed pool overhead.
     """
     if config.engine_path != "random":
         return config.engine_path
-    return ("batch", "scalar")[derive_seed("fuzz-engine-path", schedule_seed) % 2]
+    return ("batch", "scalar", "sharded")[
+        derive_seed("fuzz-engine-path", schedule_seed) % 3
+    ]
 
 
 def evaluate_trace(
@@ -339,9 +343,11 @@ def evaluate_trace(
     if path == "random":
         path = "auto"
     hard_cfg = DetectorConfig(key="hard-default", l2_size=config.l2_size)
-    if path == "batch":
+    if path in ("batch", "sharded"):
+        # Neither batch kernels nor shard workers emit an event stream;
+        # eviction evidence is gathered lazily by a scalar re-run.
         recorder = None
-        session = EngineSession(trace, path="batch")
+        session = EngineSession(trace, path=path)
     else:
         recorder = RecordingEmitter(types={"l2.displacement", "cache.evict"})
         session = EngineSession(

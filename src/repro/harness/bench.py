@@ -19,11 +19,16 @@ Two benchmarks cover the engine's hot paths:
   the steady-state walk, and min-of-rounds reports the latter.  The
   flight-recorder telemetry comes from one extra untimed pass (an active
   recorder forces the scalar walk, so it cannot ride the timed rounds).
+* ``engine_sharded`` — the same cell shape on the address-sharded
+  parallel path (``path="sharded"``, ``engine_jobs`` worker processes),
+  producing a ``BENCH_engine_sharded.json`` CI can compare against the
+  single-process ``engine`` artifact of the same commit to gate the
+  scale-out win.
 * ``pipeline`` — one full observed :func:`~repro.harness.pipeline.run_pipeline`
   (build → interleave → characterize → detect), phases straight from its
   :class:`~repro.obs.profile.PhaseProfiler`.
 
-Both accept ``--app``/``--detectors`` overrides so CI can run the full
+All accept ``--app``/``--detectors`` overrides so CI can run the full
 water-nsquared cell while tests use a seconds-scale workload.
 """
 
@@ -58,7 +63,7 @@ DEFAULT_ENGINE_DETECTORS = (
 DEFAULT_PIPELINE_APP = "raytrace"
 
 #: Names ``run_benchmark`` accepts.
-BENCHMARKS = ("engine", "pipeline")
+BENCHMARKS = ("engine", "engine_sharded", "pipeline")
 
 
 def _coerce_configs(detectors) -> list[DetectorConfig]:
@@ -78,6 +83,8 @@ def _bench_engine(
     workload_seed: int,
     schedule_seed: int,
     engine_path: str,
+    engine_jobs: int = 1,
+    name: str = "engine",
     log: Callable[[str], None] | None,
 ) -> BenchResult:
     configs = _coerce_configs(detectors)
@@ -101,7 +108,7 @@ def _bench_engine(
         # Every detect round scores the round-1 trace: the columnar/tape
         # memos live on the trace object, so this measures the same
         # amortization a grid cell sees.
-        session = EngineSession(shared_trace, path=engine_path)
+        session = EngineSession(shared_trace, path=engine_path, jobs=engine_jobs)
         for config in configs:
             session.add_config(config)
         t0 = perf()
@@ -124,7 +131,7 @@ def _bench_engine(
     observed.run()
 
     telemetry = recorder.snapshot()
-    result = BenchResult(name="engine", rounds=rounds)
+    result = BenchResult(name=name, rounds=rounds)
     result.add_phase("build", build_s)
     result.add_phase("interleave", interleave_s)
     result.add_phase("detect", detect_s)
@@ -136,6 +143,7 @@ def _bench_engine(
         "workload_seed": workload_seed,
         "schedule_seed": schedule_seed,
         "engine_path": engine_path,
+        "engine_jobs": engine_jobs,
         "telemetry": {
             "derived": telemetry["derived"],
             "cores": telemetry["cores"],
@@ -208,6 +216,7 @@ def run_benchmark(
     workload_seed: int = 0,
     schedule_seed: int = 0,
     engine_path: str = "auto",
+    engine_jobs: int | None = None,
     log: Callable[[str], None] | None = None,
 ) -> BenchResult:
     """Run one named benchmark and return its structured result.
@@ -219,7 +228,10 @@ def run_benchmark(
         rounds: timing rounds; every phase keeps all of them and the min.
         workload_seed / schedule_seed: the usual determinism knobs.
         engine_path: the ``engine`` benchmark's session walk (``"auto"``,
-            ``"batch"``, or ``"scalar"``); ignored by ``pipeline``.
+            ``"batch"``, ``"scalar"``, or ``"sharded"``); ignored by
+            ``pipeline``; ``engine_sharded`` forces ``"sharded"``.
+        engine_jobs: worker budget of the sharded walk (defaults to the
+            CPU count for ``engine_sharded``, 1 otherwise).
         log: optional per-round progress sink (e.g. stderr printer).
     """
     if rounds < 1:
@@ -232,6 +244,23 @@ def run_benchmark(
             workload_seed=workload_seed,
             schedule_seed=schedule_seed,
             engine_path=engine_path,
+            engine_jobs=engine_jobs if engine_jobs is not None else 1,
+            log=log,
+        )
+    if name == "engine_sharded":
+        from repro.harness.parallel import default_jobs
+
+        return _bench_engine(
+            app=app or DEFAULT_ENGINE_APP,
+            detectors=detectors or DEFAULT_ENGINE_DETECTORS,
+            rounds=rounds,
+            workload_seed=workload_seed,
+            schedule_seed=schedule_seed,
+            engine_path="sharded",
+            engine_jobs=(
+                engine_jobs if engine_jobs is not None else default_jobs()
+            ),
+            name="engine_sharded",
             log=log,
         )
     if name == "pipeline":

@@ -47,7 +47,7 @@ from repro.common.fsio import atomic_write_text
 from repro.common.rng import derive_seed
 from repro.engine import EngineSession
 from repro.harness.detectors import DetectorConfig, config_signature
-from repro.harness.tracecache import TraceCache
+from repro.harness.tracecache import TapeCache, TraceCache
 from repro.obs.metrics import MetricsRegistry
 from repro.reporting import DetectionResult
 from repro.threads.program import InjectedBug, ParallelProgram
@@ -155,9 +155,15 @@ class ExperimentRunner:
         trace_memo_limit: int | None = DEFAULT_TRACE_MEMO_LIMIT,
         metrics: MetricsRegistry | None = None,
         engine_path: str = "auto",
+        engine_jobs: int = 1,
+        tape_cache_dir: str | Path | None = None,
     ):
         self.workload_seed = workload_seed
         self.engine_path = engine_path
+        #: Worker budget of each *engine session* (the sharded path); the
+        #: grid-level ``jobs`` budget is separate — ``run_grid`` splits one
+        #: process budget between the two layers.
+        self.engine_jobs = max(1, int(engine_jobs))
         self.runs = runs
         self.jobs = max(1, int(jobs))
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
@@ -166,6 +172,9 @@ class ExperimentRunner:
         if trace_cache_dir is None and self.cache_dir is not None:
             trace_cache_dir = self.cache_dir / "traces"
         self.trace_cache = TraceCache(trace_cache_dir)
+        if tape_cache_dir is None and self.cache_dir is not None:
+            tape_cache_dir = self.cache_dir / "tapes"
+        self.tape_cache = TapeCache(tape_cache_dir)
         # Callers may share a registry (e.g. an Observability bundle's) so
         # harness cache counters surface in their RunReport/metrics output.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -294,7 +303,12 @@ class ExperimentRunner:
                 pending_signatures.add(signature)
         if pending:
             trace = self.trace_for(app, run)
-            session = EngineSession(trace, path=self.engine_path)
+            session = EngineSession(
+                trace,
+                path=self.engine_path,
+                jobs=self.engine_jobs,
+                tape_cache=self.tape_cache,
+            )
             for _, cfg, _ in pending:
                 session.add_config(cfg)
             with self.metrics.time("harness.detect"):
@@ -344,6 +358,25 @@ class ExperimentRunner:
         """The race-free run's outcome, for overhead accounting (Figure 8)."""
         return self.run_detector(app, CLEAN_RUN, config, **overrides)
 
+    # ----------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Release every mmap the runner's caches handed out (idempotent).
+
+        Multi-thousand-cell sweeps would otherwise hold one file descriptor
+        per visited trace/tape cache entry until garbage collection; the
+        runner is also a context manager so call sites can scope this.
+        """
+        self._traces.clear()
+        self.trace_cache.close()
+        self.tape_cache.close()
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ---------------------------------------------------------- prefetch
 
     def prefetch(self, cells: Iterable["GridCell"]) -> "GridReport | None":
@@ -377,6 +410,8 @@ class ExperimentRunner:
             workload_seed=self.workload_seed,
             cache_dir=self.cache_dir,
             trace_cache_dir=self.trace_cache.directory,
+            tape_cache_dir=self.tape_cache.directory,
+            engine_path=self.engine_path,
         )
         for outcome in report.outcomes:
             self._outcomes[(outcome.app, outcome.run, outcome.detector)] = outcome

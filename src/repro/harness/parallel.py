@@ -71,6 +71,9 @@ class WorkerSpec:
     workload_seed: object = 0
     cache_dir: str | None = None
     trace_cache_dir: str | None = None
+    tape_cache_dir: str | None = None
+    engine_path: str = "auto"
+    engine_jobs: int = 1
 
 
 #: One task for a worker: every configuration scoring one (app, run) trace.
@@ -186,6 +189,9 @@ def _worker_init(spec: WorkerSpec) -> None:
         workload_seed=spec.workload_seed,
         cache_dir=spec.cache_dir,
         trace_cache_dir=spec.trace_cache_dir,
+        tape_cache_dir=spec.tape_cache_dir,
+        engine_path=spec.engine_path,
+        engine_jobs=spec.engine_jobs,
         jobs=1,
     )
 
@@ -202,8 +208,12 @@ def _worker_chunk(chunk: Chunk) -> tuple[list[RunOutcome], MetricsRegistry]:
     # for every configuration scoring against it.
     outcomes = runner.run_detectors(app, run, configs)
     # The trace of this (app, run) will not be needed again in this worker
-    # (chunks partition the grid by execution), so release the memory.
+    # (chunks partition the grid by execution), so release the memory and
+    # close any cache mmaps the chunk opened — long grids would otherwise
+    # accumulate one file descriptor per visited cache entry.
     runner.drop_trace(app, run)
+    runner.trace_cache.close()
+    runner.tape_cache.close()
     return outcomes, runner.metrics
 
 
@@ -214,21 +224,36 @@ def run_grid(
     workload_seed: object = 0,
     cache_dir: str | Path | None = None,
     trace_cache_dir: str | Path | None = None,
+    tape_cache_dir: str | Path | None = None,
+    engine_path: str = "auto",
+    engine_jobs: int | None = None,
 ) -> GridReport:
     """Evaluate a grid of cells, fanned out over ``jobs`` worker processes.
 
     With ``jobs <= 1`` (or a single chunk) the grid runs serially in this
     process through the identical code path, so callers can thread a user
     supplied ``--jobs`` straight through.
+
+    ``jobs`` is the *total* process budget.  When the grid has fewer chunks
+    than jobs, the surplus flows down as ``engine_jobs`` — each worker's
+    engine sessions may shard large traces across the leftover processes —
+    so nested parallelism never oversubscribes beyond ``jobs`` processes.
+    An explicit ``engine_jobs`` overrides the split.
     """
     t0 = time.perf_counter()
     chunks = plan_chunks(cells)
+    jobs = max(1, int(jobs))
+    workers = min(jobs, len(chunks)) if chunks else 0
+    if engine_jobs is None:
+        engine_jobs = max(1, jobs // workers) if workers else 1
     spec = WorkerSpec(
         workload_seed=workload_seed,
         cache_dir=str(cache_dir) if cache_dir is not None else None,
         trace_cache_dir=str(trace_cache_dir) if trace_cache_dir is not None else None,
+        tape_cache_dir=str(tape_cache_dir) if tape_cache_dir is not None else None,
+        engine_path=engine_path,
+        engine_jobs=max(1, int(engine_jobs)),
     )
-    jobs = max(1, int(jobs))
 
     outcomes: list[RunOutcome] = []
     metrics = MetricsRegistry()

@@ -87,6 +87,7 @@ def run_pipeline(
     bug_seed: int | None = None,
     obs: Observability | None = None,
     jobs: int = 1,
+    engine_path: str = "auto",
     **detector_overrides,
 ) -> PipelineRun:
     """Run one workload through one detector with full observability.
@@ -105,9 +106,14 @@ def run_pipeline(
         obs: observability bundle; defaults to a fresh disabled bundle so
             the report still carries phases, verdict and cycle accounting.
         jobs: accepted so callers can thread one ``--jobs`` value through
-            every entry point uniformly; a single pipeline execution is one
-            grid cell, so it runs in-process regardless (grid entry points
-            — tables and sweeps — are where ``jobs > 1`` fans out).
+            every entry point uniformly.  A single pipeline execution is
+            one grid cell, so grid fan-out doesn't apply — but the detect
+            phase's engine session receives the budget, so ``jobs > 1``
+            lets the address-sharded path spread one large trace across
+            worker processes (``engine_path="sharded"`` forces it).
+        engine_path: the engine walk strategy (``"auto"``, ``"batch"``,
+            ``"scalar"``, or ``"sharded"``), threaded into the detect
+            phase's :class:`~repro.engine.EngineSession`.
         **detector_overrides: configuration overrides for the detector.
 
     Returns:
@@ -143,7 +149,7 @@ def run_pipeline(
     detector_label = ",".join(cfg.key for cfg in configs)
     with profiler.phase("detect", detector=detector_label) as rec:
         before = obs.metrics.snapshot()
-        session = EngineSession(trace, obs=obs)
+        session = EngineSession(trace, obs=obs, path=engine_path, jobs=jobs)
         for cfg in configs:
             session.add_config(cfg)
         results = session.run()

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import mmap
 import struct
+import weakref
 from pathlib import Path
 
 from repro.common.coltrace import ColumnarTrace
@@ -45,6 +46,10 @@ from repro.common.rng import derive_seed
 #: so stale entries from older code self-invalidate.  2 -> 3: entries
 #: switched from pickled Trace objects to the columnar binary encoding.
 TRACE_CACHE_VERSION = 3
+
+#: Bumped whenever the tape layout or the simulator's recorded behaviour
+#: changes, so stale tape entries self-invalidate.
+TAPE_CACHE_VERSION = 1
 
 
 class TraceCache:
@@ -60,6 +65,9 @@ class TraceCache:
             self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        # Weak refs to every mmap-loaded ColumnarTrace this cache produced,
+        # so close() can release their mappings deterministically.
+        self._loaded: list = []
 
     @property
     def enabled(self) -> bool:
@@ -87,6 +95,7 @@ class TraceCache:
             with path.open("rb") as fh:
                 buf = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
             cols = ColumnarTrace.from_bytes(buf)
+            cols._source_path = path
             trace = cols.to_trace()
         except FileNotFoundError:
             self.misses += 1
@@ -105,6 +114,7 @@ class TraceCache:
             self.misses += 1
             return None
         self.hits += 1
+        self._loaded.append(weakref.ref(cols))
         return trace
 
     def store(self, trace: Trace, app: str, run: int, *key_parts: object) -> None:
@@ -124,3 +134,118 @@ class TraceCache:
                 path.unlink(missing_ok=True)
                 removed += 1
         return removed
+
+    def close(self) -> None:
+        """Release every mmap this cache handed out (idempotent).
+
+        Long sweeps visit thousands of cache entries; without an explicit
+        close the mappings (and their file descriptors) live until garbage
+        collection gets around to the trace objects.
+        """
+        loaded, self._loaded = self._loaded, []
+        for ref in loaded:
+            cols = ref()
+            if cols is not None:
+                cols.close()
+
+
+class TapeCache:
+    """A directory of serialized machine tapes with atomic writes.
+
+    The persistent sibling of the in-memory tape memo
+    (``ColumnarTrace._tapes``): entries are
+    :meth:`~repro.engine.tape.MachineTape.to_bytes` blobs keyed by
+    (columns content digest, machine-config signature, format version), so
+    a (trace, machine config) pair is simulated **once ever** — every later
+    process and session mmap-loads the recording with zero decode cost.
+
+    A ``directory`` of ``None`` disables the cache (misses + no-op stores),
+    keeping call sites branch-free.
+    """
+
+    def __init__(self, directory: str | Path | None):
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self._loaded: list = []
+
+    @property
+    def enabled(self) -> bool:
+        """True when a backing directory is configured."""
+        return self.directory is not None
+
+    def path_for(self, cols, machine_config) -> Path | None:
+        """The entry path for one (columns, machine config) pair."""
+        if self.directory is None:
+            return None
+        from repro.engine.tape import TAPE_FORMAT_VERSION, machine_signature
+
+        digest = derive_seed(
+            "tape",
+            TAPE_CACHE_VERSION,
+            TAPE_FORMAT_VERSION,
+            cols.content_digest(),
+            machine_signature(machine_config),
+        )
+        return self.directory / f"tape_{digest:016x}.tape"
+
+    def load(self, cols, machine_config):
+        """The cached tape, or ``None`` on a miss (or unreadable entry)."""
+        path = self.path_for(cols, machine_config)
+        if path is None:
+            return None
+        from repro.engine.tape import MachineTape
+
+        try:
+            with path.open("rb") as fh:
+                buf = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            tape = MachineTape.from_bytes(buf, machine_config)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (
+            ReproError,
+            ValueError,
+            OSError,
+            KeyError,
+            TypeError,
+            IndexError,
+            struct.error,
+        ):
+            # Truncated or written by incompatible code: drop and rebuild.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._loaded.append(weakref.ref(tape))
+        return tape
+
+    def store(self, cols, tape) -> Path | None:
+        """Persist ``tape`` atomically; returns the entry path (or None)."""
+        path = self.path_for(cols, tape.machine_config)
+        if path is None:
+            return None
+        atomic_write_bytes(path, tape.to_bytes())
+        self.stores += 1
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        if self.directory is None:
+            return 0
+        removed = 0
+        for path in self.directory.glob("tape_*.tape"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def close(self) -> None:
+        """Release every mmap this cache handed out (idempotent)."""
+        loaded, self._loaded = self._loaded, []
+        for ref in loaded:
+            tape = ref()
+            if tape is not None:
+                tape.close()

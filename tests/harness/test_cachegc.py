@@ -1,0 +1,182 @@
+"""Unit tests for cache garbage collection (``repro cache gc``).
+
+The on-disk caches are content-addressed and self-invalidating, so they
+only ever grow; :func:`gc_cache` is the pressure valve.  These tests pin
+the pruning policy — age first, then oldest-first down to a size budget —
+plus the inventory/dry-run modes, the per-family breakdown, and the CLI
+verb wired on top.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.harness.cachegc import CacheGcReport, gc_cache, render_gc_report
+
+NOW = 1_700_000_000.0
+DAY = 86400.0
+
+
+def seed_cache(root, entries):
+    """Materialise cache files as (relpath, size_bytes, age_days) tuples."""
+    for relpath, size, age_days in entries:
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"x" * size)
+        stamp = NOW - age_days * DAY
+        os.utime(path, (stamp, stamp))
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    seed_cache(
+        tmp_path,
+        [
+            ("barnes_run_0123.json", 100, 1.0),
+            ("water_run_4567.json", 200, 10.0),
+            ("traces/trace_aaaa.cols", 1000, 2.0),
+            ("traces/trace_bbbb.cols", 2000, 20.0),
+            ("traces/trace_cccc.pkl", 400, 30.0),
+            ("tapes/tape_dddd.tape", 3000, 5.0),
+        ],
+    )
+    return tmp_path
+
+
+class TestGcCache:
+    def test_inventory_without_bounds_deletes_nothing(self, cache_dir):
+        report = gc_cache(cache_dir)
+        assert report.scanned_files == 6
+        assert report.scanned_bytes == 6700
+        assert report.removed_files == 0
+        assert report.kept_files == 6
+        assert report.kinds["verdicts"]["files"] == 2
+        assert report.kinds["traces"]["files"] == 3
+        assert report.kinds["tapes"]["bytes"] == 3000
+        assert sorted(p.name for p in cache_dir.rglob("*") if p.is_file()) == [
+            "barnes_run_0123.json",
+            "tape_dddd.tape",
+            "trace_aaaa.cols",
+            "trace_bbbb.cols",
+            "trace_cccc.pkl",
+            "water_run_4567.json",
+        ]
+
+    def test_age_prune_removes_older_than_cutoff(self, cache_dir):
+        report = gc_cache(cache_dir, max_age_days=7.0, now=NOW)
+        assert report.removed_files == 3  # ages 10, 20, 30 days
+        assert report.removed_bytes == 200 + 2000 + 400
+        assert not (cache_dir / "water_run_4567.json").exists()
+        assert not (cache_dir / "traces" / "trace_bbbb.cols").exists()
+        assert not (cache_dir / "traces" / "trace_cccc.pkl").exists()
+        assert (cache_dir / "tapes" / "tape_dddd.tape").exists()
+
+    def test_size_prune_evicts_oldest_first(self, cache_dir):
+        # 6700 bytes total against a 4100-byte budget: the three oldest
+        # entries go — the 30d pkl (400), the 20d cols (2000), and the
+        # 10d json (200) — landing exactly on budget.
+        budget_mb = 4100 / (1024 * 1024)
+        report = gc_cache(cache_dir, max_size_mb=budget_mb, now=NOW)
+        assert report.removed_files == 3
+        assert report.kept_bytes == 4100
+        survivors = {p.name for p in cache_dir.rglob("*") if p.is_file()}
+        assert survivors == {
+            "barnes_run_0123.json",
+            "trace_aaaa.cols",
+            "tape_dddd.tape",
+        }
+
+    def test_age_and_size_compose(self, cache_dir):
+        report = gc_cache(
+            cache_dir, max_age_days=7.0, max_size_mb=0.0, now=NOW
+        )
+        assert report.removed_files == 6
+        assert report.kept_files == 0
+        assert not [p for p in cache_dir.rglob("*") if p.is_file()]
+
+    def test_dry_run_plans_without_unlinking(self, cache_dir):
+        report = gc_cache(cache_dir, max_age_days=7.0, dry_run=True, now=NOW)
+        assert report.dry_run
+        assert report.removed_files == 3
+        assert len([p for p in cache_dir.rglob("*") if p.is_file()]) == 6
+
+    def test_unrecognised_files_are_untouched(self, cache_dir):
+        stray = cache_dir / "README.txt"
+        stray.write_text("keep me")
+        old = NOW - 100 * DAY
+        os.utime(stray, (old, old))
+        report = gc_cache(cache_dir, max_age_days=1.0, now=NOW)
+        assert stray.exists()
+        assert report.scanned_files == 6
+
+    def test_missing_directory_is_empty_report(self, tmp_path):
+        report = gc_cache(tmp_path / "absent", max_age_days=1.0)
+        assert report.scanned_files == 0
+        assert report.removed_files == 0
+
+
+class TestRendering:
+    def test_render_mentions_families_and_totals(self, cache_dir):
+        report = gc_cache(cache_dir, max_age_days=7.0, now=NOW)
+        text = render_gc_report(report)
+        assert "6 files" in text
+        assert "verdicts" in text and "traces" in text and "tapes" in text
+        assert "removed 3 files" in text
+
+    def test_render_dry_run_uses_conditional_verb(self, cache_dir):
+        report = gc_cache(cache_dir, max_age_days=7.0, dry_run=True, now=NOW)
+        assert "would remove 3 files" in render_gc_report(report)
+
+    def test_to_dict_is_json_serialisable(self, cache_dir):
+        report = gc_cache(cache_dir, max_age_days=7.0, now=NOW)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["removed_files"] == 3
+        assert payload["kept_files"] == 3
+        assert payload["kinds"]["verdicts"]["removed_files"] == 1
+
+    def test_report_properties(self):
+        report = CacheGcReport(
+            cache_dir="x", scanned_files=5, scanned_bytes=500,
+            removed_files=2, removed_bytes=150,
+        )
+        assert report.kept_files == 3
+        assert report.kept_bytes == 350
+
+
+class TestCli:
+    def test_cache_gc_inventory(self, cache_dir, capsys):
+        code = main(["cache", "gc", "--cache-dir", str(cache_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "6 files" in out
+        assert len([p for p in cache_dir.rglob("*") if p.is_file()]) == 6
+
+    def test_cache_gc_prunes_by_size(self, cache_dir, capsys):
+        code = main(
+            ["cache", "gc", "--cache-dir", str(cache_dir), "--max-size-mb", "0"]
+        )
+        assert code == 0
+        assert "removed 6 files" in capsys.readouterr().out
+        assert not [p for p in cache_dir.rglob("*") if p.is_file()]
+
+    def test_cache_gc_json_payload(self, cache_dir, capsys):
+        # The CLI cannot pin ``now``, so bound by size (mtime-order only)
+        # rather than age: a 4100-byte budget plans exactly three removals.
+        code = main(
+            [
+                "cache", "gc", "--cache-dir", str(cache_dir),
+                "--max-size-mb", str(4100 / (1024 * 1024)),
+                "--dry-run", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dry_run"] is True
+        assert payload["removed_files"] == 3
+        assert len([p for p in cache_dir.rglob("*") if p.is_file()]) == 6
+
+    def test_cache_requires_action(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])

@@ -1,0 +1,119 @@
+"""Property tests of the machine-tape binary form and its on-disk cache.
+
+The sharded detect path ships recorded :class:`MachineTape` objects to
+worker processes as files and maps them back zero-copy, so the binary
+form must be a faithful round trip: every hook span, piggyback byte,
+sharer span, machine counter, and the cycle total must survive
+``to_bytes``/``from_bytes`` — both over an in-memory buffer and over a
+real ``mmap`` of a file on disk — across the space of generated fuzz
+programs.  A :class:`TapeCache` store/load cycle must behave the same
+way and must never re-simulate the machine on a hit.
+"""
+
+import mmap
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import HarnessError, ProgramError
+from repro.engine.tape import MachineTape, machine_signature
+from repro.fuzz.generator import generate_program
+from repro.harness.detectors import DetectorConfig, make_detector
+from repro.harness.tracecache import TapeCache
+from repro.threads.runtime import interleave
+from repro.threads.scheduler import RandomScheduler
+from repro.workloads.injection import inject_bug
+
+import pytest
+
+seeds = st.integers(min_value=0, max_value=300)
+schedule_seeds = st.integers(min_value=0, max_value=20)
+
+MACHINE_CONFIG = make_detector(
+    DetectorConfig.coerce("hard-default")
+).core().machine_config
+
+
+def fuzz_tape(index: int, schedule_seed: int, injected: bool = False):
+    program = generate_program(index)
+    if injected:
+        try:
+            program = inject_bug(program, seed=("prop", index))
+        except HarnessError:
+            pass  # no injectable section; the clean program is fine
+    scheduler = RandomScheduler(seed=schedule_seed, max_burst=8)
+    trace = interleave(program, scheduler).trace
+    return MachineTape(trace.columns(), MACHINE_CONFIG)
+
+
+def assert_same_tape(rebuilt: MachineTape, tape: MachineTape) -> None:
+    assert rebuilt.machine_cycles == tape.machine_cycles
+    assert rebuilt.machine_stats == tape.machine_stats
+    assert rebuilt.bus_stats == tape.bus_stats
+    for name in (
+        "hook_off",
+        "hook_code",
+        "hook_line",
+        "hook_core",
+        "hook_aux",
+        "pig",
+        "sharer_off",
+        "sharer_line",
+        "sharer_flag",
+    ):
+        assert list(getattr(rebuilt, name)) == list(getattr(tape, name)), name
+
+
+@settings(max_examples=15, deadline=None)
+@given(seeds, schedule_seeds, st.booleans())
+def test_binary_round_trip(index, schedule_seed, injected):
+    tape = fuzz_tape(index, schedule_seed, injected)
+    rebuilt = MachineTape.from_bytes(tape.to_bytes())
+    assert_same_tape(rebuilt, tape)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds, schedule_seeds)
+def test_mmap_round_trip(tmp_path_factory, index, schedule_seed):
+    tape = fuzz_tape(index, schedule_seed)
+    path = tmp_path_factory.mktemp("tapes") / "tape.bin"
+    path.write_bytes(tape.to_bytes())
+    with open(path, "rb") as handle:
+        buf = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    loaded = MachineTape.from_bytes(buf, MACHINE_CONFIG)
+    assert_same_tape(loaded, tape)
+    loaded.close()  # must release the views so the mmap can close
+    assert loaded._buffer is None
+    loaded.close()  # idempotent
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds, schedule_seeds)
+def test_cache_store_load_round_trip(tmp_path_factory, index, schedule_seed):
+    program = generate_program(index)
+    scheduler = RandomScheduler(seed=schedule_seed, max_burst=8)
+    cols = interleave(program, scheduler).trace.columns()
+    tape = MachineTape(cols, MACHINE_CONFIG)
+    cache = TapeCache(tmp_path_factory.mktemp("tape-cache"))
+    assert cache.load(cols, MACHINE_CONFIG) is None
+    cache.store(cols, tape)
+    loaded = cache.load(cols, MACHINE_CONFIG)
+    assert loaded is not None
+    assert_same_tape(loaded, tape)
+    cache.close()
+
+
+def test_from_bytes_rejects_garbage():
+    with pytest.raises(ProgramError):
+        MachineTape.from_bytes(b"NOTATAPE" + b"\x00" * 64)
+
+
+def test_machine_signature_is_stable():
+    other = make_detector(DetectorConfig.coerce("hard-default")).core()
+    assert machine_signature(MACHINE_CONFIG) == machine_signature(
+        other.machine_config
+    )
+    ideal = make_detector(DetectorConfig.coerce("hard-ideal")).core()
+    assert machine_signature(MACHINE_CONFIG) != machine_signature(
+        ideal.machine_config
+    )
