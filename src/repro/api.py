@@ -97,6 +97,7 @@ EXHIBITS = (
     "table6",
     "figure8",
     "hybrids",
+    "scaling",
 )
 
 
@@ -234,6 +235,12 @@ def run_table(
     elif name == "hybrids":
         data = _tables.hybrids(runner, apps=apps)
         text = _tables.render_hybrids(data, runs=runs)
+    elif name == "scaling":
+        # The scaling study has its own default universe (server-shaped
+        # workloads); an explicit --apps selection still narrows it.
+        scaling_apps = _tables.SCALING_APPS if apps == WORKLOAD_NAMES else apps
+        data = _tables.scaling(runner, apps=scaling_apps)
+        text = _tables.render_scaling(data)
     else:  # figure8
         data = _tables.figure8(runner, apps=apps)
         text = _tables.render_figure8(data)

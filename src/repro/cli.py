@@ -73,6 +73,9 @@ def _cmd_list(_: argparse.Namespace) -> int:
     print("workloads:")
     for name in WORKLOAD_NAMES:
         print(f"  {name}")
+    print("extra workloads:")
+    for name in EXTRA_WORKLOADS:
+        print(f"  {name}")
     print("detectors:")
     for key in api.DETECTOR_KEYS:
         print(f"  {key}")
@@ -103,6 +106,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     obs = Observability(
         emitter=emitter, collect_metrics=args.metrics, telemetry=recorder
     )
+    machine_overrides = {}
+    if args.cores is not None:
+        machine_overrides["num_cores"] = args.cores
+    if args.fabric is not None:
+        machine_overrides["coherence"] = args.fabric
     try:
         run = api.run_pipeline(
             args.app,
@@ -113,6 +121,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             obs=obs,
             jobs=_resolve_jobs(args),
             engine_path=args.engine_path,
+            **machine_overrides,
         )
     finally:
         obs.close()
@@ -248,7 +257,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.apps
         else WORKLOAD_NAMES
     )
-    unknown = [a for a in apps if a not in WORKLOAD_NAMES]
+    unknown = [
+        a
+        for a in apps
+        if a not in WORKLOAD_NAMES
+        and a not in EXTRA_WORKLOADS
+        and not a.startswith("fuzz:")
+    ]
     if unknown:
         print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
         return 2
@@ -554,6 +569,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="detect-phase engine walk; sharded spreads one large trace "
         "across -j worker processes",
+    )
+    run.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        metavar="N",
+        help="simulated core count (power of two; default 4)",
+    )
+    run.add_argument(
+        "--fabric",
+        choices=("snoopy", "directory"),
+        default=None,
+        help="coherence fabric of the simulated machine (default snoopy)",
     )
     run.set_defaults(func=_cmd_run)
 

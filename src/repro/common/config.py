@@ -93,8 +93,53 @@ class BusConfig:
 
 
 @dataclass(frozen=True)
+class DirectoryConfig:
+    """Timing of the directory coherence fabric (the Section 3.4 scale-out).
+
+    Where the snoopy bus broadcasts every address phase to all cores, the
+    directory fabric sends point-to-point messages over an on-chip network:
+    a requester asks the home node (``lookup_cycles`` directory-state read
+    after ``hop_cycles`` of network traversal), the home node forwards to
+    the owner or multicasts invalidations to the exact sharer list, and
+    metadata updates travel as one control message to the home node instead
+    of a Figure 6 broadcast.
+
+    Attributes:
+        hop_cycles: latency of one point-to-point network hop (request or
+            response leg).
+        lookup_cycles: directory-state lookup at the home node.
+        control_bytes: size of one control message (request, ack,
+            invalidation, or metadata update header) on the network.
+    """
+
+    hop_cycles: int = 3
+    lookup_cycles: int = 2
+    control_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if min(self.hop_cycles, self.lookup_cycles, self.control_bytes) <= 0:
+            raise ConfigError("all directory timing parameters must be positive")
+
+
+#: Coherence-fabric kinds :class:`MachineConfig` accepts.
+COHERENCE_KINDS = ("snoopy", "directory")
+
+#: Thread→core placement policies :class:`MachineConfig` accepts.
+THREAD_MAPPINGS = ("modulo", "pinned")
+
+
+@dataclass(frozen=True)
 class MachineConfig:
-    """The full simulated CMP (Table 1 defaults)."""
+    """The full simulated CMP (Table 1 defaults).
+
+    ``coherence`` selects the fabric strategy: ``"snoopy"`` is the paper's
+    default broadcast MESI bus; ``"directory"`` is the Section 3.4
+    point-to-point alternative timed by ``directory``.  ``thread_mapping``
+    selects the thread→core placement policy: ``"modulo"`` folds thread ids
+    onto cores round-robin; ``"pinned"`` consults ``thread_pins`` (thread
+    ``i`` runs on ``thread_pins[i]``; threads beyond the map fall back to
+    modulo).
+    """
 
     num_cores: int = 4
     cpu_ghz: float = 2.4
@@ -110,10 +155,15 @@ class MachineConfig:
     )
     memory_latency_cycles: int = 200
     bus: BusConfig = field(default_factory=BusConfig)
+    coherence: str = "snoopy"
+    directory: DirectoryConfig = field(default_factory=DirectoryConfig)
+    thread_mapping: str = "modulo"
+    thread_pins: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.num_cores <= 0:
             raise ConfigError("need at least one core")
+        check_power_of_two(self.num_cores, "core count")
         if self.l1.line_size != self.l2.line_size:
             # The paper notes the L2 line size can be a multiple of the L1's
             # (Figure 3 shows 2x); our model keeps them equal, which only
@@ -122,15 +172,63 @@ class MachineConfig:
             raise ConfigError("this model requires equal L1 and L2 line sizes")
         if self.memory_latency_cycles <= 0:
             raise ConfigError("memory latency must be positive")
+        if self.coherence not in COHERENCE_KINDS:
+            raise ConfigError(
+                f"unknown coherence fabric {self.coherence!r}; "
+                f"expected one of {COHERENCE_KINDS} "
+                "(pass coherence='directory' for the Section 3.4 "
+                "point-to-point fabric)"
+            )
+        if self.thread_mapping not in THREAD_MAPPINGS:
+            raise ConfigError(
+                f"unknown thread mapping {self.thread_mapping!r}; "
+                f"expected one of {THREAD_MAPPINGS}"
+            )
+        if self.thread_mapping == "pinned" and not self.thread_pins:
+            raise ConfigError(
+                "thread_mapping='pinned' needs a non-empty thread_pins map "
+                "(thread i runs on core thread_pins[i])"
+            )
+        if self.thread_mapping == "modulo" and self.thread_pins:
+            raise ConfigError(
+                "thread_pins is only consulted under thread_mapping='pinned'; "
+                "drop the pins or switch the mapping"
+            )
+        for index, pin in enumerate(self.thread_pins):
+            if not 0 <= pin < self.num_cores:
+                raise ConfigError(
+                    f"thread_pins[{index}] = {pin} is outside the valid core "
+                    f"range [0, {self.num_cores})"
+                )
 
     @property
     def line_size(self) -> int:
         """Cache-line size shared by both levels."""
         return self.l1.line_size
 
+    def core_of(self, thread_id: int) -> int:
+        """The core ``thread_id`` runs on under the configured policy.
+
+        This is the single source of truth for thread placement: the
+        scalar :class:`~repro.sim.machine.Machine`, the tape recorder, and
+        the vectorized batch kernels all fold thread ids through it, so
+        every engine path sees the identical placement.
+        """
+        if self.thread_mapping == "pinned" and thread_id < len(self.thread_pins):
+            return self.thread_pins[thread_id]
+        return thread_id % self.num_cores
+
     def with_l2_size(self, size_bytes: int) -> "MachineConfig":
         """Return a copy with a different L2 capacity (Tables 4/5 sweep)."""
         return replace(self, l2=replace(self.l2, size_bytes=size_bytes))
+
+    def with_cores(
+        self, num_cores: int, coherence: str | None = None
+    ) -> "MachineConfig":
+        """Return a copy scaled to ``num_cores`` (the PR-10 sweep axis)."""
+        if coherence is None:
+            coherence = self.coherence
+        return replace(self, num_cores=num_cores, coherence=coherence)
 
 
 @dataclass(frozen=True)
@@ -241,6 +339,11 @@ class HappensBeforeConfig:
 
 #: L2 sizes swept by Tables 4 and 5.
 PAPER_L2_SIZES = (128 * KB, 256 * KB, 512 * KB, 1 * MB)
+
+#: Core counts swept by the many-core scaling study (PR 10): the paper's
+#: 4-core CMP plus the server-class points where the Section 3.4 broadcast
+#: cost argument starts to bite.
+SCALING_CORE_COUNTS = (4, 8, 16, 64)
 
 #: BFVector sizes swept by Table 6.
 PAPER_BLOOM_SIZES = (16, 32)

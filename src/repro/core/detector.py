@@ -357,6 +357,14 @@ class HardCore:
         self._chunk_shift = config.granularity.bit_length() - 1
         self._chunk_mask = ~(config.granularity - 1)
         self._num_cores = machine_config.num_cores
+        # Thread→core placement, pre-resolved for the hot loop: ``None``
+        # means pure modulo; under a pinned map the kernel must agree with
+        # MachineConfig.core_of so the tape's hook cores line up.
+        self._pins = (
+            machine_config.thread_pins
+            if machine_config.thread_mapping == "pinned"
+            else None
+        )
         # line -> holder -> flat [bf, lstate, owner] * chunks
         self._lines: dict[int, dict[int, list[int]]] = {}
         self._fresh = [self.mapper.full_mask, self._VIRGIN, NO_OWNER] * chunks
@@ -410,6 +418,8 @@ class HardCore:
         chunk_shift = self._chunk_shift
         chunk_mask = self._chunk_mask
         num_cores = self._num_cores
+        pins = self._pins
+        n_pins = len(pins) if pins is not None else 0
         L2 = self._L2
 
         n_candidate_updates = self._n_candidate_updates
@@ -444,7 +454,7 @@ class HardCore:
 
             if kind <= 1:  # READ / WRITE
                 is_write = kind == 1
-                core = tid % num_cores
+                core = pins[tid] if tid < n_pins else tid % num_cores
                 count = pig[i]
                 if count:
                     n_piggybacks += count
@@ -580,10 +590,18 @@ class HardCore:
         self._n_reports = n_reports
 
     def finish_batch(self) -> DetectionResult:
-        """Assemble the result: private charges over the shared tape totals."""
+        """Assemble the result: private charges over the shared tape totals.
+
+        Metadata costs come from the machine's
+        :class:`~repro.sim.bus.MetaCostModel` — the same constants and stat
+        keys the scalar fabric methods charge — so the reconstruction is
+        exact on the snoopy bus and the directory fabric alike.
+        """
+        from repro.sim.fabric import meta_cost_model
+
         tape = self._tape
         costs = self.d.costs
-        bus_config = self.d.machine_config.bus
+        meta_model = meta_cost_model(self.d.machine_config)
         stats = self.stats
         extra = 0
 
@@ -614,23 +632,25 @@ class HardCore:
             extra += cycles
         meta_bytes = (self._line_meta_bits + 7) // 8
         if self._n_piggybacks:
-            cycles = self._n_piggybacks * bus_config.metadata_piggyback_cycles
+            cycles = self._n_piggybacks * meta_model.piggyback_cycles
             stats.add("cycles.hard.piggyback", cycles)
-            stats.add("bus.cycles.metadata_piggyback", cycles)
+            stats.add(meta_model.piggyback_cycle_key, cycles)
             extra += cycles
         if self._n_broadcasts:
             stats.add("hard.metadata_broadcasts", self._n_broadcasts)
-            per_broadcast = (
-                bus_config.cycles_per_transaction + bus_config.cycles_per_word
-            )
-            cycles = self._n_broadcasts * per_broadcast
+            cycles = self._n_broadcasts * meta_model.update_cycles
             stats.add("cycles.hard.broadcast", cycles)
-            stats.add("bus.cycles.metadata_broadcast", cycles)
-            stats.add("bus.transactions.metadata_broadcast", self._n_broadcasts)
+            stats.add(meta_model.update_cycle_key, cycles)
+            stats.add(meta_model.update_count_key, self._n_broadcasts)
+            if meta_model.update_control_bytes:
+                stats.add(
+                    meta_model.control_bytes_key,
+                    self._n_broadcasts * meta_model.update_control_bytes,
+                )
             extra += cycles
         if self._n_piggybacks or self._n_broadcasts:
             stats.add(
-                "bus.bytes.metadata",
+                meta_model.metadata_bytes_key,
                 (self._n_piggybacks + self._n_broadcasts) * meta_bytes,
             )
         stats._counts.update(tape.machine_stats)

@@ -30,19 +30,21 @@ from repro.sim.machine import AccessResult, Machine
 
 
 class LaneBus:
-    """Per-lane view of the shared bus: private metadata accounting.
+    """Per-lane view of the shared fabric: private metadata accounting.
 
     Data traffic (fills, writebacks, invalidations) is shared state and
-    accrues on the real bus; *detector* metadata traffic — piggybacks and
-    broadcasts — differs per detector and lands in the lane's ledger.  The
-    cycle/byte arithmetic mirrors :class:`repro.sim.bus.Bus` exactly,
-    including the asymmetry that piggybacks count no transaction while
-    broadcasts do.
+    accrues on the real fabric; *detector* metadata traffic — piggybacks
+    and candidate-set publications — differs per detector and lands in the
+    lane's ledger.  The cycle/byte arithmetic consumes the shared fabric's
+    :class:`~repro.sim.bus.MetaCostModel`, so a lane charges exactly what
+    the real fabric would — on the snoopy bus (where piggybacks count no
+    transaction while broadcasts do) and on the directory fabric (where a
+    publication is a point-to-point home-node update) alike.
     """
 
     def __init__(self, lane: "MachineLane"):
         self._lane = lane
-        self._config = lane._shared.bus.config
+        self._model = lane._shared.bus.meta_model
 
     @property
     def stats(self) -> StatCounters:
@@ -60,20 +62,24 @@ class LaneBus:
     def metadata_piggyback(self, meta_bits: int) -> int:
         """Charge metadata riding an existing transfer (lane-private)."""
         lane = self._lane
-        lane._bus_stats.add("bus.bytes.metadata", (meta_bits + 7) // 8)
-        cycles = self._config.metadata_piggyback_cycles
+        model = self._model
+        lane._bus_stats.add(model.metadata_bytes_key, (meta_bits + 7) // 8)
+        cycles = model.piggyback_cycles
         lane._bus_cycles += cycles
-        lane._bus_stats.add("bus.cycles.metadata_piggyback", cycles)
+        lane._bus_stats.add(model.piggyback_cycle_key, cycles)
         return cycles
 
     def metadata_broadcast(self, meta_bits: int) -> int:
-        """Charge a standalone candidate-set broadcast (lane-private)."""
+        """Charge a standalone candidate-set publication (lane-private)."""
         lane = self._lane
-        lane._bus_stats.add("bus.bytes.metadata", (meta_bits + 7) // 8)
-        cycles = self._config.cycles_per_transaction + self._config.cycles_per_word
+        model = self._model
+        lane._bus_stats.add(model.metadata_bytes_key, (meta_bits + 7) // 8)
+        if model.update_control_bytes:
+            lane._bus_stats.add(model.control_bytes_key, model.update_control_bytes)
+        cycles = model.update_cycles
         lane._bus_cycles += cycles
-        lane._bus_stats.add("bus.cycles.metadata_broadcast", cycles)
-        lane._bus_stats.add("bus.transactions.metadata_broadcast")
+        lane._bus_stats.add(model.update_cycle_key, cycles)
+        lane._bus_stats.add(model.update_count_key)
         return cycles
 
 

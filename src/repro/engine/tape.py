@@ -172,7 +172,7 @@ class MachineTape:
         access = machine.access
         charge = machine.charge
         has_other_sharers = machine.has_other_sharers
-        num_cores = machine_config.num_cores
+        core_for_thread = machine.core_for_thread
         memory_source = SourceKind.MEMORY
         n_sharers = 0
 
@@ -186,7 +186,7 @@ class MachineTape:
             sharer_off[i] = n_sharers
             kind = kinds[i]
             if kind <= 1:  # READ / WRITE
-                core = tids[i] % num_cores
+                core = core_for_thread(tids[i])
                 result = access(core, addrs[i], sizes[i], kind == 1)
                 count = 0
                 for line_result in result.lines:
@@ -207,7 +207,7 @@ class MachineTape:
             elif kind == KIND_COMPUTE:
                 charge(cycles_col[i], "compute")
             elif kind != KIND_BARRIER:  # LOCK / UNLOCK
-                access(tids[i] % num_cores, addrs[i], _LOCK_WORD_BYTES, True)
+                access(core_for_thread(tids[i]), addrs[i], _LOCK_WORD_BYTES, True)
         hook_off[n] = len(recorder.code)
         sharer_off[n] = n_sharers
 

@@ -88,6 +88,12 @@ class FuzzSpec:
     table_probability: float = 0.25
     #: Probability of a trailing grid (barrier-phased stencil) phase.
     grid_probability: float = 0.2
+    #: Append the server-shaped patterns (:data:`SERVER_PATTERN_MENU`) to
+    #: the per-phase menu.  Off by default: the pattern choice is drawn by
+    #: ``rng.sample`` over the menu length, so growing the menu re-rolls
+    #: every existing ``fuzz:<n>`` program — the gate keeps historical
+    #: corpus entries (and their shrunk reproducers) byte-stable.
+    server_patterns: bool = False
 
     def __post_init__(self) -> None:
         if not 1 <= self.min_threads <= self.max_threads:
@@ -291,6 +297,78 @@ def _menu_nested(builder, rng, tag, scale):
     _emit_nested_locks(builder, rng, tag, scale)
 
 
+def _emit_rwlock_reads(builder, rng, tag, scale):
+    """Emulated reader-writer lock (the server idiom, fuzz-sized).
+
+    Readers bump a mutex-guarded reader count, read the shared record
+    *outside* the mutex, and drop the count; the writer updates the record
+    under the mutex.  Correct by protocol, lock-free to the lockset — the
+    detector-separating shape of the ``rwlock-cache`` workload, here as a
+    one-line pattern the oracle can mix with everything else.
+    """
+    label = f"{tag}.rw"
+    mutex = builder.new_lock(f"{label}.mutex")
+    count = builder.region(f"{label}.count", 32)
+    data = builder.region(f"{label}.data", 32)
+    count_site = builder.site(f"{label}.count")
+    read_site = builder.site(f"{label}.read")
+    write_site = builder.site(f"{label}.write")
+    acq, rel = cs_sites(builder, f"{label}.gate")
+    gate = [read(count.base, count_site), write(count.base, count_site)]
+    rounds = max(2, round(rng.randint(2, 4) * scale))
+    for thread_id in range(1, builder.num_threads):
+        for _ in range(rounds):
+            ops = critical_section(builder, mutex, list(gate), acq, rel)
+            ops.append(read(data.base, read_site))
+            ops += critical_section(builder, mutex, list(gate), acq, rel)
+            builder.block(thread_id, ops)
+    for _ in range(max(1, round(2 * scale))):
+        builder.block(
+            0,
+            critical_section(
+                builder,
+                mutex,
+                [read(count.base, count_site), write(data.base, write_site)],
+                acq,
+                rel,
+            ),
+        )
+
+
+def _emit_work_steal(builder, rng, tag, scale):
+    """Work-stealing deques (the server idiom, fuzz-sized).
+
+    One lock and one index line per thread; owners push/pop under their own
+    lock, thieves take the *victim's* lock — migratory index lines with an
+    injectable critical section (losing the deque lock races the indices
+    against a concurrent thief).
+    """
+    label = f"{tag}.steal"
+    locks = [builder.new_lock(f"{label}.d{t}") for t in range(builder.num_threads)]
+    deques = builder.region(label, builder.num_threads * 32)
+    idx_site = builder.site(f"{label}.idx")
+    acq, rel = cs_sites(builder, f"{label}.cs", injectable=True)
+    ops_per = max(3, round(rng.randint(4, 8) * scale))
+    for thread_id in range(builder.num_threads):
+        for _ in range(ops_per):
+            victim = thread_id
+            if builder.num_threads > 1 and rng.randrange(100) < 30:
+                victim = rng.randrange(builder.num_threads - 1)
+                if victim >= thread_id:
+                    victim += 1
+            base = deques.at(victim * 32)
+            builder.block(
+                thread_id,
+                critical_section(
+                    builder,
+                    locks[victim],
+                    [read(base, idx_site), write(base, idx_site)],
+                    acq,
+                    rel,
+                ),
+            )
+
+
 #: (name, emitter) pairs — name order is the deterministic choice domain.
 PATTERN_MENU = (
     ("counters", _menu_counters),
@@ -301,6 +379,14 @@ PATTERN_MENU = (
     ("benign", _menu_benign),
     ("producer-consumer", _menu_producer_consumer),
     ("nested-locks", _menu_nested),
+)
+
+#: Server-shaped additions, appended to the menu only when
+#: :attr:`FuzzSpec.server_patterns` is set (see that field's determinism
+#: note).
+SERVER_PATTERN_MENU = (
+    ("rwlock", _emit_rwlock_reads),
+    ("work-steal", _emit_work_steal),
 )
 
 
@@ -346,12 +432,13 @@ def generate_program(
         else None
     )
 
+    menu = PATTERN_MENU + (SERVER_PATTERN_MENU if spec.server_patterns else ())
     for phase in range(num_phases):
         tag = f"p{phase}"
         count = rng.randint(spec.min_patterns_per_phase, spec.max_patterns_per_phase)
-        picks = rng.sample(range(len(PATTERN_MENU)), min(count, len(PATTERN_MENU)))
+        picks = rng.sample(range(len(menu)), min(count, len(menu)))
         for pick in picks:
-            _, emitter = PATTERN_MENU[pick]
+            _, emitter = menu[pick]
             emitter(builder, rng, tag, spec.scale)
         if phase == wrong_lock_phase:
             _emit_wrong_lock(builder, rng, tag, spec.scale)

@@ -27,6 +27,10 @@ Two benchmarks cover the engine's hot paths:
 * ``pipeline`` — one full observed :func:`~repro.harness.pipeline.run_pipeline`
   (build → interleave → characterize → detect), phases straight from its
   :class:`~repro.obs.profile.PhaseProfiler`.
+* ``scaling`` — the many-core study: one trace re-detected at every
+  (core count × coherence fabric) coordinate, one timed phase per
+  coordinate, with the broadcast-vs-directory traffic estimates in
+  ``extras["grid"]``.
 
 All accept ``--app``/``--detectors`` overrides so CI can run the full
 water-nsquared cell while tests use a seconds-scale workload.
@@ -62,8 +66,12 @@ DEFAULT_ENGINE_DETECTORS = (
 )
 DEFAULT_PIPELINE_APP = "raytrace"
 
+#: The scaling benchmark's default workload: server-shaped, 8 threads, so
+#: growing the core count actually changes thread placement.
+DEFAULT_SCALING_APP = "webserver"
+
 #: Names ``run_benchmark`` accepts.
-BENCHMARKS = ("engine", "engine_sharded", "pipeline")
+BENCHMARKS = ("engine", "engine_sharded", "pipeline", "scaling")
 
 
 def _coerce_configs(detectors) -> list[DetectorConfig]:
@@ -207,6 +215,85 @@ def _bench_pipeline(
     return result
 
 
+def _bench_scaling(
+    *,
+    app: str,
+    detectors,
+    rounds: int,
+    workload_seed: int,
+    schedule_seed: int,
+    engine_path: str,
+    log: Callable[[str], None] | None,
+) -> BenchResult:
+    """Detect-phase timings across the (core count x fabric) machine grid.
+
+    One trace, one detector configuration per (cores, fabric) coordinate;
+    each coordinate is its own timed phase (``detect_<fabric>_c<cores>``),
+    so ``compare_bench`` flags a regression on *any* machine shape — e.g.
+    a sharer-walk that goes quadratic at 64 cores.  ``extras["grid"]``
+    records each coordinate's simulated cycles and the
+    broadcast-vs-directory control-traffic estimate (the
+    ``BENCH_scaling.json`` numbers behind the scaling exhibit).
+    """
+    from repro.common.config import COHERENCE_KINDS, SCALING_CORE_COUNTS
+    from repro.harness.tables import control_traffic
+
+    configs = _coerce_configs(detectors)
+    detector = configs[0].key
+    coords = [
+        (cores, fabric)
+        for cores in SCALING_CORE_COUNTS
+        for fabric in COHERENCE_KINDS
+    ]
+    perf = time.perf_counter
+
+    program = build_workload(app, seed=workload_seed)
+    scheduler = RandomScheduler(seed=schedule_seed, max_burst=8)
+    trace = interleave(program, scheduler).trace
+
+    phase_rounds: dict[str, list[float]] = {}
+    grid: dict[str, dict] = {}
+    for index in range(rounds):
+        for cores, fabric in coords:
+            config = DetectorConfig(
+                key=detector,
+                num_cores=None if cores == 4 else cores,
+                coherence=None if fabric == "snoopy" else fabric,
+            )
+            session = EngineSession(trace, path=engine_path)
+            session.add_config(config)
+            t0 = perf()
+            [result] = session.run()
+            elapsed = perf() - t0
+            phase = f"detect_{fabric}_c{cores}"
+            phase_rounds.setdefault(phase, []).append(elapsed)
+            if index == 0:
+                stats = result.stats.snapshot()
+                cell = control_traffic(stats, cores, fabric)
+                cell["cycles"] = result.cycles
+                cell["detector_extra_cycles"] = result.detector_extra_cycles
+                grid[phase] = cell
+        if log is not None:
+            total = sum(times[index] for times in phase_rounds.values())
+            log(f"round {index + 1}/{rounds}: {total:.3f}s over {len(coords)} cells")
+
+    result = BenchResult(name="scaling", rounds=rounds)
+    for phase, times in phase_rounds.items():
+        result.add_phase(phase, times)
+    result.extras = {
+        "app": app,
+        "detector": detector,
+        "trace_events": len(trace),
+        "workload_seed": workload_seed,
+        "schedule_seed": schedule_seed,
+        "engine_path": engine_path,
+        "core_counts": list(SCALING_CORE_COUNTS),
+        "fabrics": list(COHERENCE_KINDS),
+        "grid": grid,
+    }
+    return result
+
+
 def run_benchmark(
     name: str,
     *,
@@ -261,6 +348,16 @@ def run_benchmark(
                 engine_jobs if engine_jobs is not None else default_jobs()
             ),
             name="engine_sharded",
+            log=log,
+        )
+    if name == "scaling":
+        return _bench_scaling(
+            app=app or DEFAULT_SCALING_APP,
+            detectors=detectors or ("hard-default",),
+            rounds=rounds,
+            workload_seed=workload_seed,
+            schedule_seed=schedule_seed,
+            engine_path=engine_path,
             log=log,
         )
     if name == "pipeline":

@@ -81,6 +81,8 @@ class DetectorConfig:
     barrier_reset: bool = True
     broadcast_updates: bool = True
     use_counter_register: bool = True
+    num_cores: int | None = None
+    coherence: str | None = None
 
     def overrides(self) -> dict[str, object]:
         """The non-default knobs as ``make_detector`` keyword arguments."""
@@ -115,21 +117,40 @@ class DetectorConfig:
         return cls(key=config, **kwargs)
 
 
+def _machine_config(cfg: DetectorConfig) -> MachineConfig:
+    """The simulated machine a cache-resident detector runs on.
+
+    ``num_cores`` and ``coherence`` are the PR-10 scale-out axes: folding
+    them here means every machine-backed detector (and therefore the tape
+    recorder, whose cache key is the machine config's repr) sees them
+    uniformly, and leaving them ``None`` reproduces the Table 1 platform
+    byte for byte.
+    """
+    machine = MachineConfig()
+    if cfg.num_cores is not None or cfg.coherence is not None:
+        machine = machine.with_cores(
+            cfg.num_cores if cfg.num_cores is not None else machine.num_cores,
+            cfg.coherence,
+        )
+    if cfg.l2_size is not None:
+        machine = machine.with_l2_size(cfg.l2_size)
+    return machine
+
+
 def make_detector(
     config: DetectorConfig | str = "hard-default", **overrides: object
 ) -> Detector:
     """Build a detector from a :class:`DetectorConfig` (or key + overrides).
 
     Knobs apply where meaningful: ``granularity`` to every detector,
-    ``l2_size`` to the cache-resident (default) ones, ``vector_bits`` and
-    the ablation switches to HARD only.
+    ``l2_size``, ``num_cores`` and ``coherence`` to the cache-resident
+    (machine-backed) ones, ``vector_bits`` and the ablation switches to
+    HARD only.
     """
     cfg = DetectorConfig.coerce(config, **overrides)
     key = cfg.key
     if key in ("hard-default", "hard-directory"):
-        machine = MachineConfig()
-        if cfg.l2_size is not None:
-            machine = machine.with_l2_size(cfg.l2_size)
+        machine = _machine_config(cfg)
         hard = HardConfig(
             barrier_reset=cfg.barrier_reset,
             broadcast_updates=cfg.broadcast_updates,
@@ -149,9 +170,7 @@ def make_detector(
             name=key,
         )
     if key == "hb-default":
-        machine = MachineConfig()
-        if cfg.l2_size is not None:
-            machine = machine.with_l2_size(cfg.l2_size)
+        machine = _machine_config(cfg)
         hb = HappensBeforeConfig()
         if cfg.granularity is not None:
             hb = hb.with_granularity(cfg.granularity)
@@ -175,9 +194,7 @@ def make_detector(
             name=key,
         )
     if key == "software":
-        machine = MachineConfig()
-        if cfg.l2_size is not None:
-            machine = machine.with_l2_size(cfg.l2_size)
+        machine = _machine_config(cfg)
         return SoftwareLocksetDetector(
             machine,
             granularity=cfg.granularity or 4,

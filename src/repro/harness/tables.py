@@ -18,12 +18,19 @@ stays byte-for-byte what a serial run produces.
 
 from __future__ import annotations
 
-from repro.common.config import KB, MB, PAPER_BLOOM_SIZES, PAPER_L2_SIZES
+from repro.common.config import (
+    COHERENCE_KINDS,
+    KB,
+    MB,
+    PAPER_BLOOM_SIZES,
+    PAPER_L2_SIZES,
+    SCALING_CORE_COUNTS,
+)
 from repro.harness.detectors import DetectorConfig, PAPER_DETECTORS
 from repro.harness.experiment import CLEAN_RUN, ExperimentRunner
 from repro.harness.parallel import GridCell
 from repro.obs.runreport import overhead_entry
-from repro.workloads.registry import WORKLOAD_NAMES
+from repro.workloads.registry import SERVER_WORKLOADS, WORKLOAD_NAMES
 
 #: Paper's Table 2 values, for side-by-side rendering:
 #: app -> (hard_def_bugs, hard_def_fa, hard_ideal_bugs, hard_ideal_fa,
@@ -387,6 +394,162 @@ def hybrids(runner: ExperimentRunner, apps=WORKLOAD_NAMES) -> dict:
             }
         data[app] = row
     return data
+
+
+#: Default application set of the scaling exhibit: two paper apps for
+#: continuity plus the server-shaped many-core workloads.
+SCALING_APPS = ("barnes", "ocean") + SERVER_WORKLOADS
+
+#: Snooped address-phase bytes per bus transaction (the broadcast traffic
+#: model's per-snooper cost: a 64-bit address/command packet).
+SNOOP_ADDRESS_BYTES = 8
+
+
+def _scaling_config(
+    key: str, cores: int, fabric: str
+) -> DetectorConfig:
+    """One scaling cell's configuration (defaults map to None so cells that
+    coincide with the default 4-core snoopy machine reuse its caches)."""
+    return DetectorConfig(
+        key=key,
+        num_cores=None if cores == 4 else cores,
+        coherence=None if fabric == "snoopy" else fabric,
+    )
+
+
+def scaling_cells(
+    apps=SCALING_APPS,
+    core_counts=SCALING_CORE_COUNTS,
+    fabrics=COHERENCE_KINDS,
+    detector: str = "hard-default",
+) -> list[GridCell]:
+    """The scaling grid: race-free runs over (app x cores x fabric)."""
+    return [
+        GridCell(app, CLEAN_RUN, _scaling_config(detector, cores, fabric))
+        for app in apps
+        for cores in core_counts
+        for fabric in fabrics
+    ]
+
+
+def control_traffic(stats: dict, cores: int, fabric: str) -> dict:
+    """Estimated control-message bytes of one run under one fabric.
+
+    The two fabrics move the *same* data bytes (fills, writebacks,
+    cache-to-cache transfers are identical decisions); what scales
+    differently is the control plane:
+
+    * **snoopy** — every bus transaction's address phase is observed by
+      all ``cores - 1`` other snoopers, and metadata publications are
+      broadcast to everyone: ``(address_bytes * transactions +
+      metadata_bytes) * (cores - 1)``.
+    * **directory** — control is explicit point-to-point messages
+      (home-node lookups, exact-sharer invalidations, owner forwards,
+      metadata updates), already byte-counted by the fabric in
+      ``dir.bytes.control``; metadata travels once to the home node.
+
+    The crossover of these two curves as ``cores`` grows is the exhibit's
+    payoff: broadcast traffic scales with the core count, directory
+    traffic with the *sharing degree*.
+    """
+    transactions = sum(
+        count
+        for key, count in stats.items()
+        if key.startswith("bus.transactions.")
+    )
+    metadata_bytes = stats.get("bus.bytes.metadata", 0)
+    if fabric == "snoopy":
+        control = (SNOOP_ADDRESS_BYTES * transactions + metadata_bytes) * (
+            cores - 1
+        )
+        messages = transactions
+    else:
+        control = stats.get("dir.bytes.control", 0) + metadata_bytes
+        messages = sum(
+            count
+            for key, count in stats.items()
+            if key.startswith("dir.messages.")
+        )
+    return {
+        "bus_transactions": transactions,
+        "metadata_bytes": metadata_bytes,
+        "control_messages": messages,
+        "control_bytes": control,
+    }
+
+
+def scaling(
+    runner: ExperimentRunner,
+    apps=SCALING_APPS,
+    core_counts=SCALING_CORE_COUNTS,
+    fabrics=COHERENCE_KINDS,
+    detector: str = "hard-default",
+) -> dict:
+    """Broadcast-vs-directory traffic as the machine grows (the PR 10 study).
+
+    For every (app, core count, fabric) cell, replay the race-free run on
+    the parameterized machine and record simulated cycles, alarms, and the
+    control-traffic estimate of :func:`control_traffic`.  Unlike the
+    table exhibits this one needs the *stat counters* of each run (which
+    :class:`RunOutcome` does not carry), so it evaluates one
+    :class:`~repro.engine.EngineSession` per application directly over the
+    runner's memoised trace — all (cores x fabric) configurations share
+    the single trace walk.
+    """
+    from repro.engine import EngineSession
+
+    data: dict[str, dict] = {}
+    coords = [(cores, fabric) for cores in core_counts for fabric in fabrics]
+    for app in apps:
+        trace = runner.trace_for(app, CLEAN_RUN)
+        session = EngineSession(
+            trace,
+            path=runner.engine_path,
+            jobs=runner.engine_jobs,
+            tape_cache=runner.tape_cache,
+        )
+        for cores, fabric in coords:
+            session.add_config(_scaling_config(detector, cores, fabric))
+        with runner.metrics.time("harness.detect"):
+            results = session.run()
+        row: dict[str, dict] = {}
+        for (cores, fabric), result in zip(coords, results):
+            stats = result.stats.snapshot()
+            cell = control_traffic(stats, cores, fabric)
+            cell["cycles"] = result.cycles
+            cell["detector_extra_cycles"] = result.detector_extra_cycles
+            cell["alarms"] = result.reports.alarm_count
+            row.setdefault(str(cores), {})[fabric] = cell
+        data[app] = row
+    return data
+
+
+def render_scaling(data: dict) -> str:
+    """Format the scaling study: per-core-count traffic, both fabrics."""
+    lines = [
+        "Scaling: control traffic (KB) and cycles, snoopy vs directory",
+        f"{'Application':<14}{'cores':>6}{'snoop KB':>10}{'dir KB':>10}"
+        f"{'ratio':>7}{'winner':>11}{'snoop cyc':>12}{'dir cyc':>12}",
+    ]
+    for app, row in data.items():
+        for cores, cells in row.items():
+            snoop = cells["snoopy"]
+            direct = cells["directory"]
+            snoop_kb = snoop["control_bytes"] / KB
+            dir_kb = direct["control_bytes"] / KB
+            ratio = snoop_kb / dir_kb if dir_kb else float("inf")
+            winner = "directory" if dir_kb < snoop_kb else "snoopy"
+            lines.append(
+                f"{app:<14}{cores:>6}{snoop_kb:>10.1f}{dir_kb:>10.1f}"
+                f"{ratio:>7.2f}{winner:>11}{snoop['cycles']:>12}"
+                f"{direct['cycles']:>12}"
+            )
+    lines.append(
+        "model: snoopy control = (8 B address phase x transactions + "
+        "metadata) x (cores - 1); directory control = counted "
+        "point-to-point messages + metadata"
+    )
+    return "\n".join(lines)
 
 
 def render_hybrids(data: dict, runs: int = 10) -> str:

@@ -1,7 +1,8 @@
 """Functional CMP memory-hierarchy simulator (the paper's SESC substitute)."""
 
-from repro.sim.bus import Bus
+from repro.sim.bus import Bus, MetaCostModel
 from repro.sim.cache import MESI, Cache, CacheLine, Victim
+from repro.sim.fabric import DirectoryFabric, SnoopyBus, make_fabric, meta_cost_model
 from repro.sim.coherence import (
     AccessResult,
     EvictionRecord,
@@ -15,6 +16,11 @@ from repro.sim.metadata import L2_HOLDER, CacheMetadataStore
 
 __all__ = [
     "Bus",
+    "SnoopyBus",
+    "DirectoryFabric",
+    "MetaCostModel",
+    "make_fabric",
+    "meta_cost_model",
     "MESI",
     "Cache",
     "CacheLine",

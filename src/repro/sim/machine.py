@@ -1,8 +1,12 @@
-"""The simulated CMP: private L1s, inclusive shared L2, MESI snoopy bus.
+"""The simulated CMP: private L1s, inclusive shared L2, a coherence fabric.
 
 The :class:`Machine` satisfies program-level memory accesses one cache line
 at a time, maintains MESI coherence among the per-core L1s with an inclusive
 shared L2 behind them, charges latency cycles (Table 1 parameters), and
+routes every coherence decision through the configured fabric — the
+paper's snoopy broadcast bus by default, or the Section 3.4 directory
+(:mod:`repro.sim.fabric`) when ``MachineConfig.coherence = "directory"`` —
+at any power-of-two core count.  It also
 notifies registered :class:`~repro.sim.coherence.MachineListener` objects of
 every metadata-relevant event: fills (with their data source), writebacks,
 evictions, invalidations, and L2 displacements.
@@ -21,8 +25,8 @@ from repro.common.addresses import spanned_lines
 from repro.common.config import MachineConfig
 from repro.common.errors import CoherenceError, SimulationError
 from repro.common.stats import StatCounters
-from repro.sim.bus import Bus
 from repro.sim.cache import MESI, Cache, Victim
+from repro.sim.fabric import make_fabric
 from repro.sim.coherence import (
     AccessResult,
     EvictionRecord,
@@ -41,7 +45,7 @@ _ACCESS_STAT = {
 
 
 class Machine:
-    """A functional model of the paper's 4-core CMP memory system."""
+    """A functional model of the paper's CMP memory system (4..N cores)."""
 
     def __init__(self, config: MachineConfig | None = None, obs=None):
         self.config = config or MachineConfig()
@@ -55,7 +59,7 @@ class Machine:
             for core in range(self.config.num_cores)
         ]
         self.l2 = Cache(self.config.l2, name="L2", emitter=emitter)
-        self.bus = Bus(self.config.bus, emitter=emitter)
+        self.bus = make_fabric(self.config, emitter=emitter)
         self.stats = StatCounters()
         self.evictions = EvictionRecord()
         self._listeners: list[MachineListener] = []
@@ -64,6 +68,10 @@ class Machine:
         # lockstep with the L1 contents; profiling showed deriving this by
         # probing every L1 per access dominated simulation time.
         self._holders: dict[int, set[int]] = {}
+        # thread id -> placed core, filled lazily on first sighting so the
+        # placement counters reflect the threads that actually ran.
+        self._thread_cores: dict[int, int] = {}
+        self._occupied_cores: set[int] = set()
 
     # -------------------------------------------------------------- listeners
 
@@ -123,8 +131,27 @@ class Machine:
                 del self._holders[line_addr]
 
     def core_for_thread(self, thread_id: int) -> int:
-        """Static thread→core placement (round-robin, as in a 4-thread run)."""
-        return thread_id % self.config.num_cores
+        """Thread→core placement under the configured policy.
+
+        Delegates the mapping itself to
+        :meth:`~repro.common.config.MachineConfig.core_of` (the single
+        source of truth shared with the tape recorder and the batch
+        kernels) and counts placements: ``machine.threads.placed`` ticks
+        once per distinct thread, ``machine.cores.oversubscribed`` once
+        per thread that lands on an already-occupied core — so a 64-core
+        run with 8 threads, or an 8-thread run folded onto 4 cores, is
+        visible in the counters instead of silent.
+        """
+        core = self._thread_cores.get(thread_id)
+        if core is None:
+            core = self.config.core_of(thread_id)
+            self._thread_cores[thread_id] = core
+            self.stats.add("machine.threads.placed")
+            if core in self._occupied_cores:
+                self.stats.add("machine.cores.oversubscribed")
+            else:
+                self._occupied_cores.add(core)
+        return core
 
     # ------------------------------------------------------------ access path
 
@@ -171,14 +198,19 @@ class Machine:
         invalidated: tuple[int, ...] = ()
         if is_write:
             if state is MESI.SHARED:
-                # Bus upgrade: invalidate the other Shared copies.
+                # Bus upgrade: invalidate the other Shared copies.  The
+                # fabric hooks charge the directory's indirection (home
+                # lookup + exact-sharer invalidations); on the snoopy bus
+                # they are free — the address phase above was the broadcast.
                 cycles += self.bus.address_only("upgrade")
+                cycles += self.bus.home_lookup("upgrade")
                 victims = self.sharers(line_addr, excluding=core)
                 for other in victims:
                     self.l1s[other].set_state(line_addr, MESI.INVALID)
                     self._track_drop(other, line_addr)
                     self.evictions.invalidations += 1
                     self._emit("on_invalidate", other, line_addr)
+                cycles += self.bus.sharer_invalidations(len(victims))
                 invalidated = tuple(victims)
                 upgraded = True
                 l1.set_state(line_addr, MESI.MODIFIED)
@@ -210,7 +242,9 @@ class Machine:
             self._track_drop(core, l1_victim.line_addr)
             self._retire_l1_line(core, l1_victim)
 
-        # 2. Snoop the other L1s.
+        # 2. Locate the line: snoop the other L1s (free on the bus) or ask
+        #    the home node (charged by the directory fabric).
+        cycles += self.bus.home_lookup("miss")
         holders = self.sharers(line_addr, excluding=core)
         owner = self._owner_among(holders, line_addr)
         invalidated: list[int] = []
@@ -224,6 +258,7 @@ class Machine:
             # Cache-to-cache transfer from the Modified/Exclusive holder.
             hit_level = "c2c"
             source = FillSource.from_core(owner)
+            cycles += self.bus.owner_forward()
             owner_line = self.l1s[owner].lookup(line_addr)
             assert owner_line is not None
             if owner_line.state is MESI.MODIFIED:
@@ -239,6 +274,7 @@ class Machine:
                 self.evictions.invalidations += 1
                 deferred_invalidations.append(owner)
                 invalidated.append(owner)
+                cycles += self.bus.sharer_invalidations(1)
             else:
                 self.l1s[owner].set_state(line_addr, MESI.SHARED)
         elif holders:
@@ -254,6 +290,7 @@ class Machine:
                     self.evictions.invalidations += 1
                     deferred_invalidations.append(other)
                     invalidated.append(other)
+                cycles += self.bus.sharer_invalidations(len(holders))
         elif self.l2.contains(line_addr):
             hit_level = "l2"
             source = FillSource.l2()
@@ -320,6 +357,7 @@ class Machine:
             return None
         # Back-invalidate every L1 copy of the victim (inclusion).
         victim_dirty = victim.dirty
+        back_invalidated = 0
         for other, l1 in enumerate(self.l1s):
             line = l1.lookup(victim.line_addr)
             if line is None:
@@ -331,7 +369,9 @@ class Machine:
             l1.set_state(victim.line_addr, MESI.INVALID)
             self._track_drop(other, victim.line_addr)
             self.evictions.back_invalidations += 1
+            back_invalidated += 1
             self._emit("on_invalidate", other, victim.line_addr)
+        self.bus.sharer_invalidations(back_invalidated)
         if victim_dirty:
             self.bus.line_transfer(self.config.line_size, "mem_writeback")
             self.evictions.l2_writebacks_to_memory += 1

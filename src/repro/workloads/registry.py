@@ -6,7 +6,7 @@ from typing import Callable
 
 from repro.common.errors import HarnessError
 from repro.threads.program import ParallelProgram
-from repro.workloads import barnes, cholesky, fmm, ocean, radix, raytrace, water
+from repro.workloads import barnes, cholesky, fmm, ocean, radix, raytrace, server, water
 
 #: Builders for the six lock-based SPLASH-2 applications of Section 4.
 _BUILDERS: dict[str, Callable[..., ParallelProgram]] = {
@@ -18,10 +18,23 @@ _BUILDERS: dict[str, Callable[..., ParallelProgram]] = {
     "raytrace": raytrace.build,
     # Extras outside the paper's Table 2 matrix:
     "radix": radix.build,
+    # Server-shaped many-core workloads (the scaling study's universe):
+    "webserver": server.build_webserver,
+    "workqueue": server.build_workqueue,
+    "rwlock-cache": server.build_rwlock_cache,
+    "bus-stress": server.build_bus_stress,
 }
 
+#: Server-shaped workloads for the many-core scaling study.
+SERVER_WORKLOADS: tuple[str, ...] = (
+    "webserver",
+    "workqueue",
+    "rwlock-cache",
+    "bus-stress",
+)
+
 #: Extra workloads outside the paper's evaluation matrix.
-EXTRA_WORKLOADS: tuple[str, ...] = ("radix",)
+EXTRA_WORKLOADS: tuple[str, ...] = ("radix",) + SERVER_WORKLOADS
 
 #: The application names, in the paper's table order.
 WORKLOAD_NAMES: tuple[str, ...] = (
@@ -53,8 +66,8 @@ def build_workload(name: str, seed: object = 0, params: object = None) -> Parall
     builder = _BUILDERS.get(name)
     if builder is None:
         raise HarnessError(
-            f"unknown workload {name!r}; known: {', '.join(WORKLOAD_NAMES)} "
-            "(or fuzz:<n>)"
+            f"unknown workload {name!r}; known: "
+            f"{', '.join(WORKLOAD_NAMES + EXTRA_WORKLOADS)} (or fuzz:<n>)"
         )
     if params is None:
         return builder(seed)

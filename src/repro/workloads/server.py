@@ -1,0 +1,418 @@
+"""Server-shaped workload universe: the many-core scaling companions.
+
+The paper's six SPLASH-2 signatures are scientific kernels: barrier-phased,
+a handful of threads, arrays swept in bands.  The machines HARD argues for
+— production servers monitored in the field (HardRace's motivation in
+PAPERS.md) — run a different shape: request-handling thread pools, work
+stealing, reader-writer locks, condition variables, and far more threads
+than the paper's 4-core CMP has cores.  These four generators reproduce
+those synchronization signatures with the same pattern library the
+SPLASH-2 modules use, so every detector, engine path and fabric sees them
+through the exact machinery of the paper workloads:
+
+* :func:`build_webserver` — a request-handling pool: an accept lock feeds
+  requests to workers, each session carries its own lock (injectable), a
+  shared statistics record is updated under a stats lock, and completed
+  responses hand off to a logger thread through an ordering-protected
+  queue (the Figure 1 shape at server scale).
+* :func:`build_workqueue` — a work-stealing deque per worker: owners push
+  and pop under their own deque lock, thieves take the *victim's* lock to
+  steal, and task records migrate from victim to thief — the migratory
+  pattern that loses L2-resident metadata on big footprints.
+* :func:`build_rwlock_cache` — a reader-writer lock emulated with a mutex
+  plus reader count (readers read the cache outside the mutex — correct by
+  protocol, invisible to lockset), and a condition-variable hand-off
+  (producer fills, signals under the mutex; consumers poll the flag under
+  the mutex, then read lock-free).  Both are Section 5.1 "hand-crafted
+  synchronization" shapes as servers actually write them.
+* :func:`build_bus_stress` — the coherence-fabric stressor: a few fiercely
+  contended locked counters, per-thread slots false-shared into hot lines,
+  and a read-mostly configuration block everyone re-reads between writes —
+  maximum upgrade/invalidation ping-pong per program event.  This is the
+  workload that separates broadcast from directory traffic in the scaling
+  exhibit.
+
+All four default to **8 threads** — deliberately more than the default
+4-core machine (the placement counters show the folding) and fewer than
+the 64-core sweep point (idle cores, also counted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.events import read, write
+from repro.threads.program import ParallelProgram
+from repro.workloads.base import (
+    STAGE_LATE,
+    STAGE_MAIN,
+    WorkloadBuilder,
+    benign_counters,
+    critical_section,
+    cs_sites,
+    false_sharing_private,
+    locked_counters,
+    producer_consumer,
+    read_shared_table,
+    streaming_private,
+)
+
+# --------------------------------------------------------------------------
+# webserver: request-handling thread pool with per-session locks
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WebServerParams:
+    """Size knobs for the request-handling pool."""
+
+    num_threads: int = 8
+    num_sessions: int = 16
+    requests_per_thread: int = 30
+    session_words: int = 3
+    log_tasks: int = 24
+    stream_lines_per_thread: int = 120
+
+
+def build_webserver(
+    seed: object = 0, params: WebServerParams | None = None
+) -> ParallelProgram:
+    """Build one webserver instance (deterministic in ``seed``)."""
+    p = params or WebServerParams()
+    b = WorkloadBuilder("webserver", num_threads=p.num_threads, seed=seed)
+
+    accept_lock = b.new_lock("accept")
+    accept_state = b.region("accept.state", 32)
+    accept_site = b.site("accept.queue")
+    accept_acq, accept_rel = cs_sites(b, "accept")
+
+    session_locks = [b.new_lock(f"session{s}") for s in range(p.num_sessions)]
+    sessions = b.region("sessions", p.num_sessions * 32)
+    sess_read = b.site("session.read")
+    sess_write = b.site("session.write")
+    # Per-session critical sections are the injection surface: dropping one
+    # lock instance races that session's record, exactly like a handler
+    # that forgot its session mutex.
+    sess_acq, sess_rel = cs_sites(b, "session.handle", injectable=True)
+
+    for thread_id in range(b.num_threads):
+        rng = b.rng_for(f"webserver.t{thread_id}")
+        for _ in range(p.requests_per_thread):
+            # Accept: pop a connection off the shared queue head.
+            ops = critical_section(
+                b,
+                accept_lock,
+                [
+                    read(accept_state.base, accept_site),
+                    write(accept_state.base, accept_site),
+                ],
+                accept_acq,
+                accept_rel,
+            )
+            # Handle: mutate the picked session under its own lock.
+            session = rng.randrange(p.num_sessions)
+            base = sessions.at(session * 32)
+            body = []
+            for word in range(p.session_words):
+                body.append(read(base + 4 * word, sess_read))
+                body.append(write(base + 4 * word, sess_write))
+            ops += critical_section(
+                b, session_locks[session], body, sess_acq, sess_rel
+            )
+            b.block(thread_id, ops, stage=STAGE_MAIN)
+
+    # Shared server statistics: hot, properly locked, injectable.
+    locked_counters(
+        b,
+        label="stats",
+        num_counters=2,
+        updates_per_thread=10,
+        body_words=2,
+    )
+    # Response → access-log hand-off: ordering-protected payloads (the
+    # Figure 1 shape — lockset alarms, happens-before mostly silent).
+    producer_consumer(
+        b, label="accesslog", num_tasks=p.log_tasks, payload_words=2
+    )
+    # Dropped-request tallies updated without locks on purpose.
+    benign_counters(b, label="dropped", num_counters=2, updates_per_thread=4)
+    # Per-request scratch buffers: cache pressure, no sharing.
+    streaming_private(
+        b, label="scratch", lines_per_thread=p.stream_lines_per_thread
+    )
+    b.end_phase(with_barrier=False)
+    return b.build()
+
+
+# --------------------------------------------------------------------------
+# workqueue: work-stealing deques
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkQueueParams:
+    """Size knobs for the work-stealing pool."""
+
+    num_threads: int = 8
+    ops_per_thread: int = 40
+    steal_percent: int = 25
+    task_lines: int = 4
+    stream_lines_per_thread: int = 100
+
+
+def build_workqueue(
+    seed: object = 0, params: WorkQueueParams | None = None
+) -> ParallelProgram:
+    """Build one work-stealing instance (deterministic in ``seed``)."""
+    p = params or WorkQueueParams()
+    b = WorkloadBuilder("workqueue", num_threads=p.num_threads, seed=seed)
+
+    deque_locks = [b.new_lock(f"deque{t}") for t in range(p.num_threads)]
+    # Each deque: one line of top/bottom indices + task slots.
+    deques = b.region("deques", p.num_threads * 32)
+    task_pool = b.region("tasks", p.num_threads * p.task_lines * 32)
+    idx_site = b.site("deque.index")
+    slot_site = b.site("deque.slot")
+    task_read = b.site("task.read")
+    task_write = b.site("task.write")
+    # The owner's push/pop sections are injectable: losing the deque lock
+    # races the indices against a concurrent thief — the classic
+    # work-stealing bug.
+    own_acq, own_rel = cs_sites(b, "deque.own", injectable=True)
+    steal_acq, steal_rel = cs_sites(b, "deque.steal")
+
+    for thread_id in range(b.num_threads):
+        rng = b.rng_for(f"workqueue.t{thread_id}")
+        own_base = deques.at(thread_id * 32)
+        for _ in range(p.ops_per_thread):
+            stealing = rng.randrange(100) < p.steal_percent
+            victim = thread_id
+            if stealing:
+                victim = rng.randrange(p.num_threads - 1)
+                if victim >= thread_id:
+                    victim += 1
+            task_index = rng.randrange(p.task_lines)
+            task_addr = task_pool.at((victim * p.task_lines + task_index) * 32)
+            if stealing:
+                # Thief: take the *victim's* lock, read its top index and
+                # slot, then run the stolen task — the task record migrates
+                # from the victim's cache to the thief's.
+                victim_base = deques.at(victim * 32)
+                ops = critical_section(
+                    b,
+                    deque_locks[victim],
+                    [
+                        read(victim_base, idx_site),
+                        write(victim_base, idx_site),
+                        read(victim_base + 8, slot_site),
+                    ],
+                    steal_acq,
+                    steal_rel,
+                )
+            else:
+                # Owner: push or pop at the bottom under its own lock.
+                ops = critical_section(
+                    b,
+                    deque_locks[thread_id],
+                    [
+                        read(own_base + 4, idx_site),
+                        write(own_base + 4, idx_site),
+                        write(own_base + 8, slot_site),
+                    ],
+                    own_acq,
+                    own_rel,
+                )
+            # Run the task: mutate its record under the owning deque's lock
+            # (the stealing protocol's discipline: whoever holds the deque
+            # lock owns the popped task).
+            ops += critical_section(
+                b,
+                deque_locks[victim],
+                [read(task_addr, task_read), write(task_addr, task_write)],
+                own_acq if not stealing else steal_acq,
+                own_rel if not stealing else steal_rel,
+            )
+            b.block(thread_id, ops, stage=STAGE_MAIN)
+
+    streaming_private(
+        b, label="locals", lines_per_thread=p.stream_lines_per_thread
+    )
+    b.end_phase(with_barrier=False)
+    return b.build()
+
+
+# --------------------------------------------------------------------------
+# rwlock-cache: reader-writer lock + condition variable, hand-emulated
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RwlockCacheParams:
+    """Size knobs for the rwlock/condvar cache."""
+
+    num_threads: int = 8
+    cache_lines: int = 8
+    reads_per_thread: int = 25
+    writer_rounds: int = 6
+    condvar_handoffs: int = 8
+
+
+def build_rwlock_cache(
+    seed: object = 0, params: RwlockCacheParams | None = None
+) -> ParallelProgram:
+    """Build one rwlock-cache instance (deterministic in ``seed``)."""
+    p = params or RwlockCacheParams()
+    b = WorkloadBuilder("rwlock-cache", num_threads=p.num_threads, seed=seed)
+
+    rw_mutex = b.new_lock("rw.mutex")
+    reader_count = b.region("rw.count", 32)
+    cache = b.region("cache", p.cache_lines * 32)
+    count_site = b.site("rw.count")
+    cache_read = b.site("cache.read")
+    cache_write = b.site("cache.write")
+    rd_acq, rd_rel = cs_sites(b, "rw.reader")
+    # The writer's mutex section is the injection target: dropping it races
+    # the cache fills against the counted readers for real.
+    wr_acq, wr_rel = cs_sites(b, "rw.writer", injectable=True)
+
+    # Thread 0 is the writer; everyone else reads through the emulated
+    # rwlock: bump the reader count under the mutex, read the cache
+    # *outside* it, drop the count under the mutex again.  Correct by
+    # protocol (the writer only writes while the count is zero and the
+    # mutex is held), but the cache reads run with an empty lock set —
+    # lockset-family alarms that happens-before resolves through the
+    # mutex's release/acquire chain.
+    for thread_id in range(1, b.num_threads):
+        rng = b.rng_for(f"rwlock.reader{thread_id}")
+        for _ in range(p.reads_per_thread):
+            line = rng.randrange(p.cache_lines)
+            ops = critical_section(
+                b,
+                rw_mutex,
+                [read(reader_count.base, count_site), write(reader_count.base, count_site)],
+                rd_acq,
+                rd_rel,
+            )
+            ops.append(read(cache.at(line * 32), cache_read))
+            ops += critical_section(
+                b,
+                rw_mutex,
+                [read(reader_count.base, count_site), write(reader_count.base, count_site)],
+                rd_acq,
+                rd_rel,
+            )
+            b.block(thread_id, ops, stage=STAGE_MAIN)
+    for _ in range(p.writer_rounds):
+        ops = critical_section(
+            b,
+            rw_mutex,
+            [read(reader_count.base, count_site)]
+            + [write(cache.at(i * 32), cache_write) for i in range(p.cache_lines)],
+            wr_acq,
+            wr_rel,
+        )
+        b.block(0, ops, stage=STAGE_MAIN)
+
+    # Condition variable: the producer fills a record and raises the
+    # condition flag under the mutex; consumers poll the flag under the
+    # mutex and then read the record lock-free — ordered by the condvar
+    # protocol, invisible to lockset.
+    cv_mutex = b.new_lock("cv.mutex")
+    cv_state = b.region("cv.state", p.condvar_handoffs * 32)
+    flag_site = b.site("cv.flag")
+    fill_site = b.site("cv.fill")
+    drain_site = b.site("cv.drain")
+    cv_acq, cv_rel = cs_sites(b, "cv.wait")
+    for handoff in range(p.condvar_handoffs):
+        base = cv_state.at(handoff * 32)
+        producer = handoff % b.num_threads
+        consumer = (handoff + 1) % b.num_threads
+        fill = [write(base + 4, fill_site), write(base + 8, fill_site)]
+        fill += critical_section(
+            b, cv_mutex, [write(base, flag_site)], cv_acq, cv_rel
+        )
+        drain = critical_section(
+            b, cv_mutex, [read(base, flag_site)], cv_acq, cv_rel
+        )
+        drain += [read(base + 4, drain_site), read(base + 8, drain_site)]
+        b.block(producer, fill, stage=STAGE_LATE, order_group="cv")
+        b.block(consumer, drain, stage=STAGE_LATE, order_group="cv")
+
+    # Warm configuration data behind the cache: write-once read-many.
+    b.end_phase(with_barrier=False)
+    read_shared_table(b, label="config", num_lines=4, reads_per_thread=10)
+    return b.build()
+
+
+# --------------------------------------------------------------------------
+# bus-stress: the coherence-fabric stressor
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BusStressParams:
+    """Size knobs for the fabric stressor."""
+
+    num_threads: int = 8
+    hot_counters: int = 2
+    updates_per_thread: int = 35
+    false_shared_lines: int = 6
+    ping_rounds: int = 10
+    config_reads_per_thread: int = 20
+
+
+def build_bus_stress(
+    seed: object = 0, params: BusStressParams | None = None
+) -> ParallelProgram:
+    """Build one bus-stress instance (deterministic in ``seed``)."""
+    p = params or BusStressParams()
+    b = WorkloadBuilder("bus-stress", num_threads=p.num_threads, seed=seed)
+
+    # A couple of fiercely contended locked counters: every update is an
+    # upgrade + invalidation of all other readers — the broadcast-heavy
+    # shape whose cost the snoopy bus multiplies by the core count.
+    locked_counters(
+        b,
+        label="hot",
+        num_counters=p.hot_counters,
+        updates_per_thread=p.updates_per_thread,
+        body_words=2,
+    )
+    # Per-thread slots packed into shared lines: lock-free ping-pong.
+    false_sharing_private(
+        b,
+        label="pingpong",
+        num_lines=p.false_shared_lines,
+        rounds=p.ping_rounds,
+        threads_per_line=2,
+        site_groups=2,
+    )
+    # A read-mostly configuration line everyone re-reads between writes:
+    # each writer invalidates every reader, each reader refetches.
+    shared_cfg = b.region("sharedcfg", 32)
+    cfg_read = b.site("sharedcfg.read")
+    cfg_write = b.site("sharedcfg.write")
+    cfg_lock = b.new_lock("sharedcfg")
+    cfg_acq, cfg_rel = cs_sites(b, "sharedcfg.update")
+    for thread_id in range(b.num_threads):
+        for round_index in range(p.config_reads_per_thread):
+            if round_index % 5 == 0:
+                b.block(
+                    thread_id,
+                    critical_section(
+                        b,
+                        cfg_lock,
+                        [write(shared_cfg.base, cfg_write)],
+                        cfg_acq,
+                        cfg_rel,
+                    ),
+                    stage=STAGE_MAIN,
+                )
+            else:
+                b.block(
+                    thread_id,
+                    [read(shared_cfg.base, cfg_read)],
+                    stage=STAGE_MAIN,
+                )
+    b.end_phase(with_barrier=False)
+    return b.build()

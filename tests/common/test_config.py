@@ -3,11 +3,14 @@
 import pytest
 
 from repro.common.config import (
+    COHERENCE_KINDS,
     KB,
     MB,
+    SCALING_CORE_COUNTS,
     BloomConfig,
     BusConfig,
     CacheConfig,
+    DirectoryConfig,
     HappensBeforeConfig,
     HardConfig,
     MachineConfig,
@@ -113,3 +116,68 @@ class TestHappensBeforeConfig:
     def test_defaults_and_override(self):
         assert HappensBeforeConfig().granularity == 32
         assert HappensBeforeConfig().with_granularity(8).granularity == 8
+
+
+class TestScaleOutConfig:
+    """The PR-10 many-core axes: core count, fabric, thread placement."""
+
+    def test_every_scaling_core_count_is_valid(self):
+        for cores in SCALING_CORE_COUNTS:
+            for coherence in COHERENCE_KINDS:
+                m = MachineConfig(num_cores=cores, coherence=coherence)
+                assert m.num_cores == cores
+
+    def test_non_power_of_two_core_count_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(num_cores=6)
+        with pytest.raises(ConfigError):
+            MachineConfig(num_cores=0)
+        with pytest.raises(ConfigError):
+            MachineConfig(num_cores=-4)
+
+    def test_unknown_coherence_kind_rejected_with_hint(self):
+        with pytest.raises(ConfigError, match="directory"):
+            MachineConfig(coherence="token")
+
+    def test_unknown_thread_mapping_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(thread_mapping="random")
+
+    def test_pinned_mapping_requires_pins(self):
+        with pytest.raises(ConfigError, match="thread_pins"):
+            MachineConfig(thread_mapping="pinned")
+
+    def test_modulo_mapping_rejects_stray_pins(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(thread_pins=(0, 1))
+
+    def test_pin_outside_core_range_rejected(self):
+        with pytest.raises(ConfigError, match=r"thread_pins\[1\]"):
+            MachineConfig(
+                num_cores=4, thread_mapping="pinned", thread_pins=(0, 4)
+            )
+
+    def test_core_of_modulo(self):
+        m = MachineConfig(num_cores=8)
+        assert [m.core_of(t) for t in (0, 7, 8, 19)] == [0, 7, 0, 3]
+
+    def test_core_of_pinned_with_fallback(self):
+        m = MachineConfig(
+            num_cores=8, thread_mapping="pinned", thread_pins=(5, 5, 2)
+        )
+        assert [m.core_of(t) for t in range(3)] == [5, 5, 2]
+        assert m.core_of(3) == 3  # beyond the map: modulo fallback
+
+    def test_with_cores_scales_and_keeps_fabric(self):
+        base = MachineConfig(coherence="directory")
+        scaled = base.with_cores(64)
+        assert scaled.num_cores == 64
+        assert scaled.coherence == "directory"
+        assert scaled.l2 == base.l2
+        assert base.with_cores(16, "snoopy").coherence == "snoopy"
+
+    def test_directory_config_rejects_nonpositive_timing(self):
+        with pytest.raises(ConfigError):
+            DirectoryConfig(hop_cycles=0)
+        with pytest.raises(ConfigError):
+            DirectoryConfig(lookup_cycles=-1)

@@ -1,0 +1,102 @@
+"""Golden verdict fingerprints at the default 4-core snoopy machine.
+
+The many-core scale-out (PR 10) promised that the default configuration —
+4 cores, snoopy MESI bus — stays *bit-for-bit* identical through the
+coherence-fabric refactor.  These fingerprints were generated from the
+pre-refactor tree and checked in; every detector key over every harness
+workload and every fuzz-corpus exemplar must keep producing exactly the
+same dynamic-report count, alarm count, alarm sites, simulated cycles and
+detector extra cycles.
+
+Regenerate (only when an *intentional* behaviour change lands) with::
+
+    PYTHONPATH=src:. python tests/engine/test_golden_verdicts.py
+
+which rewrites ``golden_verdicts.json`` next to this module.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.engine import EngineSession
+from repro.fuzz.corpus import corpus_paths, load_case
+from repro.harness.detectors import DETECTOR_KEYS, DetectorConfig
+from repro.threads.runtime import interleave
+from repro.threads.scheduler import RandomScheduler
+from repro.workloads.registry import EXTRA_WORKLOADS, WORKLOAD_NAMES, build_workload
+
+GOLDEN_PATH = Path(__file__).parent / "golden_verdicts.json"
+CORPUS_DIR = Path(__file__).parent.parent / "fuzz" / "corpus"
+
+#: Workloads pinned by the goldens: the paper's six apps plus the extras
+#: that predate PR 10 (the server universe is covered by its own tests —
+#: it did not exist when the goldens were recorded).
+GOLDEN_WORKLOADS = tuple(WORKLOAD_NAMES) + ("radix",)
+
+
+def _workload_trace(app: str):
+    program = build_workload(app, seed=0)
+    return interleave(program, RandomScheduler(seed=0, max_burst=8)).trace
+
+
+def _corpus_trace(path: Path):
+    case = load_case(path)
+    scheduler = RandomScheduler(seed=case.schedule_seed, min_burst=1, max_burst=8)
+    return interleave(case.program, scheduler).trace
+
+
+def _fingerprints(trace) -> dict:
+    session = EngineSession(trace)
+    for key in DETECTOR_KEYS:
+        session.add_config(DetectorConfig(key))
+    results = session.run()
+    out = {}
+    for key, result in zip(DETECTOR_KEYS, results):
+        out[key] = {
+            "dynamic_count": result.reports.dynamic_count,
+            "alarm_count": result.reports.alarm_count,
+            "alarm_sites": sorted(str(site) for site in result.reports.sites()),
+            "cycles": result.cycles,
+            "extra_cycles": result.detector_extra_cycles,
+        }
+    return out
+
+
+def _case_traces():
+    for app in GOLDEN_WORKLOADS:
+        yield f"workload:{app}", lambda app=app: _workload_trace(app)
+    for path in corpus_paths(CORPUS_DIR):
+        yield f"corpus:{path.stem}", lambda path=path: _corpus_trace(path)
+
+
+def generate() -> dict:
+    return {name: _fingerprints(make()) for name, make in _case_traces()}
+
+
+def _load_goldens() -> dict:
+    with GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+class TestGoldenVerdicts:
+    """Default-config verdicts are frozen across refactors."""
+
+    def test_goldens_cover_all_detectors(self):
+        goldens = _load_goldens()
+        assert len(goldens) >= len(GOLDEN_WORKLOADS) + 6
+        for name, per_detector in goldens.items():
+            assert set(per_detector) == set(DETECTOR_KEYS), name
+
+    @pytest.mark.parametrize(
+        "name,make", list(_case_traces()), ids=lambda v: v if isinstance(v, str) else ""
+    )
+    def test_fingerprint_matches_golden(self, name, make):
+        golden = _load_goldens()[name]
+        assert _fingerprints(make()) == golden, name
+
+
+if __name__ == "__main__":
+    GOLDEN_PATH.write_text(json.dumps(generate(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")

@@ -103,3 +103,36 @@ class TestRegistry:
     def test_registry_rejects_non_spec_params(self):
         with pytest.raises(HarnessError):
             build_workload("fuzz:3", seed=0, params={"scale": 2})
+
+
+class TestServerPatterns:
+    """The gated server-pattern menu (FuzzSpec.server_patterns)."""
+
+    def test_default_menu_unchanged(self):
+        # The gate exists so PR-10's menu growth cannot re-roll existing
+        # corpus programs: an explicit False spec is byte-identical to the
+        # default spec.
+        for index in range(4):
+            a = generate_program(index)
+            b = generate_program(index, spec=FuzzSpec(server_patterns=False))
+            assert _fingerprint(a) == _fingerprint(b)
+
+    def test_gated_menu_is_deterministic(self):
+        spec = FuzzSpec(server_patterns=True)
+        a = generate_program(5, spec=spec)
+        b = generate_program(5, spec=spec)
+        assert _fingerprint(a) == _fingerprint(b)
+
+    def test_gated_menu_changes_some_programs(self):
+        spec = FuzzSpec(server_patterns=True)
+        assert any(
+            _fingerprint(generate_program(i, spec=spec))
+            != _fingerprint(generate_program(i))
+            for i in range(8)
+        )
+
+    @pytest.mark.parametrize("index", range(6))
+    def test_gated_programs_are_well_formed(self, index):
+        program = generate_program(index, spec=FuzzSpec(server_patterns=True))
+        for thread in program.threads:
+            assert thread.lock_balance_errors() == []

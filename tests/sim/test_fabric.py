@@ -1,0 +1,107 @@
+"""Unit tests for the coherence fabric strategy (snoopy vs directory)."""
+
+import pytest
+
+from repro.common.config import BusConfig, DirectoryConfig, MachineConfig
+from repro.sim.bus import Bus, snoopy_meta_model
+from repro.sim.fabric import (
+    DirectoryFabric,
+    SnoopyBus,
+    directory_meta_model,
+    make_fabric,
+    meta_cost_model,
+)
+
+
+def directory_fabric() -> DirectoryFabric:
+    return DirectoryFabric(BusConfig(), DirectoryConfig())
+
+
+class TestSnoopyHooks:
+    """On the broadcast bus, locating state is free: snooping IS the lookup."""
+
+    def test_scale_hooks_are_no_ops(self):
+        bus = SnoopyBus(BusConfig())
+        before = bus.cycles
+        assert bus.home_lookup("read_miss") == 0
+        assert bus.sharer_invalidations(3) == 0
+        assert bus.owner_forward() == 0
+        assert bus.cycles == before
+        assert not any(k.startswith("dir.") for k in bus.stats.snapshot())
+
+    def test_kind_markers(self):
+        assert SnoopyBus(BusConfig()).kind == "snoopy"
+        assert directory_fabric().kind == "directory"
+
+
+class TestDirectoryHooks:
+    def test_home_lookup_charges_hop_plus_lookup(self):
+        fab = directory_fabric()
+        d = fab.directory
+        cycles = fab.home_lookup("read_miss")
+        assert cycles == d.hop_cycles + d.lookup_cycles
+        assert fab.cycles == cycles
+        stats = fab.stats.snapshot()
+        assert stats["dir.cycles.home_lookup"] == cycles
+        assert stats["dir.messages.home_lookup"] == 2  # request + grant
+        assert stats["dir.bytes.control"] == 2 * d.control_bytes
+
+    def test_zero_sharers_cost_nothing(self):
+        fab = directory_fabric()
+        assert fab.sharer_invalidations(0) == 0
+        assert fab.sharer_invalidations(-1) == 0
+        assert fab.cycles == 0
+        assert fab.stats.snapshot() == {}
+
+    def test_invalidation_latency_constant_messages_scale(self):
+        # One parallel round trip regardless of fan-out; inval+ack per
+        # sharer on the wire.
+        few, many = directory_fabric(), directory_fabric()
+        d = few.directory
+        assert few.sharer_invalidations(1) == many.sharer_invalidations(15)
+        assert few.cycles == many.cycles == 2 * d.hop_cycles
+        assert few.stats.get("dir.messages.invalidations") == 2
+        assert many.stats.get("dir.messages.invalidations") == 30
+        assert many.stats.get("dir.bytes.control") == 30 * d.control_bytes
+
+    def test_owner_forward_is_one_hop_one_message(self):
+        fab = directory_fabric()
+        assert fab.owner_forward() == fab.directory.hop_cycles
+        assert fab.stats.get("dir.messages.owner_forward") == 1
+
+    def test_control_accumulates_across_hooks(self):
+        fab = directory_fabric()
+        fab.home_lookup("write_miss")
+        fab.sharer_invalidations(2)
+        fab.owner_forward()
+        # 2 (lookup) + 4 (invals) + 1 (forward) control messages.
+        assert fab.stats.get("dir.bytes.control") == 7 * fab.directory.control_bytes
+
+
+class TestFabricSelection:
+    def test_make_fabric_dispatches_on_config(self):
+        snoopy = make_fabric(MachineConfig())
+        assert type(snoopy) is Bus
+        directory = make_fabric(MachineConfig(coherence="directory"))
+        assert isinstance(directory, DirectoryFabric)
+
+    def test_meta_cost_model_matches_built_fabric(self):
+        # finish_batch reconstructs fabric charges from the config alone;
+        # it must agree with what the scalar fabric would charge.
+        for coherence in ("snoopy", "directory"):
+            config = MachineConfig(coherence=coherence)
+            assert meta_cost_model(config) == make_fabric(config).meta_model
+
+    def test_snoopy_meta_model_is_the_default(self):
+        config = MachineConfig()
+        assert meta_cost_model(config) == snoopy_meta_model(config.bus)
+
+    def test_directory_meta_model_publishes_point_to_point(self):
+        model = directory_meta_model(BusConfig(), DirectoryConfig())
+        assert model.update_count_key == "dir.messages.metadata_update"
+        assert model.update_control_bytes == DirectoryConfig().control_bytes
+        # Piggybacks ride the data response on either fabric: same key.
+        assert (
+            model.piggyback_cycle_key
+            == snoopy_meta_model(BusConfig()).piggyback_cycle_key
+        )

@@ -6,7 +6,7 @@ from repro.common.config import CacheConfig, MachineConfig
 from repro.common.errors import DetectorError
 from repro.sim.coherence import FillSource
 from repro.sim.machine import Machine
-from repro.sim.metadata import L2_HOLDER, CacheMetadataStore
+from repro.sim.metadata import L2_HOLDER, CacheMetadataStore, SharedMetadataStore
 
 
 class Meta:
@@ -78,6 +78,35 @@ class TestDirectProtocol:
         with pytest.raises(DetectorError):
             store.on_l2_evict(0x100)
 
+    def test_l2_evict_straggler_error_names_the_holders(self):
+        # The inclusion-violation message must identify which cores still
+        # held copies — that is the evidence a protocol bug leaves behind.
+        store = fresh_store()
+        store.on_fill(0, 0x100, FillSource.memory())
+        store.on_fill(2, 0x100, FillSource.from_core(0))
+        with pytest.raises(DetectorError, match=r"cores \[0, 2\]"):
+            store.on_l2_evict(0x100)
+        # The line is gone either way: the error is a diagnosis, not a
+        # rollback — a second eviction must report "untracked", not crash.
+        with pytest.raises(DetectorError, match="untracked"):
+            store.on_l2_evict(0x100)
+
+    def test_l2_evict_of_untracked_line_is_an_error(self):
+        with pytest.raises(DetectorError, match="untracked"):
+            fresh_store().on_l2_evict(0x100)
+
+    def test_set_of_absent_copy_is_an_error(self):
+        store = fresh_store()
+        store.on_fill(0, 0x100, FillSource.memory())
+        with pytest.raises(DetectorError):
+            store.set(3, 0x100, Meta(1))
+        with pytest.raises(DetectorError):
+            store.set(0, 0x200, Meta(1))
+
+    def test_broadcast_for_untracked_line_is_an_error(self):
+        with pytest.raises(DetectorError):
+            fresh_store().update_all_copies(0x100, Meta(1))
+
     def test_require_raises_on_missing(self):
         with pytest.raises(DetectorError):
             fresh_store().require(0, 0x100)
@@ -146,3 +175,25 @@ class TestAttachedToMachine:
         for i in range(1, 300):
             machine.access(1, 0x1000 + 32 * i, 4, False)
         assert store.get(L2_HOLDER, 0x1000) is None
+
+
+class TestSharedStoreErrors:
+    """The broadcast fast path enforces the same lifetime rules."""
+
+    def make(self) -> SharedMetadataStore:
+        return SharedMetadataStore(fresh=lambda line: Meta(0))
+
+    def test_l2_evict_of_untracked_line_is_an_error(self):
+        with pytest.raises(DetectorError, match="untracked"):
+            self.make().on_l2_evict(0x100)
+
+    def test_transfer_of_untracked_line_is_an_error(self):
+        with pytest.raises(DetectorError):
+            self.make().on_fill(1, 0x100, FillSource.from_core(0))
+
+    def test_require_raises_after_displacement(self):
+        store = self.make()
+        store.on_fill(0, 0x100, FillSource.memory())
+        store.on_l2_evict(0x100)
+        with pytest.raises(DetectorError):
+            store.require(0, 0x100)

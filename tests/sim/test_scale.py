@@ -1,0 +1,151 @@
+"""Scale-out machine behaviour: many cores, thread placement, fabrics.
+
+The default machine is the paper's 4-core CMP; PR 10 parameterizes it.
+These tests pin the parts that only show up past 4 cores — wide
+invalidation fan-out, thread→core placement policies and their counters —
+and the invariant that the coherence fabric changes *accounting*, never
+protocol decisions.
+"""
+
+import pytest
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.sim.cache import MESI
+from repro.sim.machine import Machine
+
+
+def wide_machine(num_cores: int = 16, **kwargs) -> Machine:
+    return Machine(
+        MachineConfig(
+            num_cores=num_cores,
+            l1=CacheConfig(512, 2, 32, 3),
+            l2=CacheConfig(16 * 1024, 4, 32, 10),
+            **kwargs,
+        )
+    )
+
+
+class TestWideInvalidation:
+    def test_write_invalidates_all_fifteen_sharers(self):
+        m = wide_machine(16)
+        for core in range(1, 16):
+            m.access(core, 0x1000, 4, False)
+        result = m.access(0, 0x1000, 4, True)
+        assert set(result.lines[0].invalidated_cores) == set(range(1, 16))
+        for core in range(1, 16):
+            assert m.l1s[core].lookup(0x1000) is None
+        assert m.l1s[0].lookup(0x1000).state is MESI.MODIFIED
+
+    def test_upgrade_reports_exact_sharer_list(self):
+        m = wide_machine(16)
+        readers = (0, 3, 7, 11, 15)
+        for core in readers:
+            m.access(core, 0x1000, 4, False)
+        result = m.access(3, 0x1000, 4, True)  # S->M upgrade
+        assert result.lines[0].upgraded
+        assert set(result.lines[0].invalidated_cores) == set(readers) - {3}
+
+    @pytest.mark.parametrize("coherence", ["snoopy", "directory"])
+    def test_invariants_hold_at_16_cores(self, coherence):
+        import random
+
+        m = wide_machine(16, coherence=coherence)
+        rng = random.Random(11)
+        for _ in range(3000):
+            m.access(
+                rng.randrange(16),
+                0x1000 + 32 * rng.randrange(400),
+                4,
+                rng.random() < 0.4,
+            )
+        m.check_invariants()
+
+
+class TestFabricNeutrality:
+    """Same protocol decisions on either fabric; only the bill differs."""
+
+    def trace_decisions(self, coherence: str):
+        import random
+
+        m = wide_machine(16, coherence=coherence)
+        rng = random.Random(5)
+        decisions = []
+        for _ in range(1500):
+            result = m.access(
+                rng.randrange(16),
+                0x1000 + 32 * rng.randrange(200),
+                4,
+                rng.random() < 0.4,
+            )
+            for lr in result.lines:
+                decisions.append(
+                    (lr.line_addr, lr.hit_level, lr.upgraded, lr.invalidated_cores)
+                )
+        return m, decisions
+
+    def test_directory_changes_cycles_not_decisions(self):
+        snoopy, snoopy_decisions = self.trace_decisions("snoopy")
+        directory, dir_decisions = self.trace_decisions("directory")
+        assert snoopy_decisions == dir_decisions
+        # Directory pays home-node indirection on top of the same data path.
+        assert directory.cycles > snoopy.cycles
+        stats = directory.bus.stats.snapshot()
+        assert stats["dir.messages.home_lookup"] > 0
+        assert stats["dir.bytes.control"] > 0
+        assert "dir.messages.home_lookup" not in snoopy.bus.stats.snapshot()
+
+    def test_directory_charges_back_invalidations(self):
+        # L2 displacement recalls live L1 copies through the sharer list.
+        m = Machine(
+            MachineConfig(
+                num_cores=8,
+                l1=CacheConfig(512, 2, 32, 3),
+                l2=CacheConfig(1024, 4, 32, 10),
+                coherence="directory",
+            )
+        )
+        # Core 0 parks 8 lines in its L1, then core 1 streams enough
+        # conflicting lines to displace them from the 32-line L2 while
+        # core 0 still holds copies.
+        for i in range(8):
+            m.access(0, 0x1000 + 32 * i, 4, False)
+        for i in range(64):
+            m.access(1, 0x2000 + 32 * i, 4, False)
+        assert m.bus.stats.get("dir.messages.invalidations") > 0
+        m.check_invariants()
+
+
+class TestThreadPlacement:
+    def test_modulo_round_robin_at_16_cores(self):
+        m = wide_machine(16)
+        assert [m.core_for_thread(t) for t in range(18)] == list(range(16)) + [0, 1]
+
+    def test_pinned_mapping_consults_the_map(self):
+        m = wide_machine(
+            8, thread_mapping="pinned", thread_pins=(4, 4, 0, 7)
+        )
+        assert [m.core_for_thread(t) for t in range(4)] == [4, 4, 0, 7]
+        # Threads beyond the map fall back to modulo.
+        assert m.core_for_thread(9) == 1
+
+    def test_oversubscription_counter(self):
+        m = wide_machine(4)
+        for t in range(8):  # 8 threads folded onto 4 cores
+            m.core_for_thread(t)
+        assert m.stats.get("machine.threads.placed") == 8
+        assert m.stats.get("machine.cores.oversubscribed") == 4
+
+    def test_underloaded_machine_never_oversubscribes(self):
+        m = wide_machine(64)
+        for t in range(8):
+            m.core_for_thread(t)
+        assert m.stats.get("machine.threads.placed") == 8
+        assert m.stats.get("machine.cores.oversubscribed") == 0
+
+    def test_placement_is_memoised(self):
+        m = wide_machine(4, thread_mapping="pinned", thread_pins=(2, 2))
+        for _ in range(3):
+            assert m.core_for_thread(0) == 2
+            assert m.core_for_thread(1) == 2
+        assert m.stats.get("machine.threads.placed") == 2
+        assert m.stats.get("machine.cores.oversubscribed") == 1

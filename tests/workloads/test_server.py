@@ -1,0 +1,102 @@
+"""Unit tests for the server-shaped workload universe (scaling study)."""
+
+import pytest
+
+from repro.workloads.injection import inject_bug, injection_candidates
+from repro.workloads.registry import (
+    EXTRA_WORKLOADS,
+    SERVER_WORKLOADS,
+    WORKLOAD_NAMES,
+    build_workload,
+)
+from repro.workloads.server import (
+    BusStressParams,
+    RwlockCacheParams,
+    WebServerParams,
+    WorkQueueParams,
+    build_webserver,
+    build_workqueue,
+)
+
+
+def _fingerprint(program):
+    return [(t.thread_id, tuple(t.ops)) for t in program.threads]
+
+
+class TestRegistry:
+    def test_server_workloads_are_registered_extras(self):
+        for name in SERVER_WORKLOADS:
+            assert name in EXTRA_WORKLOADS
+            assert name not in WORKLOAD_NAMES  # the paper's table is fixed
+            program = build_workload(name, seed=0)
+            assert program.name == name
+
+    @pytest.mark.parametrize("name", SERVER_WORKLOADS)
+    def test_builds_are_deterministic(self, name):
+        a = build_workload(name, seed=2)
+        b = build_workload(name, seed=2)
+        assert _fingerprint(a) == _fingerprint(b)
+        assert _fingerprint(a) != _fingerprint(build_workload(name, seed=3))
+
+    @pytest.mark.parametrize("name", SERVER_WORKLOADS)
+    def test_eight_threads_by_default(self, name):
+        # Server workloads target the many-core sweep: more threads than
+        # the paper's 4-core default machine.
+        assert build_workload(name, seed=0).num_threads == 8
+
+
+class TestWellFormed:
+    @pytest.mark.parametrize("name", SERVER_WORKLOADS)
+    def test_locks_balanced(self, name):
+        program = build_workload(name, seed=0)
+        for thread in program.threads:
+            assert thread.lock_balance_errors() == []
+
+    @pytest.mark.parametrize("name", SERVER_WORKLOADS)
+    def test_injection_candidates_exist(self, name):
+        # Every server workload must be usable as a Section 4 detection
+        # target: at least one injectable critical section.
+        program = build_workload(name, seed=0)
+        assert injection_candidates(program)
+
+    @pytest.mark.parametrize("name", SERVER_WORKLOADS)
+    def test_injection_produces_a_buggy_variant(self, name):
+        program = build_workload(name, seed=0)
+        buggy = inject_bug(program, seed=1)
+        assert buggy.injected_bug is not None
+        assert buggy.total_ops() == program.total_ops() - 2
+
+
+class TestParams:
+    def test_webserver_params_shape_the_program(self):
+        small = build_webserver(
+            seed=0, params=WebServerParams(num_threads=4, requests_per_thread=5)
+        )
+        assert small.num_threads == 4
+        assert small.total_ops() < build_webserver(seed=0).total_ops()
+
+    def test_workqueue_steal_percent_zero_stays_local(self):
+        # With stealing disabled every deque lock is only ever taken by
+        # its owner thread.
+        program = build_workqueue(
+            seed=0, params=WorkQueueParams(steal_percent=0)
+        )
+        owners: dict[int, set[int]] = {}
+        for thread in program.threads:
+            for op in thread.ops:
+                if op.kind.name == "LOCK" and op.addr in program.lock_addresses:
+                    owners.setdefault(op.addr, set()).add(thread.thread_id)
+        deque_locks = [
+            addr for addr, holders in owners.items() if len(holders) == 1
+        ]
+        assert deque_locks, "per-thread deque locks expected"
+
+    def test_param_dataclasses_are_frozen(self):
+        for params in (
+            WebServerParams(),
+            WorkQueueParams(),
+            RwlockCacheParams(),
+            BusStressParams(),
+        ):
+            with pytest.raises(Exception):
+                params.num_threads = 1  # type: ignore[misc]
